@@ -1,0 +1,63 @@
+// Command skygen generates a synthetic SDSS-like survey as blocked FITS
+// chunk files — the stand-in for the telescope's calibrated output that the
+// Operational Archive would export.
+//
+// Usage:
+//
+//	skygen -out chunks/ -n 100000 -chunks 10 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sdss/internal/load"
+	"sdss/internal/skygen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skygen: ")
+	var (
+		out     = flag.String("out", "chunks", "output directory for FITS chunk files")
+		n       = flag.Int("n", 100000, "total objects in the survey")
+		nChunks = flag.Int("chunks", 10, "number of chunks (nights) to split the survey into")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		packet  = flag.Int("packet", 1024, "rows per FITS stream packet")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	params := skygen.Default(*seed, *n)
+	var totalObjs, totalSpec int
+	for i := 0; i < *nChunks; i++ {
+		ch, err := skygen.GenerateChunk(params, i, *nChunks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("chunk%04d.fits", i))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := load.WriteChunkFITS(f, ch, *packet); err != nil {
+			f.Close()
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("%s: %d objects, %d spectra, %d bytes\n",
+			path, len(ch.Photo), len(ch.Spec), info.Size())
+		totalObjs += len(ch.Photo)
+		totalSpec += len(ch.Spec)
+	}
+	fmt.Printf("generated %d objects (%d spectra) in %d chunks under %s\n",
+		totalObjs, totalSpec, *nChunks, *out)
+}

@@ -1,0 +1,70 @@
+// Command skyquery executes archive queries from the command line,
+// streaming results as they arrive (the ASAP push made visible).
+//
+// Usage:
+//
+//	skyquery -archive archive/ "SELECT objid, ra, dec, r FROM tag WHERE CIRCLE(185, 32, 10) AND r < 21"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"sdss/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skyquery: ")
+	var (
+		dir     = flag.String("archive", "archive", "archive directory")
+		limit   = flag.Int("max", 0, "stop after this many rows (0 = all)")
+		timing  = flag.Bool("t", false, "print timing summary to stderr")
+		workers = flag.Int("workers", 0, "scan parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	q := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if q == "" {
+		log.Fatal(`no query given; usage: skyquery -archive DIR "SELECT ..."`)
+	}
+
+	a, err := core.Create(*dir, core.Options{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	rows, err := a.Query(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var first time.Duration
+	n := 0
+	for batch := range rows.C {
+		if first == 0 && len(batch) > 0 {
+			first = time.Since(start)
+		}
+		for _, r := range batch {
+			fmt.Printf("%d", uint64(r.ObjID))
+			for _, v := range r.Values {
+				fmt.Printf("\t%g", v)
+			}
+			fmt.Println()
+			n++
+			if *limit > 0 && n >= *limit {
+				rows.Close()
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "%d rows; first row after %v; complete after %v\n",
+			n, first.Round(time.Microsecond), time.Since(start).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,37 @@
+// Command skyserver runs the archive's public WWW tier: HTTP endpoints for
+// status, free-form queries, and cone searches over a loaded archive.
+//
+// Usage:
+//
+//	skyserver -archive archive/ -addr :8080
+//	curl 'localhost:8080/cone?ra=185&dec=32&radius=10'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"sdss/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skyserver: ")
+	var (
+		dir  = flag.String("archive", "archive", "archive directory")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	a, err := core.Create(*dir, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := a.Stats()
+	fmt.Printf("serving archive %s (%d objects, %d containers) on %s\n",
+		*dir, st.PhotoObjects, st.Containers, *addr)
+	fmt.Println("endpoints: /status /query?q=... /cone?ra=&dec=&radius=")
+	log.Fatal(http.ListenAndServe(*addr, a.WWW()))
+}

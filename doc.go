@@ -1,0 +1,17 @@
+// Package sdss is a from-scratch Go reproduction of "Designing and Mining
+// Multi-Terabyte Astronomy Archives: The Sloan Digital Sky Survey" (Szalay,
+// Kunszt, Thakar, Gray — SIGMOD 2000).
+//
+// The library lives under internal/: the Hierarchical Triangular Mesh sky
+// index (internal/htm), the half-space region algebra (internal/region),
+// the container-clustered object store (internal/store), the parallel
+// Query Execution Tree engine with ASAP push (internal/query, internal/qe),
+// the scan, hash and river machines (internal/scan, internal/hashm,
+// internal/river), the archive topology simulation (internal/archive), and
+// the assembled public facade (internal/core). See README.md and DESIGN.md.
+//
+// The benchmarks in this root package regenerate every table and figure of
+// the paper; run them with
+//
+//	go test -bench=. -benchmem .
+package sdss

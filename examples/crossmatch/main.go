@@ -1,0 +1,74 @@
+// Cross-identification: match an external FIRST-like radio catalog against
+// the optical archive — the paper's "each subsequent astronomical survey
+// will want to cross-identify its objects with the SDSS catalog".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdss/internal/core"
+	"sdss/internal/skygen"
+	"sdss/internal/sphere"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	a, err := core.Create("", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunk, err := skygen.GenerateChunk(skygen.Default(3, 60000), 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := a.LoadChunk(chunk); err != nil {
+		log.Fatal(err)
+	}
+
+	// A radio survey re-observes the radio-loud sources with 1 arcsec
+	// astrometric scatter, plus 25% spurious detections.
+	radio := skygen.RadioCatalog(11, chunk.Photo, 0.85, 1.0, 0.25)
+	var truthMatched int
+	for i := range radio {
+		if radio[i].Matched {
+			truthMatched++
+		}
+	}
+	fmt.Printf("optical archive: %d objects; radio catalog: %d sources (%d with true counterparts)\n",
+		a.Stats().PhotoObjects, len(radio), truthMatched)
+
+	// Cross-match within 5 arcsec on the hash machine.
+	matches, err := a.CrossMatch(radio, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byRadio := make(map[uint64]uint64, len(matches))
+	var sumSep float64
+	for _, m := range matches {
+		byRadio[m.RadioID] = uint64(m.ObjID)
+		sumSep += m.Dist
+	}
+	correct, wrong, spuriousHit := 0, 0, 0
+	for i := range radio {
+		r := &radio[i]
+		got, matched := byRadio[r.ID]
+		switch {
+		case r.Matched && matched && got == uint64(r.TruthID):
+			correct++
+		case r.Matched && matched:
+			wrong++
+		case !r.Matched && matched:
+			spuriousHit++
+		}
+	}
+	fmt.Printf("matches within 5 arcsec: %d\n", len(matches))
+	fmt.Printf("  correct identifications: %d (%.1f%% of true counterparts)\n",
+		correct, 100*float64(correct)/float64(truthMatched))
+	fmt.Printf("  misidentified: %d; spurious sources matched: %d\n", wrong, spuriousHit)
+	if len(matches) > 0 {
+		fmt.Printf("  mean match separation: %.2f arcsec\n", sumSep/float64(len(matches))/sphere.Arcsec)
+	}
+}

@@ -1,0 +1,87 @@
+// Desktop analysis: the paper's workflow for an astronomer's workstation —
+// take the 1% sample plus the tag vertical partition, develop a selection
+// on the laptop-sized subset, then run the debugged query against the full
+// archive and compare.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sdss/internal/core"
+	"sdss/internal/skygen"
+	"sdss/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	full, err := core.Create("", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunk, err := skygen.GenerateChunk(skygen.Default(13, 100000), 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := full.LoadChunk(chunk); err != nil {
+		log.Fatal(err)
+	}
+	fs := full.Stats()
+	fmt.Printf("server archive: %d objects, %s full + %s tags\n",
+		fs.PhotoObjects, stats.ByteSize(float64(fs.PhotoBytes)), stats.ByteSize(float64(fs.TagBytes)))
+
+	// The desktop subset: 1% sample, consistently across tables.
+	desktop, err := full.Sample(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := desktop.Stats()
+	fmt.Printf("desktop subset: %d objects, %s — %.0f× smaller\n",
+		ds.PhotoObjects, stats.ByteSize(float64(ds.PhotoBytes+ds.TagBytes)),
+		float64(fs.PhotoBytes)/float64(ds.PhotoBytes))
+
+	ctx := context.Background()
+	// Develop a selection on the sample: blue point-like sources. The cut
+	// is broad enough that the 1% sample still holds enough objects for a
+	// meaningful estimate (a narrow cut needs the full archive).
+	q := "SELECT COUNT(*) FROM tag WHERE u - g < 1.0 AND r < 22.5 AND size < 3"
+	count := func(a *core.Archive) (float64, time.Duration) {
+		start := time.Now()
+		rows, err := a.Query(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rows.Collect()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res[0].Values[0], time.Since(start)
+	}
+	sampleN, sampleT := count(desktop)
+	fmt.Printf("\ndebug run on the sample: %d candidates in %v → estimate %d full-survey\n",
+		int(sampleN), sampleT.Round(time.Microsecond), int(sampleN*100))
+
+	fullN, fullT := count(full)
+	fmt.Printf("production run on the server: %d candidates in %v\n", int(fullN), fullT.Round(time.Microsecond))
+	if fullN > 0 {
+		err := 100 * (sampleN*100 - fullN) / fullN
+		fmt.Printf("sample estimate error: %+.1f%%; sample ran %.0f× faster\n",
+			err, float64(fullT)/float64(sampleT))
+	}
+
+	// Refine with the spectroscopic table on the server: of the candidate
+	// color box, how many confirmed quasars have z > 2?
+	rows, err := full.Query(ctx,
+		"(SELECT objid FROM specobj WHERE redshift > 2 AND class = 'QSO') INTERSECT (SELECT objid FROM tag WHERE u - g < 0.4)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("confirmed z>2 quasars inside the color box: %d\n", len(res))
+}

@@ -1,0 +1,71 @@
+// Quickstart: create an archive, load a synthetic survey, and run the
+// bread-and-butter queries — a cone search and a color cut — through the
+// public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sdss/internal/core"
+	"sdss/internal/skygen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An in-memory archive (pass a directory to persist).
+	a, err := core.Create("", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate one chunk of a 50,000-object synthetic survey and load it.
+	chunk, err := skygen.GenerateChunk(skygen.Default(42, 50000), 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := a.LoadChunk(chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d objects (%d spectra) touching %d containers at %.0f MB/s\n",
+		st.PhotoObjects, st.SpecObjects, st.Containers, st.Rate()/1e6)
+
+	ctx := context.Background()
+
+	// Cone search around the first object, via the HTM index.
+	center := chunk.Photo[0]
+	tags, err := a.ConeSearch(ctx, center.RA, center.Dec, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cone search 30' around (%.3f, %.3f): %d objects\n", center.RA, center.Dec, len(tags))
+
+	// A color-cut query on the tag partition, streamed.
+	rows, err := a.Query(ctx, "SELECT objid, ra, dec, r FROM tag WHERE r < 19 AND u - g < 0.5 ORDER BY r LIMIT 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("five brightest UV-excess (quasar-colored) objects:")
+	for _, r := range res {
+		fmt.Printf("  objid=%d ra=%.4f dec=%.4f r=%.2f\n",
+			uint64(r.ObjID), r.Values[1], r.Values[2], r.Values[3])
+	}
+
+	// Aggregate over the spectroscopic table.
+	rows, err = a.Query(ctx, "SELECT AVG(redshift) FROM specobj WHERE class = 'GALAXY'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean galaxy redshift in the spectroscopic sample: %.4f\n", res[0].Values[0])
+}

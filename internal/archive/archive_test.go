@@ -1,0 +1,249 @@
+package archive
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdss/internal/load"
+	"sdss/internal/qe"
+	"sdss/internal/skygen"
+)
+
+func epoch() time.Time {
+	return time.Date(2000, 4, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func TestPipelineLatencies(t *testing.T) {
+	sim := NewSim(DefaultDelays(), epoch())
+	const nights = 30
+	const nightlyBytes = 20e9 // "about 20 GB will be arriving daily"
+	for n := 0; n < nights; n++ {
+		sim.Observe(epoch().Add(time.Duration(n)*Day), int64(nightlyBytes))
+	}
+	sim.Drain()
+
+	for _, c := range sim.Chunks() {
+		oa := c.ArrivedAt[Operational].Sub(c.Observed)
+		if oa != Day {
+			t.Fatalf("chunk %d reached OA after %v, want 1 day", c.ID, oa)
+		}
+		msa := c.ArrivedAt[MasterScience].Sub(c.Observed)
+		if msa != 21*Day {
+			t.Fatalf("chunk %d reached MSA after %v, want 21 days", c.ID, msa)
+		}
+		la := c.ArrivedAt[Local].Sub(c.Observed)
+		if la != 51*Day {
+			t.Fatalf("chunk %d reached LA after %v, want 51 days", c.ID, la)
+		}
+		pub := c.ArrivedAt[Public].Sub(c.Observed)
+		if pub != 561*Day {
+			t.Fatalf("chunk %d reached public after %v, want 561 days", c.ID, pub)
+		}
+	}
+	mean, min, max, n := sim.TierLatency(Public)
+	if n != nights || mean != 561*Day || min != max {
+		t.Errorf("public latency stats: mean=%v min=%v max=%v n=%d", mean, min, max, n)
+	}
+}
+
+func TestHoldingsOverTime(t *testing.T) {
+	sim := NewSim(DefaultDelays(), epoch())
+	const nights = 100
+	for n := 0; n < nights; n++ {
+		sim.Observe(epoch().Add(time.Duration(n)*Day), 20e9)
+	}
+	// After 60 days: every observed chunk is at the telescope tier;
+	// chunks observed ≥ 21 days ago are in the MSA; none public yet.
+	sim.RunUntil(epoch().Add(60 * Day))
+	tele, _ := sim.Holdings(Telescope)
+	if tele != 61 { // nights 0..60 observed by now
+		t.Errorf("telescope holdings = %d, want 61", tele)
+	}
+	msa, msaBytes := sim.Holdings(MasterScience)
+	if msa != 40 { // nights 0..39 have aged ≥ 21 days
+		t.Errorf("MSA holdings = %d, want 40", msa)
+	}
+	if msaBytes != int64(40*20e9) {
+		t.Errorf("MSA bytes = %d", msaBytes)
+	}
+	if pub, _ := sim.Holdings(Public); pub != 0 {
+		t.Errorf("public holdings = %d before verification period", pub)
+	}
+	// After two years everything is public.
+	sim.Drain()
+	if pub, _ := sim.Holdings(Public); pub != nights {
+		t.Errorf("public holdings after drain = %d, want %d", pub, nights)
+	}
+}
+
+func TestTierOrderingInvariant(t *testing.T) {
+	sim := NewSim(DefaultDelays(), epoch())
+	for n := 0; n < 20; n++ {
+		sim.Observe(epoch().Add(time.Duration(n*3)*Day), 1e9)
+	}
+	sim.Drain()
+	for _, c := range sim.Chunks() {
+		for tier := Operational; tier <= Public; tier++ {
+			if c.ArrivedAt[tier].Before(c.ArrivedAt[tier-1]) {
+				t.Fatalf("chunk %d reached %v before %v", c.ID, tier, tier-1)
+			}
+		}
+	}
+}
+
+func buildEngine(t *testing.T) *qe.Engine {
+	t.Helper()
+	photo, spec, err := skygen.GenerateAll(skygen.Default(1, 3000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := load.NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo, Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	return &qe.Engine{Photo: tgt.Photo, Tag: tgt.Tag, Spec: tgt.Spec}
+}
+
+func TestWWWStatusAndQuery(t *testing.T) {
+	www := NewWWW(buildEngine(t))
+	srv := httptest.NewServer(www.Handler())
+	defer srv.Close()
+
+	// Status.
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["photo_records"].(float64) == 0 {
+		t.Error("status reports empty archive")
+	}
+
+	// Query endpoint streams JSON lines.
+	resp, err = srv.Client().Get(srv.URL + "/query?q=" + strings.ReplaceAll(
+		"SELECT objid, r FROM tag WHERE r < 20", " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(resp.Body)
+	rowsSeen := 0
+	for dec.More() {
+		var row map[string]any
+		if err := dec.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := row["error"]; ok {
+			t.Fatalf("query returned error row: %v", row)
+		}
+		rowsSeen++
+	}
+	resp.Body.Close()
+	if rowsSeen == 0 {
+		t.Error("query returned no rows")
+	}
+
+	// Bad query is a 400.
+	resp, err = srv.Client().Get(srv.URL + "/query?q=SELECT%20bogus%20FROM%20tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad query status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing q status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWWWConeSearch(t *testing.T) {
+	engine := buildEngine(t)
+	www := NewWWW(engine)
+	srv := httptest.NewServer(www.Handler())
+	defer srv.Close()
+
+	// Find one real object to center on.
+	rows, err := engine.ExecuteString(context.Background(), "SELECT ra, dec FROM tag LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rows.Collect()
+	if err != nil || len(res) == 0 {
+		t.Fatalf("seed query failed: %v", err)
+	}
+	ra, dec := res[0].Values[0], res[0].Values[1]
+
+	url := srv.URL + "/cone?ra=" + jsonNum(ra) + "&dec=" + jsonNum(dec) + "&radius=30"
+	resp, err := srv.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec2 := json.NewDecoder(resp.Body)
+	n := 0
+	for dec2.More() {
+		var row map[string]any
+		if err := dec2.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("cone search around a real object returned nothing")
+	}
+
+	// Malformed parameters.
+	resp, err = srv.Client().Get(srv.URL + "/cone?ra=abc&dec=1&radius=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad cone params status = %d", resp.StatusCode)
+	}
+}
+
+func jsonNum(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestWWWRowCap(t *testing.T) {
+	www := NewWWW(buildEngine(t))
+	www.MaxRows = 7
+	srv := httptest.NewServer(www.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/query?q=SELECT%20objid%20FROM%20tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	n := 0
+	for dec.More() {
+		var row map[string]any
+		if err := dec.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("row cap delivered %d rows, want 7", n)
+	}
+}

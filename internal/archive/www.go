@@ -1,0 +1,145 @@
+package archive
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sdss/internal/qe"
+)
+
+// WWW is the public web tier of Figure 2: "A WWW server will provide
+// public access." It exposes the query engine over HTTP with streaming
+// JSON results, a cone-search convenience endpoint (the on-demand finding
+// chart query), and a status page.
+type WWW struct {
+	Engine *qe.Engine
+	// MaxRows caps result sizes for public queries (0 = 10000).
+	MaxRows int
+	// Started is stamped by NewWWW for the status page.
+	Started time.Time
+}
+
+// NewWWW builds the web tier over a query engine.
+func NewWWW(engine *qe.Engine) *WWW {
+	return &WWW{Engine: engine, Started: time.Now()}
+}
+
+func (w *WWW) maxRows() int {
+	if w.MaxRows > 0 {
+		return w.MaxRows
+	}
+	return 10000
+}
+
+// Handler returns the HTTP routing table.
+func (w *WWW) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", w.handleStatus)
+	mux.HandleFunc("GET /query", w.handleQuery)
+	mux.HandleFunc("GET /cone", w.handleCone)
+	return mux
+}
+
+func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
+	type status struct {
+		Uptime        string `json:"uptime"`
+		PhotoRecords  int64  `json:"photo_records"`
+		PhotoBytes    int64  `json:"photo_bytes"`
+		TagRecords    int64  `json:"tag_records"`
+		SpecRecords   int64  `json:"spec_records"`
+		NumContainers int    `json:"containers"`
+	}
+	st := status{Uptime: time.Since(w.Started).Round(time.Second).String()}
+	if w.Engine.Photo != nil {
+		st.PhotoRecords = w.Engine.Photo.NumRecords()
+		st.PhotoBytes = w.Engine.Photo.Bytes()
+		st.NumContainers = w.Engine.Photo.NumContainers()
+	}
+	if w.Engine.Tag != nil {
+		st.TagRecords = w.Engine.Tag.NumRecords()
+	}
+	if w.Engine.Spec != nil {
+		st.SpecRecords = w.Engine.Spec.NumRecords()
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(st)
+}
+
+// handleQuery runs ?q=<query text> and streams JSON rows as the engine
+// produces them — the WWW face of the ASAP push.
+func (w *WWW) handleQuery(rw http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query().Get("q")
+	if q == "" {
+		http.Error(rw, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	w.stream(rw, req.Context(), q)
+}
+
+// handleCone serves ?ra=&dec=&radius= (degrees, degrees, arcmin) cone
+// searches on the tag table: the finding-chart query.
+func (w *WWW) handleCone(rw http.ResponseWriter, req *http.Request) {
+	parse := func(name string) (float64, bool) {
+		v, err := strconv.ParseFloat(req.URL.Query().Get(name), 64)
+		if err != nil {
+			http.Error(rw, fmt.Sprintf("bad %s parameter", name), http.StatusBadRequest)
+			return 0, false
+		}
+		return v, true
+	}
+	ra, ok := parse("ra")
+	if !ok {
+		return
+	}
+	dec, ok := parse("dec")
+	if !ok {
+		return
+	}
+	radius, ok := parse("radius")
+	if !ok {
+		return
+	}
+	q := fmt.Sprintf(
+		"SELECT objid, ra, dec, u, g, r, i, z, size, class FROM tag WHERE CIRCLE(%g, %g, %g)",
+		ra, dec, radius)
+	w.stream(rw, req.Context(), q)
+}
+
+func (w *WWW) stream(rw http.ResponseWriter, ctx context.Context, q string) {
+	rows, err := w.Engine.ExecuteString(ctx, q)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer rows.Close()
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	type row struct {
+		ObjID  uint64    `json:"objid"`
+		Values []float64 `json:"values,omitempty"`
+	}
+	n := 0
+	for batch := range rows.C {
+		for _, r := range batch {
+			if n >= w.maxRows() {
+				rows.Close()
+				for range rows.C {
+				}
+				return
+			}
+			enc.Encode(row{ObjID: uint64(r.ObjID), Values: r.Values})
+			n++
+		}
+		if f, ok := rw.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		// Headers are sent; the best we can do is log-style trailer text.
+		fmt.Fprintf(rw, `{"error":%q}`+"\n", err.Error())
+	}
+}

@@ -1,0 +1,235 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomPhotoObj(rng *rand.Rand) PhotoObj {
+	var p PhotoObj
+	p.ObjID = ObjID(rng.Uint64())
+	p.Run = uint16(rng.Intn(9999))
+	p.Camcol = uint8(1 + rng.Intn(6))
+	p.Field = uint16(rng.Intn(1000))
+	p.MJD = 51000 + rng.Float64()*2000
+	if err := p.SetPos(rng.Float64()*360, rng.Float64()*180-90); err != nil {
+		panic(err)
+	}
+	for b := 0; b < NumBands; b++ {
+		p.Mag[b] = float32(14 + rng.Float64()*9)
+		p.MagErr[b] = float32(rng.Float64() * 0.3)
+		p.Extinction[b] = float32(rng.Float64() * 0.2)
+		for i := 0; i < NumProfileBins; i++ {
+			p.Prof[b][i] = float32(rng.NormFloat64())
+			p.ProfErr[b][i] = float32(rng.Float64())
+		}
+	}
+	p.PetroRad = float32(rng.Float64() * 10)
+	p.PetroR50 = p.PetroRad / 2
+	p.SurfBright = float32(18 + rng.Float64()*6)
+	p.SkyBright = float32(rng.Float64())
+	p.Airmass = float32(1 + rng.Float64()*0.5)
+	p.RowC = float32(rng.Float64() * 2048)
+	p.ColC = float32(rng.Float64() * 2048)
+	p.PSFWidth = float32(1 + rng.Float64())
+	p.MuRA = float32(rng.NormFloat64() * 5)
+	p.MuDec = float32(rng.NormFloat64() * 5)
+	p.Class = Class(rng.Intn(4))
+	p.Flags = rng.Uint64()
+	return p
+}
+
+func TestPhotoObjCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := randomPhotoObj(rng)
+		buf := p.AppendTo(nil)
+		if len(buf) != PhotoObjSize {
+			t.Fatalf("encoded size = %d, want %d", len(buf), PhotoObjSize)
+		}
+		var q PhotoObj
+		if err := q.Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", p, q)
+		}
+	}
+}
+
+func TestPhotoObjDecodeShortBuffer(t *testing.T) {
+	var p PhotoObj
+	if err := p.Decode(make([]byte, PhotoObjSize-1)); err == nil {
+		t.Error("short buffer decode succeeded")
+	}
+}
+
+func TestSetPosDerivedFields(t *testing.T) {
+	var p PhotoObj
+	if err := p.SetPos(370, 45); err != nil { // RA wraps to 10
+		t.Fatal(err)
+	}
+	if p.RA != 10 || p.Dec != 45 {
+		t.Errorf("SetPos normalized to (%v, %v)", p.RA, p.Dec)
+	}
+	v := p.Pos()
+	if !v.IsUnit(1e-12) {
+		t.Error("Pos not a unit vector")
+	}
+	if p.HTMID.Depth() != IndexDepth {
+		t.Errorf("HTMID depth = %d, want %d", p.HTMID.Depth(), IndexDepth)
+	}
+}
+
+func TestColor(t *testing.T) {
+	var p PhotoObj
+	p.Mag = [NumBands]float32{19.5, 18.2, 17.6, 17.3, 17.1}
+	if got := p.Color(U, G); math.Abs(got-1.3) > 1e-6 {
+		t.Errorf("u-g = %v, want 1.3", got)
+	}
+	tag := MakeTag(&p)
+	if got := tag.Color(G, R); math.Abs(got-0.6) > 1e-6 {
+		t.Errorf("tag g-r = %v, want 0.6", got)
+	}
+}
+
+func TestTagCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := randomPhotoObj(rng)
+		tag := MakeTag(&p)
+		buf := tag.AppendTo(nil)
+		if len(buf) != TagSize {
+			t.Fatalf("encoded size = %d, want %d", len(buf), TagSize)
+		}
+		var q Tag
+		if err := q.Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+		if q != tag {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", tag, q)
+		}
+	}
+	var q Tag
+	if err := q.Decode(make([]byte, TagSize-1)); err == nil {
+		t.Error("short buffer decode succeeded")
+	}
+}
+
+func TestTagProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPhotoObj(rng)
+	tag := MakeTag(&p)
+	if tag.ObjID != p.ObjID || tag.HTMID != p.HTMID {
+		t.Error("tag identity fields differ")
+	}
+	if tag.Pos() != p.Pos() {
+		t.Error("tag position differs")
+	}
+	if tag.Mag != p.Mag || tag.Size != p.PetroRad || tag.Class != p.Class {
+		t.Error("tag attributes differ")
+	}
+}
+
+func TestTagCompressionRatio(t *testing.T) {
+	// The design ratio behind the ">10× faster" claim: the tag record
+	// must be at least 10× smaller than the full record.
+	ratio := float64(PhotoObjSize) / float64(TagSize)
+	if ratio < 10 {
+		t.Errorf("PhotoObj/Tag size ratio = %.1f, want ≥ 10", ratio)
+	}
+}
+
+func TestSpecObjCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		s := SpecObj{
+			ObjID:       ObjID(rng.Uint64()),
+			Redshift:    float32(rng.Float64() * 5),
+			RedshiftErr: float32(rng.Float64() * 0.01),
+			Class:       Class(rng.Intn(4)),
+			FiberID:     uint16(1 + rng.Intn(640)),
+			Plate:       uint16(rng.Intn(3000)),
+			SN:          float32(rng.Float64() * 30),
+		}
+		for j := range s.Lines {
+			s.Lines[j] = SpectralLine{
+				Wavelength: float32(3900 + rng.Float64()*5300),
+				EquivWidth: float32(rng.NormFloat64() * 10),
+				LineID:     uint16(rng.Intn(10000)),
+			}
+		}
+		buf := s.AppendTo(nil)
+		if len(buf) != SpecObjSize {
+			t.Fatalf("encoded size = %d, want %d", len(buf), SpecObjSize)
+		}
+		var q SpecObj
+		if err := q.Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+		if q != s {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", s, q)
+		}
+	}
+	var q SpecObj
+	if err := q.Decode(make([]byte, SpecObjSize-1)); err == nil {
+		t.Error("short buffer decode succeeded")
+	}
+}
+
+func TestQuickCodecIdempotence(t *testing.T) {
+	// Property: decode(encode(x)) == x and encode is length-stable, for
+	// arbitrary seeds.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPhotoObj(rng)
+		buf := p.AppendTo(nil)
+		var q PhotoObj
+		if err := q.Decode(buf); err != nil {
+			return false
+		}
+		buf2 := q.AppendTo(nil)
+		return len(buf) == len(buf2) && string(buf) == string(buf2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassAndBandStrings(t *testing.T) {
+	if ClassGalaxy.String() != "GALAXY" || ClassQuasar.String() != "QSO" ||
+		ClassStar.String() != "STAR" || ClassUnknown.String() != "UNKNOWN" {
+		t.Error("class names wrong")
+	}
+	if U.String() != "u" || Z.String() != "z" {
+		t.Error("band names wrong")
+	}
+}
+
+func BenchmarkPhotoObjEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPhotoObj(rng)
+	buf := make([]byte, 0, PhotoObjSize)
+	b.SetBytes(PhotoObjSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkPhotoObjDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPhotoObj(rng)
+	buf := p.AppendTo(nil)
+	var q PhotoObj
+	b.SetBytes(PhotoObjSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sdss/internal/htm"
+)
+
+// NumLines is the number of identified spectral lines carried per spectrum.
+const NumLines = 5
+
+// SpectralLine is one identified emission or absorption line.
+type SpectralLine struct {
+	Wavelength float32 // observed wavelength, Å
+	EquivWidth float32 // equivalent width, Å (negative = absorption)
+	LineID     uint16  // rest-frame line identifier (e.g. 6563 for Hα)
+}
+
+// SpecObj is one row of the spectroscopic catalog: the redshift measurement
+// and identified lines for a target selected from the photometric survey.
+// Due to the expansion of the universe the redshift is a direct measure of
+// distance; the spectroscopic survey's product is the 3-D galaxy map.
+type SpecObj struct {
+	ObjID ObjID  // the photometric object this spectrum belongs to
+	HTMID htm.ID // spatial index key (same position as the PhotoObj)
+
+	Redshift    float32
+	RedshiftErr float32
+	Class       Class   // spectroscopic classification
+	FiberID     uint16  // optical fiber 1..640
+	Plate       uint16  // spectroscopic plug plate ("tile")
+	SN          float32 // median signal-to-noise per pixel
+
+	Lines [NumLines]SpectralLine
+}
+
+// SpecObjSize is the encoded record length in bytes.
+const SpecObjSize = 8 + 8 + 4 + 4 + 1 + 2 + 2 + 4 + NumLines*(4+4+2)
+
+// AppendTo encodes the record onto buf and returns the extended slice.
+func (s *SpecObj) AppendTo(buf []byte) []byte {
+	var sc [8]byte
+	le := binary.LittleEndian
+	le.PutUint64(sc[:], uint64(s.ObjID))
+	buf = append(buf, sc[:]...)
+	le.PutUint64(sc[:], uint64(s.HTMID))
+	buf = append(buf, sc[:]...)
+	le.PutUint32(sc[:4], math.Float32bits(s.Redshift))
+	buf = append(buf, sc[:4]...)
+	le.PutUint32(sc[:4], math.Float32bits(s.RedshiftErr))
+	buf = append(buf, sc[:4]...)
+	buf = append(buf, byte(s.Class))
+	le.PutUint16(sc[:2], s.FiberID)
+	buf = append(buf, sc[:2]...)
+	le.PutUint16(sc[:2], s.Plate)
+	buf = append(buf, sc[:2]...)
+	le.PutUint32(sc[:4], math.Float32bits(s.SN))
+	buf = append(buf, sc[:4]...)
+	for _, l := range s.Lines {
+		le.PutUint32(sc[:4], math.Float32bits(l.Wavelength))
+		buf = append(buf, sc[:4]...)
+		le.PutUint32(sc[:4], math.Float32bits(l.EquivWidth))
+		buf = append(buf, sc[:4]...)
+		le.PutUint16(sc[:2], l.LineID)
+		buf = append(buf, sc[:2]...)
+	}
+	return buf
+}
+
+// Decode fills the record from a buffer produced by AppendTo.
+func (s *SpecObj) Decode(buf []byte) error {
+	if len(buf) < SpecObjSize {
+		return fmt.Errorf("catalog: SpecObj decode: got %d bytes, need %d", len(buf), SpecObjSize)
+	}
+	le := binary.LittleEndian
+	off := 0
+	s.ObjID = ObjID(le.Uint64(buf[off:]))
+	off += 8
+	s.HTMID = htm.ID(le.Uint64(buf[off:]))
+	off += 8
+	s.Redshift = math.Float32frombits(le.Uint32(buf[off:]))
+	off += 4
+	s.RedshiftErr = math.Float32frombits(le.Uint32(buf[off:]))
+	off += 4
+	s.Class = Class(buf[off])
+	off++
+	s.FiberID = le.Uint16(buf[off:])
+	off += 2
+	s.Plate = le.Uint16(buf[off:])
+	off += 2
+	s.SN = math.Float32frombits(le.Uint32(buf[off:]))
+	off += 4
+	for i := range s.Lines {
+		s.Lines[i].Wavelength = math.Float32frombits(le.Uint32(buf[off:]))
+		off += 4
+		s.Lines[i].EquivWidth = math.Float32frombits(le.Uint32(buf[off:]))
+		off += 4
+		s.Lines[i].LineID = le.Uint16(buf[off:])
+		off += 2
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sdss/internal/htm"
+	"sdss/internal/sphere"
+)
+
+// Tag is the small object the paper proposes for desktop analysis and fast
+// scans: "the 10 most popular attributes (3 Cartesian positions on the sky,
+// 5 colors, 1 size, 1 classification parameter) into small 'tag' objects,
+// which point to the rest of the attributes."
+//
+// The ObjID is the pointer back to the full PhotoObj; the HTMID doubles as
+// the spatial index key. A Tag record is ~12× smaller than a PhotoObj
+// record, which is what makes tag-only queries an order of magnitude faster.
+type Tag struct {
+	ObjID ObjID
+	HTMID htm.ID
+
+	X, Y, Z float64           // the 3 Cartesian positions
+	Mag     [NumBands]float32 // the 5 colors (band magnitudes)
+	Size    float32           // Petrosian radius, arcsec
+	Class   Class             // the classification parameter
+}
+
+// TagSize is the encoded record length in bytes.
+const TagSize = 8 + 8 + 8*3 + 4*NumBands + 4 + 1
+
+// MakeTag projects a PhotoObj onto its tag object.
+func MakeTag(p *PhotoObj) Tag {
+	return Tag{
+		ObjID: p.ObjID,
+		HTMID: p.HTMID,
+		X:     p.X, Y: p.Y, Z: p.Z,
+		Mag:   p.Mag,
+		Size:  p.PetroRad,
+		Class: p.Class,
+	}
+}
+
+// Pos returns the tag's position as a unit vector.
+func (t *Tag) Pos() sphere.Vec3 { return sphere.Vec3{X: t.X, Y: t.Y, Z: t.Z} }
+
+// Color returns the color index between two bands.
+func (t *Tag) Color(b1, b2 Band) float64 { return float64(t.Mag[b1] - t.Mag[b2]) }
+
+// AppendTo encodes the tag onto buf and returns the extended slice.
+func (t *Tag) AppendTo(buf []byte) []byte {
+	var s [8]byte
+	le := binary.LittleEndian
+	le.PutUint64(s[:], uint64(t.ObjID))
+	buf = append(buf, s[:]...)
+	le.PutUint64(s[:], uint64(t.HTMID))
+	buf = append(buf, s[:]...)
+	for _, f := range [3]float64{t.X, t.Y, t.Z} {
+		le.PutUint64(s[:], math.Float64bits(f))
+		buf = append(buf, s[:]...)
+	}
+	for _, m := range t.Mag {
+		le.PutUint32(s[:4], math.Float32bits(m))
+		buf = append(buf, s[:4]...)
+	}
+	le.PutUint32(s[:4], math.Float32bits(t.Size))
+	buf = append(buf, s[:4]...)
+	buf = append(buf, byte(t.Class))
+	return buf
+}
+
+// Decode fills the tag from a buffer produced by AppendTo.
+func (t *Tag) Decode(buf []byte) error {
+	if len(buf) < TagSize {
+		return fmt.Errorf("catalog: Tag decode: got %d bytes, need %d", len(buf), TagSize)
+	}
+	le := binary.LittleEndian
+	off := 0
+	u64 := func() uint64 { v := le.Uint64(buf[off:]); off += 8; return v }
+	t.ObjID = ObjID(u64())
+	t.HTMID = htm.ID(u64())
+	t.X = math.Float64frombits(u64())
+	t.Y = math.Float64frombits(u64())
+	t.Z = math.Float64frombits(u64())
+	for i := range t.Mag {
+		t.Mag[i] = math.Float32frombits(le.Uint32(buf[off:]))
+		off += 4
+	}
+	t.Size = math.Float32frombits(le.Uint32(buf[off:]))
+	off += 4
+	t.Class = Class(buf[off])
+	return nil
+}

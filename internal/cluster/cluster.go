@@ -1,0 +1,182 @@
+// Package cluster simulates the array of commodity servers the paper's
+// scalable-architecture section builds on: 20 nodes of 4 Xeons and 12 disks
+// each, every node able to stream ~150 MB/s off its disks.
+//
+// The fabric provides what the real hardware provided: partition ownership
+// (each node holds a share of the containers), optional replication of data
+// onto a second node, per-node I/O throttling (so scaling measurements see
+// a disk-like bottleneck instead of memory bandwidth), byte accounting, and
+// failure injection. Real goroutine parallelism runs underneath, so scaling
+// shape measurements are genuine.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdss/internal/htm"
+)
+
+// Node is one simulated commodity server.
+type Node struct {
+	ID int
+
+	rate float64 // bytes/sec; 0 = unthrottled
+
+	mu       sync.Mutex
+	nextFree time.Time // when the simulated disk is next idle
+
+	bytesRead atomic.Int64
+	dead      atomic.Bool
+}
+
+// Read accounts for (and, if throttled, waits out) reading n bytes from the
+// node's disks. Concurrent readers serialize, like a shared disk arm.
+// Sub-millisecond debts accumulate instead of sleeping, because the OS
+// cannot sleep precisely for microseconds; the aggregate rate stays exact.
+func (n *Node) Read(nbytes int) {
+	n.bytesRead.Add(int64(nbytes))
+	if n.rate <= 0 {
+		return
+	}
+	d := time.Duration(float64(nbytes) / n.rate * float64(time.Second))
+	n.mu.Lock()
+	now := time.Now()
+	if n.nextFree.Before(now) {
+		n.nextFree = now
+	}
+	n.nextFree = n.nextFree.Add(d)
+	wait := n.nextFree.Sub(now)
+	n.mu.Unlock()
+	// Sleeping for tiny intervals oversleeps by ~1 ms each time; let small
+	// debts build up and settle them in one accurate sleep.
+	if wait >= 2*time.Millisecond {
+		time.Sleep(wait)
+	}
+}
+
+// BytesRead returns the cumulative bytes this node has served.
+func (n *Node) BytesRead() int64 { return n.bytesRead.Load() }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return !n.dead.Load() }
+
+// Fabric is a set of nodes plus the container partition map.
+type Fabric struct {
+	nodes []*Node
+
+	mu       sync.RWMutex
+	primary  map[htm.ID]int // container → owning node
+	replica  map[htm.ID]int // container → backup node (-1 if none)
+	assigned map[int][]htm.ID
+}
+
+// New creates a fabric of n nodes, each throttled to ratePerNode bytes/sec
+// (0 = unthrottled).
+func New(n int, ratePerNode float64) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	f := &Fabric{
+		primary:  make(map[htm.ID]int),
+		replica:  make(map[htm.ID]int),
+		assigned: make(map[int][]htm.ID),
+	}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, &Node{ID: i, rate: ratePerNode})
+	}
+	return f, nil
+}
+
+// NumNodes returns the fabric size (including dead nodes).
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// Node returns node i.
+func (f *Fabric) Node(i int) *Node { return f.nodes[i] }
+
+// Partition assigns containers to nodes round-robin (containers arrive
+// sorted by trixel ID, so round-robin stripes the sky across nodes and
+// spatially adjacent containers land on different nodes — good for query
+// hot spots). With replicate, each container also gets a backup node.
+func (f *Fabric) Partition(containers []htm.ID, replicate bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primary = make(map[htm.ID]int, len(containers))
+	f.replica = make(map[htm.ID]int, len(containers))
+	f.assigned = make(map[int][]htm.ID)
+	n := len(f.nodes)
+	for i, c := range containers {
+		p := i % n
+		f.primary[c] = p
+		f.assigned[p] = append(f.assigned[p], c)
+		if replicate && n > 1 {
+			f.replica[c] = (p + 1) % n
+		} else {
+			f.replica[c] = -1
+		}
+	}
+}
+
+// Assigned returns the containers a node currently owns.
+func (f *Fabric) Assigned(node int) []htm.ID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]htm.ID(nil), f.assigned[node]...)
+}
+
+// Owner returns the node currently serving a container, or -1.
+func (f *Fabric) Owner(c htm.ID) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if p, ok := f.primary[c]; ok {
+		return p
+	}
+	return -1
+}
+
+// Fail kills a node and promotes replicas: every container whose primary
+// was the dead node moves to its replica (if it has one). It returns the
+// containers that had no replica and are now unavailable.
+func (f *Fabric) Fail(node int) (lost []htm.ID) {
+	f.nodes[node].dead.Store(true)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var keep []htm.ID
+	for _, c := range f.assigned[node] {
+		r := f.replica[c]
+		if r < 0 || !f.nodes[r].Alive() {
+			lost = append(lost, c)
+			delete(f.primary, c)
+			continue
+		}
+		f.primary[c] = r
+		f.assigned[r] = append(f.assigned[r], c)
+		f.replica[c] = -1
+		keep = append(keep, c)
+	}
+	_ = keep
+	delete(f.assigned, node)
+	return lost
+}
+
+// TotalBytesRead sums byte counters across nodes.
+func (f *Fabric) TotalBytesRead() int64 {
+	var n int64
+	for _, node := range f.nodes {
+		n += node.BytesRead()
+	}
+	return n
+}
+
+// AliveNodes returns the IDs of live nodes.
+func (f *Fabric) AliveNodes() []int {
+	var out []int
+	for _, n := range f.nodes {
+		if n.Alive() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

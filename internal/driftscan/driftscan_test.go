@@ -1,0 +1,136 @@
+package driftscan
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScanFieldDeterministic(t *testing.T) {
+	cam := &Camera{Seed: 42}
+	a := cam.ScanField(100, 1, 5)
+	b := cam.ScanField(100, 1, 5)
+	if len(a.Pixels) != CCDWidth*FieldRows {
+		t.Fatalf("field has %d pixels", len(a.Pixels))
+	}
+	for i := range a.Pixels {
+		if a.Pixels[i] != b.Pixels[i] {
+			t.Fatal("pixel stream not deterministic")
+		}
+	}
+	c := cam.ScanField(100, 1, 6)
+	same := 0
+	for i := range a.Pixels {
+		if a.Pixels[i] == c.Pixels[i] {
+			same++
+		}
+	}
+	if same == len(a.Pixels) {
+		t.Fatal("different fields produced identical pixels")
+	}
+}
+
+func TestReduceFindsBrightSources(t *testing.T) {
+	cam := &Camera{Seed: 7, ObjectsPerField: 80}
+	f := cam.ScanField(200, 3, 0)
+	dets := Reduce(f, cam.skyLevel(), cam.skySigma(), 5)
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	// Completeness for bright objects (flux ≫ noise in aperture).
+	matched, bright := MatchTruth(f, dets, 3, 20000)
+	if bright == 0 {
+		t.Fatal("no bright truth objects; generator broken")
+	}
+	if frac := float64(matched) / float64(bright); frac < 0.95 {
+		t.Errorf("bright completeness %.2f, want ≥ 0.95 (%d/%d)", frac, matched, bright)
+	}
+	// False positives: detections not near any truth object must be rare.
+	false_ := 0
+	for _, d := range dets {
+		near := false
+		for _, o := range f.Truth {
+			dr, dc := d.Row-o.Row, d.Col-o.Col
+			if dr*dr+dc*dc <= 25 {
+				near = true
+				break
+			}
+		}
+		if !near {
+			false_++
+		}
+	}
+	if false_ > len(dets)/4 {
+		t.Errorf("%d of %d detections are spurious", false_, len(dets))
+	}
+}
+
+func TestCentroidAccuracy(t *testing.T) {
+	cam := &Camera{Seed: 9, ObjectsPerField: 30}
+	f := cam.ScanField(300, 2, 1)
+	dets := Reduce(f, cam.skyLevel(), cam.skySigma(), 5)
+	// For each bright truth object, the matched detection's centroid must
+	// land within a pixel.
+	for _, o := range f.Truth {
+		if o.Flux < 50000 {
+			continue
+		}
+		bestD := 1e9
+		for _, d := range dets {
+			dr, dc := d.Row-o.Row, d.Col-o.Col
+			if r2 := dr*dr + dc*dc; r2 < bestD {
+				bestD = r2
+			}
+		}
+		if bestD > 1 {
+			t.Errorf("bright object at (%.1f, %.1f) centroid off by %.2f px", o.Row, o.Col, bestD)
+		}
+	}
+}
+
+func TestStripRate(t *testing.T) {
+	// The pipeline must sustain well above the camera's 8 MB/s.
+	cam := &Camera{Seed: 1, ObjectsPerField: 60}
+	start := time.Now()
+	var nDet int
+	bytes, err := cam.Strip(400, 1, 3, func(f *Field) error {
+		nDet += len(Reduce(f, cam.skyLevel(), cam.skySigma(), 5))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes != 3*FieldBytes {
+		t.Fatalf("bytes = %d, want %d", bytes, 3*FieldBytes)
+	}
+	if nDet == 0 {
+		t.Fatal("strip produced no detections")
+	}
+	rate := float64(bytes) / time.Since(start).Seconds()
+	t.Logf("pipeline rate %.1f MB/s over %d bytes (%d detections)", rate/1e6, bytes, nDet)
+	if rate < 8e6 {
+		t.Errorf("pipeline rate %.1f MB/s below the camera's 8 MB/s", rate/1e6)
+	}
+}
+
+func TestStripErrorPropagates(t *testing.T) {
+	cam := &Camera{Seed: 1}
+	wantErr := errSentinel{}
+	_, err := cam.Strip(1, 1, 2, func(f *Field) error { return wantErr })
+	if err == nil {
+		t.Fatal("callback error swallowed")
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+func BenchmarkScanAndReduce(b *testing.B) {
+	cam := &Camera{Seed: 1, ObjectsPerField: 120}
+	b.SetBytes(FieldBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := cam.ScanField(1, 1, uint16(i))
+		Reduce(f, cam.skyLevel(), cam.skySigma(), 5)
+	}
+}

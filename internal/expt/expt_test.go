@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps the experiment smoke tests fast.
+func smallCfg() Config {
+	return Config{Scale: 2e-5, Seed: 1, Nodes: 4}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := Config{}
+	if c.Objects() != 30000 {
+		t.Errorf("default objects = %d, want 30000", c.Objects())
+	}
+	if f := c.ScaleFactor(); f != 1e4 {
+		t.Errorf("default scale factor = %v", f)
+	}
+	tiny := Config{Scale: 1e-9}
+	if tiny.Objects() != 1000 {
+		t.Errorf("tiny scale objects = %d, want floor 1000", tiny.Objects())
+	}
+}
+
+func TestHarnessCaching(t *testing.T) {
+	cfg := smallCfg()
+	a, err := NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("harness not cached for identical config")
+	}
+	if a.Archive.Stats().PhotoObjects == 0 {
+		t.Error("harness archive empty")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment at tiny scale and checks
+// each produces a table. This is the integration test that every paper
+// artifact is regenerable.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a while; skipped in -short")
+	}
+	cfg := smallCfg()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "===") {
+				t.Errorf("%s produced no banner", e.ID)
+			}
+			if len(out) < 100 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}

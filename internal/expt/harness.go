@@ -1,0 +1,102 @@
+// Package expt is the experiment harness: one function per table, figure,
+// and quantified claim of the paper, each regenerating the corresponding
+// result on the synthetic survey. cmd/skybench prints them; the root-level
+// benchmarks wrap them for `go test -bench`.
+//
+// Experiments run at a configurable scale of the full survey (3×10⁸
+// photometric objects). Extrapolations to paper scale always state the
+// factor; EXPERIMENTS.md records paper-versus-measured for every row.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"sdss/internal/catalog"
+	"sdss/internal/core"
+	"sdss/internal/skygen"
+)
+
+// SurveyObjects is the paper's full photometric catalog size.
+const SurveyObjects = 3e8
+
+// Config scales the experiments.
+type Config struct {
+	// Scale is the fraction of the full survey to generate (default 1e-4,
+	// about 30,000 objects).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Nodes is the simulated cluster width (default 20, the paper's).
+	Nodes int
+}
+
+// Objects returns the synthetic catalog size at this scale.
+func (c Config) Objects() int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1e-4
+	}
+	n := int(SurveyObjects * s)
+	if n < 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// ScaleFactor returns the multiplier from measured to paper scale.
+func (c Config) ScaleFactor() float64 {
+	return SurveyObjects / float64(c.Objects())
+}
+
+func (c Config) nodes() int {
+	if c.Nodes > 0 {
+		return c.Nodes
+	}
+	return 20
+}
+
+// Harness holds the built archive shared by the experiments.
+type Harness struct {
+	Cfg     Config
+	Archive *core.Archive
+	Photo   []catalog.PhotoObj
+	Spec    []catalog.SpecObj
+}
+
+var (
+	harnessMu    sync.Mutex
+	harnessCache = map[Config]*Harness{}
+)
+
+// NewHarness generates the survey at the configured scale and loads it into
+// an in-memory archive. Harnesses are cached per Config, so a bench run
+// pays generation once.
+func NewHarness(cfg Config) (*Harness, error) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	if h, ok := harnessCache[cfg]; ok {
+		return h, nil
+	}
+	photo, spec, err := skygen.GenerateAll(skygen.Default(cfg.Seed+1, cfg.Objects()), 4)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Create("", core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := a.LoadObjects(photo, spec); err != nil {
+		return nil, err
+	}
+	a.Sort()
+	h := &Harness{Cfg: cfg, Archive: a, Photo: photo, Spec: spec}
+	harnessCache[cfg] = h
+	return h, nil
+}
+
+// section prints an experiment banner.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}

@@ -1,0 +1,62 @@
+package fits
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteASCII renders the table as a FITS-style ASCII table: a commented
+// header naming the columns followed by whitespace-aligned rows. This is
+// the human-readable interchange form ("an ASCII ... output stream"); the
+// binary form is authoritative.
+func (t *Table) WriteASCII(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# EXTNAME = %s\n", t.Name)
+	fmt.Fprintf(bw, "# TFIELDS = %d\n", len(t.Cols))
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+		fmt.Fprintf(bw, "# TTYPE%d = %s (%s, repeat %d, unit %q)\n", i+1, c.Name, string(c.Type), c.Repeat, c.Unit)
+	}
+	fmt.Fprintf(bw, "# %s\n", strings.Join(names, "\t"))
+	for _, row := range t.Rows {
+		for ci, cell := range row {
+			if ci > 0 {
+				bw.WriteByte('\t')
+			}
+			writeASCIICell(bw, cell)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeASCIICell(w io.Writer, cell any) {
+	switch v := cell.(type) {
+	case float64:
+		fmt.Fprint(w, strconv.FormatFloat(v, 'g', 17, 64))
+	case float32:
+		fmt.Fprint(w, strconv.FormatFloat(float64(v), 'g', 9, 32))
+	case string:
+		fmt.Fprintf(w, "%q", v)
+	case []float32:
+		for i, e := range v {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, strconv.FormatFloat(float64(e), 'g', 9, 32))
+		}
+	case []float64:
+		for i, e := range v {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, strconv.FormatFloat(e, 'g', 17, 64))
+		}
+	default:
+		fmt.Fprintf(w, "%v", v)
+	}
+}

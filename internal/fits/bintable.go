@@ -1,0 +1,416 @@
+package fits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ColType is a FITS binary-table column data type (the TFORM letter).
+type ColType byte
+
+// The supported BINTABLE column types.
+const (
+	TypeByte    ColType = 'B' // unsigned 8-bit
+	TypeInt16   ColType = 'I' // big-endian int16
+	TypeInt32   ColType = 'J' // big-endian int32
+	TypeInt64   ColType = 'K' // big-endian int64
+	TypeFloat32 ColType = 'E' // IEEE-754 big-endian float32
+	TypeFloat64 ColType = 'D' // IEEE-754 big-endian float64
+	TypeChar    ColType = 'A' // character
+)
+
+// size returns the per-element byte width.
+func (t ColType) size() int {
+	switch t {
+	case TypeByte, TypeChar:
+		return 1
+	case TypeInt16:
+		return 2
+	case TypeInt32, TypeFloat32:
+		return 4
+	case TypeInt64, TypeFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Column describes one field of a binary table.
+type Column struct {
+	Name   string
+	Type   ColType
+	Repeat int // elements per row; 1 for scalars, >1 for arrays, string length for TypeChar
+	Unit   string
+}
+
+// width returns the column's byte width per row.
+func (c Column) width() int {
+	r := c.Repeat
+	if r < 1 {
+		r = 1
+	}
+	return r * c.Type.size()
+}
+
+// tform renders the TFORM value, e.g. "1D", "75E", "8A".
+func (c Column) tform() string {
+	r := c.Repeat
+	if r < 1 {
+		r = 1
+	}
+	return fmt.Sprintf("%d%c", r, c.Type)
+}
+
+// Table is an in-memory binary table: column metadata plus cell values.
+// Cell values are typed per column: float64, float32, int64, int32, int16,
+// byte, string, or slices of those for Repeat > 1.
+type Table struct {
+	Name string // EXTNAME
+	Cols []Column
+	Rows [][]any
+}
+
+// RowWidth returns the encoded byte width of one row.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Cols {
+		w += c.width()
+	}
+	return w
+}
+
+// header builds the BINTABLE extension header.
+func (t *Table) header() *Header {
+	h := &Header{}
+	h.Add("XTENSION", "BINTABLE", "binary table extension")
+	h.Add("BITPIX", int64(8), "8-bit bytes")
+	h.Add("NAXIS", int64(2), "2-dimensional table")
+	h.Add("NAXIS1", int64(t.RowWidth()), "width of table in bytes")
+	h.Add("NAXIS2", int64(len(t.Rows)), "number of rows")
+	h.Add("PCOUNT", int64(0), "no group parameters")
+	h.Add("GCOUNT", int64(1), "one data group")
+	h.Add("TFIELDS", int64(len(t.Cols)), "number of fields per row")
+	if t.Name != "" {
+		h.Add("EXTNAME", t.Name, "table name")
+	}
+	for i, c := range t.Cols {
+		h.Add(fmt.Sprintf("TTYPE%d", i+1), c.Name, "field name")
+		h.Add(fmt.Sprintf("TFORM%d", i+1), c.tform(), "field format")
+		if c.Unit != "" {
+			h.Add(fmt.Sprintf("TUNIT%d", i+1), c.Unit, "field unit")
+		}
+	}
+	return h
+}
+
+// appendCell encodes one cell (big-endian, per the FITS standard).
+func appendCell(buf []byte, c Column, v any) ([]byte, error) {
+	put16 := func(x uint16) { buf = binary.BigEndian.AppendUint16(buf, x) }
+	put32 := func(x uint32) { buf = binary.BigEndian.AppendUint32(buf, x) }
+	put64 := func(x uint64) { buf = binary.BigEndian.AppendUint64(buf, x) }
+	repeat := c.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	switch c.Type {
+	case TypeChar:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("fits: column %s expects string, got %T", c.Name, v)
+		}
+		b := make([]byte, repeat)
+		copy(b, s)
+		for i := len(s); i < repeat; i++ {
+			b[i] = ' '
+		}
+		return append(buf, b...), nil
+	case TypeByte:
+		switch x := v.(type) {
+		case byte:
+			return append(buf, x), nil
+		case []byte:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s expects %d bytes, got %d", c.Name, repeat, len(x))
+			}
+			return append(buf, x...), nil
+		}
+	case TypeInt16:
+		switch x := v.(type) {
+		case int16:
+			put16(uint16(x))
+			return buf, nil
+		case []int16:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s length mismatch", c.Name)
+			}
+			for _, e := range x {
+				put16(uint16(e))
+			}
+			return buf, nil
+		}
+	case TypeInt32:
+		switch x := v.(type) {
+		case int32:
+			put32(uint32(x))
+			return buf, nil
+		case []int32:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s length mismatch", c.Name)
+			}
+			for _, e := range x {
+				put32(uint32(e))
+			}
+			return buf, nil
+		}
+	case TypeInt64:
+		switch x := v.(type) {
+		case int64:
+			put64(uint64(x))
+			return buf, nil
+		case []int64:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s length mismatch", c.Name)
+			}
+			for _, e := range x {
+				put64(uint64(e))
+			}
+			return buf, nil
+		}
+	case TypeFloat32:
+		switch x := v.(type) {
+		case float32:
+			put32(math.Float32bits(x))
+			return buf, nil
+		case []float32:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s length mismatch", c.Name)
+			}
+			for _, e := range x {
+				put32(math.Float32bits(e))
+			}
+			return buf, nil
+		}
+	case TypeFloat64:
+		switch x := v.(type) {
+		case float64:
+			put64(math.Float64bits(x))
+			return buf, nil
+		case []float64:
+			if len(x) != repeat {
+				return nil, fmt.Errorf("fits: column %s length mismatch", c.Name)
+			}
+			for _, e := range x {
+				put64(math.Float64bits(e))
+			}
+			return buf, nil
+		}
+	}
+	return nil, fmt.Errorf("fits: column %s (%c): unsupported value type %T", c.Name, c.Type, v)
+}
+
+// decodeCell decodes one cell from row bytes.
+func decodeCell(buf []byte, c Column) (any, int, error) {
+	repeat := c.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	w := c.width()
+	if len(buf) < w {
+		return nil, 0, fmt.Errorf("fits: row truncated in column %s", c.Name)
+	}
+	switch c.Type {
+	case TypeChar:
+		return string(buf[:repeat]), w, nil
+	case TypeByte:
+		if repeat == 1 {
+			return buf[0], w, nil
+		}
+		out := make([]byte, repeat)
+		copy(out, buf)
+		return out, w, nil
+	case TypeInt16:
+		if repeat == 1 {
+			return int16(binary.BigEndian.Uint16(buf)), w, nil
+		}
+		out := make([]int16, repeat)
+		for i := range out {
+			out[i] = int16(binary.BigEndian.Uint16(buf[2*i:]))
+		}
+		return out, w, nil
+	case TypeInt32:
+		if repeat == 1 {
+			return int32(binary.BigEndian.Uint32(buf)), w, nil
+		}
+		out := make([]int32, repeat)
+		for i := range out {
+			out[i] = int32(binary.BigEndian.Uint32(buf[4*i:]))
+		}
+		return out, w, nil
+	case TypeInt64:
+		if repeat == 1 {
+			return int64(binary.BigEndian.Uint64(buf)), w, nil
+		}
+		out := make([]int64, repeat)
+		for i := range out {
+			out[i] = int64(binary.BigEndian.Uint64(buf[8*i:]))
+		}
+		return out, w, nil
+	case TypeFloat32:
+		if repeat == 1 {
+			return math.Float32frombits(binary.BigEndian.Uint32(buf)), w, nil
+		}
+		out := make([]float32, repeat)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[4*i:]))
+		}
+		return out, w, nil
+	case TypeFloat64:
+		if repeat == 1 {
+			return math.Float64frombits(binary.BigEndian.Uint64(buf)), w, nil
+		}
+		out := make([]float64, repeat)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+		}
+		return out, w, nil
+	}
+	return nil, 0, fmt.Errorf("fits: unsupported column type %c", c.Type)
+}
+
+// primaryHeader returns the minimal primary HDU header (no image data).
+func primaryHeader() *Header {
+	h := &Header{}
+	h.Add("SIMPLE", true, "conforms to FITS standard")
+	h.Add("BITPIX", int64(8), "8-bit bytes")
+	h.Add("NAXIS", int64(0), "no primary image")
+	h.Add("EXTEND", true, "extensions follow")
+	return h
+}
+
+// Write emits a complete FITS file: a minimal primary HDU followed by the
+// table as a BINTABLE extension.
+func (t *Table) Write(w io.Writer) error {
+	if err := primaryHeader().writeTo(w); err != nil {
+		return err
+	}
+	if err := t.header().writeTo(w); err != nil {
+		return err
+	}
+	var n int64
+	buf := make([]byte, 0, t.RowWidth())
+	for ri, row := range t.Rows {
+		if len(row) != len(t.Cols) {
+			return fmt.Errorf("fits: row %d has %d cells, table has %d columns", ri, len(row), len(t.Cols))
+		}
+		buf = buf[:0]
+		var err error
+		for ci, cell := range row {
+			if buf, err = appendCell(buf, t.Cols[ci], cell); err != nil {
+				return fmt.Errorf("fits: row %d: %w", ri, err)
+			}
+		}
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return err
+		}
+	}
+	return padBlock(w, n)
+}
+
+// ReadTable reads a FITS file produced by Write: it skips the primary HDU
+// and decodes the first BINTABLE extension.
+func ReadTable(r io.Reader) (*Table, error) {
+	// Primary header (no data: NAXIS=0).
+	ph, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := ph.Get("SIMPLE"); !ok || v != true {
+		return nil, fmt.Errorf("fits: not a FITS file (SIMPLE missing)")
+	}
+	return readBinTableHDU(r)
+}
+
+// readBinTableHDU reads one BINTABLE extension header + data.
+func readBinTableHDU(r io.Reader) (*Table, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := h.GetString("XTENSION")
+	if err != nil || xt != "BINTABLE" {
+		return nil, fmt.Errorf("fits: expected BINTABLE extension, got %q (%v)", xt, err)
+	}
+	naxis1, err := h.GetInt("NAXIS1")
+	if err != nil {
+		return nil, err
+	}
+	naxis2, err := h.GetInt("NAXIS2")
+	if err != nil {
+		return nil, err
+	}
+	tfields, err := h.GetInt("TFIELDS")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{}
+	if name, err := h.GetString("EXTNAME"); err == nil {
+		t.Name = name
+	}
+	for i := int64(1); i <= tfields; i++ {
+		name, err := h.GetString(fmt.Sprintf("TTYPE%d", i))
+		if err != nil {
+			return nil, err
+		}
+		form, err := h.GetString(fmt.Sprintf("TFORM%d", i))
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: name}
+		if len(form) < 1 {
+			return nil, fmt.Errorf("fits: empty TFORM%d", i)
+		}
+		col.Type = ColType(form[len(form)-1])
+		if col.Type.size() == 0 {
+			return nil, fmt.Errorf("fits: unsupported TFORM %q", form)
+		}
+		col.Repeat = 1
+		if len(form) > 1 {
+			n, err := fmt.Sscanf(form[:len(form)-1], "%d", &col.Repeat)
+			if n != 1 || err != nil {
+				return nil, fmt.Errorf("fits: bad TFORM %q", form)
+			}
+		}
+		if unit, err := h.GetString(fmt.Sprintf("TUNIT%d", i)); err == nil {
+			col.Unit = unit
+		}
+		t.Cols = append(t.Cols, col)
+	}
+	if int64(t.RowWidth()) != naxis1 {
+		return nil, fmt.Errorf("fits: NAXIS1=%d but columns sum to %d", naxis1, t.RowWidth())
+	}
+	rowBuf := make([]byte, naxis1)
+	for ri := int64(0); ri < naxis2; ri++ {
+		if _, err := io.ReadFull(r, rowBuf); err != nil {
+			return nil, fmt.Errorf("fits: truncated data at row %d: %w", ri, err)
+		}
+		row := make([]any, len(t.Cols))
+		off := 0
+		for ci, c := range t.Cols {
+			v, w, err := decodeCell(rowBuf[off:], c)
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = v
+			off += w
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if err := skipPad(r, naxis1*naxis2); err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return t, nil
+}

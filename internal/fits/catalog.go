@@ -1,0 +1,168 @@
+package fits
+
+import (
+	"fmt"
+
+	"sdss/internal/catalog"
+	"sdss/internal/htm"
+)
+
+// PhotoColumns returns the binary-table schema for photometric objects —
+// the on-the-wire form the Operational Archive exports calibrated chunks in.
+func PhotoColumns() []Column {
+	return []Column{
+		{Name: "OBJID", Type: TypeInt64, Repeat: 1},
+		{Name: "HTMID", Type: TypeInt64, Repeat: 1},
+		{Name: "RUN", Type: TypeInt16, Repeat: 1},
+		{Name: "CAMCOL", Type: TypeByte, Repeat: 1},
+		{Name: "FIELD", Type: TypeInt16, Repeat: 1},
+		{Name: "MJD", Type: TypeFloat64, Repeat: 1, Unit: "d"},
+		{Name: "RA", Type: TypeFloat64, Repeat: 1, Unit: "deg"},
+		{Name: "DEC", Type: TypeFloat64, Repeat: 1, Unit: "deg"},
+		{Name: "CX", Type: TypeFloat64, Repeat: 1},
+		{Name: "CY", Type: TypeFloat64, Repeat: 1},
+		{Name: "CZ", Type: TypeFloat64, Repeat: 1},
+		{Name: "MAG", Type: TypeFloat32, Repeat: catalog.NumBands, Unit: "mag"},
+		{Name: "MAGERR", Type: TypeFloat32, Repeat: catalog.NumBands, Unit: "mag"},
+		{Name: "EXTINCTION", Type: TypeFloat32, Repeat: catalog.NumBands, Unit: "mag"},
+		{Name: "PETRORAD", Type: TypeFloat32, Repeat: 1, Unit: "arcsec"},
+		{Name: "PETROR50", Type: TypeFloat32, Repeat: 1, Unit: "arcsec"},
+		{Name: "SURFBRIGHT", Type: TypeFloat32, Repeat: 1, Unit: "mag/arcsec2"},
+		{Name: "SKYBRIGHT", Type: TypeFloat32, Repeat: 1},
+		{Name: "AIRMASS", Type: TypeFloat32, Repeat: 1},
+		{Name: "ROWC", Type: TypeFloat32, Repeat: 1, Unit: "pix"},
+		{Name: "COLC", Type: TypeFloat32, Repeat: 1, Unit: "pix"},
+		{Name: "PSFWIDTH", Type: TypeFloat32, Repeat: 1, Unit: "arcsec"},
+		{Name: "MURA", Type: TypeFloat32, Repeat: 1, Unit: "mas/yr"},
+		{Name: "MUDEC", Type: TypeFloat32, Repeat: 1, Unit: "mas/yr"},
+		{Name: "CLASS", Type: TypeByte, Repeat: 1},
+		{Name: "FLAGS", Type: TypeInt64, Repeat: 1},
+		{Name: "PROF", Type: TypeFloat32, Repeat: catalog.NumBands * catalog.NumProfileBins},
+		{Name: "PROFERR", Type: TypeFloat32, Repeat: catalog.NumBands * catalog.NumProfileBins},
+	}
+}
+
+// PhotoRow converts a PhotoObj to a table row matching PhotoColumns.
+func PhotoRow(p *catalog.PhotoObj) []any {
+	prof := make([]float32, 0, catalog.NumBands*catalog.NumProfileBins)
+	profErr := make([]float32, 0, catalog.NumBands*catalog.NumProfileBins)
+	for b := 0; b < catalog.NumBands; b++ {
+		prof = append(prof, p.Prof[b][:]...)
+		profErr = append(profErr, p.ProfErr[b][:]...)
+	}
+	return []any{
+		int64(p.ObjID), int64(p.HTMID),
+		int16(p.Run), p.Camcol, int16(p.Field), p.MJD,
+		p.RA, p.Dec, p.X, p.Y, p.Z,
+		p.Mag[:], p.MagErr[:], p.Extinction[:],
+		p.PetroRad, p.PetroR50, p.SurfBright, p.SkyBright, p.Airmass,
+		p.RowC, p.ColC, p.PSFWidth, p.MuRA, p.MuDec,
+		byte(p.Class), int64(p.Flags),
+		prof, profErr,
+	}
+}
+
+// RowPhoto converts a table row (schema PhotoColumns) back to a PhotoObj.
+func RowPhoto(row []any) (catalog.PhotoObj, error) {
+	var p catalog.PhotoObj
+	if len(row) != 28 {
+		return p, fmt.Errorf("fits: photo row has %d cells, want 28", len(row))
+	}
+	var ok bool
+	fail := func(i int, what string) error {
+		return fmt.Errorf("fits: photo row cell %d (%s): unexpected type %T", i, what, row[i])
+	}
+	var v int64
+	if v, ok = row[0].(int64); !ok {
+		return p, fail(0, "OBJID")
+	}
+	p.ObjID = catalog.ObjID(v)
+	if v, ok = row[1].(int64); !ok {
+		return p, fail(1, "HTMID")
+	}
+	p.HTMID = htm.ID(v)
+	run, ok := row[2].(int16)
+	if !ok {
+		return p, fail(2, "RUN")
+	}
+	p.Run = uint16(run)
+	if p.Camcol, ok = row[3].(byte); !ok {
+		return p, fail(3, "CAMCOL")
+	}
+	field, ok := row[4].(int16)
+	if !ok {
+		return p, fail(4, "FIELD")
+	}
+	p.Field = uint16(field)
+	if p.MJD, ok = row[5].(float64); !ok {
+		return p, fail(5, "MJD")
+	}
+	if p.RA, ok = row[6].(float64); !ok {
+		return p, fail(6, "RA")
+	}
+	if p.Dec, ok = row[7].(float64); !ok {
+		return p, fail(7, "DEC")
+	}
+	if p.X, ok = row[8].(float64); !ok {
+		return p, fail(8, "CX")
+	}
+	if p.Y, ok = row[9].(float64); !ok {
+		return p, fail(9, "CY")
+	}
+	if p.Z, ok = row[10].(float64); !ok {
+		return p, fail(10, "CZ")
+	}
+	copyBands := func(i int, dst *[catalog.NumBands]float32, what string) error {
+		src, ok := row[i].([]float32)
+		if !ok || len(src) != catalog.NumBands {
+			return fail(i, what)
+		}
+		copy(dst[:], src)
+		return nil
+	}
+	if err := copyBands(11, &p.Mag, "MAG"); err != nil {
+		return p, err
+	}
+	if err := copyBands(12, &p.MagErr, "MAGERR"); err != nil {
+		return p, err
+	}
+	if err := copyBands(13, &p.Extinction, "EXTINCTION"); err != nil {
+		return p, err
+	}
+	f32s := []*float32{&p.PetroRad, &p.PetroR50, &p.SurfBright, &p.SkyBright,
+		&p.Airmass, &p.RowC, &p.ColC, &p.PSFWidth, &p.MuRA, &p.MuDec}
+	for i, dst := range f32s {
+		v, ok := row[14+i].(float32)
+		if !ok {
+			return p, fail(14+i, "float field")
+		}
+		*dst = v
+	}
+	cls, ok := row[24].(byte)
+	if !ok {
+		return p, fail(24, "CLASS")
+	}
+	p.Class = catalog.Class(cls)
+	flags, ok := row[25].(int64)
+	if !ok {
+		return p, fail(25, "FLAGS")
+	}
+	p.Flags = uint64(flags)
+	copyProfile := func(i int, dst *[catalog.NumBands][catalog.NumProfileBins]float32, what string) error {
+		src, ok := row[i].([]float32)
+		if !ok || len(src) != catalog.NumBands*catalog.NumProfileBins {
+			return fail(i, what)
+		}
+		for b := 0; b < catalog.NumBands; b++ {
+			copy(dst[b][:], src[b*catalog.NumProfileBins:(b+1)*catalog.NumProfileBins])
+		}
+		return nil
+	}
+	if err := copyProfile(26, &p.Prof, "PROF"); err != nil {
+		return p, err
+	}
+	if err := copyProfile(27, &p.ProfErr, "PROFERR"); err != nil {
+		return p, err
+	}
+	return p, nil
+}

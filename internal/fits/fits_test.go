@@ -1,0 +1,335 @@
+package fits
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/skygen"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name: "TEST",
+		Cols: []Column{
+			{Name: "ID", Type: TypeInt64, Repeat: 1},
+			{Name: "RA", Type: TypeFloat64, Repeat: 1, Unit: "deg"},
+			{Name: "MAG", Type: TypeFloat32, Repeat: 5, Unit: "mag"},
+			{Name: "NAME", Type: TypeChar, Repeat: 8},
+			{Name: "N", Type: TypeInt32, Repeat: 1},
+			{Name: "SHORT", Type: TypeInt16, Repeat: 1},
+			{Name: "FLAG", Type: TypeByte, Repeat: 1},
+		},
+		Rows: [][]any{
+			{int64(1), 187.25, []float32{19.1, 18.2, 17.8, 17.5, 17.3}, "SDSS0001", int32(-7), int16(42), byte(3)},
+			{int64(2), 0.001, []float32{21, 20, 19, 18, 17}, "SDSS0002", int32(1 << 30), int16(-3), byte(0)},
+		},
+	}
+}
+
+func TestCardFormatParseRoundTrip(t *testing.T) {
+	cases := []Card{
+		{Keyword: "SIMPLE", Value: true, Comment: "conforms"},
+		{Keyword: "BITPIX", Value: int64(8)},
+		{Keyword: "NAXIS1", Value: int64(778), Comment: "bytes"},
+		{Keyword: "EXTNAME", Value: "PHOTOOBJ", Comment: "name"},
+		{Keyword: "SCALE", Value: 0.0001},
+		{Keyword: "QUOTED", Value: "it's", Comment: "escaped quote"},
+		{Keyword: "FALSEKW", Value: false},
+	}
+	for _, c := range cases {
+		raw := c.format()
+		if len(raw) != CardSize {
+			t.Fatalf("card %q formatted to %d chars", c.Keyword, len(raw))
+		}
+		got := parseCard(raw)
+		if got.Keyword != c.Keyword {
+			t.Errorf("keyword %q -> %q", c.Keyword, got.Keyword)
+		}
+		if !reflect.DeepEqual(got.Value, c.Value) {
+			t.Errorf("%s: value %v (%T) -> %v (%T)", c.Keyword, c.Value, c.Value, got.Value, got.Value)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	want := sampleTable()
+	var buf bytes.Buffer
+	if err := want.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()%BlockSize != 0 {
+		t.Errorf("file size %d not a multiple of block size", buf.Len())
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name {
+		t.Errorf("name %q, want %q", got.Name, want.Name)
+	}
+	if !reflect.DeepEqual(got.Cols, want.Cols) {
+		t.Fatalf("columns differ:\n%v\n%v", got.Cols, want.Cols)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("rows differ:\n%v\n%v", got.Rows, want.Rows)
+	}
+}
+
+func TestHeaderStructure(t *testing.T) {
+	// The emitted bytes must start with the required SIMPLE card and
+	// contain only full 2880-byte blocks of printable ASCII in headers.
+	var buf bytes.Buffer
+	if err := sampleTable().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !strings.HasPrefix(string(raw[:30]), "SIMPLE  =                    T") {
+		t.Errorf("file does not start with SIMPLE card: %q", raw[:30])
+	}
+	// XTENSION card must begin the second HDU (block-aligned).
+	idx := bytes.Index(raw, []byte("XTENSION"))
+	if idx%BlockSize != 0 {
+		t.Errorf("XTENSION at offset %d, not block-aligned", idx)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The extension header of sampleTable fits in one block, so its data
+	// begins one block after the XTENSION card; cutting 50 bytes into the
+	// data block truncates mid-row. (Cutting inside trailing zero padding
+	// would be tolerated, by design.)
+	dataStart := bytes.Index(raw, []byte("XTENSION")) + BlockSize
+	for _, cut := range []int{10, BlockSize - 1, BlockSize + 5, dataStart + 50} {
+		_, err := ReadTable(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Errorf("reading file truncated at %d succeeded", cut)
+		}
+	}
+	// Garbage input.
+	if _, err := ReadTable(strings.NewReader(strings.Repeat("x", 2*BlockSize))); err == nil {
+		t.Error("garbage accepted as FITS")
+	}
+	// Empty input gives EOF.
+	if _, err := ReadTable(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty input: %v, want io.EOF", err)
+	}
+}
+
+func TestBadRows(t *testing.T) {
+	tab := sampleTable()
+	tab.Rows = append(tab.Rows, []any{int64(3)}) // wrong arity
+	if err := tab.Write(io.Discard); err == nil {
+		t.Error("short row accepted")
+	}
+	tab = sampleTable()
+	tab.Rows[0][1] = "not a float"
+	if err := tab.Write(io.Discard); err == nil {
+		t.Error("mistyped cell accepted")
+	}
+	tab = sampleTable()
+	tab.Rows[0][2] = []float32{1, 2} // wrong repeat
+	if err := tab.Write(io.Discard); err == nil {
+		t.Error("wrong-length array cell accepted")
+	}
+}
+
+func TestStreamBlockedPackets(t *testing.T) {
+	cols := []Column{
+		{Name: "ID", Type: TypeInt64, Repeat: 1},
+		{Name: "V", Type: TypeFloat64, Repeat: 1},
+	}
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, "STREAM", cols, 10)
+	const n = 35
+	for i := 0; i < n; i++ {
+		if err := sw.WriteRow([]any{int64(i), float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Packets() != 4 { // 10+10+10+5
+		t.Errorf("packets = %d, want 4", sw.Packets())
+	}
+	if sw.Rows() != n {
+		t.Errorf("rows = %d, want %d", sw.Rows(), n)
+	}
+
+	// Packet-by-packet read: the first packet must be decodable without
+	// the rest of the stream (the ASAP property the blocking gives us).
+	firstLen := func() int {
+		var one bytes.Buffer
+		swo := NewStreamWriter(&one, "STREAM", cols, 10)
+		for i := 0; i < 10; i++ {
+			swo.WriteRow([]any{int64(i), float64(i) * 1.5})
+		}
+		swo.Flush()
+		return one.Len()
+	}()
+	head, err := ReadTable(bytes.NewReader(buf.Bytes()[:firstLen]))
+	if err != nil {
+		t.Fatalf("first packet not self-contained: %v", err)
+	}
+	if len(head.Rows) != 10 {
+		t.Errorf("first packet rows = %d, want 10", len(head.Rows))
+	}
+
+	// Full drain.
+	all, err := NewStreamReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != n {
+		t.Fatalf("ReadAll rows = %d, want %d", len(all.Rows), n)
+	}
+	for i, row := range all.Rows {
+		if row[0].(int64) != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, row)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, "S", []Column{{Name: "X", Type: TypeInt32, Repeat: 1}}, 0)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("flush of empty stream wrote data")
+	}
+	if _, err := NewStreamReader(&buf).ReadAll(); err != io.EOF {
+		t.Errorf("empty stream ReadAll: %v, want io.EOF", err)
+	}
+}
+
+func TestPhotoObjFITSRoundTrip(t *testing.T) {
+	ch, err := skygen.GenerateChunk(skygen.Default(5, 500), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Photo) == 0 {
+		t.Fatal("empty chunk")
+	}
+	tab := &Table{Name: "PHOTOOBJ", Cols: PhotoColumns()}
+	for i := range ch.Photo {
+		tab.Rows = append(tab.Rows, PhotoRow(&ch.Photo[i]))
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(ch.Photo) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(ch.Photo))
+	}
+	for i, row := range got.Rows {
+		p, err := RowPhoto(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != ch.Photo[i] {
+			t.Fatalf("object %d: FITS round trip mismatch", i)
+		}
+	}
+}
+
+func TestRowPhotoErrors(t *testing.T) {
+	if _, err := RowPhoto([]any{int64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	var p catalog.PhotoObj
+	row := PhotoRow(&p)
+	row[0] = "bad"
+	if _, err := RowPhoto(row); err == nil {
+		t.Error("mistyped OBJID accepted")
+	}
+	row = PhotoRow(&p)
+	row[11] = []float32{1}
+	if _, err := RowPhoto(row); err == nil {
+		t.Error("short MAG array accepted")
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# EXTNAME = TEST", "SDSS0001", "187.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataLines := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			dataLines++
+		}
+	}
+	if dataLines != 2 {
+		t.Errorf("ASCII data lines = %d, want 2", dataLines)
+	}
+}
+
+func BenchmarkBinTableWrite(b *testing.B) {
+	ch, err := skygen.GenerateChunk(skygen.Default(5, 2000), 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := &Table{Name: "PHOTOOBJ", Cols: PhotoColumns()}
+	for i := range ch.Photo {
+		tab.Rows = append(tab.Rows, PhotoRow(&ch.Photo[i]))
+	}
+	rowBytes := int64(tab.RowWidth() * len(tab.Rows))
+	b.SetBytes(rowBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink any
+
+func BenchmarkBinTableRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tab := &Table{Name: "T", Cols: []Column{
+		{Name: "ID", Type: TypeInt64, Repeat: 1},
+		{Name: "V", Type: TypeFloat64, Repeat: 1},
+	}}
+	for i := 0; i < 5000; i++ {
+		tab.Rows = append(tab.Rows, []any{int64(i), rng.Float64()})
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadTable(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = got
+	}
+}

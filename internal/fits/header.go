@@ -1,0 +1,247 @@
+// Package fits implements the subset of the Flexible Image Transport System
+// [Wells81] the archive pipelines exchange data in: header cards, binary
+// table (BINTABLE) extensions, ASCII tables, and — because standard FITS
+// files do not support streaming — a blocked stream format in which data is
+// carried as a sequence of self-contained FITS packets, exactly the
+// "blocked approach" the paper says the SDSS is implementing.
+//
+// Files are sequences of 2880-byte blocks. A header is a sequence of
+// 80-character cards; binary table data is big-endian. Only the features the
+// archive needs are implemented, but what is implemented follows the
+// standard closely enough that real FITS tools can read the output.
+package fits
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BlockSize is the FITS logical record length.
+const BlockSize = 2880
+
+// CardSize is the length of one header card.
+const CardSize = 80
+
+// Card is one 80-character header record: a keyword, an optional value, and
+// an optional comment.
+type Card struct {
+	Keyword string
+	Value   any // string, bool, int64, float64, or nil
+	Comment string
+}
+
+// format renders the card in standard FITS layout.
+func (c Card) format() string {
+	var b strings.Builder
+	kw := c.Keyword
+	if len(kw) > 8 {
+		kw = kw[:8]
+	}
+	fmt.Fprintf(&b, "%-8s", kw)
+	if c.Value != nil {
+		b.WriteString("= ")
+		switch v := c.Value.(type) {
+		case string:
+			// Strings are quoted, left-justified, min 8 chars inside quotes.
+			q := "'" + strings.ReplaceAll(v, "'", "''") + "'"
+			for len(q) < 10 {
+				q = q[:len(q)-1] + " '"
+			}
+			fmt.Fprintf(&b, "%-20s", q)
+		case bool:
+			t := "F"
+			if v {
+				t = "T"
+			}
+			fmt.Fprintf(&b, "%20s", t)
+		case int:
+			fmt.Fprintf(&b, "%20d", v)
+		case int64:
+			fmt.Fprintf(&b, "%20d", v)
+		case float64:
+			fmt.Fprintf(&b, "%20s", strconv.FormatFloat(v, 'G', -1, 64))
+		default:
+			fmt.Fprintf(&b, "%20v", v)
+		}
+		if c.Comment != "" {
+			b.WriteString(" / ")
+			b.WriteString(c.Comment)
+		}
+	} else if c.Comment != "" {
+		b.WriteString(" ")
+		b.WriteString(c.Comment)
+	}
+	s := b.String()
+	if len(s) > CardSize {
+		s = s[:CardSize]
+	}
+	return s + strings.Repeat(" ", CardSize-len(s))
+}
+
+// parseCard parses one 80-character card.
+func parseCard(raw string) Card {
+	c := Card{Keyword: strings.TrimRight(raw[:8], " ")}
+	if len(raw) < 10 || raw[8:10] != "= " {
+		c.Comment = strings.TrimSpace(raw[8:])
+		return c
+	}
+	rest := raw[10:]
+	// String value?
+	trimmed := strings.TrimLeft(rest, " ")
+	if strings.HasPrefix(trimmed, "'") {
+		end := 1
+		var sb strings.Builder
+		for end < len(trimmed) {
+			if trimmed[end] == '\'' {
+				if end+1 < len(trimmed) && trimmed[end+1] == '\'' {
+					sb.WriteByte('\'')
+					end += 2
+					continue
+				}
+				break
+			}
+			sb.WriteByte(trimmed[end])
+			end++
+		}
+		c.Value = strings.TrimRight(sb.String(), " ")
+		if i := strings.Index(trimmed[end:], "/"); i >= 0 {
+			c.Comment = strings.TrimSpace(trimmed[end+i+1:])
+		}
+		return c
+	}
+	// Numeric / logical, with optional comment after '/'.
+	valPart := rest
+	if i := strings.Index(rest, "/"); i >= 0 {
+		valPart = rest[:i]
+		c.Comment = strings.TrimSpace(rest[i+1:])
+	}
+	valPart = strings.TrimSpace(valPart)
+	switch valPart {
+	case "T":
+		c.Value = true
+	case "F":
+		c.Value = false
+	case "":
+		c.Value = nil
+	default:
+		if iv, err := strconv.ParseInt(valPart, 10, 64); err == nil {
+			c.Value = iv
+		} else if fv, err := strconv.ParseFloat(valPart, 64); err == nil {
+			c.Value = fv
+		} else {
+			c.Value = valPart
+		}
+	}
+	return c
+}
+
+// Header is an ordered list of cards.
+type Header struct {
+	Cards []Card
+}
+
+// Add appends a card.
+func (h *Header) Add(keyword string, value any, comment string) {
+	h.Cards = append(h.Cards, Card{Keyword: keyword, Value: value, Comment: comment})
+}
+
+// Get returns the value of the first card with the given keyword.
+func (h *Header) Get(keyword string) (any, bool) {
+	for _, c := range h.Cards {
+		if c.Keyword == keyword {
+			return c.Value, true
+		}
+	}
+	return nil, false
+}
+
+// GetInt returns an integer-valued keyword.
+func (h *Header) GetInt(keyword string) (int64, error) {
+	v, ok := h.Get(keyword)
+	if !ok {
+		return 0, fmt.Errorf("fits: keyword %s missing", keyword)
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, nil
+	case float64:
+		return int64(n), nil
+	default:
+		return 0, fmt.Errorf("fits: keyword %s is %T, not integer", keyword, v)
+	}
+}
+
+// GetString returns a string-valued keyword.
+func (h *Header) GetString(keyword string) (string, error) {
+	v, ok := h.Get(keyword)
+	if !ok {
+		return "", fmt.Errorf("fits: keyword %s missing", keyword)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("fits: keyword %s is %T, not string", keyword, v)
+	}
+	return s, nil
+}
+
+// writeTo emits the header cards plus END, padded to a block boundary.
+func (h *Header) writeTo(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range h.Cards {
+		b.WriteString(c.format())
+	}
+	b.WriteString(Card{Keyword: "END"}.format())
+	for b.Len()%BlockSize != 0 {
+		b.WriteString(strings.Repeat(" ", CardSize))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// readHeader reads blocks until the END card.
+func readHeader(r io.Reader) (*Header, error) {
+	h := &Header{}
+	block := make([]byte, BlockSize)
+	for {
+		if _, err := io.ReadFull(r, block); err != nil {
+			if err == io.EOF && len(h.Cards) == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("fits: truncated header: %w", err)
+		}
+		for off := 0; off < BlockSize; off += CardSize {
+			raw := string(block[off : off+CardSize])
+			kw := strings.TrimRight(raw[:8], " ")
+			if kw == "END" {
+				return h, nil
+			}
+			if kw == "" && strings.TrimSpace(raw) == "" {
+				continue
+			}
+			h.Cards = append(h.Cards, parseCard(raw))
+		}
+	}
+}
+
+// padBlock writes zero padding to round n bytes up to a block boundary.
+// FITS pads data with zeros (headers with spaces).
+func padBlock(w io.Writer, n int64) error {
+	rem := int(n % BlockSize)
+	if rem == 0 {
+		return nil
+	}
+	_, err := w.Write(make([]byte, BlockSize-rem))
+	return err
+}
+
+// skipPad consumes data padding after n bytes of content.
+func skipPad(r io.Reader, n int64) error {
+	rem := int(n % BlockSize)
+	if rem == 0 {
+		return nil
+	}
+	_, err := io.CopyN(io.Discard, r, int64(BlockSize-rem))
+	return err
+}

@@ -1,0 +1,356 @@
+// Package htm implements the Hierarchical Triangular Mesh, the multi-level
+// spatial index over the celestial sphere described in the paper's "Indexing
+// the Sky" section (Figure 3) and in Szalay, Kunszt & Brunner's Hierarchical
+// Sky Partitioning.
+//
+// The sphere is first divided into the 8 spherical triangles of an inscribed
+// octahedron (4 in the northern celestial hemisphere, 4 in the southern).
+// Each spherical triangle is then recursively divided into 4 sub-triangles
+// of approximately equal area by connecting the midpoints of its edges,
+// ad infinitum. The subdivision forms a forest of 8 quad-trees; every node
+// — a "trixel" — is named by a 64-bit integer that encodes the full path
+// from its root, so areas at different catalog depths map either directly
+// onto one another or one is fully contained by the other.
+package htm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"sdss/internal/sphere"
+)
+
+// ID names a trixel. The encoding follows the JHU HTM convention:
+//
+//	depth 0 (the 8 octahedron faces):  0b1000 (S0=8) … 0b1111 (N3=15)
+//	each further level appends two bits, the child index 0..3:
+//	    children(t) = 4t+0, 4t+1, 4t+2, 4t+3
+//
+// The leading 1 bit acts as a sentinel so the depth is recoverable from the
+// bit length: depth = (bitlen(id) - 4) / 2. The zero ID is invalid.
+type ID uint64
+
+// MaxDepth is the deepest supported subdivision level. At depth 30 a trixel
+// subtends about 10 microarcseconds, far below any astrometric precision;
+// 64-bit IDs could go deeper but derived quantities degenerate in float64.
+const MaxDepth = 30
+
+// Invalid is the zero ID, which names no trixel.
+const Invalid ID = 0
+
+// Depth returns the subdivision depth of the trixel: 0 for the 8 octahedron
+// faces, increasing by one per level. Depth of the invalid ID is -1.
+func (id ID) Depth() int {
+	if id < 8 {
+		return -1
+	}
+	return (bits.Len64(uint64(id)) - 4) / 2
+}
+
+// Valid reports whether id is a well-formed trixel ID: at least 8 (so the
+// sentinel bit is present), even bit length (faces use 4 bits, each level
+// two more), and no deeper than MaxDepth.
+func (id ID) Valid() bool {
+	n := bits.Len64(uint64(id))
+	return id >= 8 && n%2 == 0 && n <= 4+2*MaxDepth
+}
+
+// Parent returns the trixel containing id at the previous depth. The parent
+// of a depth-0 face is Invalid.
+func (id ID) Parent() ID {
+	if id < 64 {
+		return Invalid
+	}
+	return id >> 2
+}
+
+// Child returns the i-th child (0..3) of the trixel at the next depth.
+func (id ID) Child(i int) ID {
+	return id<<2 | ID(i&3)
+}
+
+// ChildIndex returns which child of its parent this trixel is (0..3).
+func (id ID) ChildIndex() int {
+	return int(id & 3)
+}
+
+// Face returns the depth-0 octahedron face (8..15) that contains id.
+func (id ID) Face() ID {
+	d := id.Depth()
+	if d < 0 {
+		return Invalid
+	}
+	return id >> (2 * uint(d))
+}
+
+// AtDepth returns the ancestor of id at depth d, or, if d exceeds the
+// trixel's own depth, the first (child-0 path) descendant at depth d.
+// It is the canonical way to compare trixels from catalogs indexed at
+// different depths: area containment reduces to integer prefix arithmetic.
+func (id ID) AtDepth(d int) ID {
+	own := id.Depth()
+	if own < 0 || d < 0 || d > MaxDepth {
+		return Invalid
+	}
+	if d <= own {
+		return id >> (2 * uint(own-d))
+	}
+	return id << (2 * uint(d-own))
+}
+
+// Contains reports whether trixel id spatially contains trixel other, i.e.
+// whether id is an ancestor of (or equal to) other in the mesh.
+func (id ID) Contains(other ID) bool {
+	d1, d2 := id.Depth(), other.Depth()
+	if d1 < 0 || d2 < 0 || d2 < d1 {
+		return false
+	}
+	return other>>(2*uint(d2-d1)) == id
+}
+
+// RangeAtDepth returns the half-open interval [lo, hi] of depth-d trixel IDs
+// covered by this trixel (inclusive on both ends). It requires d ≥ Depth().
+// Expressing coverage as ranges of leaf IDs is what lets the archive store a
+// multi-resolution index as sorted integer intervals.
+func (id ID) RangeAtDepth(d int) (lo, hi ID) {
+	own := id.Depth()
+	if own < 0 || d < own {
+		return Invalid, Invalid
+	}
+	shift := 2 * uint(d-own)
+	lo = id << shift
+	hi = lo | (1<<shift - 1)
+	return lo, hi
+}
+
+// String returns the conventional HTM name: the face name (N0..N3, S0..S3)
+// followed by the child digits, e.g. "N012".
+func (id ID) String() string {
+	d := id.Depth()
+	if d < 0 {
+		return "invalid"
+	}
+	buf := make([]byte, 0, d+2)
+	face := id.Face()
+	if face >= 12 {
+		buf = append(buf, 'N', byte('0'+face-12))
+	} else {
+		buf = append(buf, 'S', byte('0'+face-8))
+	}
+	for level := d - 1; level >= 0; level-- {
+		buf = append(buf, byte('0'+(id>>(2*uint(level)))&3))
+	}
+	return string(buf)
+}
+
+// Parse converts an HTM name such as "N012" back to its ID.
+func Parse(name string) (ID, error) {
+	if len(name) < 2 {
+		return Invalid, fmt.Errorf("htm: name %q too short", name)
+	}
+	var id ID
+	switch name[0] {
+	case 'N', 'n':
+		id = 12
+	case 'S', 's':
+		id = 8
+	default:
+		return Invalid, fmt.Errorf("htm: name %q must start with N or S", name)
+	}
+	if name[1] < '0' || name[1] > '3' {
+		return Invalid, fmt.Errorf("htm: bad face digit in %q", name)
+	}
+	id += ID(name[1] - '0')
+	if len(name)-2 > MaxDepth {
+		return Invalid, fmt.Errorf("htm: name %q deeper than MaxDepth %d", name, MaxDepth)
+	}
+	for _, c := range name[2:] {
+		if c < '0' || c > '3' {
+			return Invalid, fmt.Errorf("htm: bad child digit %q in %q", c, name)
+		}
+		id = id<<2 | ID(c-'0')
+	}
+	return id, nil
+}
+
+// The octahedron vertices. v0 is the north celestial pole; v1..v4 lie on the
+// equator at RA 0°, 90°, 180°, 270°; v5 is the south pole. This matches the
+// original JHU HTM orientation.
+var octaVerts = [6]sphere.Vec3{
+	{X: 0, Y: 0, Z: 1},  // v0 north pole
+	{X: 1, Y: 0, Z: 0},  // v1 RA 0
+	{X: 0, Y: 1, Z: 0},  // v2 RA 90
+	{X: -1, Y: 0, Z: 0}, // v3 RA 180
+	{X: 0, Y: -1, Z: 0}, // v4 RA 270
+	{X: 0, Y: 0, Z: -1}, // v5 south pole
+}
+
+// faceVerts[f-8] gives the vertex indices of depth-0 face f in
+// counterclockwise order viewed from outside the sphere (so that edge-plane
+// normals point into the triangle).
+var faceVerts = [8][3]int{
+	{1, 5, 2}, // S0 = 8
+	{2, 5, 3}, // S1 = 9
+	{3, 5, 4}, // S2 = 10
+	{4, 5, 1}, // S3 = 11
+	{1, 0, 4}, // N0 = 12
+	{4, 0, 3}, // N1 = 13
+	{3, 0, 2}, // N2 = 14
+	{2, 0, 1}, // N3 = 15
+}
+
+// Triangle is a trixel's geometry: three unit vectors in counterclockwise
+// order (outward-facing), so v0×v1, v1×v2, v2×v0 all point into the
+// triangle.
+type Triangle struct {
+	V [3]sphere.Vec3
+}
+
+// FaceTriangle returns the geometry of a depth-0 face (ID 8..15).
+func FaceTriangle(face ID) Triangle {
+	fv := faceVerts[face-8]
+	return Triangle{V: [3]sphere.Vec3{octaVerts[fv[0]], octaVerts[fv[1]], octaVerts[fv[2]]}}
+}
+
+// Children subdivides the triangle into its four children in HTM order:
+// child 0 keeps vertex 0, child 1 keeps vertex 1, child 2 keeps vertex 2,
+// child 3 is the central (midpoint) triangle. Orientation is preserved.
+func (t Triangle) Children() [4]Triangle {
+	w0 := t.V[1].Midpoint(t.V[2])
+	w1 := t.V[0].Midpoint(t.V[2])
+	w2 := t.V[0].Midpoint(t.V[1])
+	return [4]Triangle{
+		{V: [3]sphere.Vec3{t.V[0], w2, w1}},
+		{V: [3]sphere.Vec3{t.V[1], w0, w2}},
+		{V: [3]sphere.Vec3{t.V[2], w1, w0}},
+		{V: [3]sphere.Vec3{w0, w1, w2}},
+	}
+}
+
+// ContainsVec reports whether the unit vector v lies inside the spherical
+// triangle: on the inner side of all three edge planes. Points exactly on a
+// shared edge may test inside in two adjacent trixels; Lookup resolves the
+// tie deterministically by scanning children in order.
+func (t Triangle) ContainsVec(v sphere.Vec3) bool {
+	const tol = -1e-15 // admit points within float noise of an edge
+	return t.V[0].Cross(t.V[1]).Dot(v) >= tol &&
+		t.V[1].Cross(t.V[2]).Dot(v) >= tol &&
+		t.V[2].Cross(t.V[0]).Dot(v) >= tol
+}
+
+// Center returns the normalized centroid of the triangle.
+func (t Triangle) Center() sphere.Vec3 {
+	return t.V[0].Add(t.V[1]).Add(t.V[2]).Normalize()
+}
+
+// Area returns the solid angle of the spherical triangle in steradians,
+// computed from the spherical excess (Girard's theorem) via l'Huilier's
+// formula, which stays accurate for the tiny triangles at deep levels.
+func (t Triangle) Area() float64 {
+	a := t.V[1].Angle(t.V[2])
+	b := t.V[0].Angle(t.V[2])
+	c := t.V[0].Angle(t.V[1])
+	s := (a + b + c) / 2
+	x := math.Tan(s/2) * math.Tan((s-a)/2) * math.Tan((s-b)/2) * math.Tan((s-c)/2)
+	if x < 0 {
+		x = 0 // degenerate triangle, float noise
+	}
+	return 4 * math.Atan(math.Sqrt(x))
+}
+
+// BoundingCircle returns the center and angular radius (radians) of a small
+// circle containing the triangle: the circumcircle through its vertices.
+func (t Triangle) BoundingCircle() (center sphere.Vec3, radius float64) {
+	// The circumcenter is the normal of the plane through the three
+	// vertices: (v1-v0)×(v2-v1), normalized, oriented toward the triangle.
+	n := t.V[1].Sub(t.V[0]).Cross(t.V[2].Sub(t.V[1])).Normalize()
+	if n.Dot(t.Center()) < 0 {
+		n = n.Neg()
+	}
+	return n, n.Angle(t.V[0])
+}
+
+// Vertices returns the geometry of any trixel by walking down from its face.
+func Vertices(id ID) (Triangle, error) {
+	d := id.Depth()
+	if d < 0 || d > MaxDepth {
+		return Triangle{}, fmt.Errorf("htm: invalid trixel ID %#x", uint64(id))
+	}
+	t := FaceTriangle(id.Face())
+	for level := d - 1; level >= 0; level-- {
+		child := int(id>>(2*uint(level))) & 3
+		t = t.Children()[child]
+	}
+	return t, nil
+}
+
+// Lookup returns the depth-d trixel containing the unit vector v. It walks
+// the quad-tree from the 8 faces, testing each candidate child with three
+// edge-plane sign tests — the recursive point classification the paper
+// describes. Cost is O(depth).
+func Lookup(v sphere.Vec3, depth int) (ID, error) {
+	if depth < 0 || depth > MaxDepth {
+		return Invalid, fmt.Errorf("htm: depth %d out of range [0,%d]", depth, MaxDepth)
+	}
+	if !v.IsUnit(1e-6) {
+		return Invalid, fmt.Errorf("htm: Lookup of non-unit vector %v", v)
+	}
+	var id ID
+	var tri Triangle
+	found := false
+	for f := ID(8); f <= 15; f++ {
+		t := FaceTriangle(f)
+		if t.ContainsVec(v) {
+			id, tri, found = f, t, true
+			break
+		}
+	}
+	if !found {
+		// Cannot happen for unit vectors: the faces tile the sphere and
+		// ContainsVec admits boundary points. Guard anyway.
+		return Invalid, fmt.Errorf("htm: no face contains %v", v)
+	}
+	for level := 0; level < depth; level++ {
+		children := tri.Children()
+		advanced := false
+		for i, c := range children {
+			if c.ContainsVec(v) {
+				id, tri, advanced = id.Child(i), c, true
+				break
+			}
+		}
+		if !advanced {
+			// Float noise can exclude a point from all four children when
+			// it sits exactly on an internal edge; assign to the central
+			// child which borders all edges.
+			id, tri = id.Child(3), children[3]
+		}
+	}
+	return id, nil
+}
+
+// LookupRADec is Lookup for equatorial coordinates in degrees.
+func LookupRADec(raDeg, decDeg float64, depth int) (ID, error) {
+	return Lookup(sphere.FromRADec(raDeg, decDeg), depth)
+}
+
+// Center returns the center point of a trixel.
+func Center(id ID) (sphere.Vec3, error) {
+	t, err := Vertices(id)
+	if err != nil {
+		return sphere.Vec3{}, err
+	}
+	return t.Center(), nil
+}
+
+// NumTrixels returns the number of trixels at a given depth: 8·4^depth.
+func NumTrixels(depth int) uint64 {
+	return 8 << (2 * uint(depth))
+}
+
+// FirstAtDepth and LastAtDepth bound the contiguous ID space of a depth.
+func FirstAtDepth(depth int) ID { return ID(8) << (2 * uint(depth)) }
+
+// LastAtDepth returns the largest valid ID at a depth.
+func LastAtDepth(depth int) ID { return ID(16)<<(2*uint(depth)) - 1 }

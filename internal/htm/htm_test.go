@@ -1,0 +1,328 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdss/internal/sphere"
+)
+
+func randUnit(rng *rand.Rand) sphere.Vec3 {
+	// Uniform on the sphere via z ~ U(-1,1).
+	z := 2*rng.Float64() - 1
+	phi := 2 * math.Pi * rng.Float64()
+	r := math.Sqrt(1 - z*z)
+	return sphere.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+}
+
+func TestIDEncoding(t *testing.T) {
+	// Depth counts subdivision levels below the octahedron face: "N0" is a
+	// face (depth 0), "N012" is two levels down (depth 2).
+	cases := []struct {
+		name  string
+		depth int
+	}{
+		{"S0", 0}, {"N3", 0}, {"N012", 2}, {"S3210", 3},
+		{"N0000000000", 9},
+	}
+	for _, c := range cases {
+		id, err := Parse(c.name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.name, err)
+		}
+		if !id.Valid() {
+			t.Errorf("Parse(%q) = %#x not Valid", c.name, uint64(id))
+		}
+		if id.Depth() != c.depth {
+			t.Errorf("%q depth = %d, want %d", c.name, id.Depth(), c.depth)
+		}
+		if id.String() != c.name {
+			t.Errorf("round trip %q -> %q", c.name, id.String())
+		}
+	}
+	for _, bad := range []string{"", "X0", "N4", "N0x", "N", "N01230123012301230123012301230120"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIDTreeArithmetic(t *testing.T) {
+	id, _ := Parse("N012")
+	if got := id.Parent().String(); got != "N01" {
+		t.Errorf("Parent = %q, want N01", got)
+	}
+	if got := id.Child(3).String(); got != "N0123" {
+		t.Errorf("Child(3) = %q, want N0123", got)
+	}
+	if id.ChildIndex() != 2 {
+		t.Errorf("ChildIndex = %d, want 2", id.ChildIndex())
+	}
+	if got := id.Face().String(); got != "N0" {
+		t.Errorf("Face = %q, want N0", got)
+	}
+	if !id.Parent().Contains(id) || id.Contains(id.Parent()) {
+		t.Error("Contains: parent/child relation wrong")
+	}
+	if !id.Contains(id) {
+		t.Error("Contains must be reflexive")
+	}
+	face, _ := Parse("S2")
+	if face.Parent() != Invalid {
+		t.Errorf("face parent = %v, want Invalid", face.Parent())
+	}
+	if got := id.AtDepth(1).String(); got != "N01" {
+		t.Errorf("AtDepth(1) = %q", got)
+	}
+	if got := id.AtDepth(3).String(); got != "N0120" {
+		t.Errorf("AtDepth(3) = %q", got)
+	}
+	lo, hi := id.RangeAtDepth(3)
+	if hi-lo != 3 || lo != id<<2 {
+		t.Errorf("RangeAtDepth(3) = [%d,%d]", uint64(lo), uint64(hi))
+	}
+}
+
+func TestFacesTileTheSphere(t *testing.T) {
+	// Every point must fall in at least one face; total face area is 4π.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := randUnit(rng)
+		n := 0
+		for f := ID(8); f <= 15; f++ {
+			if FaceTriangle(f).ContainsVec(v) {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("point %v in no face", v)
+		}
+	}
+	var total float64
+	for f := ID(8); f <= 15; f++ {
+		total += FaceTriangle(f).Area()
+	}
+	if math.Abs(total-4*math.Pi) > 1e-9 {
+		t.Errorf("face areas sum to %v, want 4π=%v", total, 4*math.Pi)
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	// Children's areas must sum to the parent's area, at several depths.
+	tri := FaceTriangle(12)
+	for depth := 0; depth < 6; depth++ {
+		kids := tri.Children()
+		var sum float64
+		for _, k := range kids {
+			sum += k.Area()
+		}
+		if math.Abs(sum-tri.Area()) > 1e-9 {
+			t.Fatalf("depth %d: children areas %v != parent %v", depth, sum, tri.Area())
+		}
+		tri = kids[depth%4]
+	}
+}
+
+func TestLookupContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := randUnit(rng)
+		for _, depth := range []int{0, 1, 3, 7, 12, 20} {
+			id, err := Lookup(v, depth)
+			if err != nil {
+				t.Fatalf("Lookup: %v", err)
+			}
+			if id.Depth() != depth {
+				t.Fatalf("Lookup depth = %d, want %d", id.Depth(), depth)
+			}
+			tri, err := Vertices(id)
+			if err != nil {
+				t.Fatalf("Vertices: %v", err)
+			}
+			// Allow boundary slack: the point must be inside or within
+			// float noise of the claimed trixel.
+			if !tri.ContainsVec(v) {
+				c := tri.Center()
+				t.Fatalf("depth %d: %v not in trixel %s (center %v)", depth, v, id, c)
+			}
+		}
+	}
+}
+
+func TestLookupDeterministicConsistency(t *testing.T) {
+	// A trixel at depth d must be the prefix of the trixel at depth d+k.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := randUnit(rng)
+		id20, err := Lookup(v, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []int{0, 5, 10, 15} {
+			idd, err := Lookup(v, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !idd.Contains(id20) {
+				t.Fatalf("lookup inconsistent: depth %d gave %s, depth 20 gave %s", d, idd, id20)
+			}
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup(sphere.Vec3{X: 2}, 5); err == nil {
+		t.Error("Lookup of non-unit vector succeeded")
+	}
+	if _, err := Lookup(sphere.Vec3{X: 1}, -1); err == nil {
+		t.Error("Lookup at negative depth succeeded")
+	}
+	if _, err := Lookup(sphere.Vec3{X: 1}, MaxDepth+1); err == nil {
+		t.Error("Lookup beyond MaxDepth succeeded")
+	}
+	if _, err := Vertices(Invalid); err == nil {
+		t.Error("Vertices(Invalid) succeeded")
+	}
+}
+
+func TestPolesAndCardinalPoints(t *testing.T) {
+	// The north pole must land in an N face at depth 0 and the walk down
+	// must stay consistent; cardinal equator points sit on face corners.
+	np, err := Lookup(sphere.Vec3{Z: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := np.Face(); f < 12 {
+		t.Errorf("north pole in face %s", f)
+	}
+	sp, err := Lookup(sphere.Vec3{Z: -1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := sp.Face(); f >= 12 {
+		t.Errorf("south pole in face %s", f)
+	}
+}
+
+func TestNumTrixels(t *testing.T) {
+	wants := []uint64{8, 32, 128, 512, 2048, 8192}
+	for d, want := range wants {
+		if got := NumTrixels(d); got != want {
+			t.Errorf("NumTrixels(%d) = %d, want %d", d, got, want)
+		}
+		if lo, hi := FirstAtDepth(d), LastAtDepth(d); uint64(hi-lo)+1 != want {
+			t.Errorf("depth %d ID span = %d, want %d", d, uint64(hi-lo)+1, want)
+		}
+	}
+}
+
+func TestAreaUniformity(t *testing.T) {
+	// The paper: "divided into 4 sub-triangles of approximately equal
+	// areas". Check the max/min area ratio stays bounded (~2.1 for HTM).
+	for depth := 1; depth <= 5; depth++ {
+		minA, maxA := math.Inf(1), 0.0
+		var walk func(tr Triangle, d int)
+		walk = func(tr Triangle, d int) {
+			if d == 0 {
+				a := tr.Area()
+				minA = math.Min(minA, a)
+				maxA = math.Max(maxA, a)
+				return
+			}
+			for _, c := range tr.Children() {
+				walk(c, d-1)
+			}
+		}
+		for f := ID(8); f <= 15; f++ {
+			walk(FaceTriangle(f), depth)
+		}
+		if ratio := maxA / minA; ratio > 2.5 {
+			t.Errorf("depth %d area ratio %v exceeds 2.5", depth, ratio)
+		}
+	}
+}
+
+func TestBoundingCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		id, err := Lookup(randUnit(rng), 3+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri, _ := Vertices(id)
+		c, r := tri.BoundingCircle()
+		for _, v := range tri.V {
+			if d := c.Angle(v); d > r+1e-9 {
+				t.Fatalf("vertex outside bounding circle: d=%v r=%v", d, r)
+			}
+		}
+		// Sample interior points; all must be inside the circle.
+		for j := 0; j < 20; j++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a+b > 1 {
+				a, b = 1-a, 1-b
+			}
+			p := tri.V[0].Scale(1 - a - b).Add(tri.V[1].Scale(a)).Add(tri.V[2].Scale(b)).Normalize()
+			if d := c.Angle(p); d > r+1e-9 {
+				t.Fatalf("interior point outside bounding circle: d=%v r=%v", d, r)
+			}
+		}
+	}
+}
+
+func TestQuickIDInvertibility(t *testing.T) {
+	// Property: String/Parse and Lookup/Vertices round trips hold for
+	// arbitrary random IDs built by random descent.
+	f := func(seed int64, depthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := int(depthRaw % 15)
+		id := ID(8 + rng.Intn(8))
+		for i := 0; i < depth; i++ {
+			id = id.Child(rng.Intn(4))
+		}
+		parsed, err := Parse(id.String())
+		if err != nil || parsed != id {
+			return false
+		}
+		tri, err := Vertices(id)
+		if err != nil {
+			return false
+		}
+		// The center of the trixel must look up to the trixel itself.
+		got, err := Lookup(tri.Center(), id.Depth())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookupDepth10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]sphere.Vec3, 1024)
+	for i := range vs {
+		vs[i] = randUnit(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lookup(vs[i%len(vs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupDepth20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]sphere.Vec3, 1024)
+	for i := range vs {
+		vs[i] = randUnit(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lookup(vs[i%len(vs)], 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

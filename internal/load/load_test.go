@@ -1,0 +1,195 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/skygen"
+)
+
+func TestLoadChunk(t *testing.T) {
+	ch, err := skygen.GenerateChunk(skygen.Default(1, 3000), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tgt.LoadChunk(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PhotoObjects != len(ch.Photo) || st.TagObjects != len(ch.Photo) || st.SpecObjects != len(ch.Spec) {
+		t.Errorf("stats %+v do not match chunk (%d photo, %d spec)", st, len(ch.Photo), len(ch.Spec))
+	}
+	if tgt.Photo.NumRecords() != int64(len(ch.Photo)) {
+		t.Errorf("photo store has %d records", tgt.Photo.NumRecords())
+	}
+	if tgt.Tag.NumRecords() != int64(len(ch.Photo)) {
+		t.Errorf("tag store has %d records", tgt.Tag.NumRecords())
+	}
+	if tgt.Spec.NumRecords() != int64(len(ch.Spec)) {
+		t.Errorf("spec store has %d records", tgt.Spec.NumRecords())
+	}
+	if st.Bytes == 0 || st.Rate() <= 0 {
+		t.Errorf("no bytes accounted: %+v", st)
+	}
+	// Tag partition must be ~12× smaller than the full table.
+	ratio := float64(tgt.Photo.Bytes()) / float64(tgt.Tag.Bytes())
+	if ratio < 10 {
+		t.Errorf("photo/tag byte ratio = %.1f, want ≥ 10", ratio)
+	}
+}
+
+func TestClusteredVsUnclusteredTouches(t *testing.T) {
+	ch, err := skygen.GenerateChunk(skygen.Default(2, 2000), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := clustered.LoadChunk(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := naive.LoadUnclustered(ch); err != nil {
+		t.Fatal(err)
+	}
+	// Compare photo-store touches only: LoadChunk also loads tag and spec
+	// stores, LoadUnclustered does not.
+	if naive.Photo.Touches() <= clustered.Photo.Touches() {
+		t.Errorf("unclustered photo touches (%d) not worse than clustered (%d)",
+			naive.Photo.Touches(), clustered.Photo.Touches())
+	}
+	// Clustered load touches each photo container exactly once.
+	if clustered.Photo.Touches() != int64(clustered.Photo.NumContainers()) {
+		t.Errorf("clustered load touched photo containers %d times for %d containers",
+			clustered.Photo.Touches(), clustered.Photo.NumContainers())
+	}
+	_ = cs
+}
+
+func TestPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	ch, err := skygen.GenerateChunk(skygen.Default(3, 1000), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewTarget(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.LoadChunk(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewTarget(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Photo.NumRecords() != int64(len(ch.Photo)) {
+		t.Errorf("reloaded %d photo records, want %d", again.Photo.NumRecords(), len(ch.Photo))
+	}
+	if again.Spec.NumRecords() != int64(len(ch.Spec)) {
+		t.Errorf("reloaded %d spec records, want %d", again.Spec.NumRecords(), len(ch.Spec))
+	}
+}
+
+func TestChunkFITSRoundTrip(t *testing.T) {
+	ch, err := skygen.GenerateChunk(skygen.Default(4, 800), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChunkFITS(&buf, ch, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChunkFITS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ch.Photo) {
+		t.Fatalf("read %d objects, want %d", len(got), len(ch.Photo))
+	}
+	for i := range got {
+		if got[i] != ch.Photo[i] {
+			t.Fatalf("object %d differs after FITS round trip", i)
+		}
+	}
+}
+
+func TestIncrementalNightlyLoads(t *testing.T) {
+	// Simulate several nights of incremental loading; totals must
+	// accumulate and container counts stabilize as the footprint fills.
+	p := skygen.Default(5, 4000)
+	tgt, err := NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	const nights = 4
+	for night := 0; night < nights; night++ {
+		ch, err := skygen.GenerateChunk(p, night, nights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tgt.LoadChunk(ch); err != nil {
+			t.Fatal(err)
+		}
+		total += len(ch.Photo)
+		if tgt.Photo.NumRecords() != int64(total) {
+			t.Fatalf("night %d: store has %d records, want %d", night, tgt.Photo.NumRecords(), total)
+		}
+	}
+	var nIDs int
+	seen := make(map[catalog.ObjID]bool)
+	var obj catalog.PhotoObj
+	err = tgt.Photo.Scan(nil, false, func(rec []byte) error {
+		if err := obj.Decode(rec); err != nil {
+			return err
+		}
+		if seen[obj.ObjID] {
+			t.Fatalf("duplicate object %d after incremental loads", obj.ObjID)
+		}
+		seen[obj.ObjID] = true
+		nIDs++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nIDs != total {
+		t.Errorf("scan found %d objects, want %d", nIDs, total)
+	}
+}
+
+func BenchmarkLoadChunk(b *testing.B) {
+	ch, err := skygen.GenerateChunk(skygen.Default(1, 20000), 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytesPerLoad int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tgt, err := NewTarget("", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := tgt.LoadChunk(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesPerLoad = st.Bytes
+	}
+	b.SetBytes(bytesPerLoad)
+}

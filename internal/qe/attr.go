@@ -1,0 +1,198 @@
+package qe
+
+import (
+	"fmt"
+
+	"sdss/internal/catalog"
+	"sdss/internal/htm"
+	"sdss/internal/query"
+	"sdss/internal/sphere"
+)
+
+// rowDecoder decodes raw store records of one table and exposes attribute
+// access for compiled predicates. One decoder (and one getter closure) is
+// allocated per scan worker, so the per-object path allocates nothing.
+type rowDecoder interface {
+	decode(rec []byte) error
+	objID() catalog.ObjID
+	get(id query.AttrID) float64
+}
+
+// newDecoder builds the decoder for a table.
+func newDecoder(t query.Table) (rowDecoder, error) {
+	switch t {
+	case query.TablePhoto:
+		return &photoRow{}, nil
+	case query.TableTag:
+		return &tagRow{}, nil
+	case query.TableSpec:
+		return &specRow{}, nil
+	default:
+		return nil, fmt.Errorf("qe: no decoder for table %v", t)
+	}
+}
+
+type photoRow struct{ obj catalog.PhotoObj }
+
+func (r *photoRow) decode(rec []byte) error { return r.obj.Decode(rec) }
+func (r *photoRow) objID() catalog.ObjID    { return r.obj.ObjID }
+
+func (r *photoRow) get(id query.AttrID) float64 {
+	p := &r.obj
+	switch id {
+	case query.PhotoObjID:
+		return float64(p.ObjID)
+	case query.PhotoHTMID:
+		return float64(p.HTMID)
+	case query.PhotoRA:
+		return p.RA
+	case query.PhotoDec:
+		return p.Dec
+	case query.PhotoCX:
+		return p.X
+	case query.PhotoCY:
+		return p.Y
+	case query.PhotoCZ:
+		return p.Z
+	case query.PhotoU, query.PhotoG, query.PhotoR, query.PhotoI, query.PhotoZ:
+		return float64(p.Mag[id-query.PhotoU])
+	case query.PhotoErrU, query.PhotoErrG, query.PhotoErrR, query.PhotoErrI, query.PhotoErrZ:
+		return float64(p.MagErr[id-query.PhotoErrU])
+	case query.PhotoExtU, query.PhotoExtG, query.PhotoExtR, query.PhotoExtI, query.PhotoExtZ:
+		return float64(p.Extinction[id-query.PhotoExtU])
+	case query.PhotoPetroRad:
+		return float64(p.PetroRad)
+	case query.PhotoPetroR50:
+		return float64(p.PetroR50)
+	case query.PhotoSurfBright:
+		return float64(p.SurfBright)
+	case query.PhotoSkyBright:
+		return float64(p.SkyBright)
+	case query.PhotoAirmass:
+		return float64(p.Airmass)
+	case query.PhotoRowC:
+		return float64(p.RowC)
+	case query.PhotoColC:
+		return float64(p.ColC)
+	case query.PhotoPSFWidth:
+		return float64(p.PSFWidth)
+	case query.PhotoMuRA:
+		return float64(p.MuRA)
+	case query.PhotoMuDec:
+		return float64(p.MuDec)
+	case query.PhotoMJD:
+		return p.MJD
+	case query.PhotoRun:
+		return float64(p.Run)
+	case query.PhotoCamcol:
+		return float64(p.Camcol)
+	case query.PhotoField:
+		return float64(p.Field)
+	case query.PhotoClass:
+		return float64(p.Class)
+	case query.PhotoFlags:
+		return float64(p.Flags)
+	default:
+		return 0
+	}
+}
+
+type tagRow struct {
+	obj catalog.Tag
+	// Cached RA/Dec, derived from the Cartesian triplet on first use.
+	raDecOK bool
+	ra, dec float64
+}
+
+func (r *tagRow) decode(rec []byte) error {
+	r.raDecOK = false
+	return r.obj.Decode(rec)
+}
+func (r *tagRow) objID() catalog.ObjID { return r.obj.ObjID }
+
+func (r *tagRow) get(id query.AttrID) float64 {
+	t := &r.obj
+	switch id {
+	case query.TagObjID:
+		return float64(t.ObjID)
+	case query.TagHTMID:
+		return float64(t.HTMID)
+	case query.TagCX:
+		return t.X
+	case query.TagCY:
+		return t.Y
+	case query.TagCZ:
+		return t.Z
+	case query.TagRA, query.TagDec:
+		if !r.raDecOK {
+			r.ra, r.dec = sphere.ToRADec(t.Pos())
+			r.raDecOK = true
+		}
+		if id == query.TagRA {
+			return r.ra
+		}
+		return r.dec
+	case query.TagU, query.TagG, query.TagR, query.TagI, query.TagZ:
+		return float64(t.Mag[id-query.TagU])
+	case query.TagSize:
+		return float64(t.Size)
+	case query.TagClass:
+		return float64(t.Class)
+	default:
+		return 0
+	}
+}
+
+type specRow struct {
+	obj catalog.SpecObj
+	// Cached position, derived from the trixel center on first use (the
+	// spectroscopic record carries no Cartesian triplet of its own; its
+	// depth-20 trixel localizes it to ~0.3 arcsec).
+	posOK bool
+	pos   sphere.Vec3
+}
+
+func (r *specRow) decode(rec []byte) error {
+	r.posOK = false
+	return r.obj.Decode(rec)
+}
+func (r *specRow) objID() catalog.ObjID { return r.obj.ObjID }
+
+func (r *specRow) get(id query.AttrID) float64 {
+	s := &r.obj
+	switch id {
+	case query.SpecObjID:
+		return float64(s.ObjID)
+	case query.SpecHTMID:
+		return float64(s.HTMID)
+	case query.SpecRedshift:
+		return float64(s.Redshift)
+	case query.SpecRedshiftErr:
+		return float64(s.RedshiftErr)
+	case query.SpecClass:
+		return float64(s.Class)
+	case query.SpecFiberID:
+		return float64(s.FiberID)
+	case query.SpecPlate:
+		return float64(s.Plate)
+	case query.SpecSN:
+		return float64(s.SN)
+	case query.SpecCX, query.SpecCY, query.SpecCZ:
+		if !r.posOK {
+			if c, err := htm.Center(s.HTMID); err == nil {
+				r.pos = c
+			}
+			r.posOK = true
+		}
+		switch id {
+		case query.SpecCX:
+			return r.pos.X
+		case query.SpecCY:
+			return r.pos.Y
+		default:
+			return r.pos.Z
+		}
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,506 @@
+// Package qe is the multi-threaded query engine of the Science Archive.
+//
+// Each query is parsed into a Query Execution Tree (package query); this
+// package executes it: "Each node of the QET is either a query or a
+// set-operation node, and returns a bag of object-pointers upon execution.
+// The multi-threaded Query Engine executes in parallel at all the nodes at a
+// given level of the QET. Results from child nodes are passed up the tree as
+// soon as they are generated" — the ASAP data push that puts first results
+// in front of the astronomer almost immediately. Aggregation, sort,
+// intersection and difference nodes block on (at least) one child, exactly
+// as the paper prescribes.
+//
+// Query (scan) nodes prune I/O with the HTM index: the WHERE clause's
+// half-space region is covered (package region) and only containers
+// overlapping the coverage are read; within candidate containers the exact
+// compiled predicate — including the per-object Cartesian geometry test —
+// decides membership.
+package qe
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sdss/internal/catalog"
+	"sdss/internal/query"
+	"sdss/internal/region"
+	"sdss/internal/store"
+)
+
+// Result is one element of a bag: the object pointer and, for leaf query
+// nodes, the projected attribute values.
+type Result struct {
+	ObjID  catalog.ObjID
+	Values []float64
+}
+
+// Batch groups results to amortize channel traffic.
+type Batch []Result
+
+// DefaultCoverDepth is the HTM depth query regions are covered to. Depth 10
+// trixels are ~3 arcmin across: fine enough that candidate sets are tight,
+// coarse enough that coverage stays small.
+const DefaultCoverDepth = 10
+
+// Engine executes prepared statements against the archive's stores.
+type Engine struct {
+	Photo *store.Store // PhotoObj records
+	Tag   *store.Store // Tag records (may be nil if no tag partition)
+	Spec  *store.Store // SpecObj records (may be nil)
+
+	// CoverDepth is the HTM coverage depth for spatial pruning.
+	CoverDepth int
+	// Workers is the scan parallelism per query node.
+	Workers int
+	// BatchSize is the number of results per batch.
+	BatchSize int
+	// Blocking disables the ASAP push: every node drains its children
+	// completely before emitting. It exists for experiment E13 and should
+	// stay false in production use.
+	Blocking bool
+	// NoIndex disables HTM coverage pruning, forcing full-table scans.
+	// It exists for the index-versus-scan crossover experiment (E14).
+	NoIndex bool
+}
+
+func (e *Engine) coverDepth() int {
+	if e.CoverDepth > 0 {
+		return e.CoverDepth
+	}
+	return DefaultCoverDepth
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return 256
+}
+
+func (e *Engine) storeFor(t query.Table) (*store.Store, error) {
+	var s *store.Store
+	switch t {
+	case query.TablePhoto:
+		s = e.Photo
+	case query.TableTag:
+		s = e.Tag
+	case query.TableSpec:
+		s = e.Spec
+	}
+	if s == nil {
+		return nil, fmt.Errorf("qe: table %s is not loaded in this archive", t)
+	}
+	return s, nil
+}
+
+// Rows is a streaming query result. Read batches from C until it closes,
+// then check Err. Close cancels the query early.
+type Rows struct {
+	// C delivers result batches as soon as nodes produce them.
+	C <-chan Batch
+
+	cancel context.CancelFunc
+	done   <-chan struct{}
+	errMu  sync.Mutex
+	err    error
+}
+
+func (r *Rows) setErr(err error) {
+	r.errMu.Lock()
+	if r.err == nil && err != nil && err != context.Canceled {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.cancel()
+}
+
+// Err reports the first error the tree hit; valid after C closes.
+func (r *Rows) Err() error {
+	<-r.done
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// Close cancels the query. Reading C afterwards drains quickly.
+func (r *Rows) Close() { r.cancel() }
+
+// Collect drains the stream into a slice.
+func (r *Rows) Collect() ([]Result, error) {
+	var out []Result
+	for b := range r.C {
+		out = append(out, b...)
+	}
+	return out, r.Err()
+}
+
+// Execute runs a prepared QET and returns the streaming result.
+func (e *Engine) Execute(ctx context.Context, prep *query.Prepared) (*Rows, error) {
+	if err := e.validate(prep); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	rows := &Rows{cancel: cancel, done: done}
+	out := e.runNode(ctx, prep, rows)
+	final := make(chan Batch, 4)
+	rows.C = final
+	go func() {
+		defer close(done)
+		defer close(final)
+		for b := range out {
+			select {
+			case final <- b:
+			case <-ctx.Done():
+				// Drain the tree so node goroutines can exit.
+				for range out {
+				}
+				return
+			}
+		}
+	}()
+	return rows, nil
+}
+
+// ExecuteString parses, prepares, and runs query text.
+func (e *Engine) ExecuteString(ctx context.Context, src string) (*Rows, error) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, prep)
+}
+
+// validate checks every leaf's table is available before starting the tree.
+func (e *Engine) validate(prep *query.Prepared) error {
+	if prep.Select != nil {
+		_, err := e.storeFor(prep.Select.Table)
+		return err
+	}
+	if err := e.validate(prep.Left); err != nil {
+		return err
+	}
+	return e.validate(prep.Right)
+}
+
+// runNode launches the goroutines for one QET node and returns its output
+// stream. Errors are reported through rows and cancel the whole tree.
+func (e *Engine) runNode(ctx context.Context, prep *query.Prepared, rows *Rows) <-chan Batch {
+	if prep.Select != nil {
+		return e.runSelect(ctx, prep.Select, rows)
+	}
+	left := e.runNode(ctx, prep.Left, rows)
+	right := e.runNode(ctx, prep.Right, rows)
+	switch prep.Op {
+	case query.OpUnion:
+		return e.runUnion(ctx, left, right)
+	case query.OpIntersect:
+		return e.runIntersect(ctx, left, right)
+	case query.OpMinus:
+		return e.runMinus(ctx, left, right)
+	default:
+		ch := make(chan Batch)
+		close(ch)
+		rows.setErr(fmt.Errorf("qe: unknown set operation %v", prep.Op))
+		return ch
+	}
+}
+
+// runUnion merges children. In ASAP mode batches flow upward the moment
+// either child produces them; duplicates (an object satisfying both sides)
+// are suppressed so the result is a set, as SQL UNION and the paper's bags
+// of pointers imply.
+func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		seen := make(map[catalog.ObjID]struct{})
+		var mu sync.Mutex
+		forward := func(in <-chan Batch) {
+			for b := range in {
+				mu.Lock()
+				filtered := b[:0]
+				for _, r := range b {
+					if _, dup := seen[r.ObjID]; dup {
+						continue
+					}
+					seen[r.ObjID] = struct{}{}
+					filtered = append(filtered, r)
+				}
+				mu.Unlock()
+				if len(filtered) == 0 {
+					continue
+				}
+				select {
+				case out <- filtered:
+				case <-ctx.Done():
+					for range in {
+					}
+					return
+				}
+			}
+		}
+		if e.Blocking {
+			// Blocking comparison mode: drain both children fully first.
+			var all []Batch
+			for b := range left {
+				all = append(all, b)
+			}
+			for b := range right {
+				all = append(all, b)
+			}
+			replay := make(chan Batch, len(all))
+			for _, b := range all {
+				replay <- b
+			}
+			close(replay)
+			forward(replay)
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); forward(left) }()
+		go func() { defer wg.Done(); forward(right) }()
+		wg.Wait()
+	}()
+	return out
+}
+
+// runIntersect drains the left child into a hash set (one child must be
+// complete before results can be sent further up the tree), then streams
+// the right child through it.
+func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		inLeft := make(map[catalog.ObjID]struct{})
+		for b := range left {
+			for _, r := range b {
+				inLeft[r.ObjID] = struct{}{}
+			}
+		}
+		emitted := make(map[catalog.ObjID]struct{})
+		for b := range right {
+			var keep Batch
+			for _, r := range b {
+				if _, ok := inLeft[r.ObjID]; !ok {
+					continue
+				}
+				if _, dup := emitted[r.ObjID]; dup {
+					continue
+				}
+				emitted[r.ObjID] = struct{}{}
+				keep = append(keep, r)
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			select {
+			case out <- keep:
+			case <-ctx.Done():
+				for range right {
+				}
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runMinus drains the right child (the subtrahend must be complete), then
+// streams the left child filtered against it.
+func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		sub := make(map[catalog.ObjID]struct{})
+		for b := range right {
+			for _, r := range b {
+				sub[r.ObjID] = struct{}{}
+			}
+		}
+		emitted := make(map[catalog.ObjID]struct{})
+		for b := range left {
+			var keep Batch
+			for _, r := range b {
+				if _, drop := sub[r.ObjID]; drop {
+					continue
+				}
+				if _, dup := emitted[r.ObjID]; dup {
+					continue
+				}
+				emitted[r.ObjID] = struct{}{}
+				keep = append(keep, r)
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			select {
+			case out <- keep:
+			case <-ctx.Done():
+				for range left {
+				}
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runSelect executes a leaf query node: parallel container scan, then the
+// optional sort / limit / aggregate stages.
+func (e *Engine) runSelect(ctx context.Context, cs *query.CompiledSelect, rows *Rows) <-chan Batch {
+	scanned := e.runScan(ctx, cs, rows)
+
+	switch {
+	case cs.Agg != query.AggNone:
+		return e.runAggregate(ctx, cs, scanned)
+	case cs.Order != query.AttrInvalid:
+		sorted := e.runSort(ctx, cs, scanned)
+		if cs.Limit > 0 {
+			return e.runLimit(ctx, cs.Limit, sorted)
+		}
+		return sorted
+	case cs.Limit > 0:
+		return e.runLimit(ctx, cs.Limit, scanned)
+	default:
+		return scanned
+	}
+}
+
+// runSort drains its child (a sort node "must be complete before results
+// can be sent further up the tree"), orders by the hidden sort key, and
+// re-emits.
+func (e *Engine) runSort(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		var all []Result
+		for b := range in {
+			all = append(all, b...)
+		}
+		// The scan appended the sort key as the last value.
+		keyIdx := len(cs.Cols)
+		sort.SliceStable(all, func(i, j int) bool {
+			if cs.Desc {
+				return all[i].Values[keyIdx] > all[j].Values[keyIdx]
+			}
+			return all[i].Values[keyIdx] < all[j].Values[keyIdx]
+		})
+		// Strip the hidden key.
+		for i := range all {
+			all[i].Values = all[i].Values[:keyIdx]
+		}
+		bs := e.batchSize()
+		for start := 0; start < len(all); start += bs {
+			end := start + bs
+			if end > len(all) {
+				end = len(all)
+			}
+			select {
+			case out <- Batch(all[start:end]):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runLimit forwards the first n results then stops consuming.
+func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		defer func() {
+			// Unblock the producer; the tree context may still be live
+			// if the limit is below the result count.
+			for range in {
+			}
+		}()
+		remaining := n
+		for b := range in {
+			if len(b) > remaining {
+				b = b[:remaining]
+			}
+			remaining -= len(b)
+			select {
+			case out <- b:
+			case <-ctx.Done():
+				return
+			}
+			if remaining == 0 {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// runAggregate folds the stream into a single result row.
+func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch) <-chan Batch {
+	out := make(chan Batch, 1)
+	go func() {
+		defer close(out)
+		var count int64
+		var sum float64
+		first := true
+		var minV, maxV float64
+		for b := range in {
+			for _, r := range b {
+				count++
+				if cs.Agg == query.AggCount {
+					continue
+				}
+				v := r.Values[len(r.Values)-1] // hidden agg operand
+				sum += v
+				if first || v < minV {
+					minV = v
+				}
+				if first || v > maxV {
+					maxV = v
+				}
+				first = false
+			}
+		}
+		var v float64
+		switch cs.Agg {
+		case query.AggCount:
+			v = float64(count)
+		case query.AggSum:
+			v = sum
+		case query.AggAvg:
+			if count > 0 {
+				v = sum / float64(count)
+			}
+		case query.AggMin:
+			v = minV
+		case query.AggMax:
+			v = maxV
+		}
+		select {
+		case out <- Batch{{Values: []float64{v}}}:
+		case <-ctx.Done():
+		}
+	}()
+	return out
+}
+
+// coverage computes the candidate trixel ranges for a select, or nil for a
+// full-table scan.
+func (e *Engine) coverage(cs *query.CompiledSelect) (*region.Coverage, error) {
+	if cs.Region == nil || e.NoIndex {
+		return nil, nil
+	}
+	return region.Cover(cs.Region, e.coverDepth())
+}

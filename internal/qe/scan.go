@@ -1,0 +1,165 @@
+package qe
+
+import (
+	"context"
+	"sync"
+
+	"sdss/internal/htm"
+	"sdss/internal/query"
+)
+
+// runScan executes a leaf query node: the HTM coverage prunes the container
+// list, workers decode and filter candidates in parallel, and result
+// batches stream out as soon as they fill — the data-pump end of the ASAP
+// push.
+func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 4)
+	st, err := e.storeFor(cs.Table)
+	if err != nil {
+		rows.setErr(err)
+		close(out)
+		return out
+	}
+	cov, err := e.coverage(cs)
+	if err != nil {
+		rows.setErr(err)
+		close(out)
+		return out
+	}
+	var rangeSet *htm.RangeSet
+	if cov != nil {
+		rangeSet = cov.RangeSet()
+	}
+
+	// Candidate containers.
+	var containers []htm.ID
+	for _, id := range st.Containers() {
+		if rangeSet == nil || rangeSet.OverlapsTrixel(id) {
+			containers = append(containers, id)
+		}
+	}
+
+	// Hidden values appended after the projection: the sort key and/or
+	// aggregate operand the upper nodes need.
+	hidden := make([]query.AttrID, 0, 2)
+	if cs.Order != query.AttrInvalid {
+		hidden = append(hidden, cs.Order)
+	}
+	if cs.Agg != query.AggNone && cs.Agg != query.AggCount {
+		hidden = append(hidden, cs.AggCol)
+	}
+
+	nWorkers := e.workers()
+	if nWorkers > len(containers) {
+		nWorkers = len(containers)
+	}
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	work := make(chan htm.ID, len(containers))
+	for _, id := range containers {
+		work <- id
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	// emitFn delivers one batch; in blocking comparison mode (E13) batches
+	// accumulate in memory and only flow after the scan completes.
+	var blockMu sync.Mutex
+	var blocked []Batch
+	emitFn := func(b Batch) bool {
+		select {
+		case out <- b:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	if e.Blocking {
+		emitFn = func(b Batch) bool {
+			blockMu.Lock()
+			blocked = append(blocked, b)
+			blockMu.Unlock()
+			return true
+		}
+	}
+
+	wg.Add(nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			dec, err := newDecoder(cs.Table)
+			if err != nil {
+				rows.setErr(err)
+				return
+			}
+			getter := query.Getter(dec.get)
+			batch := make(Batch, 0, e.batchSize())
+			flush := func() bool {
+				if len(batch) == 0 {
+					return true
+				}
+				b := make(Batch, len(batch))
+				copy(b, batch)
+				batch = batch[:0]
+				return emitFn(b)
+			}
+			for cid := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				err := st.ForEachInContainer(cid, func(rec []byte) error {
+					// Cheap prefilter on the embedded key before paying
+					// for a decode: skip records whose fine trixel falls
+					// outside the coverage.
+					if rangeSet != nil && !rangeSet.Contains(st.KeyOf(rec)) {
+						return nil
+					}
+					if err := dec.decode(rec); err != nil {
+						return err
+					}
+					if cs.Pred != nil && !cs.Pred(getter) {
+						return nil
+					}
+					res := Result{ObjID: dec.objID()}
+					if n := len(cs.Cols) + len(hidden); n > 0 {
+						res.Values = make([]float64, 0, n)
+						for _, col := range cs.Cols {
+							res.Values = append(res.Values, getter(col))
+						}
+						for _, col := range hidden {
+							res.Values = append(res.Values, getter(col))
+						}
+					}
+					batch = append(batch, res)
+					if len(batch) >= e.batchSize() {
+						if !flush() {
+							return context.Canceled
+						}
+					}
+					return nil
+				})
+				if err != nil && err != context.Canceled {
+					rows.setErr(err)
+					return
+				}
+			}
+			flush()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		if e.Blocking {
+			for _, b := range blocked {
+				select {
+				case out <- b:
+				case <-ctx.Done():
+					close(out)
+					return
+				}
+			}
+		}
+		close(out)
+	}()
+	return out
+}

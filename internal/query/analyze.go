@@ -1,0 +1,367 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"sdss/internal/catalog"
+	"sdss/internal/region"
+	"sdss/internal/sphere"
+)
+
+// Analyze resolves names and rewrites the statement in place: attribute
+// identifiers are bound to schema IDs, class-name string literals become
+// their numeric codes, flag tests are validated, and the spatial functions
+// CIRCLE / RECT / LATBAND are resolved into SpatialPred nodes whose
+// constant arguments the planner can turn into half-space coverage.
+func Analyze(stmt *Stmt) error {
+	if stmt.Select != nil {
+		return analyzeSelect(stmt.Select)
+	}
+	if err := Analyze(stmt.Left); err != nil {
+		return err
+	}
+	return Analyze(stmt.Right)
+}
+
+func analyzeSelect(sel *Select) error {
+	for _, c := range sel.Cols {
+		if _, err := Resolve(sel.Table, c); err != nil {
+			return err
+		}
+	}
+	if sel.AggArg != "" {
+		if _, err := Resolve(sel.Table, sel.AggArg); err != nil {
+			return err
+		}
+	}
+	if sel.OrderBy != "" {
+		if _, err := Resolve(sel.Table, sel.OrderBy); err != nil {
+			return err
+		}
+	}
+	if sel.Where != nil {
+		rewritten, err := analyzeExpr(sel.Where, sel.Table)
+		if err != nil {
+			return err
+		}
+		sel.Where = rewritten
+	}
+	return nil
+}
+
+// analyzeExpr resolves one expression tree, returning the (possibly
+// rewritten) node.
+func analyzeExpr(e Expr, t Table) (Expr, error) {
+	switch n := e.(type) {
+	case *NumberLit, *StringLit, *SpatialPred:
+		return e, nil
+	case *Ident:
+		id, err := Resolve(t, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		n.Attr = id
+		return n, nil
+	case *NotOp:
+		child, err := analyzeExpr(n.Child, t)
+		if err != nil {
+			return nil, err
+		}
+		n.Child = child
+		return n, nil
+	case *LogicalOp:
+		l, err := analyzeExpr(n.Left, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := analyzeExpr(n.Right, t)
+		if err != nil {
+			return nil, err
+		}
+		n.Left, n.Right = l, r
+		return n, nil
+	case *BinaryOp:
+		return analyzeBinary(n, t)
+	case *FuncCall:
+		return analyzeCall(n, t)
+	default:
+		return nil, fmt.Errorf("query: unknown expression node %T", e)
+	}
+}
+
+func analyzeBinary(n *BinaryOp, t Table) (Expr, error) {
+	// class = 'GALAXY' and friends: map the class name to its code before
+	// the generic numeric path rejects the string literal.
+	if n.Op == "=" || n.Op == "!=" {
+		if lit, ident, swapped := stringComparison(n); lit != nil {
+			code, err := classCode(lit.Value)
+			if err != nil {
+				return nil, err
+			}
+			id, err := Resolve(t, ident.Name)
+			if err != nil {
+				return nil, err
+			}
+			if id != ClassAttr(t) {
+				return nil, fmt.Errorf("query: string comparison only supported on class, not %q", ident.Name)
+			}
+			ident.Attr = id
+			num := &NumberLit{Value: float64(code)}
+			if swapped {
+				return &BinaryOp{Op: n.Op, Left: num, Right: ident}, nil
+			}
+			return &BinaryOp{Op: n.Op, Left: ident, Right: num}, nil
+		}
+	}
+	l, err := analyzeExpr(n.Left, t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := analyzeExpr(n.Right, t)
+	if err != nil {
+		return nil, err
+	}
+	n.Left, n.Right = l, r
+	return n, nil
+}
+
+// stringComparison detects ident-vs-string comparisons in either order.
+func stringComparison(n *BinaryOp) (lit *StringLit, ident *Ident, swapped bool) {
+	if l, ok := n.Left.(*Ident); ok {
+		if r, ok := n.Right.(*StringLit); ok {
+			return r, l, false
+		}
+	}
+	if l, ok := n.Left.(*StringLit); ok {
+		if r, ok := n.Right.(*Ident); ok {
+			return l, r, true
+		}
+	}
+	return nil, nil, false
+}
+
+func classCode(name string) (catalog.Class, error) {
+	switch strings.ToUpper(name) {
+	case "STAR":
+		return catalog.ClassStar, nil
+	case "GALAXY":
+		return catalog.ClassGalaxy, nil
+	case "QSO", "QUASAR":
+		return catalog.ClassQuasar, nil
+	case "UNKNOWN":
+		return catalog.ClassUnknown, nil
+	default:
+		return 0, fmt.Errorf("query: unknown class %q (STAR, GALAXY, QSO, UNKNOWN)", name)
+	}
+}
+
+func analyzeCall(n *FuncCall, t Table) (Expr, error) {
+	switch n.Name {
+	case "circle":
+		args, err := constArgs(n, 3)
+		if err != nil {
+			return nil, err
+		}
+		if args[2] <= 0 {
+			return nil, fmt.Errorf("query: CIRCLE radius must be positive, got %g", args[2])
+		}
+		return &SpatialPred{Kind: SpatialCircle, Args: args, Source: n}, nil
+	case "rect":
+		args, err := constArgs(n, 4)
+		if err != nil {
+			return nil, err
+		}
+		if args[2] >= args[3] {
+			return nil, fmt.Errorf("query: RECT needs decLo < decHi, got %g ≥ %g", args[2], args[3])
+		}
+		return &SpatialPred{Kind: SpatialRect, Args: args, Source: n}, nil
+	case "latband":
+		if len(n.Args) != 3 {
+			return nil, fmt.Errorf("query: LATBAND takes (frame, lo, hi), got %d args", len(n.Args))
+		}
+		lit, ok := n.Args[0].(*StringLit)
+		if !ok {
+			return nil, fmt.Errorf("query: LATBAND frame must be a string literal")
+		}
+		frame, err := parseFrame(lit.Value)
+		if err != nil {
+			return nil, err
+		}
+		lo, ok1 := constEval(n.Args[1])
+		hi, ok2 := constEval(n.Args[2])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("query: LATBAND bounds must be constants")
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("query: LATBAND needs lo < hi, got %g ≥ %g", lo, hi)
+		}
+		return &SpatialPred{Kind: SpatialBand, Frame: frame, Args: []float64{lo, hi}, Source: n}, nil
+	case "flag":
+		if FlagsAttr(t) == AttrInvalid {
+			return nil, fmt.Errorf("query: table %s has no flags", t)
+		}
+		if len(n.Args) != 1 {
+			return nil, fmt.Errorf("query: FLAG takes one argument")
+		}
+		lit, ok := n.Args[0].(*StringLit)
+		if !ok {
+			return nil, fmt.Errorf("query: FLAG argument must be a string literal")
+		}
+		if _, err := flagBit(lit.Value); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case "abs", "sqrt", "log10":
+		if len(n.Args) != 1 {
+			return nil, fmt.Errorf("query: %s takes one argument", strings.ToUpper(n.Name))
+		}
+	case "pow", "min", "max":
+		if len(n.Args) != 2 {
+			return nil, fmt.Errorf("query: %s takes two arguments", strings.ToUpper(n.Name))
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown function %q", n.Name)
+	}
+	for i, a := range n.Args {
+		resolved, err := analyzeExpr(a, t)
+		if err != nil {
+			return nil, err
+		}
+		n.Args[i] = resolved
+	}
+	return n, nil
+}
+
+// flagBit maps a flag name to its bit mask.
+func flagBit(name string) (uint64, error) {
+	switch strings.ToUpper(name) {
+	case "SATURATED":
+		return catalog.FlagSaturated, nil
+	case "BLENDED":
+		return catalog.FlagBlended, nil
+	case "EDGE":
+		return catalog.FlagEdge, nil
+	case "CHILD":
+		return catalog.FlagChild, nil
+	case "VARIABLE":
+		return catalog.FlagVariable, nil
+	case "MOVED":
+		return catalog.FlagMoved, nil
+	case "INTERP":
+		return catalog.FlagInterp, nil
+	case "COSMICRAY":
+		return catalog.FlagCosmicRay, nil
+	default:
+		return 0, fmt.Errorf("query: unknown flag %q", name)
+	}
+}
+
+func parseFrame(name string) (sphere.Frame, error) {
+	switch strings.ToLower(name) {
+	case "eq", "equatorial", "j2000":
+		return sphere.Equatorial, nil
+	case "gal", "galactic":
+		return sphere.Galactic, nil
+	case "sgal", "supergalactic":
+		return sphere.Supergalactic, nil
+	case "ecl", "ecliptic":
+		return sphere.Ecliptic, nil
+	default:
+		return 0, fmt.Errorf("query: unknown coordinate frame %q", name)
+	}
+}
+
+// constArgs evaluates a call's arguments as constants.
+func constArgs(n *FuncCall, want int) ([]float64, error) {
+	if len(n.Args) != want {
+		return nil, fmt.Errorf("query: %s takes %d arguments, got %d",
+			strings.ToUpper(n.Name), want, len(n.Args))
+	}
+	out := make([]float64, want)
+	for i, a := range n.Args {
+		v, ok := constEval(a)
+		if !ok {
+			return nil, fmt.Errorf("query: %s argument %d must be a constant", strings.ToUpper(n.Name), i+1)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// constEval folds constant arithmetic.
+func constEval(e Expr) (float64, bool) {
+	switch n := e.(type) {
+	case *NumberLit:
+		return n.Value, true
+	case *BinaryOp:
+		l, ok1 := constEval(n.Left)
+		r, ok2 := constEval(n.Right)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch n.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+	}
+	return 0, false
+}
+
+// Region builds the query region of a resolved spatial predicate.
+func (sp *SpatialPred) Region() *region.Region {
+	switch sp.Kind {
+	case SpatialCircle:
+		return region.CircleRADec(sp.Args[0], sp.Args[1], sp.Args[2])
+	case SpatialRect:
+		return region.RectRADec(sp.Args[0], sp.Args[1], sp.Args[2], sp.Args[3])
+	case SpatialBand:
+		return region.LatBand(sp.Frame, sp.Args[0], sp.Args[1])
+	default:
+		return nil
+	}
+}
+
+// ExtractRegion derives the half-space coverage region implied by a WHERE
+// clause, or nil if the clause does not constrain position. The extraction
+// is conservative: the returned region is always a superset of the
+// positions of satisfying objects, so pruning with it never loses results.
+//
+//   - AND: intersect the children's regions (either side alone is sound,
+//     the intersection is tighter);
+//   - OR: union, and only if both sides are constrained;
+//   - NOT and everything else: unconstrained.
+func ExtractRegion(e Expr) *region.Region {
+	switch n := e.(type) {
+	case *SpatialPred:
+		return n.Region()
+	case *LogicalOp:
+		l := ExtractRegion(n.Left)
+		r := ExtractRegion(n.Right)
+		switch n.Op {
+		case "and":
+			if l == nil {
+				return r
+			}
+			if r == nil {
+				return l
+			}
+			return l.Intersect(r)
+		case "or":
+			if l == nil || r == nil {
+				return nil
+			}
+			return l.Union(r)
+		}
+	}
+	return nil
+}

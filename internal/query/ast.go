@@ -1,0 +1,239 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"sdss/internal/sphere"
+)
+
+// Expr is a node of the WHERE-clause expression tree.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// StringLit is a quoted string literal (class names, frame names).
+type StringLit struct{ Value string }
+
+// Ident is an attribute reference, resolved during analysis.
+type Ident struct {
+	Name string
+	Attr AttrID // filled by Analyze; AttrInvalid before
+}
+
+// BinaryOp is an arithmetic or comparison operator.
+type BinaryOp struct {
+	Op          string // + - * / < <= > >= = !=
+	Left, Right Expr
+}
+
+// LogicalOp combines boolean expressions.
+type LogicalOp struct {
+	Op          string // and, or
+	Left, Right Expr
+}
+
+// NotOp negates a boolean expression.
+type NotOp struct{ Child Expr }
+
+// FuncCall is a function application: spatial operators, flag tests, and
+// numeric builtins.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// SpatialKind identifies the spatial predicates the analyzer recognizes and
+// can turn into half-space regions for index pruning.
+type SpatialKind int
+
+const (
+	// SpatialCircle is CIRCLE(raDeg, decDeg, radiusArcmin).
+	SpatialCircle SpatialKind = iota
+	// SpatialRect is RECT(raLo, raHi, decLo, decHi) in degrees.
+	SpatialRect
+	// SpatialBand is LATBAND(frame, loDeg, hiDeg); frame is one of the
+	// string literals 'eq', 'gal', 'sgal', 'ecl'.
+	SpatialBand
+)
+
+// SpatialPred is a resolved spatial predicate: it carries both the exact
+// geometric test (applied per object) and the constraint parameters the
+// planner uses to build HTM coverage.
+type SpatialPred struct {
+	Kind   SpatialKind
+	Frame  sphere.Frame // for SpatialBand
+	Args   []float64    // resolved constant arguments
+	Source *FuncCall    // original call, for error reporting
+}
+
+func (*NumberLit) exprNode()   {}
+func (*StringLit) exprNode()   {}
+func (*Ident) exprNode()       {}
+func (*BinaryOp) exprNode()    {}
+func (*LogicalOp) exprNode()   {}
+func (*NotOp) exprNode()       {}
+func (*FuncCall) exprNode()    {}
+func (*SpatialPred) exprNode() {}
+
+func (e *NumberLit) String() string { return fmt.Sprintf("%g", e.Value) }
+func (e *StringLit) String() string { return fmt.Sprintf("'%s'", e.Value) }
+func (e *Ident) String() string     { return e.Name }
+func (e *BinaryOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+func (e *LogicalOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, strings.ToUpper(e.Op), e.Right)
+}
+func (e *NotOp) String() string { return fmt.Sprintf("(NOT %s)", e.Child) }
+func (e *FuncCall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToUpper(e.Name), strings.Join(args, ", "))
+}
+func (e *SpatialPred) String() string {
+	if e.Source != nil {
+		return e.Source.String()
+	}
+	return fmt.Sprintf("spatial(%d)", e.Kind)
+}
+
+// SetOp is a set operation combining two bags of object pointers.
+type SetOp int
+
+// The QET set-operation node kinds.
+const (
+	OpUnion SetOp = iota
+	OpIntersect
+	OpMinus
+)
+
+// String names the operation as written in the language.
+func (o SetOp) String() string {
+	switch o {
+	case OpUnion:
+		return "UNION"
+	case OpIntersect:
+		return "INTERSECT"
+	case OpMinus:
+		return "MINUS"
+	default:
+		return fmt.Sprintf("SetOp(%d)", int(o))
+	}
+}
+
+// AggFunc is an aggregate over the selected bag.
+type AggFunc int
+
+// Aggregates supported in the select list.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+	AggSum
+)
+
+// Select is one SELECT ... FROM ... WHERE ... statement.
+type Select struct {
+	Agg     AggFunc // AggNone for plain selects
+	AggArg  string  // attribute name for min/max/avg/sum
+	Cols    []string
+	Star    bool
+	Table   Table
+	Where   Expr   // nil if absent
+	OrderBy string // attribute name, "" if absent
+	Desc    bool
+	Limit   int // 0 = unlimited
+}
+
+// Stmt is a query statement: either a single Select or a set operation over
+// two statements — the shape of the paper's Query Execution Tree.
+type Stmt struct {
+	Select      *Select // leaf
+	Op          SetOp   // interior node
+	Left, Right *Stmt
+}
+
+// String reconstructs a canonical form of the statement.
+func (s *Stmt) String() string {
+	if s.Select != nil {
+		return s.Select.String()
+	}
+	return fmt.Sprintf("(%s) %s (%s)", s.Left, s.Op, s.Right)
+}
+
+// String reconstructs the select statement.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case s.Agg == AggCount:
+		b.WriteString("COUNT(*)")
+	case s.Agg != AggNone:
+		fmt.Fprintf(&b, "%s(%s)", [...]string{"", "COUNT", "MIN", "MAX", "AVG", "SUM"}[s.Agg], s.AggArg)
+	case s.Star:
+		b.WriteString("*")
+	default:
+		b.WriteString(strings.Join(s.Cols, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s", s.Table)
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	if s.OrderBy != "" {
+		fmt.Fprintf(&b, " ORDER BY %s", s.OrderBy)
+		if s.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// Table identifies one of the archive's object tables.
+type Table int
+
+// The queryable tables.
+const (
+	TablePhoto Table = iota
+	TableTag
+	TableSpec
+)
+
+// String names the table as written in queries.
+func (t Table) String() string {
+	switch t {
+	case TablePhoto:
+		return "photoobj"
+	case TableTag:
+		return "tag"
+	case TableSpec:
+		return "specobj"
+	default:
+		return fmt.Sprintf("table(%d)", int(t))
+	}
+}
+
+// ParseTable resolves a table name.
+func ParseTable(name string) (Table, error) {
+	switch strings.ToLower(name) {
+	case "photoobj", "photo":
+		return TablePhoto, nil
+	case "tag", "tags":
+		return TableTag, nil
+	case "specobj", "spec":
+		return TableSpec, nil
+	default:
+		return 0, fmt.Errorf("query: unknown table %q", name)
+	}
+}

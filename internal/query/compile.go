@@ -1,0 +1,313 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"sdss/internal/region"
+	"sdss/internal/sphere"
+)
+
+// Getter retrieves one attribute of the current object. The executor
+// installs a closure over its decode buffer, so compiled predicates never
+// allocate per object.
+type Getter func(AttrID) float64
+
+// BoolFn is a compiled boolean expression.
+type BoolFn func(Getter) bool
+
+// NumFn is a compiled numeric expression.
+type NumFn func(Getter) float64
+
+// CompileBool compiles an analyzed WHERE clause into a predicate. The
+// expression must be boolean-valued; numeric expressions in boolean context
+// are an error (the language has no implicit truthiness).
+func CompileBool(e Expr, t Table) (BoolFn, error) {
+	switch n := e.(type) {
+	case *LogicalOp:
+		l, err := CompileBool(n.Left, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CompileBool(n.Right, t)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "and" {
+			return func(g Getter) bool { return l(g) && r(g) }, nil
+		}
+		return func(g Getter) bool { return l(g) || r(g) }, nil
+
+	case *NotOp:
+		c, err := CompileBool(n.Child, t)
+		if err != nil {
+			return nil, err
+		}
+		return func(g Getter) bool { return !c(g) }, nil
+
+	case *BinaryOp:
+		switch n.Op {
+		case "<", "<=", ">", ">=", "=", "!=":
+			l, err := CompileNum(n.Left, t)
+			if err != nil {
+				return nil, err
+			}
+			r, err := CompileNum(n.Right, t)
+			if err != nil {
+				return nil, err
+			}
+			switch n.Op {
+			case "<":
+				return func(g Getter) bool { return l(g) < r(g) }, nil
+			case "<=":
+				return func(g Getter) bool { return l(g) <= r(g) }, nil
+			case ">":
+				return func(g Getter) bool { return l(g) > r(g) }, nil
+			case ">=":
+				return func(g Getter) bool { return l(g) >= r(g) }, nil
+			case "=":
+				return func(g Getter) bool { return l(g) == r(g) }, nil
+			default:
+				return func(g Getter) bool { return l(g) != r(g) }, nil
+			}
+		default:
+			return nil, fmt.Errorf("query: arithmetic expression %s used as a condition", n)
+		}
+
+	case *SpatialPred:
+		return compileSpatial(n, t)
+
+	case *FuncCall:
+		if n.Name == "flag" {
+			lit := n.Args[0].(*StringLit)
+			bit, err := flagBit(lit.Value)
+			if err != nil {
+				return nil, err
+			}
+			attr := FlagsAttr(t)
+			if attr == AttrInvalid {
+				return nil, fmt.Errorf("query: table %s has no flags", t)
+			}
+			return func(g Getter) bool {
+				return uint64(g(attr))&bit != 0
+			}, nil
+		}
+		return nil, fmt.Errorf("query: function %s is not a condition", n.Name)
+
+	default:
+		return nil, fmt.Errorf("query: expression %s is not a condition", e)
+	}
+}
+
+// compileSpatial compiles the exact geometric membership test of a spatial
+// predicate: the per-object check behind the index's partial trixels. Thanks
+// to the Cartesian representation this is dot products against the region's
+// half-space normals — no trigonometry per object.
+func compileSpatial(sp *SpatialPred, t Table) (BoolFn, error) {
+	cx, cy, cz := PositionAttrs(t)
+	if cx == AttrInvalid {
+		return nil, fmt.Errorf("query: table %s has no position attributes", t)
+	}
+	reg := sp.Region()
+	if reg == nil {
+		return nil, fmt.Errorf("query: unresolved spatial predicate")
+	}
+	// Single half-space (the common cone query): inline the dot product.
+	if len(reg.Convexes) == 1 && len(reg.Convexes[0].Halfspaces) == 1 {
+		h := reg.Convexes[0].Halfspaces[0]
+		nx, ny, nz, off := h.Normal.X, h.Normal.Y, h.Normal.Z, h.Offset
+		return func(g Getter) bool {
+			return g(cx)*nx+g(cy)*ny+g(cz)*nz >= off
+		}, nil
+	}
+	return func(g Getter) bool {
+		return reg.Contains(sphere.Vec3{X: g(cx), Y: g(cy), Z: g(cz)})
+	}, nil
+}
+
+// CompileNum compiles an analyzed numeric expression.
+func CompileNum(e Expr, t Table) (NumFn, error) {
+	switch n := e.(type) {
+	case *NumberLit:
+		v := n.Value
+		return func(Getter) float64 { return v }, nil
+
+	case *Ident:
+		if n.Attr == AttrInvalid {
+			return nil, fmt.Errorf("query: unresolved attribute %q (Analyze not run?)", n.Name)
+		}
+		attr := n.Attr
+		return func(g Getter) float64 { return g(attr) }, nil
+
+	case *BinaryOp:
+		switch n.Op {
+		case "+", "-", "*", "/":
+			l, err := CompileNum(n.Left, t)
+			if err != nil {
+				return nil, err
+			}
+			r, err := CompileNum(n.Right, t)
+			if err != nil {
+				return nil, err
+			}
+			switch n.Op {
+			case "+":
+				return func(g Getter) float64 { return l(g) + r(g) }, nil
+			case "-":
+				return func(g Getter) float64 { return l(g) - r(g) }, nil
+			case "*":
+				return func(g Getter) float64 { return l(g) * r(g) }, nil
+			default:
+				return func(g Getter) float64 { return l(g) / r(g) }, nil
+			}
+		default:
+			return nil, fmt.Errorf("query: comparison %s used as a value", n)
+		}
+
+	case *FuncCall:
+		return compileNumFunc(n, t)
+
+	case *StringLit:
+		return nil, fmt.Errorf("query: string %q used as a number", n.Value)
+
+	default:
+		return nil, fmt.Errorf("query: expression %s is not numeric", e)
+	}
+}
+
+func compileNumFunc(n *FuncCall, t Table) (NumFn, error) {
+	args := make([]NumFn, len(n.Args))
+	for i, a := range n.Args {
+		f, err := CompileNum(a, t)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	switch n.Name {
+	case "abs":
+		return func(g Getter) float64 { return math.Abs(args[0](g)) }, nil
+	case "sqrt":
+		return func(g Getter) float64 { return math.Sqrt(args[0](g)) }, nil
+	case "log10":
+		return func(g Getter) float64 { return math.Log10(args[0](g)) }, nil
+	case "pow":
+		return func(g Getter) float64 { return math.Pow(args[0](g), args[1](g)) }, nil
+	case "min":
+		return func(g Getter) float64 { return math.Min(args[0](g), args[1](g)) }, nil
+	case "max":
+		return func(g Getter) float64 { return math.Max(args[0](g), args[1](g)) }, nil
+	default:
+		return nil, fmt.Errorf("query: function %s is not numeric", n.Name)
+	}
+}
+
+// CompiledSelect is a fully prepared select: the predicate, projection,
+// coverage region, and the plan parameters the executor needs.
+type CompiledSelect struct {
+	Source *Select
+	Table  Table
+	Pred   BoolFn         // nil means all objects match
+	Region *region.Region // nil means whole sky
+	Cols   []AttrID       // projection (resolved); nil for COUNT-only
+	Agg    AggFunc
+	AggCol AttrID
+	Order  AttrID // AttrInvalid if unordered
+	Desc   bool
+	Limit  int
+}
+
+// Compile analyzes and compiles a select statement end to end.
+func Compile(sel *Select) (*CompiledSelect, error) {
+	cs := &CompiledSelect{
+		Source: sel,
+		Table:  sel.Table,
+		Agg:    sel.Agg,
+		AggCol: AttrInvalid,
+		Order:  AttrInvalid,
+		Desc:   sel.Desc,
+		Limit:  sel.Limit,
+	}
+	if sel.Where != nil {
+		pred, err := CompileBool(sel.Where, sel.Table)
+		if err != nil {
+			return nil, err
+		}
+		cs.Pred = pred
+		cs.Region = ExtractRegion(sel.Where)
+	}
+	switch {
+	case sel.Agg == AggCount:
+		// no projection
+	case sel.Agg != AggNone:
+		id, err := Resolve(sel.Table, sel.AggArg)
+		if err != nil {
+			return nil, err
+		}
+		cs.AggCol = id
+	case sel.Star:
+		// Project every attribute in schema order.
+		for i := 0; i < NumAttrs(sel.Table); i++ {
+			cs.Cols = append(cs.Cols, AttrID(i))
+		}
+	default:
+		for _, c := range sel.Cols {
+			id, err := Resolve(sel.Table, c)
+			if err != nil {
+				return nil, err
+			}
+			cs.Cols = append(cs.Cols, id)
+		}
+	}
+	if sel.OrderBy != "" {
+		id, err := Resolve(sel.Table, sel.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		cs.Order = id
+	}
+	return cs, nil
+}
+
+// PrepareStmt analyzes and compiles a whole statement tree.
+func PrepareStmt(stmt *Stmt) (*Prepared, error) {
+	if err := Analyze(stmt); err != nil {
+		return nil, err
+	}
+	return prepare(stmt)
+}
+
+// Prepared mirrors the Stmt tree with compiled leaves — the executable QET.
+type Prepared struct {
+	Select      *CompiledSelect
+	Op          SetOp
+	Left, Right *Prepared
+}
+
+func prepare(stmt *Stmt) (*Prepared, error) {
+	if stmt.Select != nil {
+		cs, err := Compile(stmt.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &Prepared{Select: cs}, nil
+	}
+	l, err := prepare(stmt.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := prepare(stmt.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Op: stmt.Op, Left: l, Right: r}, nil
+}
+
+// PrepareString parses, analyzes, and compiles query text in one call.
+func PrepareString(src string) (*Prepared, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareStmt(stmt)
+}

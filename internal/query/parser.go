@@ -1,0 +1,462 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a full query statement: a SELECT or a parenthesized set
+// operation such as
+//
+//	(SELECT ... ) UNION (SELECT ...)
+//
+// mirroring the paper's QET structure of query nodes and set-operation
+// nodes.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after statement", p.cur().kind)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errorf("expected %s, got %s %q", kind, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+// keyword consumes a specific identifier or fails.
+func (p *parser) keyword(kw string) error {
+	if p.cur().kind != tokIdent || p.cur().text != kw {
+		return p.errorf("expected %s, got %q", kw, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+// isKeyword tests without consuming.
+func (p *parser) isKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == kw
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	var left *Stmt
+	if p.cur().kind == tokLParen {
+		// Could be a parenthesized statement or the start of an
+		// expression — only SELECT can follow '(' at statement level.
+		p.next()
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		left = inner
+	} else {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		left = &Stmt{Select: sel}
+	}
+	for {
+		var op SetOp
+		switch {
+		case p.isKeyword("union"):
+			op = OpUnion
+		case p.isKeyword("intersect"):
+			op = OpIntersect
+		case p.isKeyword("minus") || p.isKeyword("except"):
+			op = OpMinus
+		default:
+			return left, nil
+		}
+		p.next()
+		var right *Stmt
+		if p.cur().kind == tokLParen {
+			p.next()
+			inner, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			right = inner
+		} else {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			right = &Stmt{Select: sel}
+		}
+		left = &Stmt{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+
+	// Select list: *, COUNT(*), agg(attr), or column names.
+	switch {
+	case p.cur().kind == tokStar:
+		p.next()
+		sel.Star = true
+	case p.cur().kind == tokIdent && isAggName(p.cur().text) && p.toks[p.pos+1].kind == tokLParen:
+		name := p.next().text
+		p.next() // (
+		sel.Agg = aggByName(name)
+		if p.cur().kind == tokStar {
+			if sel.Agg != AggCount {
+				return nil, p.errorf("%s(*) is not valid; only COUNT(*)", name)
+			}
+			p.next()
+		} else {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			sel.AggArg = id.text
+			if sel.Agg == AggCount {
+				// COUNT(attr) behaves as COUNT(*) here.
+				sel.AggArg = ""
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	default:
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			sel.Cols = append(sel.Cols, id.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	sel.Table, err = ParseTable(tbl.text)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.isKeyword("where") {
+		p.next()
+		sel.Where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("order") {
+		p.next()
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = id.text
+		if p.isKeyword("desc") {
+			p.next()
+			sel.Desc = true
+		} else if p.isKeyword("asc") {
+			p.next()
+		}
+	}
+	if p.isKeyword("limit") {
+		p.next()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 1 {
+			return nil, p.errorf("bad LIMIT %q", n.text)
+		}
+		sel.Limit = limit
+	}
+	return sel, nil
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "count", "min", "max", "avg", "sum":
+		return true
+	}
+	return false
+}
+
+func aggByName(s string) AggFunc {
+	switch s {
+	case "count":
+		return AggCount
+	case "min":
+		return AggMin
+	case "max":
+		return AggMax
+	case "avg":
+		return AggAvg
+	case "sum":
+		return AggSum
+	}
+	return AggNone
+}
+
+// Expression grammar, loosest binding first: OR, AND, NOT, comparison,
+// additive, multiplicative, unary.
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicalOp{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &LogicalOp{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("not") {
+		p.next()
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotOp{Child: child}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.cur().kind {
+	case tokLT:
+		op = "<"
+	case tokLE:
+		op = "<="
+	case tokGT:
+		op = ">"
+	case tokGE:
+		op = ">="
+	case tokEQ:
+		op = "="
+	case tokNE:
+		op = "!="
+	default:
+		return left, nil
+	}
+	p.next()
+	right, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Chained comparisons (a < b < c) read naturally as a range:
+	// translate to (a < b) AND (b < c).
+	cmp := &BinaryOp{Op: op, Left: left, Right: right}
+	switch p.cur().kind {
+	case tokLT, tokLE, tokGT, tokGE:
+		next, err := p.parseComparisonChained(right)
+		if err != nil {
+			return nil, err
+		}
+		return &LogicalOp{Op: "and", Left: cmp, Right: next}, nil
+	}
+	return cmp, nil
+}
+
+func (p *parser) parseComparisonChained(left Expr) (Expr, error) {
+	var op string
+	switch p.cur().kind {
+	case tokLT:
+		op = "<"
+	case tokLE:
+		op = "<="
+	case tokGT:
+		op = ">"
+	case tokGE:
+		op = ">="
+	default:
+		return nil, p.errorf("expected comparison operator")
+	}
+	p.next()
+	right, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryOp{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokMinus {
+		p.next()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryOp{Op: "-", Left: &NumberLit{Value: 0}, Right: child}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur().kind {
+	case tokNumber:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &NumberLit{Value: v}, nil
+	case tokString:
+		return &StringLit{Value: p.next().text}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		t := p.next()
+		if p.cur().kind == tokLParen {
+			p.next()
+			call := &FuncCall{Name: t.text}
+			if p.cur().kind != tokRParen {
+				for {
+					arg, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.cur().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text, Attr: AttrInvalid}, nil
+	default:
+		return nil, p.errorf("unexpected %s %q in expression", p.cur().kind, p.cur().text)
+	}
+}

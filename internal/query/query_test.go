@@ -1,0 +1,455 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/sphere"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT r, u-g FROM photoobj WHERE r <= 22.5 AND flag('EDGE') != 1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.kind
+	}
+	want := []tokenKind{
+		tokIdent, tokIdent, tokComma, tokIdent, tokMinus, tokIdent,
+		tokIdent, tokIdent, tokIdent, tokIdent, tokLE, tokNumber,
+		tokIdent, tokIdent, tokLParen, tokString, tokRParen, tokNE, tokNumber, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v (%q)", i, kinds[i], want[i], toks[i].text)
+		}
+	}
+	// Keywords are lowercased.
+	if toks[0].text != "select" {
+		t.Errorf("keyword not lowercased: %q", toks[0].text)
+	}
+	for _, bad := range []string{"r ! 2", "'unterminated", "r § 2"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	stmt, err := Parse("SELECT ra, dec, r FROM photoobj WHERE r < 22 AND u - g > 0.5 LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.Select
+	if sel == nil {
+		t.Fatal("not a simple select")
+	}
+	if len(sel.Cols) != 3 || sel.Cols[0] != "ra" {
+		t.Errorf("cols = %v", sel.Cols)
+	}
+	if sel.Table != TablePhoto {
+		t.Errorf("table = %v", sel.Table)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+	if sel.Where == nil {
+		t.Fatal("no where clause")
+	}
+	if got := sel.String(); !strings.Contains(got, "WHERE") || !strings.Contains(got, "LIMIT 10") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseAggregatesAndOrder(t *testing.T) {
+	stmt, err := Parse("SELECT COUNT(*) FROM tag WHERE g - r > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Select.Agg != AggCount {
+		t.Errorf("agg = %v", stmt.Select.Agg)
+	}
+	stmt, err = Parse("SELECT AVG(redshift) FROM specobj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Select.Agg != AggAvg || stmt.Select.AggArg != "redshift" {
+		t.Errorf("agg = %v arg=%q", stmt.Select.Agg, stmt.Select.AggArg)
+	}
+	stmt, err = Parse("SELECT objid FROM photoobj WHERE r < 20 ORDER BY r DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Select.OrderBy != "r" || !stmt.Select.Desc {
+		t.Errorf("order = %q desc=%v", stmt.Select.OrderBy, stmt.Select.Desc)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	stmt, err := Parse("(SELECT objid FROM photoobj WHERE r < 20) UNION (SELECT objid FROM photoobj WHERE g < 20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Select != nil || stmt.Op != OpUnion {
+		t.Fatalf("not a union: %+v", stmt)
+	}
+	// Nested and mixed.
+	stmt, err = Parse("((SELECT objid FROM tag) MINUS (SELECT objid FROM tag WHERE r > 21)) INTERSECT (SELECT objid FROM tag WHERE class = 'GALAXY')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Op != OpIntersect || stmt.Left.Op != OpMinus {
+		t.Fatalf("tree shape wrong: %s", stmt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM photoobj",
+		"SELECT * FROM nosuchtable",
+		"SELECT * FROM photoobj WHERE",
+		"SELECT * FROM photoobj LIMIT 0",
+		"SELECT * FROM photoobj LIMIT -3",
+		"SELECT * FROM photoobj WHERE (r < 2",
+		"SELECT * FROM photoobj trailing garbage",
+		"SELECT MIN(*) FROM photoobj",
+		"UPDATE photoobj",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestAnalyzeResolvesAttributes(t *testing.T) {
+	stmt, err := Parse("SELECT ra FROM photoobj WHERE r < 22 AND class = 'QSO'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(stmt); err != nil {
+		t.Fatal(err)
+	}
+	// class = 'QSO' must have been rewritten to a numeric comparison.
+	if strings.Contains(stmt.Select.Where.String(), "'") {
+		t.Errorf("string literal survived analysis: %s", stmt.Select.Where)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := []string{
+		"SELECT nosuchcol FROM photoobj",
+		"SELECT ra FROM photoobj WHERE nosuch < 2",
+		"SELECT ra FROM photoobj WHERE class = 'WOMBAT'",
+		"SELECT ra FROM photoobj WHERE r = 'GALAXY'",
+		"SELECT ra FROM photoobj WHERE CIRCLE(10, 20) ",
+		"SELECT ra FROM photoobj WHERE CIRCLE(10, 20, -5)",
+		"SELECT ra FROM photoobj WHERE CIRCLE(ra, 20, 5)",
+		"SELECT ra FROM photoobj WHERE RECT(0, 10, 30, 20)",
+		"SELECT ra FROM photoobj WHERE LATBAND('nowhere', 0, 10)",
+		"SELECT ra FROM photoobj WHERE LATBAND('gal', 30, 10)",
+		"SELECT ra FROM photoobj WHERE FLAG('NOSUCH')",
+		"SELECT ra FROM specobj WHERE FLAG('EDGE')",
+		"SELECT ra FROM photoobj WHERE NOSUCHFUNC(1)",
+		"SELECT ra FROM photoobj ORDER BY nosuch",
+		"SELECT AVG(nosuch) FROM photoobj",
+	}
+	for _, q := range bad {
+		stmt, err := Parse(q)
+		if err != nil {
+			continue // parse-time failure also acceptable for some
+		}
+		if err := Analyze(stmt); err == nil {
+			t.Errorf("Analyze(%q) succeeded", q)
+		}
+	}
+}
+
+// photoGetter adapts a PhotoObj to the compiled Getter interface for tests.
+// The executor in package qe has its own optimized copy.
+func photoGetter(p *catalog.PhotoObj) Getter {
+	return func(id AttrID) float64 {
+		switch id {
+		case PhotoObjID:
+			return float64(p.ObjID)
+		case PhotoHTMID:
+			return float64(p.HTMID)
+		case PhotoRA:
+			return p.RA
+		case PhotoDec:
+			return p.Dec
+		case PhotoCX:
+			return p.X
+		case PhotoCY:
+			return p.Y
+		case PhotoCZ:
+			return p.Z
+		case PhotoU, PhotoG, PhotoR, PhotoI, PhotoZ:
+			return float64(p.Mag[id-PhotoU])
+		case PhotoPetroRad:
+			return float64(p.PetroRad)
+		case PhotoClass:
+			return float64(p.Class)
+		case PhotoFlags:
+			return float64(p.Flags)
+		default:
+			return 0
+		}
+	}
+}
+
+func preparePred(t *testing.T, where string) BoolFn {
+	t.Helper()
+	stmt, err := Parse("SELECT objid FROM photoobj WHERE " + where)
+	if err != nil {
+		t.Fatalf("parse %q: %v", where, err)
+	}
+	if err := Analyze(stmt); err != nil {
+		t.Fatalf("analyze %q: %v", where, err)
+	}
+	pred, err := CompileBool(stmt.Select.Where, TablePhoto)
+	if err != nil {
+		t.Fatalf("compile %q: %v", where, err)
+	}
+	return pred
+}
+
+func TestCompiledPredicates(t *testing.T) {
+	var p catalog.PhotoObj
+	p.ObjID = 42
+	if err := p.SetPos(180, 30); err != nil {
+		t.Fatal(err)
+	}
+	p.Mag = [5]float32{20.5, 19.0, 18.0, 17.6, 17.4}
+	p.Class = catalog.ClassQuasar
+	p.Flags = catalog.FlagVariable
+	p.PetroRad = 2.5
+	g := photoGetter(&p)
+
+	cases := []struct {
+		where string
+		want  bool
+	}{
+		{"r < 22", true},
+		{"r < 18", false},
+		{"u - g > 1", true},
+		{"u - g > 2", false},
+		{"r < 22 AND g - r < 0.5", false},
+		{"r < 22 OR g - r < 0.5", true},
+		{"NOT (r < 18)", true},
+		{"class = 'QSO'", true},
+		{"class != 'GALAXY'", true},
+		{"class = 'STAR'", false},
+		{"FLAG('VARIABLE')", true},
+		{"FLAG('EDGE')", false},
+		{"CIRCLE(180, 30, 5)", true},
+		{"CIRCLE(181, 30, 5)", false},
+		{"CIRCLE(181, 30, 90)", true},
+		{"RECT(170, 190, 20, 40)", true},
+		{"RECT(170, 190, 31, 40)", false},
+		{"ABS(dec - 30) < 0.1", true},
+		{"SQRT(petrorad) > 1.5", true},
+		{"POW(2, 3) = 8", true},
+		{"MIN(u, g) = g", true},
+		{"MAX(u, g) = u", true},
+		{"LOG10(100) = 2", true},
+		{"17 < r < 19", true},
+		{"18.5 < r < 19", false},
+		{"2 + 3 * 4 = 14", true},
+		{"(2 + 3) * 4 = 20", true},
+		{"-r < 0", true},
+	}
+	for _, c := range cases {
+		pred := preparePred(t, c.where)
+		if got := pred(g); got != c.want {
+			t.Errorf("%q = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestCompileSpatialBand(t *testing.T) {
+	pred := preparePred(t, "LATBAND('gal', 40, 60)")
+	var p catalog.PhotoObj
+	// A point at galactic latitude 50.
+	v := sphere.FromLonLat(sphere.Galactic, 100, 50)
+	ra, dec := sphere.ToRADec(v)
+	if err := p.SetPos(ra, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !pred(photoGetter(&p)) {
+		t.Error("point at b=50 fails LATBAND(40,60)")
+	}
+	v = sphere.FromLonLat(sphere.Galactic, 100, 30)
+	ra, dec = sphere.ToRADec(v)
+	if err := p.SetPos(ra, dec); err != nil {
+		t.Fatal(err)
+	}
+	if pred(photoGetter(&p)) {
+		t.Error("point at b=30 passes LATBAND(40,60)")
+	}
+}
+
+func TestCompileTypeErrors(t *testing.T) {
+	bad := []string{
+		"r + 2",            // arithmetic as condition
+		"r < 22 AND g",     // bare attribute as condition
+		"(r < 22) + 2 = 3", // comparison as value
+	}
+	for _, q := range bad {
+		stmt, err := Parse("SELECT objid FROM photoobj WHERE " + q)
+		if err != nil {
+			continue
+		}
+		if err := Analyze(stmt); err != nil {
+			continue
+		}
+		if _, err := CompileBool(stmt.Select.Where, TablePhoto); err == nil {
+			t.Errorf("CompileBool(%q) succeeded", q)
+		}
+	}
+}
+
+func TestExtractRegion(t *testing.T) {
+	cases := []struct {
+		where   string
+		wantNil bool
+		testRA  float64
+		testDec float64
+		wantIn  bool
+	}{
+		{"CIRCLE(100, 10, 60) AND r < 22", false, 100, 10, true},
+		{"CIRCLE(100, 10, 60) AND r < 22", false, 200, -40, false},
+		{"CIRCLE(100, 10, 60) OR CIRCLE(200, -40, 60)", false, 200, -40, true},
+		{"CIRCLE(100, 10, 60) OR r < 22", true, 0, 0, false},
+		{"NOT CIRCLE(100, 10, 60)", true, 0, 0, false},
+		{"r < 22", true, 0, 0, false},
+		{"CIRCLE(100, 10, 60) AND RECT(90, 110, 0, 20)", false, 100, 10, true},
+		{"CIRCLE(100, 10, 60) AND RECT(90, 110, 0, 20)", false, 100, 25, false},
+	}
+	for _, c := range cases {
+		stmt, err := Parse("SELECT objid FROM photoobj WHERE " + c.where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Analyze(stmt); err != nil {
+			t.Fatal(err)
+		}
+		reg := ExtractRegion(stmt.Select.Where)
+		if c.wantNil {
+			if reg != nil {
+				t.Errorf("%q: extracted region, want nil", c.where)
+			}
+			continue
+		}
+		if reg == nil {
+			t.Errorf("%q: no region extracted", c.where)
+			continue
+		}
+		v := sphere.FromRADec(c.testRA, c.testDec)
+		if got := reg.Contains(v); got != c.wantIn {
+			t.Errorf("%q: region contains (%v,%v) = %v, want %v", c.where, c.testRA, c.testDec, got, c.wantIn)
+		}
+	}
+}
+
+func TestPrepareString(t *testing.T) {
+	p, err := PrepareString("SELECT COUNT(*) FROM tag WHERE CIRCLE(10, 20, 30) AND r < 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Select == nil || p.Select.Agg != AggCount || p.Select.Region == nil {
+		t.Fatalf("prepared: %+v", p.Select)
+	}
+	pp, err := PrepareString("(SELECT objid FROM tag) MINUS (SELECT objid FROM tag WHERE r > 22)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Op != OpMinus || pp.Left.Select == nil || pp.Right.Select == nil {
+		t.Fatal("set-op tree not prepared")
+	}
+	if _, err := PrepareString("SELECT bogus FROM tag"); err == nil {
+		t.Error("bad query prepared")
+	}
+}
+
+func TestSelectStarProjection(t *testing.T) {
+	cs, err := PrepareString("SELECT * FROM tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Select.Cols) != NumAttrs(TableTag) {
+		t.Errorf("star projected %d cols, want %d", len(cs.Select.Cols), NumAttrs(TableTag))
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	stmt, err := Parse("SELECT objid FROM photoobj WHERE CIRCLE(100 + 10, 2 * 5, 60 / 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(stmt); err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := stmt.Select.Where.(*SpatialPred)
+	if !ok {
+		t.Fatalf("not folded to SpatialPred: %T", stmt.Select.Where)
+	}
+	if sp.Args[0] != 110 || sp.Args[1] != 10 || sp.Args[2] != 30 {
+		t.Errorf("args = %v", sp.Args)
+	}
+}
+
+func TestSchemaCompleteness(t *testing.T) {
+	for _, tbl := range []Table{TablePhoto, TableTag, TableSpec} {
+		if len(AttrNames(tbl)) == 0 {
+			t.Errorf("empty schema for %v", tbl)
+		}
+		cx, cy, cz := PositionAttrs(tbl)
+		if cx == AttrInvalid || cy == AttrInvalid || cz == AttrInvalid {
+			t.Errorf("%v missing position attrs", tbl)
+		}
+		if ClassAttr(tbl) == AttrInvalid {
+			t.Errorf("%v missing class attr", tbl)
+		}
+	}
+	// Schema IDs must be dense and within NumAttrs.
+	for name, id := range photoSchema {
+		if int(id) < 0 || int(id) >= NumAttrs(TablePhoto) {
+			t.Errorf("photo attr %s out of range: %d", name, id)
+		}
+	}
+	if math.Abs(float64(NumAttrs(TablePhoto))-float64(numPhotoAttrs)) != 0 {
+		t.Error("NumAttrs mismatch")
+	}
+}
+
+func BenchmarkCompiledPredicate(b *testing.B) {
+	stmt, err := Parse("SELECT objid FROM photoobj WHERE r < 22 AND u - g > 0.5 AND CIRCLE(180, 30, 60)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Analyze(stmt); err != nil {
+		b.Fatal(err)
+	}
+	pred, err := CompileBool(stmt.Select.Where, TablePhoto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p catalog.PhotoObj
+	p.SetPos(180.2, 29.9)
+	p.Mag = [5]float32{20.5, 19.0, 18.0, 17.6, 17.4}
+	g := photoGetter(&p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred(g)
+	}
+}

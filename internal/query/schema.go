@@ -1,0 +1,215 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttrID names an attribute within a table schema. IDs are dense per table;
+// the executor maps them onto decoded object fields.
+type AttrID int
+
+// AttrInvalid marks an unresolved attribute reference.
+const AttrInvalid AttrID = -1
+
+// The photometric table attributes. The five band magnitudes are named by
+// their filter letters so color cuts read naturally: "u - g < 0.5".
+const (
+	PhotoObjID AttrID = iota
+	PhotoHTMID
+	PhotoRA
+	PhotoDec
+	PhotoCX
+	PhotoCY
+	PhotoCZ
+	PhotoU
+	PhotoG
+	PhotoR
+	PhotoI
+	PhotoZ
+	PhotoErrU
+	PhotoErrG
+	PhotoErrR
+	PhotoErrI
+	PhotoErrZ
+	PhotoExtU
+	PhotoExtG
+	PhotoExtR
+	PhotoExtI
+	PhotoExtZ
+	PhotoPetroRad
+	PhotoPetroR50
+	PhotoSurfBright
+	PhotoSkyBright
+	PhotoAirmass
+	PhotoRowC
+	PhotoColC
+	PhotoPSFWidth
+	PhotoMuRA
+	PhotoMuDec
+	PhotoMJD
+	PhotoRun
+	PhotoCamcol
+	PhotoField
+	PhotoClass
+	PhotoFlags
+	numPhotoAttrs
+)
+
+// The tag table attributes (the ten popular ones plus identity).
+const (
+	TagObjID AttrID = iota
+	TagHTMID
+	TagCX
+	TagCY
+	TagCZ
+	TagRA
+	TagDec
+	TagU
+	TagG
+	TagR
+	TagI
+	TagZ
+	TagSize
+	TagClass
+	numTagAttrs
+)
+
+// The spectroscopic table attributes.
+const (
+	SpecObjID AttrID = iota
+	SpecHTMID
+	SpecRedshift
+	SpecRedshiftErr
+	SpecClass
+	SpecFiberID
+	SpecPlate
+	SpecSN
+	SpecCX
+	SpecCY
+	SpecCZ
+	numSpecAttrs
+)
+
+var photoSchema = map[string]AttrID{
+	"objid": PhotoObjID, "htmid": PhotoHTMID,
+	"ra": PhotoRA, "dec": PhotoDec,
+	"cx": PhotoCX, "cy": PhotoCY, "cz": PhotoCZ,
+	"u": PhotoU, "g": PhotoG, "r": PhotoR, "i": PhotoI, "z": PhotoZ,
+	"err_u": PhotoErrU, "err_g": PhotoErrG, "err_r": PhotoErrR,
+	"err_i": PhotoErrI, "err_z": PhotoErrZ,
+	"ext_u": PhotoExtU, "ext_g": PhotoExtG, "ext_r": PhotoExtR,
+	"ext_i": PhotoExtI, "ext_z": PhotoExtZ,
+	"petrorad": PhotoPetroRad, "petror50": PhotoPetroR50,
+	"surfbright": PhotoSurfBright, "skybright": PhotoSkyBright,
+	"airmass": PhotoAirmass, "rowc": PhotoRowC, "colc": PhotoColC,
+	"psfwidth": PhotoPSFWidth, "mura": PhotoMuRA, "mudec": PhotoMuDec,
+	"mjd": PhotoMJD, "run": PhotoRun, "camcol": PhotoCamcol,
+	"field": PhotoField, "class": PhotoClass, "flags": PhotoFlags,
+}
+
+var tagSchema = map[string]AttrID{
+	"objid": TagObjID, "htmid": TagHTMID,
+	"cx": TagCX, "cy": TagCY, "cz": TagCZ,
+	"ra": TagRA, "dec": TagDec,
+	"u": TagU, "g": TagG, "r": TagR, "i": TagI, "z": TagZ,
+	"size": TagSize, "petrorad": TagSize, // alias: tag size is PetroRad
+	"class": TagClass,
+}
+
+var specSchema = map[string]AttrID{
+	"objid": SpecObjID, "htmid": SpecHTMID,
+	"redshift": SpecRedshift, "zspec": SpecRedshift,
+	"zerr": SpecRedshiftErr, "class": SpecClass,
+	"fiberid": SpecFiberID, "plate": SpecPlate, "sn": SpecSN,
+	"cx": SpecCX, "cy": SpecCY, "cz": SpecCZ,
+}
+
+// Schema returns the attribute name → ID map for a table.
+func Schema(t Table) map[string]AttrID {
+	switch t {
+	case TablePhoto:
+		return photoSchema
+	case TableTag:
+		return tagSchema
+	case TableSpec:
+		return specSchema
+	default:
+		return nil
+	}
+}
+
+// NumAttrs returns the number of attributes in a table.
+func NumAttrs(t Table) int {
+	switch t {
+	case TablePhoto:
+		return int(numPhotoAttrs)
+	case TableTag:
+		return int(numTagAttrs)
+	case TableSpec:
+		return int(numSpecAttrs)
+	default:
+		return 0
+	}
+}
+
+// Resolve maps an attribute name to its ID within a table.
+func Resolve(t Table, name string) (AttrID, error) {
+	id, ok := Schema(t)[strings.ToLower(name)]
+	if !ok {
+		return AttrInvalid, fmt.Errorf("query: table %s has no attribute %q (known: %s)",
+			t, name, strings.Join(AttrNames(t), ", "))
+	}
+	return id, nil
+}
+
+// AttrNames lists a table's attribute names, sorted.
+func AttrNames(t Table) []string {
+	m := Schema(t)
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PositionAttrs returns the table's Cartesian position attribute IDs, used
+// by spatial predicates. The paper's Cartesian representation means every
+// spatial test is three dot-product multiplies on these attributes.
+func PositionAttrs(t Table) (cx, cy, cz AttrID) {
+	switch t {
+	case TablePhoto:
+		return PhotoCX, PhotoCY, PhotoCZ
+	case TableTag:
+		return TagCX, TagCY, TagCZ
+	case TableSpec:
+		return SpecCX, SpecCY, SpecCZ
+	default:
+		return AttrInvalid, AttrInvalid, AttrInvalid
+	}
+}
+
+// FlagsAttr returns the table's flags attribute, or AttrInvalid if the
+// table carries no flags.
+func FlagsAttr(t Table) AttrID {
+	if t == TablePhoto {
+		return PhotoFlags
+	}
+	return AttrInvalid
+}
+
+// ClassAttr returns the table's classification attribute.
+func ClassAttr(t Table) AttrID {
+	switch t {
+	case TablePhoto:
+		return PhotoClass
+	case TableTag:
+		return TagClass
+	case TableSpec:
+		return SpecClass
+	default:
+		return AttrInvalid
+	}
+}

@@ -1,0 +1,249 @@
+// Package query implements the astronomy query language of the Science
+// Archive: a small SQL-like language whose WHERE clauses mix attribute
+// predicates (magnitudes, colors, classifications) with the spatial
+// operators the paper calls for — cones, rectangles, and latitude bands in
+// arbitrary celestial coordinate systems.
+//
+// Each query received from the user interface is parsed into a Query
+// Execution Tree (QET); each node of the QET is either a query node (a
+// filtered table scan) or a set-operation node (union, intersection,
+// difference), and returns a bag of object pointers upon execution.
+// The parallel executor lives in package qe; this package provides the
+// lexer, parser, semantic analysis, predicate compilation, and extraction of
+// half-space regions for index pruning.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'!='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits query text into tokens. Identifiers and keywords are
+// case-insensitive; the lexer lowercases identifier text.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.tokens, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.pos++
+		case c == '+':
+			l.emit(tokPlus, "+")
+			l.pos++
+		case c == '-':
+			l.emit(tokMinus, "-")
+			l.pos++
+		case c == '*':
+			l.emit(tokStar, "*")
+			l.pos++
+		case c == '/':
+			l.emit(tokSlash, "/")
+			l.pos++
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit(tokLE, "<=")
+				l.pos += 2
+			} else if l.peek(1) == '>' {
+				l.emit(tokNE, "<>")
+				l.pos += 2
+			} else {
+				l.emit(tokLT, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tokGE, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokGT, ">")
+				l.pos++
+			}
+		case c == '=':
+			l.emit(tokEQ, "=")
+			l.pos++
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit(tokNE, "!=")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at %d", l.pos)
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == quote {
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+			return
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{
+		kind: tokIdent,
+		text: strings.ToLower(l.src[start:l.pos]),
+		pos:  start,
+	})
+}

@@ -1,0 +1,308 @@
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"sdss/internal/htm"
+	"sdss/internal/sphere"
+)
+
+// Class is the result of testing a query region against a spherical
+// triangle, as in the paper: "Classify nodes, as fully outside the query,
+// fully inside the query or partially intersecting the query polyhedron."
+type Class int
+
+const (
+	// Outside: the triangle contains no point of the region; the node and
+	// all its children can be ignored.
+	Outside Class = iota
+	// Partial: the triangle is bisected by the region boundary; only these
+	// nodes are investigated further.
+	Partial
+	// Inside: the triangle lies entirely within the region; it is wholly
+	// accepted without descending.
+	Inside
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Outside:
+		return "outside"
+	case Partial:
+		return "partial"
+	case Inside:
+		return "inside"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// edgeIntersectsCap reports whether the great-circle arc from a to b
+// (assumed shorter than π) crosses the boundary circle of the halfspace.
+// The arc is parametrized p(φ) = a·cos φ + w·sin φ with w the unit vector
+// orthogonal to a in the (a,b) plane; then p·n = R·cos(φ−ψ) and the
+// boundary crossings solve R·cos(φ−ψ) = offset.
+func edgeIntersectsCap(a, b sphere.Vec3, h Halfspace) bool {
+	theta := a.Angle(b)
+	if theta < 1e-15 {
+		return false
+	}
+	w := b.Sub(a.Scale(a.Dot(b)))
+	wn := w.Norm()
+	if wn == 0 {
+		return false
+	}
+	w = w.Scale(1 / wn)
+	A := a.Dot(h.Normal)
+	W := w.Dot(h.Normal)
+	R := math.Hypot(A, W)
+	if R < math.Abs(h.Offset) {
+		return false // the whole great circle stays on one side
+	}
+	if R == 0 {
+		return false
+	}
+	psi := math.Atan2(W, A)
+	dphi := math.Acos(clamp(h.Offset/R, -1, 1))
+	for _, phi := range [2]float64{psi - dphi, psi + dphi} {
+		// Normalize to (-π, π] then test membership in [0, θ].
+		for phi > math.Pi {
+			phi -= 2 * math.Pi
+		}
+		for phi <= -math.Pi {
+			phi += 2 * math.Pi
+		}
+		if phi >= -1e-12 && phi <= theta+1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClassifyConvex tests one convex against a spherical triangle. The
+// classification is exact for the query shapes the archive generates
+// (circles, latitude bands, rectangles, convex polygons); where geometry is
+// ambiguous it errs toward Partial, which costs a deeper descent but never a
+// wrong answer.
+func ClassifyConvex(c *Convex, tri htm.Triangle) Class {
+	if len(c.Halfspaces) == 0 {
+		return Inside // no constraints: whole sphere
+	}
+
+	center, triRadius := tri.BoundingCircle()
+
+	// Quick bounding-circle tests per cap.
+	allInside := true
+	for _, h := range c.Halfspaces {
+		if h.IsEmpty() {
+			return Outside
+		}
+		if h.IsFull() {
+			continue
+		}
+		d := center.Angle(h.Normal)
+		capR := h.Radius()
+		if d > capR+triRadius {
+			return Outside // triangle entirely outside this cap
+		}
+		if d+triRadius > capR {
+			allInside = false
+		}
+	}
+	if allInside {
+		return Inside // triangle's bounding circle inside every cap
+	}
+
+	// Corner count.
+	inside := 0
+	for _, v := range tri.V {
+		if c.Contains(v) {
+			inside++
+		}
+	}
+	if inside > 0 && inside < 3 {
+		return Partial
+	}
+
+	// Edge-boundary crossings.
+	crossing := false
+	for i := 0; i < 3 && !crossing; i++ {
+		a, b := tri.V[i], tri.V[(i+1)%3]
+		for _, h := range c.Halfspaces {
+			if h.IsFull() || h.IsEmpty() {
+				continue
+			}
+			if edgeIntersectsCap(a, b, h) {
+				crossing = true
+				break
+			}
+		}
+	}
+
+	if inside == 3 {
+		if crossing {
+			return Partial
+		}
+		// All corners inside and no boundary crossing. The only way part
+		// of the triangle escapes is a constraint "hole" (the complement
+		// cap) lying wholly inside the triangle.
+		for _, h := range c.Halfspaces {
+			if !h.IsFull() && tri.ContainsVec(h.Normal.Neg()) {
+				return Partial
+			}
+		}
+		return Inside
+	}
+
+	// No corner inside.
+	if crossing {
+		// A cap boundary enters the triangle. If the crossing point also
+		// satisfies the other constraints the intersection is nonempty;
+		// testing that exactly requires the crossing coordinates, so be
+		// conservative: report Partial (descending deeper resolves it).
+		return Partial
+	}
+	// No corners, no crossings: the convex is either disjoint from the
+	// triangle or entirely inside it. Probe with interior candidates of
+	// the convex: each cap center and the normalized mean of cap centers.
+	for _, h := range c.Halfspaces {
+		if c.Contains(h.Normal) && tri.ContainsVec(h.Normal) {
+			return Partial
+		}
+	}
+	mean := sphere.Vec3{}
+	for _, h := range c.Halfspaces {
+		mean = mean.Add(h.Normal)
+	}
+	mean = mean.Normalize()
+	if mean.Norm() > 0 && c.Contains(mean) && tri.ContainsVec(mean) {
+		return Partial
+	}
+	return Outside
+}
+
+// ClassifyRegion tests a region (union of convexes) against a triangle:
+// Inside if any convex wholly contains it, Outside if every convex rejects
+// it, Partial otherwise.
+func ClassifyRegion(r *Region, tri htm.Triangle) Class {
+	out := Outside
+	for _, c := range r.Convexes {
+		switch ClassifyConvex(c, tri) {
+		case Inside:
+			return Inside
+		case Partial:
+			out = Partial
+		}
+	}
+	return out
+}
+
+// LevelStats records, for one level of the descent, how many trixels were
+// classified each way — the numbers behind the paper's Figure 4 picture of
+// triangles selected by the hierarchy.
+type LevelStats struct {
+	Depth    int
+	Inside   int // wholly accepted, not descended
+	Partial  int // bisected, descended (or kept at the final depth)
+	Rejected int // wholly outside, pruned with the whole subtree
+}
+
+// Coverage is the result of intersecting a region with the mesh: trixels
+// fully inside the region (possibly at shallow depths — accepted whole
+// subtrees) and trixels at the final depth still bisected by the boundary.
+type Coverage struct {
+	Depth   int          // the maximum descent depth
+	Full    []htm.ID     // fully-inside trixels, mixed depths ≤ Depth
+	Partial []htm.ID     // boundary trixels at exactly Depth
+	Levels  []LevelStats // per-level classification counts
+}
+
+// Cover runs the paper's recursive intersection algorithm: start from the 8
+// octahedron faces, classify each node against the query region, accept
+// Inside subtrees whole, prune Outside subtrees, and recurse only into
+// Partial nodes down to the given depth.
+func Cover(r *Region, depth int) (*Coverage, error) {
+	if depth < 0 || depth > htm.MaxDepth {
+		return nil, fmt.Errorf("region: cover depth %d out of range [0,%d]", depth, htm.MaxDepth)
+	}
+	cov := &Coverage{Depth: depth, Levels: make([]LevelStats, depth+1)}
+	for d := range cov.Levels {
+		cov.Levels[d].Depth = d
+	}
+	var walk func(id htm.ID, tri htm.Triangle, d int)
+	walk = func(id htm.ID, tri htm.Triangle, d int) {
+		switch ClassifyRegion(r, tri) {
+		case Outside:
+			cov.Levels[d].Rejected++
+		case Inside:
+			cov.Levels[d].Inside++
+			cov.Full = append(cov.Full, id)
+		case Partial:
+			cov.Levels[d].Partial++
+			if d == depth {
+				cov.Partial = append(cov.Partial, id)
+				return
+			}
+			for i, child := range tri.Children() {
+				walk(id.Child(i), child, d+1)
+			}
+		}
+	}
+	for f := htm.ID(8); f <= 15; f++ {
+		walk(f, htm.FaceTriangle(f), 0)
+	}
+	return cov, nil
+}
+
+// RangeSet flattens the coverage (full and partial trixels) into sorted ID
+// ranges at the coverage depth — the candidate set the archive's container
+// scan consumes.
+func (cov *Coverage) RangeSet() *htm.RangeSet {
+	ids := make([]htm.ID, 0, len(cov.Full)+len(cov.Partial))
+	ids = append(ids, cov.Full...)
+	ids = append(ids, cov.Partial...)
+	return htm.FromTrixels(cov.Depth, ids)
+}
+
+// FullRangeSet returns only the wholly-inside trixels as ranges: objects in
+// these need no per-object geometry test.
+func (cov *Coverage) FullRangeSet() *htm.RangeSet {
+	return htm.FromTrixels(cov.Depth, cov.Full)
+}
+
+// PartialRangeSet returns only the boundary trixels: objects here must be
+// tested individually against the region.
+func (cov *Coverage) PartialRangeSet() *htm.RangeSet {
+	return htm.FromTrixels(cov.Depth, cov.Partial)
+}
+
+// Area returns lower and upper bounds on the region's solid angle implied by
+// the coverage: the full trixels alone, and full plus partial. The paper
+// notes "a prediction of the output data volume and search time can be
+// computed from the intersection volume" — this is that prediction.
+func (cov *Coverage) Area() (lo, hi float64) {
+	for _, id := range cov.Full {
+		if tri, err := htm.Vertices(id); err == nil {
+			lo += tri.Area()
+		}
+	}
+	hi = lo
+	for _, id := range cov.Partial {
+		if tri, err := htm.Vertices(id); err == nil {
+			hi += tri.Area()
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,246 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdss/internal/htm"
+	"sdss/internal/sphere"
+)
+
+func TestClassifyConvexCircle(t *testing.T) {
+	// A tiny cap strictly inside face N3 must classify N3 Partial (the cap
+	// is smaller than the face) and a face on the far side Outside.
+	capDir := sphere.FromRADec(45, 45) // inside N3 (RA 0..90, north)
+	small := NewConvex(NewHalfspace(capDir, sphere.Radians(1)))
+	n3, _ := htm.Parse("N3")
+	s1, _ := htm.Parse("S1")
+	triN3 := mustTri(t, n3)
+	triS1 := mustTri(t, s1)
+	if got := ClassifyConvex(small, triN3); got != Partial {
+		t.Errorf("small cap vs containing face = %v, want partial", got)
+	}
+	if got := ClassifyConvex(small, triS1); got != Outside {
+		t.Errorf("small cap vs far face = %v, want outside", got)
+	}
+	// A cap covering nearly the whole sphere leaves a tiny complement hole
+	// at the antipode (RA 225, Dec -45), which lies in face S2: that face
+	// must classify Partial (the hole case), every other face Inside.
+	huge := NewConvex(NewHalfspace(capDir, sphere.Radians(179.9)))
+	holeFace, err := htm.LookupRADec(225, -45, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := htm.ID(8); f <= 15; f++ {
+		want := Inside
+		if f == holeFace {
+			want = Partial
+		}
+		if got := ClassifyConvex(huge, mustTri(t, f)); got != want {
+			t.Errorf("huge cap vs face %v = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func mustTri(t *testing.T, id htm.ID) htm.Triangle {
+	t.Helper()
+	tri, err := htm.Vertices(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tri
+}
+
+func TestClassifyEmptyAndFullConvex(t *testing.T) {
+	tri := mustTri(t, 12)
+	if got := ClassifyConvex(NewConvex(), tri); got != Inside {
+		t.Errorf("empty convex = %v, want inside", got)
+	}
+	empty := NewConvex(Halfspace{Normal: sphere.Vec3{Z: 1}, Offset: 1.5})
+	if got := ClassifyConvex(empty, tri); got != Outside {
+		t.Errorf("empty cap = %v, want outside", got)
+	}
+	full := NewConvex(Halfspace{Normal: sphere.Vec3{Z: 1}, Offset: -2})
+	if got := ClassifyConvex(full, tri); got != Inside {
+		t.Errorf("full cap = %v, want inside", got)
+	}
+}
+
+func TestCoverCircleExactness(t *testing.T) {
+	// Monte Carlo soundness of the coverage: every sampled point inside
+	// the region must fall in a full or partial trixel, and every point in
+	// a full trixel must be inside the region.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		center := randUnit(rng)
+		radius := sphere.Radians(0.1 + rng.Float64()*30)
+		reg := Circle(center, radius)
+		depth := 6
+		cov, err := Cover(reg, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := cov.FullRangeSet()
+		all := cov.RangeSet()
+		for i := 0; i < 500; i++ {
+			v := randUnit(rng)
+			id, err := htm.Lookup(v, depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reg.Contains(v) && !all.Contains(id) {
+				t.Fatalf("point inside region not covered: trial %d, dist %v, radius %v",
+					trial, sphere.Dist(center, v), radius)
+			}
+			if full.Contains(id) && !reg.Contains(v) {
+				// Full trixels must contain only region points (allow
+				// boundary float noise).
+				if math.Abs(sphere.Dist(center, v)-radius) > 1e-9 {
+					t.Fatalf("point in full trixel outside region: trial %d", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverAreaBounds(t *testing.T) {
+	// Coverage area bounds must bracket the true cap area and tighten
+	// with depth.
+	center := sphere.FromRADec(200, -35)
+	radius := sphere.Radians(4)
+	trueArea := 2 * math.Pi * (1 - math.Cos(radius))
+	prevSlack := math.Inf(1)
+	for _, depth := range []int{3, 5, 7} {
+		cov, err := Cover(Circle(center, radius), depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := cov.Area()
+		if lo > trueArea+1e-9 || hi < trueArea-1e-9 {
+			t.Fatalf("depth %d: area bounds [%v, %v] miss true %v", depth, lo, hi, trueArea)
+		}
+		slack := hi - lo
+		if slack > prevSlack+1e-12 {
+			t.Fatalf("depth %d: slack %v did not shrink from %v", depth, slack, prevSlack)
+		}
+		prevSlack = slack
+	}
+}
+
+func TestCoverLevelStatsPruning(t *testing.T) {
+	// For a small circle the number of partial trixels per level must stay
+	// bounded (boundary length / trixel size ⇒ ~constant factor growth ×2
+	// per level, not ×4) — the pruning that makes the search logarithmic.
+	cov, err := Cover(Circle(sphere.FromRADec(10, 10), sphere.Radians(2)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 3; d < 8; d++ {
+		cur := cov.Levels[d].Partial
+		next := cov.Levels[d+1].Partial
+		if next > cur*3+8 {
+			t.Errorf("partial count grew too fast: level %d=%d, level %d=%d",
+				d, cur, d+1, next)
+		}
+	}
+	// Total examined at final depth must be tiny compared to 8·4^8 trixels.
+	total := cov.Levels[8].Inside + cov.Levels[8].Partial + cov.Levels[8].Rejected
+	if uint64(total) >= htm.NumTrixels(8)/10 {
+		t.Errorf("examined %d trixels at depth 8; pruning ineffective", total)
+	}
+}
+
+func TestCoverFigure4DualBand(t *testing.T) {
+	// The paper's Figure 4: a latitude band in the equatorial system
+	// intersected with a latitude band in another spherical coordinate
+	// system. Verify coverage soundness by sampling.
+	reg := LatBand(sphere.Equatorial, 20, 40).Intersect(LatBand(sphere.Galactic, -15, 15))
+	cov, err := Cover(reg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Full)+len(cov.Partial) == 0 {
+		t.Fatal("dual-band coverage empty")
+	}
+	all := cov.RangeSet()
+	full := cov.FullRangeSet()
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 3000; i++ {
+		v := randUnit(rng)
+		id, err := htm.Lookup(v, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg.Contains(v) && !all.Contains(id) {
+			_, dec := sphere.ToRADec(v)
+			_, b := sphere.ToLonLat(sphere.Galactic, v)
+			t.Fatalf("band point missed: dec=%v b=%v", dec, b)
+		}
+		if full.Contains(id) && !reg.Contains(v) {
+			t.Fatalf("non-band point in full trixel")
+		}
+	}
+}
+
+func TestCoverDepthValidation(t *testing.T) {
+	if _, err := Cover(Circle(sphere.Vec3{Z: 1}, 1), -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := Cover(Circle(sphere.Vec3{Z: 1}, 1), htm.MaxDepth+1); err == nil {
+		t.Error("excessive depth accepted")
+	}
+}
+
+func TestCoverEmptyRegion(t *testing.T) {
+	cov, err := Cover(NewRegion(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Full) != 0 || len(cov.Partial) != 0 {
+		t.Errorf("empty region produced coverage: %d full, %d partial", len(cov.Full), len(cov.Partial))
+	}
+}
+
+func TestQuickCoverSoundness(t *testing.T) {
+	// Property: for random rectangles, no sampled in-region point escapes
+	// the coverage.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		raLo := rng.Float64() * 360
+		raHi := sphere.NormalizeRA(raLo + 1 + rng.Float64()*100)
+		decLo := rng.Float64()*150 - 80
+		decHi := decLo + 1 + rng.Float64()*(85-decLo)
+		reg := RectRADec(raLo, raHi, decLo, decHi)
+		cov, err := Cover(reg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := cov.RangeSet()
+		for i := 0; i < 400; i++ {
+			v := randUnit(rng)
+			if !reg.Contains(v) {
+				continue
+			}
+			id, err := htm.Lookup(v, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !all.Contains(id) {
+				ra, dec := sphere.ToRADec(v)
+				t.Fatalf("rect [%v,%v]x[%v,%v]: point (%v,%v) escaped coverage",
+					raLo, raHi, decLo, decHi, ra, dec)
+			}
+		}
+	}
+}
+
+func BenchmarkCoverCircleDepth8(b *testing.B) {
+	reg := Circle(sphere.FromRADec(185, 32), 10*sphere.Arcmin)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cover(reg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

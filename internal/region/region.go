@@ -1,0 +1,243 @@
+// Package region implements the half-space constraint algebra the paper
+// builds its spatial queries on: "Each query can be represented as a set of
+// half-space constraints, connected by Boolean operators, all in
+// three-dimensional space."
+//
+// A Halfspace is a plane cutting the unit sphere: the points p satisfying
+// p·n ≥ c form a spherical cap. A Convex is the intersection (AND) of
+// halfspaces; a Region is the union (OR) of convexes. Circles (cones),
+// latitude bands in any coordinate system, declination/RA rectangles and
+// convex spherical polygons are all special cases.
+//
+// The package also implements the recursive trixel classification used by
+// the Science Archive query engine: testing the query polyhedron against the
+// spherical triangles of the HTM, classifying each as fully inside, fully
+// outside, or partially intersecting, and descending only into bisected
+// triangles (the paper's Figure 4).
+package region
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sdss/internal/sphere"
+)
+
+// Halfspace is the constraint p·Normal ≥ Offset on unit vectors p. With
+// |Offset| ≤ 1 the constraint region is a spherical cap centered on Normal
+// with angular radius acos(Offset); Offset < 0 gives a cap larger than a
+// hemisphere, Offset = 0 exactly a hemisphere.
+type Halfspace struct {
+	Normal sphere.Vec3 // unit vector
+	Offset float64     // cos of the cap's angular radius
+}
+
+// NewHalfspace normalizes the direction and returns the constraint
+// p·dir ≥ cos(radius).
+func NewHalfspace(dir sphere.Vec3, radius float64) Halfspace {
+	return Halfspace{Normal: dir.Normalize(), Offset: math.Cos(radius)}
+}
+
+// Contains reports whether the unit vector is inside the halfspace.
+func (h Halfspace) Contains(v sphere.Vec3) bool {
+	return v.Dot(h.Normal) >= h.Offset
+}
+
+// Radius returns the angular radius of the cap in radians.
+func (h Halfspace) Radius() float64 {
+	off := h.Offset
+	if off > 1 {
+		off = 1
+	} else if off < -1 {
+		off = -1
+	}
+	return math.Acos(off)
+}
+
+// IsEmpty reports whether the cap contains no points (Offset > 1).
+func (h Halfspace) IsEmpty() bool { return h.Offset > 1 }
+
+// IsFull reports whether the cap is the whole sphere (Offset ≤ -1).
+func (h Halfspace) IsFull() bool { return h.Offset <= -1 }
+
+// String renders the constraint for diagnostics.
+func (h Halfspace) String() string {
+	return fmt.Sprintf("p·%v ≥ %.6f", h.Normal, h.Offset)
+}
+
+// Convex is the intersection (logical AND) of halfspaces. An empty
+// constraint list is the full sphere.
+type Convex struct {
+	Halfspaces []Halfspace
+}
+
+// NewConvex builds a convex from constraints.
+func NewConvex(hs ...Halfspace) *Convex {
+	return &Convex{Halfspaces: hs}
+}
+
+// Contains reports whether the unit vector satisfies every constraint.
+func (c *Convex) Contains(v sphere.Vec3) bool {
+	for _, h := range c.Halfspaces {
+		if !h.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add appends a constraint and returns the convex for chaining.
+func (c *Convex) Add(h Halfspace) *Convex {
+	c.Halfspaces = append(c.Halfspaces, h)
+	return c
+}
+
+// String renders the convex.
+func (c *Convex) String() string {
+	parts := make([]string, len(c.Halfspaces))
+	for i, h := range c.Halfspaces {
+		parts[i] = h.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Region is the union (logical OR) of convexes. The zero value is the empty
+// region.
+type Region struct {
+	Convexes []*Convex
+}
+
+// NewRegion builds a region from convexes.
+func NewRegion(cs ...*Convex) *Region {
+	return &Region{Convexes: cs}
+}
+
+// Contains reports whether the unit vector lies in any convex.
+func (r *Region) Contains(v sphere.Vec3) bool {
+	for _, c := range r.Convexes {
+		if c.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add appends a convex and returns the region for chaining.
+func (r *Region) Add(c *Convex) *Region {
+	r.Convexes = append(r.Convexes, c)
+	return r
+}
+
+// Union merges another region in (OR of the two).
+func (r *Region) Union(o *Region) *Region {
+	out := &Region{Convexes: append([]*Convex{}, r.Convexes...)}
+	out.Convexes = append(out.Convexes, o.Convexes...)
+	return out
+}
+
+// Intersect returns the intersection of two regions by distributing the
+// convexes: (A ∪ B) ∩ (C ∪ D) = AC ∪ AD ∪ BC ∪ BD.
+func (r *Region) Intersect(o *Region) *Region {
+	out := &Region{}
+	for _, a := range r.Convexes {
+		for _, b := range o.Convexes {
+			merged := NewConvex()
+			merged.Halfspaces = append(merged.Halfspaces, a.Halfspaces...)
+			merged.Halfspaces = append(merged.Halfspaces, b.Halfspaces...)
+			out.Add(merged)
+		}
+	}
+	return out
+}
+
+// String renders the region.
+func (r *Region) String() string {
+	parts := make([]string, len(r.Convexes))
+	for i, c := range r.Convexes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Circle returns the region within radius (radians) of the direction dir —
+// the cone query underlying "find objects within a certain spherical
+// distance from a given point".
+func Circle(dir sphere.Vec3, radius float64) *Region {
+	return NewRegion(NewConvex(NewHalfspace(dir, radius)))
+}
+
+// CircleRADec is Circle for equatorial coordinates in degrees and a radius
+// in arcminutes, the units astronomers use for search cones.
+func CircleRADec(raDeg, decDeg, radiusArcmin float64) *Region {
+	return Circle(sphere.FromRADec(raDeg, decDeg), radiusArcmin*sphere.Arcmin)
+}
+
+// LatBand returns the region with latitude in [loDeg, hiDeg] in the given
+// coordinate system: two halfspaces against the frame's pole vector. This is
+// the query of the paper's Figure 4.
+func LatBand(f sphere.Frame, loDeg, hiDeg float64) *Region {
+	pole := sphere.Pole(f)
+	lo := Halfspace{Normal: pole, Offset: math.Sin(sphere.Radians(loDeg))}
+	hi := Halfspace{Normal: pole.Neg(), Offset: -math.Sin(sphere.Radians(hiDeg))}
+	return NewRegion(NewConvex(lo, hi))
+}
+
+// RectRADec returns the region raLo ≤ RA ≤ raHi, decLo ≤ Dec ≤ decHi
+// (degrees). RA bounds are great-circle halfspaces through the poles; Dec
+// bounds are small circles around the pole. RA ranges spanning more than
+// 180° are split into two convexes.
+func RectRADec(raLo, raHi, decLo, decHi float64) *Region {
+	raLo, raHi = sphere.NormalizeRA(raLo), sphere.NormalizeRA(raHi)
+	width := raHi - raLo
+	if width < 0 {
+		width += 360
+	}
+	if width == 0 {
+		width = 360 // degenerate: full circle in RA
+	}
+	if width > 180 {
+		mid := sphere.NormalizeRA(raLo + width/2)
+		a := RectRADec(raLo, mid, decLo, decHi)
+		b := RectRADec(mid, raHi, decLo, decHi)
+		return a.Union(b)
+	}
+	pole := sphere.Vec3{Z: 1}
+	decLoH := Halfspace{Normal: pole, Offset: math.Sin(sphere.Radians(decLo))}
+	decHiH := Halfspace{Normal: pole.Neg(), Offset: -math.Sin(sphere.Radians(decHi))}
+	// The meridian plane at RA α has normal (-sin α, cos α, 0); points with
+	// greater RA (within 180°) are on its positive side.
+	loRad := sphere.Radians(raLo)
+	hiRad := sphere.Radians(raHi)
+	raLoH := Halfspace{Normal: sphere.Vec3{X: -math.Sin(loRad), Y: math.Cos(loRad)}, Offset: 0}
+	raHiH := Halfspace{Normal: sphere.Vec3{X: math.Sin(hiRad), Y: -math.Cos(hiRad)}, Offset: 0}
+	return NewRegion(NewConvex(decLoH, decHiH, raLoH, raHiH))
+}
+
+// Polygon returns the convex region bounded by the great circles through
+// consecutive vertices, given in counterclockwise order viewed from outside
+// the sphere. It returns an error if fewer than 3 vertices are supplied or
+// the winding is inconsistent.
+func Polygon(verts ...sphere.Vec3) (*Region, error) {
+	if len(verts) < 3 {
+		return nil, fmt.Errorf("region: polygon needs ≥3 vertices, got %d", len(verts))
+	}
+	c := NewConvex()
+	center := sphere.Vec3{}
+	for _, v := range verts {
+		center = center.Add(v)
+	}
+	center = center.Normalize()
+	for i, v := range verts {
+		w := verts[(i+1)%len(verts)]
+		n := v.Cross(w).Normalize()
+		if n.Norm() == 0 {
+			return nil, fmt.Errorf("region: degenerate polygon edge %d", i)
+		}
+		if n.Dot(center) < 0 {
+			return nil, fmt.Errorf("region: polygon vertex %d breaks counterclockwise winding", i)
+		}
+		c.Add(Halfspace{Normal: n, Offset: 0})
+	}
+	return NewRegion(c), nil
+}

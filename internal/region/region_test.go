@@ -1,0 +1,174 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdss/internal/sphere"
+)
+
+func randUnit(rng *rand.Rand) sphere.Vec3 {
+	z := 2*rng.Float64() - 1
+	phi := 2 * math.Pi * rng.Float64()
+	r := math.Sqrt(1 - z*z)
+	return sphere.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+}
+
+func TestHalfspaceBasics(t *testing.T) {
+	h := NewHalfspace(sphere.Vec3{Z: 1}, sphere.Radians(30))
+	if !h.Contains(sphere.Vec3{Z: 1}) {
+		t.Error("cap must contain its center")
+	}
+	if h.Contains(sphere.FromRADec(0, 45)) {
+		t.Error("point at 45° from pole inside 30° cap")
+	}
+	if !h.Contains(sphere.FromRADec(0, 65)) {
+		t.Error("point at 25° from pole outside 30° cap")
+	}
+	if got := h.Radius(); math.Abs(got-sphere.Radians(30)) > 1e-12 {
+		t.Errorf("Radius = %v, want 30°", sphere.Degrees(got))
+	}
+	if (Halfspace{Offset: 1.5}).IsEmpty() != true {
+		t.Error("offset 1.5 must be empty")
+	}
+	if (Halfspace{Offset: -1}).IsFull() != true {
+		t.Error("offset -1 must be full")
+	}
+}
+
+func TestCircleMembership(t *testing.T) {
+	// Objects strictly inside/outside a cone, checked against angular
+	// distance — the "find objects within 5 arcsec" primitive.
+	center := sphere.FromRADec(180, 30)
+	r := 5 * sphere.Arcsec
+	reg := Circle(center, r)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		v := randUnit(rng)
+		want := sphere.Dist(center, v) <= r
+		if got := reg.Contains(v); got != want {
+			if math.Abs(sphere.Dist(center, v)-r) > 1e-12 {
+				t.Fatalf("circle membership mismatch at distance %v", sphere.Dist(center, v))
+			}
+		}
+	}
+}
+
+func TestLatBand(t *testing.T) {
+	for _, f := range sphere.Frames() {
+		reg := LatBand(f, -10, 25)
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 1000; i++ {
+			v := randUnit(rng)
+			_, lat := sphere.ToLonLat(f, v)
+			want := lat >= -10 && lat <= 25
+			if got := reg.Contains(v); got != want {
+				if math.Abs(lat+10) > 1e-9 && math.Abs(lat-25) > 1e-9 {
+					t.Fatalf("%v band mismatch at lat %v", f, lat)
+				}
+			}
+		}
+	}
+}
+
+func TestRectRADec(t *testing.T) {
+	cases := []struct{ raLo, raHi, decLo, decHi float64 }{
+		{10, 40, -20, 35},
+		{350, 20, -5, 5},   // wraps through RA 0
+		{100, 300, 40, 60}, // wider than 180°, split internally
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range cases {
+		reg := RectRADec(c.raLo, c.raHi, c.decLo, c.decHi)
+		for i := 0; i < 2000; i++ {
+			v := randUnit(rng)
+			ra, dec := sphere.ToRADec(v)
+			inRA := false
+			if c.raLo <= c.raHi {
+				inRA = ra >= c.raLo && ra <= c.raHi
+			} else {
+				inRA = ra >= c.raLo || ra <= c.raHi
+			}
+			want := inRA && dec >= c.decLo && dec <= c.decHi
+			if got := reg.Contains(v); got != want {
+				// Tolerate boundary float noise.
+				if math.Abs(dec-c.decLo) > 1e-9 && math.Abs(dec-c.decHi) > 1e-9 &&
+					math.Abs(ra-c.raLo) > 1e-9 && math.Abs(ra-c.raHi) > 1e-9 {
+					t.Fatalf("rect %+v mismatch at (%v, %v): got %v want %v", c, ra, dec, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPolygon(t *testing.T) {
+	// A triangle around the north pole.
+	verts := []sphere.Vec3{
+		sphere.FromRADec(0, 60),
+		sphere.FromRADec(120, 60),
+		sphere.FromRADec(240, 60),
+	}
+	reg, err := Polygon(verts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Contains(sphere.Vec3{Z: 1}) {
+		t.Error("polygon around pole must contain the pole")
+	}
+	if reg.Contains(sphere.Vec3{Z: -1}) {
+		t.Error("polygon around north pole contains south pole")
+	}
+	// Reversed winding must error.
+	if _, err := Polygon(verts[2], verts[1], verts[0]); err == nil {
+		t.Error("clockwise polygon accepted")
+	}
+	if _, err := Polygon(verts[0], verts[1]); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+}
+
+func TestRegionAlgebra(t *testing.T) {
+	a := Circle(sphere.FromRADec(0, 0), sphere.Radians(10))
+	b := Circle(sphere.FromRADec(15, 0), sphere.Radians(10))
+	union := a.Union(b)
+	inter := a.Intersect(b)
+	pA := sphere.FromRADec(355, 0)    // only in a
+	pB := sphere.FromRADec(20, 0)     // only in b
+	pBoth := sphere.FromRADec(7.5, 0) // in both
+	pNone := sphere.FromRADec(180, 0)
+	if !union.Contains(pA) || !union.Contains(pB) || !union.Contains(pBoth) || union.Contains(pNone) {
+		t.Error("union membership wrong")
+	}
+	if inter.Contains(pA) || inter.Contains(pB) || !inter.Contains(pBoth) || inter.Contains(pNone) {
+		t.Error("intersection membership wrong")
+	}
+	if len(inter.Convexes) != 1 || len(inter.Convexes[0].Halfspaces) != 2 {
+		t.Errorf("intersection shape: %v", inter)
+	}
+}
+
+func TestEdgeIntersectsCap(t *testing.T) {
+	// Equatorial edge from RA 0 to RA 90 against a cap around RA 45 on the
+	// equator: the cap boundary crosses the edge iff its radius is small
+	// enough not to swallow an endpoint but large enough to reach the arc.
+	a := sphere.FromRADec(0, 0)
+	b := sphere.FromRADec(90, 0)
+	center := sphere.FromRADec(45, 0)
+	if !edgeIntersectsCap(a, b, NewHalfspace(center, sphere.Radians(10))) {
+		t.Error("10° cap boundary must cross the edge")
+	}
+	if edgeIntersectsCap(a, b, NewHalfspace(center, sphere.Radians(80))) {
+		// 80° cap contains both endpoints (45° away): boundary does not
+		// cross the arc between them.
+		t.Error("80° cap boundary must not cross the edge")
+	}
+	// Cap entirely away from the edge.
+	if edgeIntersectsCap(a, b, NewHalfspace(sphere.FromRADec(45, 80), sphere.Radians(5))) {
+		t.Error("distant cap must not cross the edge")
+	}
+	// Degenerate zero-length edge.
+	if edgeIntersectsCap(a, a, NewHalfspace(center, sphere.Radians(45))) {
+		t.Error("zero-length edge cannot cross")
+	}
+}

@@ -1,0 +1,435 @@
+// Package river is the dataflow framework of the paper's third machine
+// class: "we propose to let astronomers construct dataflow graphs where the
+// nodes consume one or more data streams, filter and combine the data, and
+// then produce one or more result streams ... executed on a river-machine
+// similar to the scan and hash machine" [Arpaci-Dusseau 99].
+//
+// A Stream[T] is a typed, batched, cancellable data flow. Operators — Map,
+// Filter, Exchange (hash partitioning), RangePartition, Sort (external
+// merge sort with disk spill), MergeSorted, Merge — compose into graphs;
+// every stage is amenable to partition parallelism. The simplest river
+// systems are sorting networks, which is exactly what the Sort benchmark
+// builds.
+package river
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+)
+
+// batchSize is the number of elements per channel message.
+const batchSize = 256
+
+// shared carries the graph-wide control state: one cancellation scope and
+// the first error.
+type shared struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+}
+
+func (s *shared) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil && err != context.Canceled {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+func (s *shared) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stream is one edge of a dataflow graph.
+type Stream[T any] struct {
+	ch <-chan []T
+	sh *shared
+}
+
+// Emit is the producer callback handed to sources: it returns false when
+// the graph has been cancelled and production should stop.
+type Emit[T any] func(T) bool
+
+// NewSource starts a graph with a producer function. The producer runs in
+// its own goroutine; returning an error cancels the graph.
+func NewSource[T any](ctx context.Context, produce func(emit Emit[T]) error) *Stream[T] {
+	cctx, cancel := context.WithCancel(ctx)
+	sh := &shared{ctx: cctx, cancel: cancel}
+	return sourceOn(sh, produce)
+}
+
+func sourceOn[T any](sh *shared, produce func(emit Emit[T]) error) *Stream[T] {
+	out := make(chan []T, 4)
+	go func() {
+		defer close(out)
+		batch := make([]T, 0, batchSize)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			b := make([]T, len(batch))
+			copy(b, batch)
+			batch = batch[:0]
+			select {
+			case out <- b:
+				return true
+			case <-sh.ctx.Done():
+				return false
+			}
+		}
+		emit := func(v T) bool {
+			batch = append(batch, v)
+			if len(batch) >= batchSize {
+				return flush()
+			}
+			return sh.ctx.Err() == nil
+		}
+		if err := produce(emit); err != nil {
+			sh.fail(err)
+			return
+		}
+		flush()
+	}()
+	return &Stream[T]{ch: out, sh: sh}
+}
+
+// FromSlice builds a source over a slice.
+func FromSlice[T any](ctx context.Context, xs []T) *Stream[T] {
+	return NewSource(ctx, func(emit Emit[T]) error {
+		for _, x := range xs {
+			if !emit(x) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Map transforms elements with `workers` parallel appliers. Order is not
+// preserved across workers (rivers are bags, not sequences).
+func Map[A, B any](s *Stream[A], workers int, f func(A) (B, error)) *Stream[B] {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan []B, 4)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for batch := range s.ch {
+				mapped := make([]B, 0, len(batch))
+				for _, a := range batch {
+					b, err := f(a)
+					if err != nil {
+						s.sh.fail(err)
+						return
+					}
+					mapped = append(mapped, b)
+				}
+				select {
+				case out <- mapped:
+				case <-s.sh.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+	return &Stream[B]{ch: out, sh: s.sh}
+}
+
+// Filter keeps elements satisfying pred, with parallel workers.
+func Filter[T any](s *Stream[T], workers int, pred func(T) bool) *Stream[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan []T, 4)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for batch := range s.ch {
+				kept := make([]T, 0, len(batch))
+				for _, v := range batch {
+					if pred(v) {
+						kept = append(kept, v)
+					}
+				}
+				if len(kept) == 0 {
+					continue
+				}
+				select {
+				case out <- kept:
+				case <-s.sh.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(out) }()
+	return &Stream[T]{ch: out, sh: s.sh}
+}
+
+// Exchange hash-partitions the stream into n downstream streams by key —
+// the repartitioning operator parallel database systems are built on
+// [DeWitt92, Barclay94].
+func Exchange[T any](s *Stream[T], n int, key func(T) uint64) []*Stream[T] {
+	if n < 1 {
+		n = 1
+	}
+	outs := make([]chan []T, n)
+	streams := make([]*Stream[T], n)
+	for i := range outs {
+		outs[i] = make(chan []T, 4)
+		streams[i] = &Stream[T]{ch: outs[i], sh: s.sh}
+	}
+	go func() {
+		defer func() {
+			for _, o := range outs {
+				close(o)
+			}
+		}()
+		pending := make([][]T, n)
+		flush := func(i int) bool {
+			if len(pending[i]) == 0 {
+				return true
+			}
+			b := pending[i]
+			pending[i] = nil
+			select {
+			case outs[i] <- b:
+				return true
+			case <-s.sh.ctx.Done():
+				return false
+			}
+		}
+		for batch := range s.ch {
+			for _, v := range batch {
+				// Fibonacci hashing spreads weak keys.
+				i := int((key(v) * 0x9e3779b97f4a7c15) >> 32 % uint64(n))
+				pending[i] = append(pending[i], v)
+				if len(pending[i]) >= batchSize && !flush(i) {
+					return
+				}
+			}
+		}
+		for i := range pending {
+			if !flush(i) {
+				return
+			}
+		}
+	}()
+	return streams
+}
+
+// RangePartition splits the stream into len(cuts)+1 streams by key range:
+// partition i receives keys in (cuts[i-1], cuts[i]]. With sorted cuts the
+// concatenation of per-partition sorts is a total sort — the classic
+// sorting-network layout.
+func RangePartition[T any](s *Stream[T], key func(T) float64, cuts []float64) []*Stream[T] {
+	n := len(cuts) + 1
+	outs := make([]chan []T, n)
+	streams := make([]*Stream[T], n)
+	for i := range outs {
+		outs[i] = make(chan []T, 4)
+		streams[i] = &Stream[T]{ch: outs[i], sh: s.sh}
+	}
+	part := func(k float64) int {
+		lo, hi := 0, len(cuts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if k > cuts[mid] {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	go func() {
+		defer func() {
+			for _, o := range outs {
+				close(o)
+			}
+		}()
+		pending := make([][]T, n)
+		flush := func(i int) bool {
+			if len(pending[i]) == 0 {
+				return true
+			}
+			b := pending[i]
+			pending[i] = nil
+			select {
+			case outs[i] <- b:
+				return true
+			case <-s.sh.ctx.Done():
+				return false
+			}
+		}
+		for batch := range s.ch {
+			for _, v := range batch {
+				i := part(key(v))
+				pending[i] = append(pending[i], v)
+				if len(pending[i]) >= batchSize && !flush(i) {
+					return
+				}
+			}
+		}
+		for i := range pending {
+			if !flush(i) {
+				return
+			}
+		}
+	}()
+	return streams
+}
+
+// Merge combines streams into one, forwarding batches as they arrive
+// (no ordering guarantee).
+func Merge[T any](ss ...*Stream[T]) *Stream[T] {
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	out := make(chan []T, 4)
+	sh := ss[0].sh
+	var wg sync.WaitGroup
+	wg.Add(len(ss))
+	for _, s := range ss {
+		go func(s *Stream[T]) {
+			defer wg.Done()
+			for b := range s.ch {
+				select {
+				case out <- b:
+				case <-sh.ctx.Done():
+					return
+				}
+			}
+		}(s)
+	}
+	go func() { wg.Wait(); close(out) }()
+	return &Stream[T]{ch: out, sh: sh}
+}
+
+// mergeItem is one head element in the k-way merge heap.
+type mergeItem[T any] struct {
+	v      T
+	src    int
+	batch  []T
+	offset int
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int           { return len(h.items) }
+func (h *mergeHeap[T]) Less(i, j int) bool { return h.less(h.items[i].v, h.items[j].v) }
+func (h *mergeHeap[T]) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap[T]) Push(x any)         { h.items = append(h.items, x.(mergeItem[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// MergeSorted combines streams that are each internally sorted by less
+// into one totally ordered stream (a k-way ordered merge).
+func MergeSorted[T any](less func(a, b T) bool, ss ...*Stream[T]) *Stream[T] {
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	out := make(chan []T, 4)
+	sh := ss[0].sh
+	go func() {
+		defer close(out)
+		h := &mergeHeap[T]{less: less}
+		// Prime the heap with the first batch of each stream.
+		advance := func(src int, batch []T, off int) bool {
+			if off < len(batch) {
+				heap.Push(h, mergeItem[T]{v: batch[off], src: src, batch: batch, offset: off})
+				return true
+			}
+			for b := range ss[src].ch {
+				if len(b) == 0 {
+					continue
+				}
+				heap.Push(h, mergeItem[T]{v: b[0], src: src, batch: b, offset: 0})
+				return true
+			}
+			return false
+		}
+		for i := range ss {
+			advance(i, nil, 0)
+		}
+		buf := make([]T, 0, batchSize)
+		for h.Len() > 0 {
+			it := heap.Pop(h).(mergeItem[T])
+			buf = append(buf, it.v)
+			if len(buf) >= batchSize {
+				b := make([]T, len(buf))
+				copy(b, buf)
+				buf = buf[:0]
+				select {
+				case out <- b:
+				case <-sh.ctx.Done():
+					return
+				}
+			}
+			advance(it.src, it.batch, it.offset+1)
+		}
+		if len(buf) > 0 {
+			select {
+			case out <- buf:
+			case <-sh.ctx.Done():
+			}
+		}
+	}()
+	return &Stream[T]{ch: out, sh: sh}
+}
+
+// Collect drains the stream into a slice and surfaces the graph's error.
+func Collect[T any](s *Stream[T]) ([]T, error) {
+	var out []T
+	for b := range s.ch {
+		out = append(out, b...)
+	}
+	return out, s.sh.firstErr()
+}
+
+// Drain consumes the stream, counting elements.
+func Drain[T any](s *Stream[T]) (int64, error) {
+	var n int64
+	for b := range s.ch {
+		n += int64(len(b))
+	}
+	return n, s.sh.firstErr()
+}
+
+// ForEach applies fn to every element as it flows past.
+func ForEach[T any](s *Stream[T], fn func(T) error) error {
+	for b := range s.ch {
+		for _, v := range b {
+			if err := fn(v); err != nil {
+				s.sh.fail(err)
+				// Drain remaining batches so producers unblock.
+				for range s.ch {
+				}
+				return s.sh.firstErr()
+			}
+		}
+	}
+	return s.sh.firstErr()
+}

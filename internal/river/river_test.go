@@ -1,0 +1,310 @@
+package river
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intsUpTo(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestSourceCollect(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(1000))
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("collected %d, want 1000", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestMapFilter(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(10000))
+	doubled := Map(s, 4, func(x int) (int, error) { return 2 * x, nil })
+	evens := Filter(doubled, 4, func(x int) bool { return x%4 == 0 })
+	got, err := Collect(evens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("got %d elements, want 5000", len(got))
+	}
+	for _, v := range got {
+		if v%4 != 0 {
+			t.Fatalf("filter leaked %d", v)
+		}
+	}
+}
+
+func TestMapErrorCancelsGraph(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(100000))
+	boom := errors.New("boom")
+	mapped := Map(s, 2, func(x int) (int, error) {
+		if x == 500 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	_, err := Collect(mapped)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestExchangePartitions(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(20000))
+	parts := Exchange(s, 4, func(x int) uint64 { return uint64(x) })
+	counts := make([]int, 4)
+	sums := make([]int64, 4)
+	var wg = make(chan struct{}, 4)
+	for i, p := range parts {
+		go func(i int, p *Stream[int]) {
+			defer func() { wg <- struct{}{} }()
+			vals, err := Collect(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			counts[i] = len(vals)
+			for _, v := range vals {
+				sums[i] += int64(v)
+			}
+		}(i, p)
+	}
+	for range parts {
+		<-wg
+	}
+	total, totalSum := 0, int64(0)
+	for i := range counts {
+		total += counts[i]
+		totalSum += sums[i]
+		// Hash partitioning must be roughly balanced.
+		if counts[i] < 20000/4/2 || counts[i] > 20000/4*2 {
+			t.Errorf("partition %d holds %d elements; badly skewed", i, counts[i])
+		}
+	}
+	if total != 20000 {
+		t.Fatalf("partitions total %d, want 20000", total)
+	}
+	if want := int64(20000) * 19999 / 2; totalSum != want {
+		t.Fatalf("partition sum %d, want %d (elements lost or duplicated)", totalSum, want)
+	}
+}
+
+func TestMergeCombines(t *testing.T) {
+	ctx := context.Background()
+	s := FromSlice(ctx, intsUpTo(9000))
+	parts := Exchange(s, 3, func(x int) uint64 { return uint64(x) })
+	merged := Merge(parts...)
+	got, err := Collect(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9000 {
+		t.Fatalf("merged %d, want 9000", len(got))
+	}
+}
+
+func TestSortInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	s := FromSlice(context.Background(), xs)
+	sorted := Sort(s, func(a, b float64) bool { return a < b }, nil)
+	got, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("sorted %d, want %d", len(got), len(xs))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func float64Spill(dir string, runSize int) *SpillConfig[float64] {
+	return &SpillConfig[float64]{
+		Dir:     dir,
+		RunSize: runSize,
+		Encode: func(v float64, buf []byte) []byte {
+			return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		},
+		Decode: func(rec []byte) (float64, error) {
+			if len(rec) != 8 {
+				return 0, fmt.Errorf("bad record length %d", len(rec))
+			}
+			return math.Float64frombits(binary.LittleEndian.Uint64(rec)), nil
+		},
+	}
+}
+
+func TestSortExternalSpills(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := FromSlice(context.Background(), xs)
+	// Tiny runs force many spill files.
+	sorted := Sort(s, func(a, b float64) bool { return a < b }, float64Spill(t.TempDir(), 1000))
+	got, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("sorted %d, want %d", len(got), len(xs))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("external sort output not sorted")
+	}
+	// Same multiset: compare against in-place sort.
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortingNetwork(t *testing.T) {
+	// The full sorting-network shape: source → range partition → parallel
+	// external sorts → ordered merge. Output must be totally sorted.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	s := FromSlice(context.Background(), xs)
+	cuts := []float64{25, 50, 75}
+	parts := RangePartition(s, func(x float64) float64 { return x }, cuts)
+	sorted := make([]*Stream[float64], len(parts))
+	for i, p := range parts {
+		sorted[i] = Sort(p, func(a, b float64) bool { return a < b }, float64Spill(t.TempDir(), 4000))
+	}
+	// Range-partitioned sorted streams concatenate in cut order; an
+	// ordered merge also works and exercises MergeSorted.
+	merged := MergeSorted(func(a, b float64) bool { return a < b }, sorted...)
+	got, err := Collect(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("network output %d elements, want %d", len(got), len(xs))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("sorting network output not sorted")
+	}
+}
+
+func TestRangePartitionBoundaries(t *testing.T) {
+	xs := []float64{-5, 0, 10, 25, 25.0001, 60, 75, 80, 1000}
+	s := FromSlice(context.Background(), xs)
+	parts := RangePartition(s, func(x float64) float64 { return x }, []float64{25, 75})
+	want := [][]float64{{-5, 0, 10, 25}, {25.0001, 60, 75}, {80, 1000}}
+	for i, p := range parts {
+		got, err := Collect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Float64s(got)
+		if len(got) != len(want[i]) {
+			t.Fatalf("partition %d: %v, want %v", i, got, want[i])
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("partition %d: %v, want %v", i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(100000))
+	boom := errors.New("sink failure")
+	err := ForEach(s, func(x int) error {
+		if x == 1234 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDrainCount(t *testing.T) {
+	s := FromSlice(context.Background(), intsUpTo(7777))
+	n, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7777 {
+		t.Fatalf("drained %d", n)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewSource(ctx, func(emit Emit[int]) error {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+	})
+	// Read a little, then cancel; the source must stop.
+	got := 0
+	for b := range s.ch {
+		got += len(b)
+		if got > 1000 {
+			cancel()
+			break
+		}
+	}
+	for range s.ch {
+	}
+	// Graph error must be nil (cancellation is not failure).
+	if err := s.sh.firstErr(); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkRiverSortExternal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	dir := b.TempDir()
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := FromSlice(context.Background(), xs)
+		sorted := Sort(s, func(a, b float64) bool { return a < b }, float64Spill(dir, 1<<15))
+		if _, err := Drain(sorted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

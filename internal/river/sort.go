@@ -1,0 +1,210 @@
+package river
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SpillConfig enables external sorting: when a sort node's buffer reaches
+// RunSize elements it is sorted and spilled to a run file; runs are k-way
+// merged at the end. Current systems sort about 100 MB/s on commodity
+// hardware this way [Sort]; without a codec the node sorts entirely in
+// memory.
+type SpillConfig[T any] struct {
+	// Dir receives run files; empty means the OS temp directory.
+	Dir string
+	// RunSize is the in-memory run length in elements (default 1<<16).
+	RunSize int
+	// Encode appends the record's encoding to buf.
+	Encode func(v T, buf []byte) []byte
+	// Decode parses one record.
+	Decode func(rec []byte) (T, error)
+}
+
+// Sort produces the stream's elements in less-order. With a nil spill
+// config the sort is in-memory; otherwise runs spill to disk and merge —
+// the external merge sort at the heart of every sorting network.
+func Sort[T any](s *Stream[T], less func(a, b T) bool, spill *SpillConfig[T]) *Stream[T] {
+	if spill == nil || spill.Encode == nil || spill.Decode == nil {
+		return sortInMemory(s, less)
+	}
+	return sortExternal(s, less, spill)
+}
+
+func sortInMemory[T any](s *Stream[T], less func(a, b T) bool) *Stream[T] {
+	return sourceOn(s.sh, func(emit Emit[T]) error {
+		var all []T
+		for b := range s.ch {
+			all = append(all, b...)
+		}
+		sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
+		for _, v := range all {
+			if !emit(v) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func sortExternal[T any](s *Stream[T], less func(a, b T) bool, spill *SpillConfig[T]) *Stream[T] {
+	runSize := spill.RunSize
+	if runSize <= 0 {
+		runSize = 1 << 16
+	}
+	out := make(chan []T, 4)
+	res := &Stream[T]{ch: out, sh: s.sh}
+	go func() {
+		defer close(out)
+		dir, err := os.MkdirTemp(spill.Dir, "river-sort-*")
+		if err != nil {
+			s.sh.fail(fmt.Errorf("river: sort spill dir: %w", err))
+			return
+		}
+		defer os.RemoveAll(dir)
+
+		var runFiles []string
+		buf := make([]T, 0, runSize)
+		flushRun := func() error {
+			if len(buf) == 0 {
+				return nil
+			}
+			sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+			path := filepath.Join(dir, fmt.Sprintf("run%06d", len(runFiles)))
+			if err := writeRun(path, buf, spill.Encode); err != nil {
+				return err
+			}
+			runFiles = append(runFiles, path)
+			buf = buf[:0]
+			return nil
+		}
+		for b := range s.ch {
+			for _, v := range b {
+				buf = append(buf, v)
+				if len(buf) >= runSize {
+					if err := flushRun(); err != nil {
+						s.sh.fail(err)
+						return
+					}
+				}
+			}
+		}
+		// The final partial run stays in memory.
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+
+		if len(runFiles) == 0 {
+			emitAll(res.sh, out, buf)
+			return
+		}
+
+		// K-way merge of run files plus the in-memory tail.
+		streams := make([]*Stream[T], 0, len(runFiles)+1)
+		for _, path := range runFiles {
+			streams = append(streams, readRun(s.sh, path, spill.Decode))
+		}
+		tail := buf
+		streams = append(streams, sourceOn(s.sh, func(emit Emit[T]) error {
+			for _, v := range tail {
+				if !emit(v) {
+					return nil
+				}
+			}
+			return nil
+		}))
+		merged := MergeSorted(less, streams...)
+		for b := range merged.ch {
+			select {
+			case out <- b:
+			case <-s.sh.ctx.Done():
+				return
+			}
+		}
+	}()
+	return res
+}
+
+func emitAll[T any](sh *shared, out chan<- []T, xs []T) {
+	for start := 0; start < len(xs); start += batchSize {
+		end := start + batchSize
+		if end > len(xs) {
+			end = len(xs)
+		}
+		b := make([]T, end-start)
+		copy(b, xs[start:end])
+		select {
+		case out <- b:
+		case <-sh.ctx.Done():
+			return
+		}
+	}
+}
+
+// writeRun spills one sorted run: length-prefixed records.
+func writeRun[T any](path string, xs []T, encode func(T, []byte) []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("river: creating run: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var rec []byte
+	var hdr [4]byte
+	for _, v := range xs {
+		rec = encode(v, rec[:0])
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readRun streams a run file back.
+func readRun[T any](sh *shared, path string, decode func([]byte) (T, error)) *Stream[T] {
+	return sourceOn(sh, func(emit Emit[T]) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("river: opening run: %w", err)
+		}
+		defer f.Close()
+		r := bufio.NewReaderSize(f, 1<<16)
+		var hdr [4]byte
+		var rec []byte
+		for {
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return fmt.Errorf("river: run %s: %w", path, err)
+			}
+			n := binary.LittleEndian.Uint32(hdr[:])
+			if uint32(cap(rec)) < n {
+				rec = make([]byte, n)
+			}
+			rec = rec[:n]
+			if _, err := io.ReadFull(r, rec); err != nil {
+				return fmt.Errorf("river: run %s truncated: %w", path, err)
+			}
+			v, err := decode(rec)
+			if err != nil {
+				return err
+			}
+			if !emit(v) {
+				return nil
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+// Package sample implements the paper's desktop-analysis aids: deterministic
+// random subsets ("we also plan to offer a 1% sample (about 10 GB) of the
+// whole database that can be used to quickly test and debug programs") and
+// the arithmetic for scaling sampled answers back to the full survey.
+//
+// Sampling is by object identity, not by position: the decision is a hash
+// of the ObjID, so the same object is in or out of the sample in every
+// table, across machines, forever — "combining partitioning and sampling
+// converts a 2 TB data set into 2 gigabytes, which can fit comfortably on
+// desktop workstations."
+package sample
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdss/internal/store"
+)
+
+// denominator of the sampling hash: parts per million.
+const ppmScale = 1_000_000
+
+// Sampler selects a deterministic pseudo-random fraction of objects.
+type Sampler struct {
+	ppm  uint64 // selected parts per million
+	frac float64
+}
+
+// New creates a sampler keeping approximately frac (0 < frac ≤ 1) of all
+// objects.
+func New(frac float64) (*Sampler, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("sample: fraction %v outside (0, 1]", frac)
+	}
+	return &Sampler{ppm: uint64(frac * ppmScale), frac: frac}, nil
+}
+
+// Fraction returns the sampling fraction.
+func (s *Sampler) Fraction() float64 { return s.frac }
+
+// Keep reports whether the object with the given ID is in the sample.
+// The decision is a splitmix64 hash of the ID, uniform and stateless.
+func (s *Sampler) Keep(objID uint64) bool {
+	x := objID + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%ppmScale < s.ppm
+}
+
+// ScaleCount converts a count measured on the sample to a full-survey
+// estimate.
+func (s *Sampler) ScaleCount(sampleCount float64) float64 {
+	return sampleCount / s.frac
+}
+
+// Subset builds a new memory store holding only the sampled records from
+// src. Records must carry their ObjID as a little-endian uint64 at offset 0
+// (true of every catalog record type).
+func (s *Sampler) Subset(src *store.Store) (*store.Store, error) {
+	opts := src.Options()
+	opts.Dir = "" // samples live in memory (or on the astronomer's laptop)
+	dst, err := store.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	var recs []store.Record
+	err = src.Scan(nil, false, func(rec []byte) error {
+		objID := binary.LittleEndian.Uint64(rec)
+		if !s.Keep(objID) {
+			return nil
+		}
+		data := make([]byte, len(rec))
+		copy(data, rec)
+		recs = append(recs, store.Record{HTMID: src.KeyOf(rec), Data: data})
+		if len(recs) >= 4096 {
+			if err := dst.BulkLoad(recs); err != nil {
+				return err
+			}
+			recs = recs[:0]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		if err := dst.BulkLoad(recs); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,138 @@
+package sample
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sdss/internal/load"
+	"sdss/internal/qe"
+	"sdss/internal/skygen"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []float64{0, -0.1, 1.5} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%v) succeeded", bad)
+		}
+	}
+	if _, err := New(0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepDeterministicAndUniform(t *testing.T) {
+	s, err := New(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic.
+	for id := uint64(0); id < 100; id++ {
+		if s.Keep(id) != s.Keep(id) {
+			t.Fatal("Keep not deterministic")
+		}
+	}
+	// Uniform at ~1% over sequential IDs (the adversarial case for a weak
+	// hash).
+	const n = 200000
+	kept := 0
+	for id := uint64(0); id < n; id++ {
+		if s.Keep(id) {
+			kept++
+		}
+	}
+	got := float64(kept) / n
+	if math.Abs(got-0.01) > 0.002 {
+		t.Errorf("kept fraction %v, want ~0.01", got)
+	}
+}
+
+func TestSubsetAndScaledEstimates(t *testing.T) {
+	photo, spec, err := skygen.GenerateAll(skygen.Default(1, 30000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := load.NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo, Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.Subset(tgt.Photo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size must be ~5%.
+	frac := float64(sub.NumRecords()) / float64(tgt.Photo.NumRecords())
+	if math.Abs(frac-0.05) > 0.01 {
+		t.Errorf("sample holds %.3f of records, want ~0.05", frac)
+	}
+	// Byte shrinkage matches record shrinkage.
+	if sub.Bytes() >= tgt.Photo.Bytes()/10 {
+		t.Errorf("sample bytes %d not ≪ full %d", sub.Bytes(), tgt.Photo.Bytes())
+	}
+
+	// Debugging workflow: a selectivity estimate on the sample must agree
+	// with the full answer after scaling.
+	full := &qe.Engine{Photo: tgt.Photo}
+	sampled := &qe.Engine{Photo: sub}
+	// A broad query so the sampled count is large enough for a tight
+	// estimate (σ ≈ 1/√n of the sampled matches).
+	q := "SELECT COUNT(*) FROM photoobj WHERE r < 22.5"
+	count := func(e *qe.Engine) float64 {
+		rows, err := e.ExecuteString(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rows.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Values[0]
+	}
+	fullCount := count(full)
+	est := s.ScaleCount(count(sampled))
+	if fullCount == 0 {
+		t.Fatal("empty full count; bad test query")
+	}
+	if rel := math.Abs(est-fullCount) / fullCount; rel > 0.15 {
+		t.Errorf("sample estimate %v vs full %v (rel err %.2f)", est, fullCount, rel)
+	}
+}
+
+func TestSampleConsistentAcrossTables(t *testing.T) {
+	// The same ObjID must be sampled identically everywhere — the property
+	// that lets a desktop hold matching photo and tag subsets.
+	s, err := New(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	photo, spec, err := skygen.GenerateAll(skygen.Default(3, 5000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := load.NewTarget("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo, Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	subPhoto, err := s.Subset(tgt.Photo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subTag, err := s.Subset(tgt.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subPhoto.NumRecords() != subTag.NumRecords() {
+		t.Errorf("photo sample %d records, tag sample %d — identity sampling broken",
+			subPhoto.NumRecords(), subTag.NumRecords())
+	}
+}

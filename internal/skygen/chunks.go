@@ -1,0 +1,363 @@
+package skygen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdss/internal/catalog"
+	"sdss/internal/sphere"
+)
+
+// Chunk is one coherent unit of survey data, as the paper's loading section
+// defines it: "A chunk consists of several segments of the sky that were
+// scanned in a single night, with all the fields and all objects detected in
+// the fields." Chunks partition the survey deterministically: generating all
+// of them yields the complete catalog, in any order.
+type Chunk struct {
+	Index int
+	Photo []catalog.PhotoObj
+	Spec  []catalog.SpecObj
+}
+
+// subSeed derives a stream-specific seed so that each component (clusters,
+// field, stars, ...) of each chunk has its own reproducible RNG.
+func subSeed(seed int64, stream string, n int) int64 {
+	h := uint64(seed)
+	for _, c := range stream {
+		h = h*1099511628211 + uint64(c)
+	}
+	h = h*1099511628211 + uint64(n)
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// galLon returns the galactic longitude of an equatorial vector in [0,360).
+func galLon(v sphere.Vec3) float64 {
+	l, _ := sphere.ToLonLat(sphere.Galactic, v)
+	return l
+}
+
+// randInStrip draws a position uniformly within the survey cap restricted to
+// the galactic longitude strip [lonLo, lonHi) degrees.
+func randInStrip(rng *rand.Rand, latDeg, lonLo, lonHi float64) sphere.Vec3 {
+	sinLo := math.Sin(sphere.Radians(latDeg))
+	z := sinLo + rng.Float64()*(1-sinLo)
+	lon := lonLo + rng.Float64()*(lonHi-lonLo)
+	r := math.Sqrt(1 - z*z)
+	lr := sphere.Radians(lon)
+	galVec := sphere.Vec3{X: r * math.Cos(lr), Y: r * math.Sin(lr), Z: z}
+	return sphere.FrameToEquatorial(sphere.Galactic).MulVec(galVec)
+}
+
+// GenerateChunk produces chunk `index` of `nChunks`. Chunks are galactic
+// longitude strips of the survey cap; a cluster belongs to the strip of its
+// center (members may spill slightly across the boundary, like real scan
+// overlaps). Object IDs are unique across chunks.
+func GenerateChunk(p Params, index, nChunks int) (*Chunk, error) {
+	if nChunks < 1 || index < 0 || index >= nChunks {
+		return nil, fmt.Errorf("skygen: chunk %d of %d out of range", index, nChunks)
+	}
+	p.setDefaults()
+	ch := &Chunk{Index: index}
+	lonLo := float64(index) * 360 / float64(nChunks)
+	lonHi := float64(index+1) * 360 / float64(nChunks)
+	nextID := catalog.ObjID(uint64(index+1) << 40)
+
+	// --- Clustered galaxies -------------------------------------------
+	nClustered := int(float64(p.NGalaxies) * p.ClusterFrac)
+	nClusters := int(math.Round(float64(nClustered) / p.MeanClusterSize))
+	sigma := p.ClusterRadiusArcmin * sphere.Arcmin
+	spectroCut := p.spectroMagCut()
+	for ci := 0; ci < nClusters; ci++ {
+		crng := rand.New(rand.NewSource(subSeed(p.Seed, "cluster", ci)))
+		center := randInCap(crng, p.FootprintLatDeg)
+		if l := galLon(center); l < lonLo || l >= lonHi {
+			continue // cluster belongs to another chunk
+		}
+		size := int(crng.ExpFloat64() * p.MeanClusterSize)
+		if size < 3 {
+			size = 3
+		}
+		if max := int(10 * p.MeanClusterSize); size > max {
+			size = max
+		}
+		// Richer clusters are spatially larger.
+		cSigma := sigma * (0.5 + math.Sqrt(float64(size)/p.MeanClusterSize))
+		for m := 0; m < size; m++ {
+			pos := scatter(crng, center, cSigma*math.Abs(crng.NormFloat64()))
+			obj, spec := p.makeGalaxy(crng, nextID, pos, 0.15, spectroCut)
+			ch.Photo = append(ch.Photo, obj)
+			if spec != nil {
+				ch.Spec = append(ch.Spec, *spec)
+			}
+			nextID++
+		}
+	}
+
+	// --- Field galaxies ------------------------------------------------
+	nField := chunkShare(p.NGalaxies-nClustered, index, nChunks)
+	frng := rand.New(rand.NewSource(subSeed(p.Seed, "field", index)))
+	for i := 0; i < nField; i++ {
+		pos := randInStrip(frng, p.FootprintLatDeg, lonLo, lonHi)
+		obj, spec := p.makeGalaxy(frng, nextID, pos, 0, spectroCut)
+		ch.Photo = append(ch.Photo, obj)
+		if spec != nil {
+			ch.Spec = append(ch.Spec, *spec)
+		}
+		nextID++
+	}
+
+	// --- Stars -----------------------------------------------------------
+	nStars := chunkShare(p.NStars, index, nChunks)
+	srng := rand.New(rand.NewSource(subSeed(p.Seed, "stars", index)))
+	for i := 0; i < nStars; i++ {
+		// Concentration toward the galactic plane: accept positions with
+		// probability declining in latitude above the footprint edge.
+		var pos sphere.Vec3
+		for {
+			pos = randInStrip(srng, p.FootprintLatDeg, lonLo, lonHi)
+			_, b := sphere.ToLonLat(sphere.Galactic, pos)
+			if srng.Float64() < math.Exp(-(b-p.FootprintLatDeg)/25) {
+				break
+			}
+		}
+		ch.Photo = append(ch.Photo, p.makeStar(srng, nextID, pos))
+		nextID++
+	}
+
+	// --- Quasars ---------------------------------------------------------
+	nQSO := chunkShare(p.NQuasars, index, nChunks)
+	qrng := rand.New(rand.NewSource(subSeed(p.Seed, "quasars", index)))
+	for i := 0; i < nQSO; i++ {
+		pos := randInStrip(qrng, p.FootprintLatDeg, lonLo, lonHi)
+		obj, spec := p.makeQuasar(qrng, nextID, pos)
+		ch.Photo = append(ch.Photo, obj)
+		ch.Spec = append(ch.Spec, spec)
+		nextID++
+	}
+	return ch, nil
+}
+
+// Generate produces the whole survey as one chunk list.
+func Generate(p Params, nChunks int) ([]*Chunk, error) {
+	chunks := make([]*Chunk, 0, nChunks)
+	for i := 0; i < nChunks; i++ {
+		ch, err := GenerateChunk(p, i, nChunks)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, ch)
+	}
+	return chunks, nil
+}
+
+// GenerateAll produces the full photometric catalog as a single slice,
+// convenient for tests and in-memory analysis.
+func GenerateAll(p Params, nChunks int) ([]catalog.PhotoObj, []catalog.SpecObj, error) {
+	var photo []catalog.PhotoObj
+	var spec []catalog.SpecObj
+	for i := 0; i < nChunks; i++ {
+		ch, err := GenerateChunk(p, i, nChunks)
+		if err != nil {
+			return nil, nil, err
+		}
+		photo = append(photo, ch.Photo...)
+		spec = append(spec, ch.Spec...)
+	}
+	return photo, spec, nil
+}
+
+// chunkShare splits total over nChunks with the remainder spread over the
+// first chunks, so the shares sum exactly to total.
+func chunkShare(total, index, nChunks int) int {
+	share := total / nChunks
+	if index < total%nChunks {
+		share++
+	}
+	return share
+}
+
+// spectroMagCut returns the r-magnitude above which galaxies receive
+// spectra, chosen so approximately SpectroFrac of the magnitude
+// distribution is selected — the paper's "selected by a magnitude and
+// surface brightness limit in the r band".
+func (p Params) spectroMagCut() float64 {
+	a := math.Pow(10, 0.6*14)
+	b := math.Pow(10, 0.6*p.MagLimit)
+	return math.Log10(a+p.SpectroFrac*(b-a)) / 0.6
+}
+
+func (p Params) makeGalaxy(rng *rand.Rand, id catalog.ObjID, pos sphere.Vec3, redden, spectroCut float64) (catalog.PhotoObj, *catalog.SpecObj) {
+	var obj catalog.PhotoObj
+	obj.ObjID = id
+	ra, dec := sphere.ToRADec(pos)
+	if err := obj.SetPos(ra, dec); err != nil {
+		panic(err) // unreachable: pos is a unit vector
+	}
+	rMag := sampleMagnitude(rng, 14, p.MagLimit)
+	obj.Mag = drawColors(rng, rMag, catalog.ClassGalaxy, redden)
+	fillCommon(rng, &obj, rMag, catalog.ClassGalaxy)
+
+	if rMag >= spectroCut {
+		return obj, nil
+	}
+	// Redshift loosely correlated with apparent faintness.
+	z := float32(0.02 + 0.05*(rMag-14) + 0.03*math.Abs(rng.NormFloat64()))
+	if z > 0.8 {
+		z = 0.8
+	}
+	spec := &catalog.SpecObj{
+		ObjID:       obj.ObjID,
+		HTMID:       obj.HTMID,
+		Redshift:    z,
+		RedshiftErr: 0.0002,
+		Class:       catalog.ClassGalaxy,
+		FiberID:     uint16(1 + rng.Intn(640)),
+		Plate:       uint16(rng.Intn(2000)),
+		SN:          float32(5 + rng.Float64()*25),
+		Lines:       galaxyLines(rng, z),
+	}
+	return obj, spec
+}
+
+func (p Params) makeStar(rng *rand.Rand, id catalog.ObjID, pos sphere.Vec3) catalog.PhotoObj {
+	var obj catalog.PhotoObj
+	obj.ObjID = id
+	ra, dec := sphere.ToRADec(pos)
+	if err := obj.SetPos(ra, dec); err != nil {
+		panic(err)
+	}
+	rMag := sampleMagnitude(rng, 13, p.MagLimit)
+	obj.Mag = drawColors(rng, rMag, catalog.ClassStar, 0)
+	fillCommon(rng, &obj, rMag, catalog.ClassStar)
+	// ~3% of stars show measurable proper motion in repeat scans.
+	if rng.Float64() < 0.03 {
+		obj.MuRA = float32(rng.NormFloat64() * 50)
+		obj.MuDec = float32(rng.NormFloat64() * 50)
+		obj.Flags |= catalog.FlagMoved
+	}
+	return obj
+}
+
+func (p Params) makeQuasar(rng *rand.Rand, id catalog.ObjID, pos sphere.Vec3) (catalog.PhotoObj, catalog.SpecObj) {
+	var obj catalog.PhotoObj
+	obj.ObjID = id
+	ra, dec := sphere.ToRADec(pos)
+	if err := obj.SetPos(ra, dec); err != nil {
+		panic(err)
+	}
+	rMag := sampleMagnitude(rng, 16, p.MagLimit)
+	obj.Mag = drawColors(rng, rMag, catalog.ClassQuasar, 0)
+	fillCommon(rng, &obj, rMag, catalog.ClassQuasar)
+	// Half of quasars vary between epochs.
+	if rng.Float64() < 0.5 {
+		obj.Flags |= catalog.FlagVariable
+	}
+	z := float32(0.3 + 4.7*math.Pow(rng.Float64(), 1.5))
+	spec := catalog.SpecObj{
+		ObjID:       obj.ObjID,
+		HTMID:       obj.HTMID,
+		Redshift:    z,
+		RedshiftErr: 0.002,
+		Class:       catalog.ClassQuasar,
+		FiberID:     uint16(1 + rng.Intn(640)),
+		Plate:       uint16(rng.Intn(2000)),
+		SN:          float32(3 + rng.Float64()*15),
+		Lines:       quasarLines(rng, z),
+	}
+	return obj, spec
+}
+
+// Rest wavelengths of the lines the synthetic spectra identify.
+const (
+	lineHAlpha = 6563
+	lineHBeta  = 4861
+	lineOIII   = 5007
+	lineOII    = 3727
+	lineMgII   = 2798
+	lineCIV    = 1549
+	lineLyA    = 1216
+)
+
+func galaxyLines(rng *rand.Rand, z float32) [catalog.NumLines]catalog.SpectralLine {
+	rest := [catalog.NumLines]uint16{lineHAlpha, lineOIII, lineHBeta, lineOII, lineMgII}
+	var lines [catalog.NumLines]catalog.SpectralLine
+	for i, r := range rest {
+		lines[i] = catalog.SpectralLine{
+			Wavelength: float32(r) * (1 + z),
+			EquivWidth: float32(rng.NormFloat64() * 8),
+			LineID:     r,
+		}
+	}
+	return lines
+}
+
+func quasarLines(rng *rand.Rand, z float32) [catalog.NumLines]catalog.SpectralLine {
+	rest := [catalog.NumLines]uint16{lineLyA, lineCIV, lineMgII, lineHBeta, lineHAlpha}
+	var lines [catalog.NumLines]catalog.SpectralLine
+	for i, r := range rest {
+		lines[i] = catalog.SpectralLine{
+			Wavelength: float32(r) * (1 + z),
+			EquivWidth: float32(20 + rng.ExpFloat64()*30),
+			LineID:     r,
+		}
+	}
+	return lines
+}
+
+// RadioSource is one entry of the synthetic external (FIRST-like) radio
+// catalog used by the cross-identification workload.
+type RadioSource struct {
+	ID      uint64
+	RA, Dec float64
+	X, Y, Z float64
+	FluxMJy float32 // peak flux, mJy
+	Matched bool    // ground truth: true if drawn from an optical object
+	TruthID catalog.ObjID
+}
+
+// Pos returns the source position as a unit vector.
+func (r *RadioSource) Pos() sphere.Vec3 { return sphere.Vec3{X: r.X, Y: r.Y, Z: r.Z} }
+
+// RadioCatalog derives an external catalog from the optical one: a fraction
+// of optical quasars and bright galaxies re-observed with positional scatter
+// (astrometric error), plus spurious unmatched detections. Cross-matching
+// this against the primary is the paper's "each subsequent astronomical
+// survey will want to cross-identify its objects with the SDSS catalog".
+func RadioCatalog(seed int64, optical []catalog.PhotoObj, matchFrac float64, scatterArcsec float64, spuriousFrac float64) []RadioSource {
+	rng := rand.New(rand.NewSource(subSeed(seed, "radio", 0)))
+	var out []RadioSource
+	var id uint64
+	sigma := scatterArcsec * sphere.Arcsec
+	for i := range optical {
+		o := &optical[i]
+		radioLoud := o.Class == catalog.ClassQuasar ||
+			(o.Class == catalog.ClassGalaxy && o.Mag[catalog.R] < 18)
+		if !radioLoud || rng.Float64() > matchFrac {
+			continue
+		}
+		pos := scatter(rng, o.Pos(), sigma)
+		ra, dec := sphere.ToRADec(pos)
+		out = append(out, RadioSource{
+			ID: id, RA: ra, Dec: dec,
+			X: pos.X, Y: pos.Y, Z: pos.Z,
+			FluxMJy: float32(1 + rng.ExpFloat64()*20),
+			Matched: true, TruthID: o.ObjID,
+		})
+		id++
+	}
+	// Spurious sources, uniform over the sphere region spanned by the
+	// matched sources' footprint (approximate with the full survey cap).
+	nSpurious := int(float64(len(out)) * spuriousFrac)
+	for i := 0; i < nSpurious; i++ {
+		pos := randInCap(rng, 30)
+		ra, dec := sphere.ToRADec(pos)
+		out = append(out, RadioSource{
+			ID: id, RA: ra, Dec: dec,
+			X: pos.X, Y: pos.Y, Z: pos.Z,
+			FluxMJy: float32(1 + rng.ExpFloat64()*5),
+		})
+		id++
+	}
+	return out
+}

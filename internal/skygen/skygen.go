@@ -1,0 +1,267 @@
+// Package skygen generates the synthetic sky survey that stands in for the
+// SDSS telescope data. The real photometric catalog is proprietary telescope
+// output; what the archive's data structures care about is its statistical
+// shape, which the generator reproduces:
+//
+//   - galaxies are strongly clustered on the sky (hierarchical blobs with
+//     large density contrasts — the property [Csabai97] makes subdivision
+//     hard), plus a smooth field population;
+//   - stars concentrate toward the galactic plane;
+//   - quasars are rare, uniform, point-like, with UV-excess colors;
+//   - magnitudes follow steep number counts toward the faint limit;
+//   - colors are class-correlated, so color cuts separate classes;
+//   - a fraction of galaxies carries spectroscopic redshifts.
+//
+// Everything is seeded and deterministic: the same Params always produce the
+// same catalog, bit for bit, chunk by chunk. The survey footprint is the
+// North Galactic Cap (galactic latitude above +30°), approximately the
+// 10,000 square degrees the SDSS photometric survey covers.
+package skygen
+
+import (
+	"math"
+	"math/rand"
+
+	"sdss/internal/catalog"
+	"sdss/internal/sphere"
+)
+
+// Params configures a synthetic survey. The counts are totals for the whole
+// survey; chunked generation divides them deterministically.
+type Params struct {
+	Seed      int64
+	NGalaxies int
+	NStars    int
+	NQuasars  int
+
+	// ClusterFrac is the fraction of galaxies placed in clusters; the
+	// rest are uniform "field" galaxies. Default 0.35.
+	ClusterFrac float64
+	// MeanClusterSize is the mean number of member galaxies per cluster.
+	// Default 40.
+	MeanClusterSize float64
+	// ClusterRadiusArcmin is the angular scale (Gaussian sigma) of cluster
+	// cores in arcminutes. Default 3.
+	ClusterRadiusArcmin float64
+
+	// SpectroFrac is the fraction of the brightest galaxies that receive
+	// spectra (the paper: ~1M of 100M). Default 0.01.
+	SpectroFrac float64
+
+	// FootprintLatDeg is the minimum galactic latitude of the survey cap.
+	// Default +30 (the North Galactic Cap).
+	FootprintLatDeg float64
+
+	// MagLimit is the survey's limiting r magnitude. Default 23.
+	MagLimit float64
+}
+
+// Default returns survey parameters scaled so the catalog holds about n
+// objects total, with the class mix of the paper (≈½ galaxies, ≈½ stars,
+// ~0.5% quasars).
+func Default(seed int64, n int) Params {
+	return Params{
+		Seed:                seed,
+		NGalaxies:           n / 2,
+		NStars:              n - n/2 - n/200,
+		NQuasars:            n / 200,
+		ClusterFrac:         0.35,
+		MeanClusterSize:     40,
+		ClusterRadiusArcmin: 3,
+		SpectroFrac:         0.01,
+		FootprintLatDeg:     30,
+		MagLimit:            23,
+	}
+}
+
+func (p *Params) setDefaults() {
+	if p.ClusterFrac == 0 {
+		p.ClusterFrac = 0.35
+	}
+	if p.MeanClusterSize == 0 {
+		p.MeanClusterSize = 40
+	}
+	if p.ClusterRadiusArcmin == 0 {
+		p.ClusterRadiusArcmin = 3
+	}
+	if p.SpectroFrac == 0 {
+		p.SpectroFrac = 0.01
+	}
+	if p.FootprintLatDeg == 0 {
+		p.FootprintLatDeg = 30
+	}
+	if p.MagLimit == 0 {
+		p.MagLimit = 23
+	}
+}
+
+// InFootprint reports whether a position lies inside the survey cap.
+func (p Params) InFootprint(v sphere.Vec3) bool {
+	_, b := sphere.ToLonLat(sphere.Galactic, v)
+	return b >= p.FootprintLatDeg
+}
+
+// FootprintArea returns the survey cap's solid angle in steradians.
+func (p Params) FootprintArea() float64 {
+	lat := p.FootprintLatDeg
+	if lat == 0 {
+		lat = 30
+	}
+	return 2 * math.Pi * (1 - math.Sin(sphere.Radians(lat)))
+}
+
+// randInCap draws a position uniformly within the galactic cap b ≥ latDeg
+// and returns the equatorial unit vector.
+func randInCap(rng *rand.Rand, latDeg float64) sphere.Vec3 {
+	sinLo := math.Sin(sphere.Radians(latDeg))
+	z := sinLo + rng.Float64()*(1-sinLo) // uniform in sin(b)
+	phi := 2 * math.Pi * rng.Float64()
+	r := math.Sqrt(1 - z*z)
+	galVec := sphere.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+	return sphere.FrameToEquatorial(sphere.Galactic).MulVec(galVec)
+}
+
+// scatter displaces a position by a 2-D Gaussian with the given angular
+// sigma (radians), used for cluster members and cross-catalog position
+// errors.
+func scatter(rng *rand.Rand, v sphere.Vec3, sigma float64) sphere.Vec3 {
+	// Build a local tangent basis and offset within it.
+	e1 := v.Orthogonal()
+	e2 := v.Cross(e1)
+	dx := rng.NormFloat64() * sigma
+	dy := rng.NormFloat64() * sigma
+	return v.Add(e1.Scale(dx)).Add(e2.Scale(dy)).Normalize()
+}
+
+// sampleMagnitude draws an r-band magnitude from steep number counts
+// N(<m) ∝ 10^(0.6·m), truncated to [mMin, mMax] — the Euclidean count slope
+// that makes faint objects vastly outnumber bright ones.
+func sampleMagnitude(rng *rand.Rand, mMin, mMax float64) float64 {
+	a := math.Pow(10, 0.6*mMin)
+	b := math.Pow(10, 0.6*mMax)
+	u := a + rng.Float64()*(b-a)
+	return math.Log10(u) / 0.6
+}
+
+// Class color loci: mean colors (u−g, g−r, r−i, i−z) and scatter.
+type colorLocus struct {
+	mean  [4]float64
+	sigma [4]float64
+}
+
+var (
+	galaxyLocus = colorLocus{
+		mean:  [4]float64{1.40, 0.70, 0.40, 0.30},
+		sigma: [4]float64{0.30, 0.25, 0.15, 0.15},
+	}
+	// Stars are drawn from a two-branch locus (blue + red) chosen per
+	// object in drawColors.
+	starBlueLocus = colorLocus{
+		mean:  [4]float64{1.00, 0.45, 0.15, 0.05},
+		sigma: [4]float64{0.20, 0.15, 0.08, 0.08},
+	}
+	starRedLocus = colorLocus{
+		mean:  [4]float64{2.40, 1.35, 0.55, 0.30},
+		sigma: [4]float64{0.25, 0.12, 0.10, 0.08},
+	}
+	quasarLocus = colorLocus{
+		mean:  [4]float64{0.15, 0.20, 0.15, 0.10},
+		sigma: [4]float64{0.12, 0.12, 0.10, 0.10},
+	}
+)
+
+// drawColors fills the five magnitudes from an r magnitude and the class
+// locus, plus optional reddening offset for cluster ellipticals.
+func drawColors(rng *rand.Rand, rMag float64, class catalog.Class, redden float64) [catalog.NumBands]float32 {
+	var locus colorLocus
+	switch class {
+	case catalog.ClassGalaxy:
+		locus = galaxyLocus
+	case catalog.ClassQuasar:
+		locus = quasarLocus
+	default:
+		if rng.Float64() < 0.6 {
+			locus = starBlueLocus
+		} else {
+			locus = starRedLocus
+		}
+	}
+	var c [4]float64
+	for i := range c {
+		c[i] = locus.mean[i] + rng.NormFloat64()*locus.sigma[i]
+	}
+	c[1] += redden // g−r reddening for cluster members
+	var m [catalog.NumBands]float32
+	m[catalog.R] = float32(rMag)
+	m[catalog.G] = float32(rMag + c[1])
+	m[catalog.U] = float32(rMag + c[1] + c[0])
+	m[catalog.I] = float32(rMag - c[2])
+	m[catalog.Z] = float32(rMag - c[2] - c[3])
+	return m
+}
+
+// fillCommon populates the pipeline fields shared by all classes.
+func fillCommon(rng *rand.Rand, p *catalog.PhotoObj, rMag float64, class catalog.Class) {
+	p.Class = class
+	for b := 0; b < catalog.NumBands; b++ {
+		// Fainter objects have larger errors.
+		p.MagErr[b] = float32(0.02 + 0.08*math.Exp(0.5*(rMag-22)))
+		p.Extinction[b] = float32(0.02 + 0.1*rng.Float64())
+	}
+	p.SkyBright = float32(20.5 + rng.NormFloat64()*0.3)
+	p.Airmass = float32(1.1 + rng.Float64()*0.4)
+	p.RowC = float32(rng.Float64() * 2048)
+	p.ColC = float32(rng.Float64() * 2048)
+	p.PSFWidth = float32(1.2 + rng.Float64()*0.6)
+	p.MJD = 51500 + rng.Float64()*1800
+	p.Run = uint16(100 + rng.Intn(900))
+	p.Camcol = uint8(1 + rng.Intn(6))
+	p.Field = uint16(rng.Intn(800))
+
+	// Shape by class: galaxies are extended, stars and quasars are PSFs.
+	if class == catalog.ClassGalaxy {
+		p.PetroRad = float32(math.Exp(rng.NormFloat64()*0.5) * 3.0 * math.Pow(10, 0.1*(20-rMag)))
+		p.PetroR50 = p.PetroRad * float32(0.45+rng.Float64()*0.1)
+		p.SurfBright = float32(rMag + 2.5*math.Log10(2*math.Pi*float64(p.PetroR50*p.PetroR50)))
+	} else {
+		p.PetroRad = p.PSFWidth * float32(1.0+rng.Float64()*0.1)
+		p.PetroR50 = p.PetroRad / 2
+		p.SurfBright = float32(rMag)
+	}
+
+	// Radial profiles: exponential falloff for galaxies, PSF-like core for
+	// point sources; amplitudes track total flux.
+	flux := math.Pow(10, -0.4*(rMag-22.5)) // nanomaggies-style scale
+	scale := float64(p.PetroR50)
+	if scale <= 0 {
+		scale = 1
+	}
+	for b := 0; b < catalog.NumBands; b++ {
+		bandFlux := flux * math.Pow(10, -0.4*float64(p.Mag[b]-p.Mag[catalog.R]))
+		for i := 0; i < catalog.NumProfileBins; i++ {
+			rAnnulus := 0.5 * math.Pow(1.4, float64(i)) // log-spaced radii
+			var prof float64
+			if class == catalog.ClassGalaxy {
+				prof = bandFlux * math.Exp(-rAnnulus/scale)
+			} else {
+				prof = bandFlux * math.Exp(-rAnnulus*rAnnulus/(2*scale*scale))
+			}
+			p.Prof[b][i] = float32(prof * (1 + 0.05*rng.NormFloat64()))
+			p.ProfErr[b][i] = float32(math.Abs(prof)*0.05 + 1e-3)
+		}
+	}
+
+	// Flags: rare pipeline conditions.
+	if rng.Float64() < 0.02 {
+		p.Flags |= catalog.FlagSaturated
+	}
+	if rng.Float64() < 0.08 {
+		p.Flags |= catalog.FlagBlended
+	}
+	if rng.Float64() < 0.01 {
+		p.Flags |= catalog.FlagEdge
+	}
+	if rng.Float64() < 0.03 {
+		p.Flags |= catalog.FlagInterp
+	}
+}

@@ -1,0 +1,312 @@
+package skygen
+
+import (
+	"math"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/sphere"
+)
+
+func TestDeterminism(t *testing.T) {
+	p := Default(42, 2000)
+	a, err := GenerateChunk(p, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChunk(p, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Photo) != len(b.Photo) || len(a.Spec) != len(b.Spec) {
+		t.Fatalf("lengths differ: %d/%d vs %d/%d", len(a.Photo), len(a.Spec), len(b.Photo), len(b.Spec))
+	}
+	for i := range a.Photo {
+		if a.Photo[i] != b.Photo[i] {
+			t.Fatalf("object %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestChunksPartitionIDs(t *testing.T) {
+	p := Default(7, 3000)
+	chunks, err := Generate(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[catalog.ObjID]bool)
+	total := 0
+	for _, ch := range chunks {
+		for i := range ch.Photo {
+			id := ch.Photo[i].ObjID
+			if seen[id] {
+				t.Fatalf("duplicate ObjID %d across chunks", id)
+			}
+			seen[id] = true
+		}
+		total += len(ch.Photo)
+	}
+	// Totals may deviate slightly from the request because cluster sizes
+	// are random, but must be within 25%.
+	want := p.NGalaxies + p.NStars + p.NQuasars
+	if math.Abs(float64(total-want)) > 0.25*float64(want) {
+		t.Errorf("total objects %d, requested %d", total, want)
+	}
+}
+
+func TestChunkErrors(t *testing.T) {
+	p := Default(1, 100)
+	if _, err := GenerateChunk(p, 5, 5); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+	if _, err := GenerateChunk(p, -1, 5); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	if _, err := GenerateChunk(p, 0, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	p := Default(3, 4000)
+	photo, _, err := GenerateAll(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photo) == 0 {
+		t.Fatal("no objects generated")
+	}
+	outside := 0
+	for i := range photo {
+		_, b := sphere.ToLonLat(sphere.Galactic, photo[i].Pos())
+		// Cluster members may scatter slightly below the edge.
+		if b < p.FootprintLatDeg-1 {
+			outside++
+		}
+	}
+	if frac := float64(outside) / float64(len(photo)); frac > 0.01 {
+		t.Errorf("%.1f%% of objects outside footprint", 100*frac)
+	}
+}
+
+func TestClassMixAndColors(t *testing.T) {
+	p := Default(11, 20000)
+	photo, _, err := GenerateAll(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nGal, nStar, nQSO int
+	var galGR, qsoUG, starUG float64
+	for i := range photo {
+		o := &photo[i]
+		switch o.Class {
+		case catalog.ClassGalaxy:
+			nGal++
+			galGR += o.Color(catalog.G, catalog.R)
+		case catalog.ClassStar:
+			nStar++
+			starUG += o.Color(catalog.U, catalog.G)
+		case catalog.ClassQuasar:
+			nQSO++
+			qsoUG += o.Color(catalog.U, catalog.G)
+		}
+	}
+	if nGal == 0 || nStar == 0 || nQSO == 0 {
+		t.Fatalf("missing a class: %d/%d/%d", nGal, nStar, nQSO)
+	}
+	// Quasars must be rare.
+	if frac := float64(nQSO) / float64(len(photo)); frac > 0.02 {
+		t.Errorf("quasar fraction %.3f too high", frac)
+	}
+	// Color separation: quasars show UV excess (mean u−g well below
+	// stars), galaxies are red in g−r.
+	if qsoUG/float64(nQSO) >= starUG/float64(nStar)-0.5 {
+		t.Errorf("quasar u−g %.2f not separated from stars %.2f",
+			qsoUG/float64(nQSO), starUG/float64(nStar))
+	}
+	if mean := galGR / float64(nGal); mean < 0.4 || mean > 1.1 {
+		t.Errorf("galaxy mean g−r = %.2f, outside red locus", mean)
+	}
+}
+
+func TestMagnitudeCounts(t *testing.T) {
+	// Number counts must be steep: each magnitude bin toward the faint
+	// limit holds more objects than the previous.
+	p := Default(13, 20000)
+	photo, _, err := GenerateAll(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := make([]int, 9) // r = 14..23
+	for i := range photo {
+		m := float64(photo[i].Mag[catalog.R])
+		if idx := int(m) - 14; idx >= 0 && idx < len(bins) {
+			bins[idx]++
+		}
+	}
+	for i := 3; i+1 < len(bins); i++ {
+		if bins[i+1] <= bins[i] {
+			t.Errorf("counts not increasing: bin %d=%d, bin %d=%d", i+14, bins[i], i+15, bins[i+1])
+		}
+	}
+}
+
+func TestClustering(t *testing.T) {
+	// Galaxies must be measurably more clustered than stars: count pairs
+	// within a small angle via a coarse grid and compare to a uniform
+	// expectation.
+	p := Default(17, 30000)
+	p.ClusterFrac = 0.5
+	photo, _, err := GenerateAll(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairCount := func(class catalog.Class) (pairs, n int) {
+		cell := make(map[[2]int][]sphere.Vec3)
+		const cellDeg = 0.2
+		for i := range photo {
+			if photo[i].Class != class {
+				continue
+			}
+			n++
+			key := [2]int{int(photo[i].RA / cellDeg), int((photo[i].Dec + 90) / cellDeg)}
+			cell[key] = append(cell[key], photo[i].Pos())
+		}
+		maxSep := 3 * sphere.Arcmin
+		for _, vs := range cell {
+			for i := 0; i < len(vs); i++ {
+				for j := i + 1; j < len(vs); j++ {
+					if sphere.Dist(vs[i], vs[j]) < maxSep {
+						pairs++
+					}
+				}
+			}
+		}
+		return pairs, n
+	}
+	gp, gn := pairCount(catalog.ClassGalaxy)
+	sp, sn := pairCount(catalog.ClassStar)
+	// Normalize by n² (pair counts scale quadratically).
+	gRate := float64(gp) / (float64(gn) * float64(gn))
+	sRate := (float64(sp) + 1) / (float64(sn) * float64(sn))
+	if gRate < 3*sRate {
+		t.Errorf("galaxies not clustered: pair rate %.3g vs stars %.3g (pairs %d/%d)",
+			gRate, sRate, gp, sp)
+	}
+}
+
+func TestSpectroSelection(t *testing.T) {
+	p := Default(19, 20000)
+	photo, spec, err := GenerateAll(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[catalog.ObjID]*catalog.PhotoObj, len(photo))
+	for i := range photo {
+		byID[photo[i].ObjID] = &photo[i]
+	}
+	var nGalSpec, nQSOSpec int
+	for i := range spec {
+		s := &spec[i]
+		o := byID[s.ObjID]
+		if o == nil {
+			t.Fatalf("spectrum %d has no photometric counterpart", s.ObjID)
+		}
+		if s.HTMID != o.HTMID {
+			t.Errorf("spectrum HTMID differs from photo object")
+		}
+		switch s.Class {
+		case catalog.ClassGalaxy:
+			nGalSpec++
+			if s.Redshift <= 0 || s.Redshift > 0.81 {
+				t.Errorf("galaxy redshift %v out of range", s.Redshift)
+			}
+		case catalog.ClassQuasar:
+			nQSOSpec++
+			if s.Redshift < 0.3 || s.Redshift > 5.01 {
+				t.Errorf("quasar redshift %v out of range", s.Redshift)
+			}
+		}
+		// Observed line wavelengths must be redshifted rest wavelengths.
+		for _, l := range s.Lines {
+			want := float64(l.LineID) * (1 + float64(s.Redshift))
+			if math.Abs(float64(l.Wavelength)-want) > 1 {
+				t.Errorf("line %d at %v, want %v", l.LineID, l.Wavelength, want)
+			}
+		}
+	}
+	if nGalSpec == 0 || nQSOSpec == 0 {
+		t.Fatalf("spectro selection empty: %d galaxies, %d quasars", nGalSpec, nQSOSpec)
+	}
+	// Spectro galaxies must be the bright ones.
+	cut := p.spectroMagCut()
+	for i := range spec {
+		if spec[i].Class != catalog.ClassGalaxy {
+			continue
+		}
+		if o := byID[spec[i].ObjID]; float64(o.Mag[catalog.R]) >= cut+1e-3 {
+			t.Fatalf("faint galaxy r=%v received a spectrum (cut %v)", o.Mag[catalog.R], cut)
+		}
+	}
+}
+
+func TestRadioCatalog(t *testing.T) {
+	p := Default(23, 10000)
+	photo, _, err := GenerateAll(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio := RadioCatalog(1, photo, 0.8, 1.0, 0.2)
+	if len(radio) == 0 {
+		t.Fatal("empty radio catalog")
+	}
+	byID := make(map[catalog.ObjID]*catalog.PhotoObj, len(photo))
+	for i := range photo {
+		byID[photo[i].ObjID] = &photo[i]
+	}
+	var matched, spurious int
+	for i := range radio {
+		r := &radio[i]
+		if !r.Pos().IsUnit(1e-9) {
+			t.Fatal("radio position not a unit vector")
+		}
+		if r.Matched {
+			matched++
+			o := byID[r.TruthID]
+			if o == nil {
+				t.Fatal("matched source has no truth object")
+			}
+			// Position scatter is 1 arcsec sigma: all matches within 6σ.
+			if d := sphere.Dist(r.Pos(), o.Pos()); d > 6*sphere.Arcsec {
+				t.Errorf("matched source displaced by %v arcsec", d/sphere.Arcsec)
+			}
+		} else {
+			spurious++
+		}
+	}
+	if matched == 0 || spurious == 0 {
+		t.Errorf("matched=%d spurious=%d, want both nonzero", matched, spurious)
+	}
+}
+
+func TestFootprintArea(t *testing.T) {
+	p := Default(1, 100)
+	// The b>30° cap is 2π(1−sin30°) = π steradians ≈ 10313 deg².
+	want := math.Pi
+	if got := p.FootprintArea(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("FootprintArea = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkGenerateChunk(b *testing.B) {
+	p := Default(1, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := GenerateChunk(p, i%10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ch
+	}
+}

@@ -1,0 +1,132 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+)
+
+// Angular unit conversions. The archive API speaks degrees (and arcminutes /
+// arcseconds for small separations, as astronomers do); internal geometry is
+// all radians and unit vectors.
+const (
+	// Deg is one degree in radians.
+	Deg = math.Pi / 180
+	// Arcmin is one minute of arc in radians.
+	Arcmin = Deg / 60
+	// Arcsec is one second of arc in radians.
+	Arcsec = Deg / 3600
+)
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad / Deg }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * Deg }
+
+// NormalizeRA reduces a right ascension in degrees to the range [0, 360).
+func NormalizeRA(ra float64) float64 {
+	ra = math.Mod(ra, 360)
+	if ra < 0 {
+		ra += 360
+	}
+	return ra
+}
+
+// ClampDec clamps a declination in degrees to [-90, +90]. Values outside the
+// range arise from accumulated floating-point error at the poles.
+func ClampDec(dec float64) float64 {
+	if dec > 90 {
+		return 90
+	}
+	if dec < -90 {
+		return -90
+	}
+	return dec
+}
+
+// FormatHMS renders a right ascension in degrees as sexagesimal
+// hours:minutes:seconds, e.g. "12:30:45.600".
+func FormatHMS(raDeg float64) string {
+	hours := NormalizeRA(raDeg) / 15
+	h := int(hours)
+	m := int((hours - float64(h)) * 60)
+	s := (hours-float64(h))*3600 - float64(m)*60
+	// Guard against 59.9996 rounding up to 60.000 in the print below.
+	if s >= 59.9995 {
+		s = 0
+		m++
+		if m == 60 {
+			m = 0
+			h = (h + 1) % 24
+		}
+	}
+	return fmt.Sprintf("%02d:%02d:%06.3f", h, m, s)
+}
+
+// FormatDMS renders a declination in degrees as sexagesimal
+// degrees:minutes:seconds with explicit sign, e.g. "+27:07:41.70".
+func FormatDMS(decDeg float64) string {
+	sign := "+"
+	if decDeg < 0 {
+		sign = "-"
+		decDeg = -decDeg
+	}
+	d := int(decDeg)
+	m := int((decDeg - float64(d)) * 60)
+	s := (decDeg-float64(d))*3600 - float64(m)*60
+	if s >= 59.995 {
+		s = 0
+		m++
+		if m == 60 {
+			m = 0
+			d++
+		}
+	}
+	return fmt.Sprintf("%s%02d:%02d:%05.2f", sign, d, m, s)
+}
+
+// ParseHMS parses sexagesimal hours "hh:mm:ss.sss" into degrees of right
+// ascension.
+func ParseHMS(s string) (float64, error) {
+	var h, m int
+	var sec float64
+	if _, err := fmt.Sscanf(s, "%d:%d:%f", &h, &m, &sec); err != nil {
+		return 0, fmt.Errorf("sphere: parsing %q as HMS: %w", s, err)
+	}
+	if h < 0 || h > 23 || m < 0 || m > 59 || sec < 0 || sec >= 60 {
+		return 0, fmt.Errorf("sphere: HMS %q out of range", s)
+	}
+	return (float64(h) + float64(m)/60 + sec/3600) * 15, nil
+}
+
+// ParseDMS parses sexagesimal degrees "±dd:mm:ss.ss" into degrees of
+// declination.
+func ParseDMS(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("sphere: empty DMS string")
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	var d, m int
+	var sec float64
+	if _, err := fmt.Sscanf(s, "%d:%d:%f", &d, &m, &sec); err != nil {
+		return 0, fmt.Errorf("sphere: parsing %q as DMS: %w", s, err)
+	}
+	if d < 0 || d > 90 || m < 0 || m > 59 || sec < 0 || sec >= 60 {
+		return 0, fmt.Errorf("sphere: DMS %q out of range", s)
+	}
+	deg := float64(d) + float64(m)/60 + sec/3600
+	if neg {
+		deg = -deg
+	}
+	if deg < -90 || deg > 90 {
+		return 0, fmt.Errorf("sphere: DMS %q out of range", s)
+	}
+	return deg, nil
+}

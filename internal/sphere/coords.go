@@ -1,0 +1,218 @@
+package sphere
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame identifies a celestial coordinate system. The paper stores positions
+// as Cartesian unit vectors precisely so that "combination of constraints in
+// arbitrary spherical coordinate systems become particularly simple": a
+// latitude band in any frame is a pair of half-space tests against that
+// frame's pole vector.
+type Frame int
+
+const (
+	// Equatorial is the J2000 equatorial system (right ascension,
+	// declination). It is the native frame: unit vectors returned by
+	// FromRADec are equatorial.
+	Equatorial Frame = iota
+	// Galactic is the IAU 1958 galactic system (l, b).
+	Galactic
+	// Supergalactic is the de Vaucouleurs supergalactic system (SGL, SGB).
+	Supergalactic
+	// Ecliptic is the J2000 ecliptic system (ecliptic longitude, latitude).
+	Ecliptic
+)
+
+// String returns the conventional name of the frame.
+func (f Frame) String() string {
+	switch f {
+	case Equatorial:
+		return "Equatorial"
+	case Galactic:
+		return "Galactic"
+	case Supergalactic:
+		return "Supergalactic"
+	case Ecliptic:
+		return "Ecliptic"
+	default:
+		return fmt.Sprintf("Frame(%d)", int(f))
+	}
+}
+
+// Frames lists all supported coordinate systems.
+func Frames() []Frame {
+	return []Frame{Equatorial, Galactic, Supergalactic, Ecliptic}
+}
+
+// J2000 orientation constants.
+const (
+	// Galactic frame (IAU 1958, J2000 values): equatorial position of the
+	// north galactic pole and the position angle of the galactic center.
+	ngpRA  = 192.85948 // deg, RA of north galactic pole
+	ngpDec = 27.12825  // deg, Dec of north galactic pole
+	lNCP   = 122.93192 // deg, galactic longitude of the north celestial pole
+
+	// Supergalactic frame (de Vaucouleurs), defined relative to galactic
+	// coordinates: north supergalactic pole at l=47.37°, b=+6.32°; the zero
+	// of supergalactic longitude is at galactic l=137.37°, b=0°.
+	sgpL   = 47.37  // deg, galactic longitude of north supergalactic pole
+	sgpB   = 6.32   // deg, galactic latitude of north supergalactic pole
+	sglZed = 137.37 // deg, galactic longitude of SGL=0 point
+
+	// Obliquity of the ecliptic, J2000.
+	obliquity = 23.4392911 // deg
+)
+
+// FromRADec converts equatorial right ascension and declination in degrees
+// to a unit vector in the equatorial frame.
+func FromRADec(raDeg, decDeg float64) Vec3 {
+	ra, dec := Radians(raDeg), Radians(decDeg)
+	cd := math.Cos(dec)
+	return Vec3{
+		X: cd * math.Cos(ra),
+		Y: cd * math.Sin(ra),
+		Z: math.Sin(dec),
+	}
+}
+
+// ToRADec converts an equatorial unit vector to right ascension and
+// declination in degrees, with RA normalized to [0, 360).
+func ToRADec(v Vec3) (raDeg, decDeg float64) {
+	raDeg = NormalizeRA(Degrees(math.Atan2(v.Y, v.X)))
+	// Clamp to avoid NaN from |z| marginally above 1.
+	z := v.Z
+	if z > 1 {
+		z = 1
+	} else if z < -1 {
+		z = -1
+	}
+	decDeg = Degrees(math.Asin(z))
+	return raDeg, decDeg
+}
+
+// FromLonLat converts longitude and latitude in degrees, interpreted in the
+// given frame, to a unit vector in the equatorial frame.
+func FromLonLat(f Frame, lonDeg, latDeg float64) Vec3 {
+	v := FromRADec(lonDeg, latDeg) // vector in frame f's own axes
+	return FrameToEquatorial(f).MulVec(v)
+}
+
+// ToLonLat converts an equatorial unit vector to longitude and latitude in
+// degrees in the given frame.
+func ToLonLat(f Frame, v Vec3) (lonDeg, latDeg float64) {
+	return ToRADec(EquatorialToFrame(f).MulVec(v))
+}
+
+// Pole returns the unit vector (in equatorial coordinates) of the north pole
+// of the given frame. Latitude-band constraints in frame f are half-space
+// tests against this vector: lat ≥ b ⇔ v·Pole(f) ≥ sin(b).
+func Pole(f Frame) Vec3 {
+	return FrameToEquatorial(f).MulVec(Vec3{0, 0, 1})
+}
+
+var (
+	eqToGal Matrix3
+	eqToSG  Matrix3
+	eqToEcl Matrix3
+	galToEq Matrix3
+	sgToEq  Matrix3
+	eclToEq Matrix3
+)
+
+func init() {
+	// Equatorial → Galactic: Rz(lNCP reversed) · Rx-style composition via
+	// the standard ZYZ Euler rotation: rotate RA of pole onto x-z plane,
+	// tilt pole onto +z, then spin so the NCP lands at longitude lNCP.
+	eqToGal = rotationFromPole(ngpRA, ngpDec, lNCP)
+	galToEq = eqToGal.Transpose()
+
+	// Galactic → Supergalactic uses the same construction in galactic
+	// coordinates. The longitude of the galactic north pole in
+	// supergalactic coordinates follows from the SGL zero point: the
+	// SGL=0 direction is at galactic (137.37°, 0°). Build the matrix from
+	// the pole and zero-point directly.
+	galToSG := rotationFromPoleAndZero(
+		FromRADec(sgpL, sgpB),
+		FromRADec(sglZed, 0),
+	)
+	eqToSG = galToSG.Mul(eqToGal)
+	sgToEq = eqToSG.Transpose()
+
+	// Equatorial → Ecliptic is a single rotation about the x axis
+	// (the vernal equinox direction) by the obliquity.
+	eqToEcl = RotationX(-Radians(obliquity))
+	eclToEq = eqToEcl.Transpose()
+}
+
+// rotationFromPole builds the rotation taking equatorial vectors into a
+// frame whose north pole sits at equatorial (poleRA, poleDec) and in which
+// the north celestial pole has longitude lonOfNCP. This is the classical
+// construction used for the galactic system.
+func rotationFromPole(poleRA, poleDec, lonOfNCP float64) Matrix3 {
+	// ZYZ Euler angles: first rotate about z by poleRA so the new pole
+	// lies in the x-z plane, then about y by (90° - poleDec) to bring the
+	// pole to +z, then about z to set the longitude origin.
+	r1 := RotationZ(-Radians(poleRA))
+	r2 := RotationY(-Radians(90 - poleDec))
+	// After r1·r2 the north celestial pole sits at longitude 180° in the
+	// new frame; spin about z so it lands at lonOfNCP.
+	r3 := RotationZ(Radians(lonOfNCP - 180))
+	return r3.Mul(r2).Mul(r1)
+}
+
+// rotationFromPoleAndZero builds the rotation taking vectors into a frame
+// with the given north pole and longitude-zero direction (both expressed in
+// the source frame). The zero direction need not be exactly orthogonal to
+// the pole; it is orthogonalized.
+func rotationFromPoleAndZero(pole, zero Vec3) Matrix3 {
+	zAxis := pole.Normalize()
+	// Orthogonalize the zero direction against the pole.
+	xAxis := zero.Sub(zAxis.Scale(zero.Dot(zAxis))).Normalize()
+	yAxis := zAxis.Cross(xAxis)
+	return Matrix3{
+		{xAxis.X, xAxis.Y, xAxis.Z},
+		{yAxis.X, yAxis.Y, yAxis.Z},
+		{zAxis.X, zAxis.Y, zAxis.Z},
+	}
+}
+
+// EquatorialToFrame returns the rotation matrix from equatorial axes to the
+// axes of frame f.
+func EquatorialToFrame(f Frame) Matrix3 {
+	switch f {
+	case Equatorial:
+		return Identity3()
+	case Galactic:
+		return eqToGal
+	case Supergalactic:
+		return eqToSG
+	case Ecliptic:
+		return eqToEcl
+	default:
+		panic(fmt.Sprintf("sphere: unknown frame %d", int(f)))
+	}
+}
+
+// FrameToEquatorial returns the rotation matrix from the axes of frame f to
+// equatorial axes.
+func FrameToEquatorial(f Frame) Matrix3 {
+	switch f {
+	case Equatorial:
+		return Identity3()
+	case Galactic:
+		return galToEq
+	case Supergalactic:
+		return sgToEq
+	case Ecliptic:
+		return eclToEq
+	default:
+		panic(fmt.Sprintf("sphere: unknown frame %d", int(f)))
+	}
+}
+
+// Convert transforms lon/lat in degrees from one frame to another.
+func Convert(from, to Frame, lonDeg, latDeg float64) (outLon, outLat float64) {
+	return ToLonLat(to, FromLonLat(from, lonDeg, latDeg))
+}

@@ -1,0 +1,170 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromToRADec(t *testing.T) {
+	cases := []struct{ ra, dec float64 }{
+		{0, 0}, {90, 0}, {180, 0}, {270, 0},
+		{0, 90}, {0, -90}, {123.456, -54.321}, {359.999, 89.9},
+	}
+	for _, c := range cases {
+		v := FromRADec(c.ra, c.dec)
+		if !v.IsUnit(1e-12) {
+			t.Fatalf("FromRADec(%v,%v) not unit", c.ra, c.dec)
+		}
+		ra, dec := ToRADec(v)
+		if !approx(dec, c.dec, 1e-9) {
+			t.Errorf("dec round trip: got %v want %v", dec, c.dec)
+		}
+		// RA is undefined at the poles.
+		if math.Abs(c.dec) < 89.9999 && !approx(ra, c.ra, 1e-9) {
+			t.Errorf("ra round trip: got %v want %v", ra, c.ra)
+		}
+	}
+}
+
+func TestGalacticPole(t *testing.T) {
+	// The north galactic pole must map to galactic latitude +90.
+	_, b := ToLonLat(Galactic, FromRADec(ngpRA, ngpDec))
+	if !approx(b, 90, 1e-6) {
+		t.Errorf("NGP galactic latitude = %v, want 90", b)
+	}
+	// The galactic center (l=0, b=0) is at approximately
+	// RA 266.405, Dec -28.936 (J2000, Sgr A* region).
+	v := FromLonLat(Galactic, 0, 0)
+	ra, dec := ToRADec(v)
+	if !approx(ra, 266.405, 0.01) || !approx(dec, -28.936, 0.01) {
+		t.Errorf("galactic center at (%.3f, %.3f), want (266.405, -28.936)", ra, dec)
+	}
+	// The north celestial pole has galactic longitude lNCP.
+	l, _ := ToLonLat(Galactic, Vec3{0, 0, 1})
+	if !approx(l, lNCP, 1e-6) {
+		t.Errorf("NCP galactic longitude = %v, want %v", l, lNCP)
+	}
+}
+
+func TestSupergalacticDefinition(t *testing.T) {
+	// The supergalactic pole is at galactic (47.37, +6.32).
+	sgPoleGal := FromLonLat(Galactic, sgpL, sgpB)
+	_, sgb := ToLonLat(Supergalactic, sgPoleGal)
+	if !approx(sgb, 90, 1e-6) {
+		t.Errorf("SGP supergalactic latitude = %v, want 90", sgb)
+	}
+	// The SGL origin is at galactic (137.37, 0).
+	zero := FromLonLat(Galactic, sglZed, 0)
+	sgl, sgbZ := ToLonLat(Supergalactic, zero)
+	if !approx(NormalizeRA(sgl), 0, 1e-6) && !approx(NormalizeRA(sgl), 360, 1e-6) {
+		t.Errorf("SGL of zero point = %v, want 0", sgl)
+	}
+	if !approx(sgbZ, 0, 1e-6) {
+		t.Errorf("SGB of zero point = %v, want 0", sgbZ)
+	}
+}
+
+func TestEclipticObliquity(t *testing.T) {
+	// The north ecliptic pole is at RA 270, Dec 90-obliquity.
+	ra, dec := ToRADec(Pole(Ecliptic))
+	if !approx(ra, 270, 1e-9) || !approx(dec, 90-obliquity, 1e-9) {
+		t.Errorf("ecliptic pole at (%v, %v), want (270, %v)", ra, dec, 90-obliquity)
+	}
+	// The vernal equinox (RA=0, Dec=0) has ecliptic lon/lat (0, 0).
+	lon, lat := ToLonLat(Ecliptic, FromRADec(0, 0))
+	if !approx(lon, 0, 1e-9) || !approx(lat, 0, 1e-9) {
+		t.Errorf("vernal equinox ecliptic = (%v, %v), want (0, 0)", lon, lat)
+	}
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, f := range Frames() {
+		for i := 0; i < 300; i++ {
+			ra := rng.Float64() * 360
+			dec := Degrees(math.Asin(2*rng.Float64() - 1))
+			lon, lat := Convert(Equatorial, f, ra, dec)
+			ra2, dec2 := Convert(f, Equatorial, lon, lat)
+			v1, v2 := FromRADec(ra, dec), FromRADec(ra2, dec2)
+			if d := Dist(v1, v2); d > 1e-9 {
+				t.Fatalf("%v round trip moved point by %v rad (ra=%v dec=%v)", f, d, ra, dec)
+			}
+		}
+	}
+}
+
+func TestTransformsPreserveAngles(t *testing.T) {
+	// Rotations must preserve angular distances between all point pairs.
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range Frames() {
+		m := EquatorialToFrame(f)
+		for i := 0; i < 200; i++ {
+			a := FromRADec(rng.Float64()*360, Degrees(math.Asin(2*rng.Float64()-1)))
+			b := FromRADec(rng.Float64()*360, Degrees(math.Asin(2*rng.Float64()-1)))
+			if d1, d2 := Dist(a, b), Dist(m.MulVec(a), m.MulVec(b)); !approx(d1, d2, 1e-9) {
+				t.Fatalf("%v transform changed distance: %v vs %v", f, d1, d2)
+			}
+		}
+	}
+}
+
+func TestPoleBandHalfspaceEquivalence(t *testing.T) {
+	// The paper's claim: a latitude constraint in any frame is a linear
+	// half-space test. Verify lat(v) ≥ b ⇔ v·Pole(f) ≥ sin(b).
+	rng := rand.New(rand.NewSource(11))
+	for _, f := range Frames() {
+		pole := Pole(f)
+		for i := 0; i < 500; i++ {
+			v := FromRADec(rng.Float64()*360, Degrees(math.Asin(2*rng.Float64()-1)))
+			bDeg := rng.Float64()*180 - 90
+			_, lat := ToLonLat(f, v)
+			direct := lat >= bDeg
+			halfspace := v.Dot(pole) >= math.Sin(Radians(bDeg))
+			if direct != halfspace {
+				if math.Abs(lat-bDeg) > 1e-7 {
+					t.Fatalf("%v: halfspace test disagrees at lat=%v b=%v", f, lat, bDeg)
+				}
+			}
+		}
+	}
+}
+
+func TestSexagesimal(t *testing.T) {
+	if got := FormatHMS(187.5); got != "12:30:00.000" {
+		t.Errorf("FormatHMS(187.5) = %q", got)
+	}
+	if got := FormatDMS(-12.51); got != "-12:30:36.00" {
+		t.Errorf("FormatDMS(-12.51) = %q", got)
+	}
+	ra, err := ParseHMS("12:30:00.000")
+	if err != nil || !approx(ra, 187.5, 1e-9) {
+		t.Errorf("ParseHMS = %v, %v", ra, err)
+	}
+	dec, err := ParseDMS("-12:30:36.00")
+	if err != nil || !approx(dec, -12.51, 1e-9) {
+		t.Errorf("ParseDMS = %v, %v", dec, err)
+	}
+	for _, bad := range []string{"", "25:00:00", "12:61:00", "xx", "+91:00:00"} {
+		if _, err := ParseDMS(bad); err == nil && bad != "25:00:00" {
+			t.Errorf("ParseDMS(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := ParseHMS("25:00:00"); err == nil {
+		t.Errorf("ParseHMS(25:00:00) succeeded, want error")
+	}
+	// Round trips at random coordinates.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*180 - 90
+		ra2, err := ParseHMS(FormatHMS(ra))
+		if err != nil || !approx(ra2, ra, 1e-2) {
+			t.Fatalf("HMS round trip: %v -> %v (%v)", ra, ra2, err)
+		}
+		dec2, err := ParseDMS(FormatDMS(dec))
+		if err != nil || !approx(dec2, dec, 1e-2) {
+			t.Fatalf("DMS round trip: %v -> %v (%v)", dec, dec2, err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package sphere provides the spherical geometry substrate for the SDSS
+// archive: three-dimensional unit vectors for positions on the celestial
+// sphere, angular arithmetic, rotation matrices, and transformations between
+// the celestial coordinate systems (Equatorial, Galactic, Supergalactic,
+// Ecliptic).
+//
+// Following the paper ("Indexing the Sky"), angular coordinates are stored in
+// Cartesian form: a triplet of x, y, z values per object, the unit normal
+// vector pointing at the object. Spherical constraints then become linear
+// tests on the three coordinates — a dot product against a plane normal —
+// instead of trigonometric expressions.
+package sphere
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a vector in three-dimensional space. Positions on the celestial
+// sphere are represented as unit vectors (x² + y² + z² = 1). The zero value
+// is the zero vector, which does not represent a sky position.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Dot returns the scalar product v·w.
+func (v Vec3) Dot(w Vec3) float64 {
+	return v.X*w.X + v.Y*w.Y + v.Z*w.Z
+}
+
+// Cross returns the vector product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 {
+	return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z}
+}
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 {
+	return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z}
+}
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 {
+	return Vec3{v.X * s, v.Y * s, v.Z * s}
+}
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 {
+	return Vec3{-v.X, -v.Y, -v.Z}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Normalize returns v scaled to unit length. Normalizing the zero vector
+// returns the zero vector.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// IsUnit reports whether v is a unit vector to within tolerance eps.
+func (v Vec3) IsUnit(eps float64) bool {
+	return math.Abs(v.Dot(v)-1) <= eps
+}
+
+// Angle returns the angle between v and w in radians, in [0, π].
+// It is numerically robust for nearly parallel and nearly antiparallel
+// vectors, where acos of the dot product loses precision: it uses
+// atan2(|v×w|, v·w) instead.
+func (v Vec3) Angle(w Vec3) float64 {
+	cross := v.Cross(w).Norm()
+	dot := v.Dot(w)
+	return math.Atan2(cross, dot)
+}
+
+// Midpoint returns the normalized midpoint of the great-circle arc between
+// unit vectors v and w. For antipodal points the midpoint is undefined and
+// an arbitrary perpendicular unit vector is returned.
+func (v Vec3) Midpoint(w Vec3) Vec3 {
+	m := v.Add(w)
+	if m.Norm() < 1e-12 {
+		// Antipodal: pick any vector orthogonal to v.
+		return v.Orthogonal()
+	}
+	return m.Normalize()
+}
+
+// Orthogonal returns a unit vector orthogonal to v. For the zero vector it
+// returns the x unit vector.
+func (v Vec3) Orthogonal() Vec3 {
+	// Cross v with the axis it is least aligned with.
+	ax, ay, az := math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)
+	var axis Vec3
+	switch {
+	case ax <= ay && ax <= az:
+		axis = Vec3{1, 0, 0}
+	case ay <= az:
+		axis = Vec3{0, 1, 0}
+	default:
+		axis = Vec3{0, 0, 1}
+	}
+	o := v.Cross(axis)
+	if o.Norm() == 0 {
+		return Vec3{1, 0, 0}
+	}
+	return o.Normalize()
+}
+
+// String renders v with enough precision for debugging.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.9f, %.9f, %.9f)", v.X, v.Y, v.Z)
+}
+
+// Dist returns the angular distance between two unit vectors in radians.
+// It is an alias for Angle with the conventional name used in catalogs.
+func Dist(a, b Vec3) float64 { return a.Angle(b) }
+
+// CosDist returns the cosine of the angular distance between a and b, i.e.
+// their dot product. Comparing CosDist against a precomputed cos(radius) is
+// the Cartesian fast path for cone tests that the paper advocates: three
+// multiplications and two additions per object instead of trigonometry.
+func CosDist(a, b Vec3) float64 { return a.Dot(b) }
+
+// TrigDist returns the angular distance in radians between two points given
+// as (ra, dec) in radians, computed with the haversine formula on spherical
+// coordinates. It exists as the baseline for the Cartesian-versus-
+// trigonometry experiment (E12); library code should use Dist on unit
+// vectors instead.
+func TrigDist(ra1, dec1, ra2, dec2 float64) float64 {
+	sdd := math.Sin((dec2 - dec1) / 2)
+	sdr := math.Sin((ra2 - ra1) / 2)
+	h := sdd*sdd + math.Cos(dec1)*math.Cos(dec2)*sdr*sdr
+	if h > 1 {
+		h = 1
+	}
+	return 2 * math.Asin(math.Sqrt(h))
+}
+
+// Matrix3 is a 3×3 matrix in row-major order, used for rotations between
+// celestial coordinate frames.
+type Matrix3 [3][3]float64
+
+// Identity3 returns the identity matrix.
+func Identity3() Matrix3 {
+	return Matrix3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// MulVec applies the matrix to a vector.
+func (m Matrix3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		X: m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		Y: m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		Z: m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m·n.
+func (m Matrix3) Mul(n Matrix3) Matrix3 {
+	var r Matrix3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][0]*n[0][j] + m[i][1]*n[1][j] + m[i][2]*n[2][j]
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m. For rotation matrices the transpose
+// is the inverse, which is how reverse coordinate transformations are built.
+func (m Matrix3) Transpose() Matrix3 {
+	var r Matrix3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// RotationZ returns the matrix rotating vectors by angle radians about the
+// z axis (counterclockwise looking down +z).
+func RotationZ(angle float64) Matrix3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Matrix3{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}
+}
+
+// RotationY returns the matrix rotating vectors by angle radians about the
+// y axis.
+func RotationY(angle float64) Matrix3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Matrix3{{c, 0, s}, {0, 1, 0}, {-s, 0, c}}
+}
+
+// RotationX returns the matrix rotating vectors by angle radians about the
+// x axis.
+func RotationX(angle float64) Matrix3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Matrix3{{1, 0, 0}, {0, c, -s}, {0, s, c}}
+}

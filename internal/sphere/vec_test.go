@@ -1,0 +1,164 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDotCrossIdentities(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Dot(b); !approx(got, -4+10+1.5, eps) {
+		t.Errorf("Dot = %v, want %v", got, 7.5)
+	}
+	c := a.Cross(b)
+	// Cross product is orthogonal to both operands.
+	if !approx(c.Dot(a), 0, 1e-9) || !approx(c.Dot(b), 0, 1e-9) {
+		t.Errorf("cross product not orthogonal: c·a=%v c·b=%v", c.Dot(a), c.Dot(b))
+	}
+	// Anticommutative.
+	d := b.Cross(a)
+	if !approx(c.X, -d.X, eps) || !approx(c.Y, -d.Y, eps) || !approx(c.Z, -d.Z, eps) {
+		t.Errorf("cross not anticommutative: %v vs %v", c, d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalize()
+	if !v.IsUnit(eps) {
+		t.Fatalf("Normalize did not produce unit vector: %v", v)
+	}
+	if !approx(v.X, 0.6, eps) || !approx(v.Y, 0.8, eps) {
+		t.Errorf("Normalize = %v, want (0.6, 0.8, 0)", v)
+	}
+	if z := (Vec3{}).Normalize(); z != (Vec3{}) {
+		t.Errorf("Normalize(0) = %v, want zero vector", z)
+	}
+}
+
+func TestAngleRobustness(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	cases := []struct {
+		b    Vec3
+		want float64
+	}{
+		{Vec3{1, 0, 0}, 0},
+		{Vec3{0, 1, 0}, math.Pi / 2},
+		{Vec3{-1, 0, 0}, math.Pi},
+		{Vec3{0, 0, 1}, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := a.Angle(c.b); !approx(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+	// Tiny angles: acos would lose all precision here, Angle must not.
+	tiny := 1e-8 // radians
+	b := FromRADec(Degrees(tiny), 0)
+	if got := a.Angle(b); !approx(got, tiny, tiny*1e-4) {
+		t.Errorf("tiny Angle = %g, want %g", got, tiny)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := FromRADec(0, 0)
+	b := FromRADec(90, 0)
+	m := a.Midpoint(b)
+	ra, dec := ToRADec(m)
+	if !approx(ra, 45, 1e-9) || !approx(dec, 0, 1e-9) {
+		t.Errorf("Midpoint = (%v, %v), want (45, 0)", ra, dec)
+	}
+	// Antipodal midpoint must still return a unit vector.
+	anti := a.Midpoint(a.Neg())
+	if !anti.IsUnit(1e-9) {
+		t.Errorf("antipodal Midpoint not unit: %v", anti)
+	}
+}
+
+func TestOrthogonal(t *testing.T) {
+	vs := []Vec3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {-0.3, 2, -7}}
+	for _, v := range vs {
+		o := v.Orthogonal()
+		if !o.IsUnit(1e-9) {
+			t.Errorf("Orthogonal(%v) not unit: %v", v, o)
+		}
+		if !approx(o.Dot(v.Normalize()), 0, 1e-9) {
+			t.Errorf("Orthogonal(%v) not orthogonal: dot=%v", v, o.Dot(v))
+		}
+	}
+}
+
+func TestRotationMatrices(t *testing.T) {
+	// Rz(90°) maps x onto y.
+	v := RotationZ(math.Pi / 2).MulVec(Vec3{1, 0, 0})
+	if !approx(v.X, 0, eps) || !approx(v.Y, 1, eps) {
+		t.Errorf("Rz(90°)·x = %v, want y", v)
+	}
+	// Rotations are orthogonal: R·Rᵀ = I.
+	r := RotationZ(0.3).Mul(RotationY(1.1)).Mul(RotationX(-0.7))
+	id := r.Mul(r.Transpose())
+	want := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !approx(id[i][j], want[i][j], 1e-12) {
+				t.Fatalf("R·Rᵀ ≠ I at (%d,%d): %v", i, j, id[i][j])
+			}
+		}
+	}
+}
+
+func TestCartesianConeEquivalence(t *testing.T) {
+	// The Cartesian cone test (dot ≥ cos r) must agree with the
+	// trigonometric distance for random point pairs. This is the
+	// correctness side of experiment E12.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		ra1, dec1 := rng.Float64()*360, rng.Float64()*180-90
+		ra2, dec2 := rng.Float64()*360, rng.Float64()*180-90
+		v1, v2 := FromRADec(ra1, dec1), FromRADec(ra2, dec2)
+		radius := rng.Float64() * math.Pi
+		cart := CosDist(v1, v2) >= math.Cos(radius)
+		trig := TrigDist(Radians(ra1), Radians(dec1), Radians(ra2), Radians(dec2)) <= radius
+		if cart != trig {
+			// Allow disagreement only within floating point slack of
+			// the boundary.
+			d := Dist(v1, v2)
+			if math.Abs(d-radius) > 1e-9 {
+				t.Fatalf("cone test mismatch: d=%v r=%v cart=%v trig=%v", d, radius, cart, trig)
+			}
+		}
+	}
+}
+
+func TestQuickAngleSymmetry(t *testing.T) {
+	f := func(ra1, dec1, ra2, dec2 float64) bool {
+		a := FromRADec(NormalizeRA(ra1), ClampDec(math.Mod(dec1, 90)))
+		b := FromRADec(NormalizeRA(ra2), ClampDec(math.Mod(dec2, 90)))
+		d1, d2 := a.Angle(b), b.Angle(a)
+		return approx(d1, d2, 1e-12) && d1 >= 0 && d1 <= math.Pi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randVec := func() Vec3 {
+		return FromRADec(rng.Float64()*360, Degrees(math.Asin(2*rng.Float64()-1)))
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randVec(), randVec(), randVec()
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package stats provides the small statistics and reporting toolkit used by
+// the benchmark harness: streaming moments, histograms, quantiles, byte-size
+// formatting and aligned text tables for regenerating the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance using Welford's online
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 for fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 for no observations).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for no observations).
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram counts observations in equal-width bins over [Lo, Hi).
+// Observations outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Bins        []int64
+	Under, Over int64
+	total       int64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, n)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i == len(h.Bins) { // x == Hi after float rounding
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Bins {
+		if c > h.Bins[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of a sample, interpolating
+// between order statistics. The input slice is sorted in place.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(xs)
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(xs) {
+		return xs[i]
+	}
+	return xs[i]*(1-frac) + xs[i+1]*frac
+}
+
+// ByteSize formats a byte count in the units the paper's Table 1 uses.
+func ByteSize(n float64) string {
+	switch {
+	case n >= 1e12:
+		return fmt.Sprintf("%.1f TB", n/1e12)
+	case n >= 1e9:
+		return fmt.Sprintf("%.1f GB", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1f MB", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1f KB", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", n)
+	}
+}
+
+// Count formats an item count in scientific shorthand (10^k multiples), the
+// style of the paper's Table 1 ("3x10^8").
+func Count(n float64) string {
+	if n <= 0 {
+		return "0"
+	}
+	exp := math.Floor(math.Log10(n))
+	mant := n / math.Pow(10, exp)
+	if math.Abs(mant-1) < 0.05 {
+		return fmt.Sprintf("10^%.0f", exp)
+	}
+	return fmt.Sprintf("%.0fx10^%.0f", mant, exp)
+}
+
+// Table accumulates rows and renders an aligned text table, the output
+// format of the skybench harness.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

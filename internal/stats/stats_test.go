@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Error("zero value not empty")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Errorf("mean = %v, n = %d", w.Mean(), w.N())
+	}
+	// Sample variance of the set is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", w.Var(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	// Against a direct two-pass computation on random data.
+	rng := rand.New(rand.NewSource(1))
+	var w2 Welford
+	var sum float64
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.NormFloat64()*3 + 7
+		w2.Add(data[i])
+		sum += data[i]
+	}
+	mean := sum / float64(len(data))
+	var ss float64
+	for _, x := range data {
+		ss += (x - mean) * (x - mean)
+	}
+	if math.Abs(w2.Mean()-mean) > 1e-9 {
+		t.Errorf("streaming mean drifted: %v vs %v", w2.Mean(), mean)
+	}
+	if math.Abs(w2.Var()-ss/float64(len(data)-1)) > 1e-6 {
+		t.Errorf("streaming var drifted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10) // 0.0 .. 9.9
+	}
+	h.Add(-1)
+	h.Add(10) // exactly Hi counts as overflow
+	h.Add(100)
+	if h.Total() != 103 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	for i, c := range h.Bins {
+		if c != 10 {
+			t.Errorf("bin %d = %d, want 10", i, c)
+		}
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	h.Add(3.3)
+	if got := h.Mode(); got != 3.5 {
+		t.Errorf("Mode = %v, want 3.5", got)
+	}
+	// Degenerate bin count.
+	h0 := NewHistogram(0, 1, 0)
+	h0.Add(0.5)
+	if len(h0.Bins) != 1 || h0.Bins[0] != 1 {
+		t.Error("single-bin fallback broken")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q.25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.75); got != 7.5 {
+		t.Errorf("interp = %v", got)
+	}
+}
+
+func TestByteSizeAndCount(t *testing.T) {
+	cases := map[float64]string{
+		512:    "512 B",
+		2048:   "2.0 KB",
+		3.5e6:  "3.5 MB",
+		4.2e9:  "4.2 GB",
+		1.5e12: "1.5 TB",
+	}
+	for in, want := range cases {
+		if got := ByteSize(in); got != want {
+			t.Errorf("ByteSize(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := Count(3e8); got != "3x10^8" {
+		t.Errorf("Count(3e8) = %q", got)
+	}
+	if got := Count(1e6); got != "10^6" {
+		t.Errorf("Count(1e6) = %q", got)
+	}
+	if got := Count(0); got != "0" {
+		t.Errorf("Count(0) = %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := NewTable("Name", "Value")
+	tbl.AddRow("alpha", 42)
+	tbl.AddRow("a-much-longer-name", 3.14159)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Errorf("float row formatting: %q", lines[3])
+	}
+	// Columns align: the separator must be at least as wide as the
+	// longest cell.
+	if len(lines[1]) < len("a-much-longer-name") {
+		t.Error("separator narrower than content")
+	}
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sdss/internal/htm"
+	"strings"
+)
+
+// Container file layout: a fixed header followed by count*RecordSize bytes
+// of records. The header carries enough redundancy to detect truncation and
+// schema mismatches on reload.
+const (
+	fileMagic   = "SDSSCONT"
+	fileVersion = 1
+	headerSize  = 8 + 4 + 8 + 4 + 4 // magic, version, trixel, recSize, count
+)
+
+func containerFileName(id uint64) string {
+	return fmt.Sprintf("c%016x.dat", id)
+}
+
+// Flush writes every dirty container to the store directory. Memory-only
+// stores flush to nowhere successfully.
+func (s *Store) Flush() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.containers {
+		if !c.dirty {
+			continue
+		}
+		if err := s.writeContainer(id, c); err != nil {
+			return err
+		}
+		c.dirty = false
+	}
+	return nil
+}
+
+func (s *Store) writeContainer(id htm.ID, c *Container) error {
+	path := filepath.Join(s.opts.Dir, containerFileName(uint64(id)))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var hdr [headerSize]byte
+	copy(hdr[:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(id))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(s.opts.RecordSize))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(c.count))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := w.Write(c.data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Atomic replace so a crash mid-write never corrupts a container.
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadDir reads all container files from the store directory.
+func (s *Store) loadDir() error {
+	entries, err := os.ReadDir(s.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.opts.Dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".dat") {
+			continue
+		}
+		if err := s.loadContainer(filepath.Join(s.opts.Dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) loadContainer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("store: %s: truncated header: %w", path, err)
+	}
+	if string(hdr[:8]) != fileMagic {
+		return fmt.Errorf("store: %s: bad magic %q", path, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != fileVersion {
+		return fmt.Errorf("store: %s: unsupported version %d", path, v)
+	}
+	id := htm.ID(binary.LittleEndian.Uint64(hdr[12:]))
+	recSize := int(binary.LittleEndian.Uint32(hdr[20:]))
+	count := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if recSize != s.opts.RecordSize {
+		return fmt.Errorf("store: %s: record size %d, store expects %d", path, recSize, s.opts.RecordSize)
+	}
+	if id.Depth() != s.opts.ContainerDepth {
+		return fmt.Errorf("store: %s: container depth %d, store expects %d", path, id.Depth(), s.opts.ContainerDepth)
+	}
+	data := make([]byte, count*recSize)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return fmt.Errorf("store: %s: truncated data (%d records claimed): %w", path, count, err)
+	}
+	c := &Container{ID: id, data: data, count: count, sorted: false}
+	s.containers[id] = c
+	s.orderOK = false
+	s.records += int64(count)
+	return nil
+}

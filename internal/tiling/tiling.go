@@ -1,0 +1,241 @@
+// Package tiling implements the spectroscopic survey's tile placement: "The
+// spectroscopic observations will be done in overlapping 3° circular
+// 'tiles'. The tile centers are determined by an optimization algorithm,
+// which maximizes overlaps at areas of highest target density."
+//
+// Each tile is one plug plate feeding the two multi-fiber spectrographs —
+// 640 optical fibers, each 3 arcsec in diameter, with a mechanical lower
+// bound on fiber separation. The optimizer places tiles greedily on the
+// current densest concentration of unassigned targets and allocates fibers
+// inside each tile subject to the collision constraint; clustered regions
+// naturally accumulate overlapping tiles, which is exactly the behaviour
+// the paper's algorithm maximizes.
+package tiling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdss/internal/htm"
+	"sdss/internal/sphere"
+)
+
+// Survey hardware constants.
+const (
+	// TileRadius is half the 3-degree tile diameter, in radians.
+	TileRadius = 1.5 * sphere.Deg
+	// FibersPerTile is the spectrograph capacity: 640 optical fibers.
+	FibersPerTile = 640
+	// FiberCollision is the minimum angular separation between two fibers
+	// on the same plate (plug holes cannot overlap), 55 arcsec.
+	FiberCollision = 55 * sphere.Arcsec
+)
+
+// Target is one spectroscopic target.
+type Target struct {
+	ID  uint64
+	Pos sphere.Vec3
+}
+
+// Tile is one placed plug plate.
+type Tile struct {
+	Center   sphere.Vec3
+	Assigned []uint64 // target IDs allocated fibers on this tile
+}
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxTiles caps the number of tiles (0 = until coverage stalls).
+	MaxTiles int
+	// DensityDepth is the HTM depth of the density map guiding placement
+	// (default 4: ~4.5° cells, comparable to the tile size).
+	DensityDepth int
+	// MinYield stops placing tiles when the best tile would assign fewer
+	// than this many targets (default 1).
+	MinYield int
+}
+
+func (o Options) densityDepth() int {
+	if o.DensityDepth > 0 {
+		return o.DensityDepth
+	}
+	return 4
+}
+
+func (o Options) minYield() int {
+	if o.MinYield > 0 {
+		return o.MinYield
+	}
+	return 1
+}
+
+// Result is the tiling solution plus its quality metrics.
+type Result struct {
+	Tiles     []Tile
+	Assigned  int     // targets that received fibers
+	Total     int     // input targets
+	MeanUtil  float64 // mean fibers used / FibersPerTile
+	Overlaps  int     // tile pairs closer than one tile diameter
+	Collided  int     // targets skipped due to fiber collisions
+	Unreached int     // targets outside every placed tile
+}
+
+// Coverage returns the fraction of targets assigned fibers.
+func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Assigned) / float64(r.Total)
+}
+
+// Plan places tiles over the targets. The algorithm is the greedy
+// maximum-yield heuristic: repeatedly build a density map of unassigned
+// targets on a coarse HTM grid, center a candidate tile on the densest
+// cell's local centroid, allocate fibers (brightest-first ordering is the
+// caller's job; here input order breaks ties), and repeat.
+func Plan(targets []Target, opts Options) (*Result, error) {
+	for i := range targets {
+		if !targets[i].Pos.IsUnit(1e-6) {
+			return nil, fmt.Errorf("tiling: target %d position is not a unit vector", targets[i].ID)
+		}
+	}
+	res := &Result{Total: len(targets)}
+	assigned := make([]bool, len(targets))
+	remaining := len(targets)
+	depth := opts.densityDepth()
+
+	for remaining > 0 {
+		if opts.MaxTiles > 0 && len(res.Tiles) >= opts.MaxTiles {
+			break
+		}
+		// Density map of unassigned targets.
+		density := make(map[htm.ID][]int)
+		for i := range targets {
+			if assigned[i] {
+				continue
+			}
+			id, err := htm.Lookup(targets[i].Pos, depth)
+			if err != nil {
+				return nil, err
+			}
+			density[id] = append(density[id], i)
+		}
+		// Densest cell; ties broken by trixel ID for determinism.
+		var bestCell htm.ID
+		bestCount := -1
+		for id, members := range density {
+			if len(members) > bestCount || (len(members) == bestCount && id < bestCell) {
+				bestCell, bestCount = id, len(members)
+			}
+		}
+		if bestCount <= 0 {
+			break
+		}
+		// Center the tile on the centroid of the cell's unassigned
+		// targets — the local density peak.
+		var centroid sphere.Vec3
+		for _, i := range density[bestCell] {
+			centroid = centroid.Add(targets[i].Pos)
+		}
+		center := centroid.Normalize()
+
+		tile, collided := placeTile(targets, assigned, center)
+		if len(tile.Assigned) == 0 {
+			// Sparse cell: the centroid fell between targets spread wider
+			// than a tile. Center on the cell's first unassigned target
+			// instead, which guarantees progress.
+			tile, collided = placeTile(targets, assigned, targets[density[bestCell][0]].Pos)
+		}
+		if len(tile.Assigned) < opts.minYield() {
+			break
+		}
+		res.Collided += collided
+		remaining -= len(tile.Assigned)
+		res.Assigned += len(tile.Assigned)
+		res.Tiles = append(res.Tiles, tile)
+	}
+
+	// Quality metrics.
+	var utilSum float64
+	for _, t := range res.Tiles {
+		utilSum += float64(len(t.Assigned)) / FibersPerTile
+	}
+	if len(res.Tiles) > 0 {
+		res.MeanUtil = utilSum / float64(len(res.Tiles))
+	}
+	for i := 0; i < len(res.Tiles); i++ {
+		for j := i + 1; j < len(res.Tiles); j++ {
+			if sphere.Dist(res.Tiles[i].Center, res.Tiles[j].Center) < 2*TileRadius {
+				res.Overlaps++
+			}
+		}
+	}
+	cosR := math.Cos(TileRadius)
+	for i := range targets {
+		if assigned[i] {
+			continue
+		}
+		reached := false
+		for _, t := range res.Tiles {
+			if sphere.CosDist(targets[i].Pos, t.Center) >= cosR {
+				reached = true
+				break
+			}
+		}
+		if !reached {
+			res.Unreached++
+		}
+	}
+	return res, nil
+}
+
+// placeTile allocates fibers on one tile centered at center: unassigned
+// targets within TileRadius, nearest-to-center first, capped at
+// FibersPerTile, skipping targets within FiberCollision of an already
+// plugged fiber. It returns the tile and the number of collision skips.
+func placeTile(targets []Target, assigned []bool, center sphere.Vec3) (Tile, int) {
+	cosR := math.Cos(TileRadius)
+	type cand struct {
+		idx int
+		cos float64
+	}
+	var cands []cand
+	for i := range targets {
+		if assigned[i] {
+			continue
+		}
+		if c := sphere.CosDist(targets[i].Pos, center); c >= cosR {
+			cands = append(cands, cand{idx: i, cos: c})
+		}
+	}
+	// Nearest to the plate center first (lowest airmass gradient), stable
+	// on input order.
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].cos > cands[b].cos })
+
+	tile := Tile{Center: center}
+	cosCollide := math.Cos(FiberCollision)
+	var plugged []sphere.Vec3
+	collisions := 0
+	for _, c := range cands {
+		if len(tile.Assigned) >= FibersPerTile {
+			break
+		}
+		p := targets[c.idx].Pos
+		ok := true
+		for _, q := range plugged {
+			if sphere.CosDist(p, q) > cosCollide {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			collisions++
+			continue
+		}
+		plugged = append(plugged, p)
+		assigned[c.idx] = true
+		tile.Assigned = append(tile.Assigned, targets[c.idx].ID)
+	}
+	return tile, collisions
+}

@@ -1,0 +1,236 @@
+package tiling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/skygen"
+	"sdss/internal/sphere"
+)
+
+func randCapTargets(rng *rand.Rand, n int, centerRA, centerDec, radiusDeg float64) []Target {
+	out := make([]Target, 0, n)
+	c := sphere.FromRADec(centerRA, centerDec)
+	e1 := c.Orthogonal()
+	e2 := c.Cross(e1)
+	for i := 0; i < n; i++ {
+		// Uniform in a small cap via rejection on the tangent plane.
+		r := radiusDeg * sphere.Deg * math.Sqrt(rng.Float64())
+		phi := 2 * math.Pi * rng.Float64()
+		p := c.Add(e1.Scale(r * math.Cos(phi))).Add(e2.Scale(r * math.Sin(phi))).Normalize()
+		out = append(out, Target{ID: uint64(i), Pos: p})
+	}
+	return out
+}
+
+func TestPlanSingleTileField(t *testing.T) {
+	// A compact field (0.5° radius, well inside one tile) under the fiber
+	// budget: the first plate takes nearly everything; any follow-up
+	// plates exist only to resolve fiber collisions (close pairs that
+	// cannot be plugged on the same plate), so total coverage is 100%.
+	rng := rand.New(rand.NewSource(1))
+	targets := randCapTargets(rng, 300, 180, 30, 0.5)
+	res, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiles) < 1 || len(res.Tiles) > 3 {
+		t.Fatalf("placed %d tiles, want 1-3 (first plate + collision mop-up)", len(res.Tiles))
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("coverage %.3f, want 1.0", res.Coverage())
+	}
+	if frac := float64(len(res.Tiles[0].Assigned)) / float64(len(targets)); frac < 0.85 {
+		t.Errorf("first plate took %.2f of targets, want ≥ 0.85", frac)
+	}
+	// All assigned targets must lie within their tile's radius.
+	byID := make(map[uint64]sphere.Vec3)
+	for _, tg := range targets {
+		byID[tg.ID] = tg.Pos
+	}
+	for _, tile := range res.Tiles {
+		for _, id := range tile.Assigned {
+			if sphere.Dist(byID[id], tile.Center) > TileRadius+1e-9 {
+				t.Fatal("assigned target outside tile")
+			}
+		}
+	}
+}
+
+func TestFiberBudgetForcesOverlap(t *testing.T) {
+	// 1500 targets in one field exceed the 640-fiber budget: the
+	// optimizer must stack overlapping tiles on the same area.
+	rng := rand.New(rand.NewSource(2))
+	targets := randCapTargets(rng, 1500, 100, 45, 1.0)
+	res, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiles) < 3 {
+		t.Fatalf("placed %d tiles for 1500 targets, want ≥ 3", len(res.Tiles))
+	}
+	if res.Overlaps == 0 {
+		t.Error("no overlapping tiles over a dense field")
+	}
+	if res.Coverage() < 0.9 {
+		t.Errorf("coverage %.2f", res.Coverage())
+	}
+	// No target assigned twice.
+	seen := make(map[uint64]bool)
+	for _, tile := range res.Tiles {
+		for _, id := range tile.Assigned {
+			if seen[id] {
+				t.Fatalf("target %d assigned on two tiles", id)
+			}
+			seen[id] = true
+		}
+		if len(tile.Assigned) > FibersPerTile {
+			t.Fatalf("tile exceeds fiber budget: %d", len(tile.Assigned))
+		}
+	}
+}
+
+func TestOverlapsConcentrateAtDensity(t *testing.T) {
+	// Two fields: a dense one (1400 targets) and a sparse one (200),
+	// far apart. The dense field must receive more tiles.
+	rng := rand.New(rand.NewSource(3))
+	targets := randCapTargets(rng, 1400, 150, 30, 1.0)
+	sparse := randCapTargets(rng, 200, 260, 15, 1.0)
+	for i := range sparse {
+		sparse[i].ID += 10000
+	}
+	targets = append(targets, sparse...)
+	res, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseCenter := sphere.FromRADec(150, 30)
+	var denseTiles, sparseTiles int
+	for _, tile := range res.Tiles {
+		if sphere.Dist(tile.Center, denseCenter) < 10*sphere.Deg {
+			denseTiles++
+		} else {
+			sparseTiles++
+		}
+	}
+	if denseTiles <= sparseTiles {
+		t.Errorf("dense field got %d tiles, sparse got %d — density not maximized", denseTiles, sparseTiles)
+	}
+}
+
+func TestFiberCollisionConstraint(t *testing.T) {
+	// Targets packed closer than the collision limit cannot all be
+	// plugged on one plate.
+	var targets []Target
+	base := sphere.FromRADec(200, 20)
+	e1 := base.Orthogonal()
+	for i := 0; i < 10; i++ {
+		p := base.Add(e1.Scale(float64(i) * 10 * sphere.Arcsec)).Normalize()
+		targets = append(targets, Target{ID: uint64(i), Pos: p})
+	}
+	res, err := Plan(targets, Options{MaxTiles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiles) != 1 {
+		t.Fatalf("tiles = %d", len(res.Tiles))
+	}
+	// 10 targets spaced 10 arcsec apart with a 55 arcsec limit: at most
+	// ⌈90/55⌉+1 = 2-3 fit.
+	if got := len(res.Tiles[0].Assigned); got > 3 {
+		t.Errorf("plate plugged %d colliding fibers", got)
+	}
+	if res.Collided == 0 {
+		t.Error("no collisions recorded for packed targets")
+	}
+	// Verify pairwise separations on the plate.
+	byID := make(map[uint64]sphere.Vec3)
+	for _, tg := range targets {
+		byID[tg.ID] = tg.Pos
+	}
+	a := res.Tiles[0].Assigned
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			if sphere.Dist(byID[a[i]], byID[a[j]]) < FiberCollision-1e-9 {
+				t.Fatal("two plugged fibers collide")
+			}
+		}
+	}
+}
+
+func TestMaxTilesAndValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	targets := randCapTargets(rng, 2000, 120, 40, 1.0)
+	res, err := Plan(targets, Options{MaxTiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiles) != 2 {
+		t.Errorf("MaxTiles ignored: %d tiles", len(res.Tiles))
+	}
+	if res.Assigned > 2*FibersPerTile {
+		t.Errorf("assigned %d with 2 tiles", res.Assigned)
+	}
+	if _, err := Plan([]Target{{ID: 1, Pos: sphere.Vec3{X: 2}}}, Options{}); err == nil {
+		t.Error("non-unit target accepted")
+	}
+	// Empty input.
+	empty, err := Plan(nil, Options{})
+	if err != nil || len(empty.Tiles) != 0 || empty.Coverage() != 1 {
+		t.Errorf("empty plan: %+v, %v", empty, err)
+	}
+}
+
+func TestPlanOnSyntheticSpectroSample(t *testing.T) {
+	// End to end on the survey generator's spectroscopic selection.
+	photo, spec, err := skygen.GenerateAll(skygen.Default(5, 30000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[catalog.ObjID]*catalog.PhotoObj)
+	for i := range photo {
+		byID[photo[i].ObjID] = &photo[i]
+	}
+	var targets []Target
+	for i := range spec {
+		if o := byID[spec[i].ObjID]; o != nil {
+			targets = append(targets, Target{ID: uint64(spec[i].ObjID), Pos: o.Pos()})
+		}
+	}
+	if len(targets) == 0 {
+		t.Skip("no spectro targets at this scale")
+	}
+	res, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.9 {
+		t.Errorf("spectro tiling coverage %.2f (%d tiles for %d targets)",
+			res.Coverage(), len(res.Tiles), len(targets))
+	}
+	t.Logf("tiling: %d targets, %d tiles, coverage %.1f%%, mean utilization %.1f%%, %d overlapping pairs",
+		len(targets), len(res.Tiles), 100*res.Coverage(), 100*res.MeanUtil, res.Overlaps)
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	targets := randCapTargets(rng, 800, 90, 50, 1.5)
+	a, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tiles) != len(b.Tiles) || a.Assigned != b.Assigned {
+		t.Fatal("tiling not deterministic")
+	}
+	for i := range a.Tiles {
+		if a.Tiles[i].Center != b.Tiles[i].Center {
+			t.Fatal("tile centers differ between runs")
+		}
+	}
+}
