@@ -43,11 +43,21 @@ func main() {
 	}
 	fmt.Printf("cone search 30' around (%.3f, %.3f): %d objects\n", center.RA, center.Dec, len(tags))
 
-	// A color-cut query on the tag partition, streamed.
-	rows, err := a.Query(ctx, "SELECT objid, ra, dec, r FROM tag WHERE r < 19 AND u - g < 0.5 ORDER BY r LIMIT 5")
+	// A color-cut query on the tag partition through the typed surface:
+	// the result stream carries the projection's column schema.
+	rows, err := a.QueryRows(ctx,
+		"SELECT objid, ra, dec, r FROM tag WHERE r < 19 AND u - g < 0.5 ORDER BY r",
+		core.QueryOptions{Limit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for i, c := range rows.Columns() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %s", c.Name, c.Type)
+	}
+	fmt.Println()
 	res, err := rows.Collect()
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module sdss
+
+go 1.24

@@ -1,16 +1,8 @@
 package archive
 
 import (
-	"context"
-	"encoding/json"
-	"net/http/httptest"
-	"strings"
 	"testing"
 	"time"
-
-	"sdss/internal/load"
-	"sdss/internal/qe"
-	"sdss/internal/skygen"
 )
 
 func epoch() time.Time {
@@ -92,158 +84,5 @@ func TestTierOrderingInvariant(t *testing.T) {
 				t.Fatalf("chunk %d reached %v before %v", c.ID, tier, tier-1)
 			}
 		}
-	}
-}
-
-func buildEngine(t *testing.T) *qe.Engine {
-	t.Helper()
-	photo, spec, err := skygen.GenerateAll(skygen.Default(1, 3000), 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tgt, err := load.NewTarget("", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo, Spec: spec}); err != nil {
-		t.Fatal(err)
-	}
-	return &qe.Engine{Photo: tgt.Photo, Tag: tgt.Tag, Spec: tgt.Spec}
-}
-
-func TestWWWStatusAndQuery(t *testing.T) {
-	www := NewWWW(buildEngine(t))
-	srv := httptest.NewServer(www.Handler())
-	defer srv.Close()
-
-	// Status.
-	resp, err := srv.Client().Get(srv.URL + "/status")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if st["photo_records"].(float64) == 0 {
-		t.Error("status reports empty archive")
-	}
-
-	// Query endpoint streams JSON lines.
-	resp, err = srv.Client().Get(srv.URL + "/query?q=" + strings.ReplaceAll(
-		"SELECT objid, r FROM tag WHERE r < 20", " ", "%20"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	dec := json.NewDecoder(resp.Body)
-	rowsSeen := 0
-	for dec.More() {
-		var row map[string]any
-		if err := dec.Decode(&row); err != nil {
-			t.Fatal(err)
-		}
-		if _, ok := row["error"]; ok {
-			t.Fatalf("query returned error row: %v", row)
-		}
-		rowsSeen++
-	}
-	resp.Body.Close()
-	if rowsSeen == 0 {
-		t.Error("query returned no rows")
-	}
-
-	// Bad query is a 400.
-	resp, err = srv.Client().Get(srv.URL + "/query?q=SELECT%20bogus%20FROM%20tag")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Errorf("bad query status = %d, want 400", resp.StatusCode)
-	}
-	resp, err = srv.Client().Get(srv.URL + "/query")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Errorf("missing q status = %d, want 400", resp.StatusCode)
-	}
-}
-
-func TestWWWConeSearch(t *testing.T) {
-	engine := buildEngine(t)
-	www := NewWWW(engine)
-	srv := httptest.NewServer(www.Handler())
-	defer srv.Close()
-
-	// Find one real object to center on.
-	rows, err := engine.ExecuteString(context.Background(), "SELECT ra, dec FROM tag LIMIT 1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := rows.Collect()
-	if err != nil || len(res) == 0 {
-		t.Fatalf("seed query failed: %v", err)
-	}
-	ra, dec := res[0].Values[0], res[0].Values[1]
-
-	url := srv.URL + "/cone?ra=" + jsonNum(ra) + "&dec=" + jsonNum(dec) + "&radius=30"
-	resp, err := srv.Client().Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	dec2 := json.NewDecoder(resp.Body)
-	n := 0
-	for dec2.More() {
-		var row map[string]any
-		if err := dec2.Decode(&row); err != nil {
-			t.Fatal(err)
-		}
-		n++
-	}
-	if n == 0 {
-		t.Error("cone search around a real object returned nothing")
-	}
-
-	// Malformed parameters.
-	resp, err = srv.Client().Get(srv.URL + "/cone?ra=abc&dec=1&radius=2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Errorf("bad cone params status = %d", resp.StatusCode)
-	}
-}
-
-func jsonNum(v float64) string {
-	b, _ := json.Marshal(v)
-	return string(b)
-}
-
-func TestWWWRowCap(t *testing.T) {
-	www := NewWWW(buildEngine(t))
-	www.MaxRows = 7
-	srv := httptest.NewServer(www.Handler())
-	defer srv.Close()
-	resp, err := srv.Client().Get(srv.URL + "/query?q=SELECT%20objid%20FROM%20tag")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
-	n := 0
-	for dec.More() {
-		var row map[string]any
-		if err := dec.Decode(&row); err != nil {
-			t.Fatal(err)
-		}
-		n++
-	}
-	if n != 7 {
-		t.Errorf("row cap delivered %d rows, want 7", n)
 	}
 }

@@ -1,0 +1,349 @@
+package archive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdss/internal/qe"
+	"sdss/internal/query"
+)
+
+// JobState is the lifecycle phase of an asynchronous query job.
+type JobState string
+
+// The job lifecycle: queued → running → done | failed | canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether the job has finished (success or not).
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobConfig bounds the batch tier: how many mining queries run at once, how
+// many may wait, and how long finished results stay fetchable. Zero fields
+// take the defaults.
+type JobConfig struct {
+	// MaxConcurrent is the number of jobs executing at once (default 2) —
+	// the batch half of SkyServer's interactive-vs-batch split.
+	MaxConcurrent int
+	// MaxQueued caps the admission queue (default 32); past it, Submit
+	// refuses with ErrQueueFull.
+	MaxQueued int
+	// MaxRows caps each job's materialized result (default 1e6 rows).
+	MaxRows int
+	// Timeout aborts a single job's execution (default 10 minutes).
+	Timeout time.Duration
+	// TTL is how long a terminal job stays fetchable (default 15 minutes);
+	// expired jobs vanish from Get/List/Rows.
+	TTL time.Duration
+}
+
+func (c JobConfig) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return 2
+}
+
+func (c JobConfig) maxQueued() int {
+	if c.MaxQueued > 0 {
+		return c.MaxQueued
+	}
+	return 32
+}
+
+func (c JobConfig) maxRows() int {
+	if c.MaxRows > 0 {
+		return c.MaxRows
+	}
+	return 1_000_000
+}
+
+func (c JobConfig) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Minute
+}
+
+func (c JobConfig) ttl() time.Duration {
+	if c.TTL > 0 {
+		return c.TTL
+	}
+	return 15 * time.Minute
+}
+
+// ErrQueueFull is returned by Submit when the batch queue is at capacity.
+var ErrQueueFull = errors.New("archive: job queue full, retry later")
+
+// job is the manager's record of one asynchronous query. All fields are
+// guarded by the manager's mutex.
+type job struct {
+	id       string
+	src      string
+	prep     *query.Prepared
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	cols     []query.Column
+	results  []qe.Result
+	trunc    bool
+	cancel   context.CancelFunc
+}
+
+// JobStatus is the public snapshot of a job, as served by the REST tier.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	Query    string     `json:"query"`
+	State    JobState   `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	RowCount int        `json:"row_count"`
+	// Truncated reports the job's row cap cut the result short.
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobManager runs query jobs asynchronously with admission control: at most
+// MaxConcurrent execute while the rest wait in a bounded FIFO queue, and
+// finished results expire after a TTL. It models the batch path the
+// SkyServer papers pair with bounded interactive queries.
+type JobManager struct {
+	engine *qe.Engine
+	cfg    JobConfig
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	queue   []*job
+	running int
+	seq     int
+	// now is the clock; tests may override it.
+	now func() time.Time
+}
+
+// NewJobManager builds a job manager over an engine.
+func NewJobManager(engine *qe.Engine, cfg JobConfig) *JobManager {
+	return &JobManager{
+		engine: engine,
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		now:    time.Now,
+	}
+}
+
+// Submit compiles and enqueues a query, returning its initial status.
+// Compile errors surface here, before the job exists; admission overflow
+// returns ErrQueueFull.
+func (m *JobManager) Submit(src string) (JobStatus, error) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	if m.running >= m.cfg.maxConcurrent() && len(m.queue) >= m.cfg.maxQueued() {
+		return JobStatus{}, ErrQueueFull
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", m.seq),
+		src:     src,
+		prep:    prep,
+		state:   JobQueued,
+		created: m.now(),
+		cols:    prep.Columns(),
+	}
+	m.jobs[j.id] = j
+	if m.running < m.cfg.maxConcurrent() {
+		m.startLocked(j)
+	} else {
+		m.queue = append(m.queue, j)
+	}
+	return m.statusLocked(j), nil
+}
+
+// startLocked moves a job to running and launches its executor.
+func (m *JobManager) startLocked(j *job) {
+	m.running++
+	j.state = JobRunning
+	j.started = m.now()
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	go m.run(ctx, j)
+}
+
+// run executes one job to completion and then admits the next queued job.
+func (m *JobManager) run(ctx context.Context, j *job) {
+	rows, err := m.engine.ExecuteOpts(ctx, j.prep, qe.ExecOptions{
+		Limit:   m.cfg.maxRows(),
+		Timeout: m.cfg.timeout(),
+	})
+	var results []qe.Result
+	var trunc bool
+	if err == nil {
+		results, err = rows.Collect()
+		trunc = rows.Truncated()
+	}
+	canceled := ctx.Err() == context.Canceled
+
+	m.mu.Lock()
+	j.finished = m.now()
+	switch {
+	case canceled:
+		j.state = JobCanceled
+	case err != nil:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	default:
+		j.state = JobDone
+		j.results = results
+		j.trunc = trunc
+	}
+	m.running--
+	if len(m.queue) > 0 && m.running < m.cfg.maxConcurrent() {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		m.startLocked(next)
+	}
+	m.mu.Unlock()
+}
+
+// Cancel aborts a queued or running job. It reports false for unknown (or
+// expired) jobs; canceling a terminal job is a no-op.
+func (m *JobManager) Cancel(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	switch j.state {
+	case JobQueued:
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = JobCanceled
+		j.finished = m.now()
+	case JobRunning:
+		j.cancel() // run() records the terminal state
+	}
+	return m.statusLocked(j), true
+}
+
+// Get returns a job's status snapshot.
+func (m *JobManager) Get(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return m.statusLocked(j), true
+}
+
+// List returns every live job's status, newest first.
+func (m *JobManager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	out := make([]JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.statusLocked(j))
+	}
+	// Stable order for clients: newest first, submission order ("job-N",
+	// longer suffix = later) breaking same-timestamp ties.
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[k].Created.Before(out[i].Created)
+		}
+		if len(out[i].ID) != len(out[k].ID) {
+			return len(out[i].ID) > len(out[k].ID)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// Rows returns a finished job's schema and materialized rows. ready is
+// false while the job is still queued or running (or failed).
+func (m *JobManager) Rows(id string) (cols []query.Column, results []qe.Result, truncated, found, ready bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, false, false, false
+	}
+	if j.state != JobDone {
+		return nil, nil, false, true, false
+	}
+	return j.cols, j.results, j.trunc, true, true
+}
+
+// Counts reports queue-depth statistics for the status endpoint.
+func (m *JobManager) Counts() (queued, running, finished int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	for _, j := range m.jobs {
+		switch {
+		case j.state == JobQueued:
+			queued++
+		case j.state == JobRunning:
+			running++
+		default:
+			finished++
+		}
+	}
+	return
+}
+
+// sweepLocked drops terminal jobs past their TTL.
+func (m *JobManager) sweepLocked() {
+	cutoff := m.now().Add(-m.cfg.ttl())
+	for id, j := range m.jobs {
+		if j.state.terminal() && j.finished.Before(cutoff) {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+func (m *JobManager) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Query:     j.src,
+		State:     j.state,
+		Created:   j.created,
+		RowCount:  len(j.results),
+		Truncated: j.trunc,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}

@@ -1,31 +1,56 @@
 package archive
 
 import (
-	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"sdss/internal/qe"
+	"sdss/internal/query"
 )
 
-// WWW is the public web tier of Figure 2: "A WWW server will provide
-// public access." It exposes the query engine over HTTP with streaming
-// JSON results, a cone-search convenience endpoint (the on-demand finding
-// chart query), and a status page.
+// WWW is the public web tier of Figure 2 — "A WWW server will provide
+// public access" — rebuilt as the versioned REST API the SkyServer papers
+// describe. Interactive queries are bounded (row cap + timeout) and stream
+// schema-carrying rows in three formats; long-running mining queries go
+// through the asynchronous job tier with admission control.
+//
+// Endpoints (all under /v1):
+//
+//	GET  /v1/status             archive holdings + job-queue depth
+//	GET  /v1/tables             schema discovery: tables, columns, types
+//	GET  /v1/query              ?q= &format=json|csv|ndjson &limit= &offset= &timeout=
+//	GET  /v1/explain            ?q=  → the compiled QET plan
+//	GET  /v1/cone               ?ra= &dec= &radius= [&table= &cols= &format= ...]
+//	POST /v1/jobs               {"query": "..."} → 202 + job status
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          poll one job
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET  /v1/jobs/{id}/rows     fetch a done job's rows (same formats)
 type WWW struct {
 	Engine *qe.Engine
-	// MaxRows caps result sizes for public queries (0 = 10000).
+	// Jobs is the asynchronous batch tier.
+	Jobs *JobManager
+	// MaxRows caps interactive query results (0 = 10000). Clients may ask
+	// for less via ?limit=, never more.
 	MaxRows int
+	// MaxTimeout caps interactive query wall time (0 = 30s). Clients may
+	// ask for less via ?timeout=, never more.
+	MaxTimeout time.Duration
 	// Started is stamped by NewWWW for the status page.
 	Started time.Time
 }
 
-// NewWWW builds the web tier over a query engine.
+// NewWWW builds the web tier over a query engine with default bounds.
 func NewWWW(engine *qe.Engine) *WWW {
-	return &WWW{Engine: engine, Started: time.Now()}
+	return &WWW{
+		Engine:  engine,
+		Jobs:    NewJobManager(engine, JobConfig{}),
+		Started: time.Now(),
+	}
 }
 
 func (w *WWW) maxRows() int {
@@ -35,25 +60,57 @@ func (w *WWW) maxRows() int {
 	return 10000
 }
 
+func (w *WWW) maxTimeout() time.Duration {
+	if w.MaxTimeout > 0 {
+		return w.MaxTimeout
+	}
+	return 30 * time.Second
+}
+
 // Handler returns the HTTP routing table.
 func (w *WWW) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /status", w.handleStatus)
-	mux.HandleFunc("GET /query", w.handleQuery)
-	mux.HandleFunc("GET /cone", w.handleCone)
+	mux.HandleFunc("GET /v1/status", w.handleStatus)
+	mux.HandleFunc("GET /v1/tables", w.handleTables)
+	mux.HandleFunc("GET /v1/query", w.handleQuery)
+	mux.HandleFunc("GET /v1/explain", w.handleExplain)
+	mux.HandleFunc("GET /v1/cone", w.handleCone)
+	mux.HandleFunc("POST /v1/jobs", w.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", w.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", w.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", w.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/rows", w.handleJobRows)
 	return mux
+}
+
+// jsonError answers with a JSON error body. It must be called before any
+// response bytes are written.
+func jsonError(rw http.ResponseWriter, status int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(v)
 }
 
 func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 	type status struct {
+		Version       string `json:"version"`
 		Uptime        string `json:"uptime"`
 		PhotoRecords  int64  `json:"photo_records"`
 		PhotoBytes    int64  `json:"photo_bytes"`
 		TagRecords    int64  `json:"tag_records"`
 		SpecRecords   int64  `json:"spec_records"`
 		NumContainers int    `json:"containers"`
+		JobsQueued    int    `json:"jobs_queued"`
+		JobsRunning   int    `json:"jobs_running"`
+		JobsFinished  int    `json:"jobs_finished"`
 	}
-	st := status{Uptime: time.Since(w.Started).Round(time.Second).String()}
+	st := status{Version: "v1", Uptime: time.Since(w.Started).Round(time.Second).String()}
 	if w.Engine.Photo != nil {
 		st.PhotoRecords = w.Engine.Photo.NumRecords()
 		st.PhotoBytes = w.Engine.Photo.Bytes()
@@ -65,81 +122,288 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 	if w.Engine.Spec != nil {
 		st.SpecRecords = w.Engine.Spec.NumRecords()
 	}
-	rw.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(rw).Encode(st)
+	st.JobsQueued, st.JobsRunning, st.JobsFinished = w.Jobs.Counts()
+	writeJSON(rw, http.StatusOK, st)
 }
 
-// handleQuery runs ?q=<query text> and streams JSON rows as the engine
-// produces them — the WWW face of the ASAP push.
+// handleTables serves schema discovery: every queryable table with its
+// named, typed columns straight from the compiler's schema tables.
+func (w *WWW) handleTables(rw http.ResponseWriter, req *http.Request) {
+	type tableInfo struct {
+		Name    string         `json:"name"`
+		Records int64          `json:"records"`
+		Columns []query.Column `json:"columns"`
+	}
+	var out struct {
+		Tables []tableInfo `json:"tables"`
+	}
+	for _, t := range []query.Table{query.TablePhoto, query.TableTag, query.TableSpec} {
+		info := tableInfo{Name: t.String(), Columns: query.TableColumns(t)}
+		switch t {
+		case query.TablePhoto:
+			if w.Engine.Photo != nil {
+				info.Records = w.Engine.Photo.NumRecords()
+			}
+		case query.TableTag:
+			if w.Engine.Tag != nil {
+				info.Records = w.Engine.Tag.NumRecords()
+			}
+		case query.TableSpec:
+			if w.Engine.Spec != nil {
+				info.Records = w.Engine.Spec.NumRecords()
+			}
+		}
+		out.Tables = append(out.Tables, info)
+	}
+	writeJSON(rw, http.StatusOK, out)
+}
+
+// queryBounds parses the shared ?format=&limit=&offset=&timeout= parameters,
+// clamping limit and timeout to the server's interactive caps.
+func (w *WWW) queryBounds(req *http.Request) (Format, qe.ExecOptions, error) {
+	q := req.URL.Query()
+	format, err := ParseFormat(q.Get("format"))
+	if err != nil {
+		return "", qe.ExecOptions{}, err
+	}
+	opts := qe.ExecOptions{Limit: w.maxRows(), Timeout: w.maxTimeout()}
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return "", qe.ExecOptions{}, fmt.Errorf("bad limit %q (want a positive integer)", s)
+		}
+		if n < opts.Limit {
+			opts.Limit = n
+		}
+	}
+	if s := q.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return "", qe.ExecOptions{}, fmt.Errorf("bad offset %q (want a non-negative integer)", s)
+		}
+		opts.Offset = n
+	}
+	if s := q.Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return "", qe.ExecOptions{}, fmt.Errorf("bad timeout %q (want a positive duration like 5s)", s)
+		}
+		if d < opts.Timeout {
+			opts.Timeout = d
+		}
+	}
+	return format, opts, nil
+}
+
+// handleQuery runs ?q=<query text> under the interactive bounds and serves
+// the result in the requested format.
 func (w *WWW) handleQuery(rw http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query().Get("q")
-	if q == "" {
-		http.Error(rw, "missing q parameter", http.StatusBadRequest)
+	src := req.URL.Query().Get("q")
+	if src == "" {
+		jsonError(rw, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	w.stream(rw, req.Context(), q)
+	format, opts, err := w.queryBounds(req)
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	w.serveQuery(rw, req, src, format, opts)
 }
 
 // handleCone serves ?ra=&dec=&radius= (degrees, degrees, arcmin) cone
-// searches on the tag table: the finding-chart query.
+// searches — the on-demand finding-chart query. ?table= picks the table
+// (default tag) and ?cols= the projection (default every attribute); the
+// query is compiled like any other, so the projection's schema flows to the
+// wire unchanged.
 func (w *WWW) handleCone(rw http.ResponseWriter, req *http.Request) {
-	parse := func(name string) (float64, bool) {
-		v, err := strconv.ParseFloat(req.URL.Query().Get(name), 64)
+	params := req.URL.Query()
+	parse := func(name, unit string) (float64, error) {
+		v, err := strconv.ParseFloat(params.Get(name), 64)
 		if err != nil {
-			http.Error(rw, fmt.Sprintf("bad %s parameter", name), http.StatusBadRequest)
-			return 0, false
+			return 0, fmt.Errorf("bad %s parameter %q (want %s)", name, params.Get(name), unit)
 		}
-		return v, true
+		return v, nil
 	}
-	ra, ok := parse("ra")
-	if !ok {
+	ra, err := parse("ra", "degrees")
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
-	dec, ok := parse("dec")
-	if !ok {
+	dec, err := parse("dec", "degrees")
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
-	radius, ok := parse("radius")
-	if !ok {
+	radius, err := parse("radius", "arcminutes")
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
-	q := fmt.Sprintf(
-		"SELECT objid, ra, dec, u, g, r, i, z, size, class FROM tag WHERE CIRCLE(%g, %g, %g)",
-		ra, dec, radius)
-	w.stream(rw, req.Context(), q)
+	table := query.TableTag
+	if s := params.Get("table"); s != "" {
+		table, err = query.ParseTable(s)
+		if err != nil {
+			jsonError(rw, http.StatusBadRequest, "%s", err)
+			return
+		}
+	}
+	cols := params.Get("cols")
+	if cols == "" {
+		cols = "*"
+	}
+	format, opts, err := w.queryBounds(req)
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	src := fmt.Sprintf("SELECT %s FROM %s WHERE CIRCLE(%g, %g, %g)",
+		cols, table, ra, dec, radius)
+	w.serveQuery(rw, req, src, format, opts)
 }
 
-func (w *WWW) stream(rw http.ResponseWriter, ctx context.Context, q string) {
-	rows, err := w.Engine.ExecuteString(ctx, q)
+// handleExplain compiles ?q= and returns the plan without executing it.
+func (w *WWW) handleExplain(rw http.ResponseWriter, req *http.Request) {
+	src := req.URL.Query().Get("q")
+	if src == "" {
+		jsonError(rw, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	prep, err := query.PrepareString(src)
 	if err != nil {
-		http.Error(rw, err.Error(), http.StatusBadRequest)
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, struct {
+		Query   string          `json:"query"`
+		Columns []query.Column  `json:"columns"`
+		Plan    *query.PlanNode `json:"plan"`
+		Text    string          `json:"text"`
+	}{src, prep.Columns(), prep.Plan(), prep.Explain()})
+}
+
+// serveQuery compiles, executes, and encodes one bounded query. The query
+// is compiled before any response bytes go out, so compile errors are clean
+// 400s with JSON bodies in every format.
+func (w *WWW) serveQuery(rw http.ResponseWriter, req *http.Request, src string, format Format, opts qe.ExecOptions) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	rows, err := w.Engine.ExecuteOpts(req.Context(), prep, opts)
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
 	defer rows.Close()
-	rw.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(rw)
-	type row struct {
-		ObjID  uint64    `json:"objid"`
-		Values []float64 `json:"values,omitempty"`
-	}
-	n := 0
-	for batch := range rows.C {
-		for _, r := range batch {
-			if n >= w.maxRows() {
-				rows.Close()
-				for range rows.C {
-				}
-				return
-			}
-			enc.Encode(row{ObjID: uint64(r.ObjID), Values: r.Values})
-			n++
+	switch format {
+	case FormatJSON:
+		// Buffered: collect first so errors can still use a clean status.
+		doc, err := buildJSONDocument(liveSource(rows))
+		if err != nil {
+			jsonError(rw, statusForQueryError(err), "%s", err)
+			return
 		}
-		if f, ok := rw.(http.Flusher); ok {
-			f.Flush()
-		}
+		writeJSON(rw, http.StatusOK, doc)
+	case FormatNDJSON:
+		rw.Header().Set("Content-Type", format.ContentType())
+		writeNDJSON(rw, liveSource(rows))
+	case FormatCSV:
+		rw.Header().Set("Content-Type", format.ContentType())
+		writeCSV(rw, liveSource(rows))
 	}
-	if err := rows.Err(); err != nil {
-		// Headers are sent; the best we can do is log-style trailer text.
-		fmt.Fprintf(rw, `{"error":%q}`+"\n", err.Error())
+}
+
+// statusForQueryError maps execution errors to HTTP statuses.
+func statusForQueryError(err error) int {
+	if errors.Is(err, qe.ErrTimeout) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// handleJobSubmit accepts {"query": "..."} and enqueues it on the batch
+// tier, answering 202 with the job's initial status.
+func (w *WWW) handleJobSubmit(rw http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		jsonError(rw, http.StatusBadRequest, "bad request body: %s", err)
+		return
+	}
+	if body.Query == "" {
+		jsonError(rw, http.StatusBadRequest, "missing query field")
+		return
+	}
+	st, err := w.Jobs.Submit(body.Query)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			jsonError(rw, http.StatusServiceUnavailable, "%s", err)
+			return
+		}
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	writeJSON(rw, http.StatusAccepted, st)
+}
+
+func (w *WWW) handleJobList(rw http.ResponseWriter, req *http.Request) {
+	writeJSON(rw, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{w.Jobs.List()})
+}
+
+func (w *WWW) handleJobGet(rw http.ResponseWriter, req *http.Request) {
+	st, ok := w.Jobs.Get(req.PathValue("id"))
+	if !ok {
+		jsonError(rw, http.StatusNotFound, "no such job %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+func (w *WWW) handleJobCancel(rw http.ResponseWriter, req *http.Request) {
+	st, ok := w.Jobs.Cancel(req.PathValue("id"))
+	if !ok {
+		jsonError(rw, http.StatusNotFound, "no such job %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+// handleJobRows serves a done job's materialized rows in any format.
+func (w *WWW) handleJobRows(rw http.ResponseWriter, req *http.Request) {
+	format, err := ParseFormat(req.URL.Query().Get("format"))
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	id := req.PathValue("id")
+	cols, results, truncated, found, ready := w.Jobs.Rows(id)
+	if !found {
+		jsonError(rw, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !ready {
+		st, _ := w.Jobs.Get(id)
+		jsonError(rw, http.StatusConflict, "job %s is %s, not done", id, st.State)
+		return
+	}
+	switch format {
+	case FormatJSON:
+		doc, err := buildJSONDocument(staticSource(cols, results, truncated))
+		if err != nil {
+			jsonError(rw, http.StatusInternalServerError, "%s", err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, doc)
+	case FormatNDJSON:
+		rw.Header().Set("Content-Type", format.ContentType())
+		writeNDJSON(rw, staticSource(cols, results, truncated))
+	case FormatCSV:
+		rw.Header().Set("Content-Type", format.ContentType())
+		writeCSV(rw, staticSource(cols, results, truncated))
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"sdss/internal/archive"
 	"sdss/internal/catalog"
@@ -102,9 +103,31 @@ func (a *Archive) Flush() error { return a.target.Flush() }
 // this after unclustered or repeated incremental loads.
 func (a *Archive) Sort() { a.target.Sort() }
 
+// QueryOptions bounds one archive query. The zero value is unbounded.
+type QueryOptions struct {
+	// Limit caps delivered rows (0 = unlimited); when it cuts the stream
+	// short, Rows.Truncated reports true.
+	Limit int
+	// Offset skips that many rows before the first delivery.
+	Offset int
+	// Timeout aborts the query after a wall-clock duration.
+	Timeout time.Duration
+}
+
 // Query parses and executes query text, streaming results.
 func (a *Archive) Query(ctx context.Context, src string) (*qe.Rows, error) {
 	return a.engine.ExecuteString(ctx, src)
+}
+
+// QueryRows is the typed, bounded query surface: it parses and executes
+// query text, returning a stream whose Columns() carry the compiler's
+// projection schema, honoring per-query limits and timeouts.
+func (a *Archive) QueryRows(ctx context.Context, src string, opts QueryOptions) (*qe.Rows, error) {
+	return a.engine.ExecuteStringOpts(ctx, src, qe.ExecOptions{
+		Limit:   opts.Limit,
+		Offset:  opts.Offset,
+		Timeout: opts.Timeout,
+	})
 }
 
 // Prepare compiles query text for repeated execution.
@@ -117,9 +140,43 @@ func (a *Archive) Execute(ctx context.Context, prep *query.Prepared) (*qe.Rows, 
 	return a.engine.Execute(ctx, prep)
 }
 
-// ConeSearch returns the tag objects within radiusArcmin of (ra, dec).
+// ExecuteOpts runs a prepared query under per-query bounds.
+func (a *Archive) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts QueryOptions) (*qe.Rows, error) {
+	return a.engine.ExecuteOpts(ctx, prep, qe.ExecOptions{
+		Limit:   opts.Limit,
+		Offset:  opts.Offset,
+		Timeout: opts.Timeout,
+	})
+}
+
+// Explain compiles query text and returns its execution plan.
+func (a *Archive) Explain(src string) (*query.PlanNode, error) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Plan(), nil
+}
+
+// Cone runs a cone search on a table, streaming the projected columns.
+// cols is a comma-separated projection ("objid, ra, dec"); empty selects
+// every attribute.
+func (a *Archive) Cone(ctx context.Context, table query.Table, raDeg, decDeg, radiusArcmin float64, cols string, opts QueryOptions) (*qe.Rows, error) {
+	if cols == "" {
+		cols = "*"
+	}
+	q := fmt.Sprintf("SELECT %s FROM %s WHERE CIRCLE(%g, %g, %g)",
+		cols, table, raDeg, decDeg, radiusArcmin)
+	return a.QueryRows(ctx, q, opts)
+}
+
+// ConeSearch returns the tag objects within radiusArcmin of (ra, dec). The
+// tags are rebuilt from the engine's projected columns — a single indexed
+// scan, not the O(n) store rescan this used to do.
 func (a *Archive) ConeSearch(ctx context.Context, raDeg, decDeg, radiusArcmin float64) ([]catalog.Tag, error) {
-	q := fmt.Sprintf("SELECT objid FROM tag WHERE CIRCLE(%g, %g, %g)", raDeg, decDeg, radiusArcmin)
+	q := fmt.Sprintf(
+		"SELECT htmid, cx, cy, cz, u, g, r, i, z, size, class FROM tag WHERE CIRCLE(%g, %g, %g)",
+		raDeg, decDeg, radiusArcmin)
 	rows, err := a.engine.ExecuteString(ctx, q)
 	if err != nil {
 		return nil, err
@@ -128,24 +185,20 @@ func (a *Archive) ConeSearch(ctx context.Context, raDeg, decDeg, radiusArcmin fl
 	if err != nil {
 		return nil, err
 	}
-	want := make(map[catalog.ObjID]struct{}, len(res))
-	for _, r := range res {
-		want[r.ObjID] = struct{}{}
-	}
-	// Materialize the tags (the ID bag points back into the tag store).
-	out := make([]catalog.Tag, 0, len(res))
-	var t catalog.Tag
-	err = a.target.Tag.Scan(nil, false, func(rec []byte) error {
-		if err := t.Decode(rec); err != nil {
-			return err
+	out := make([]catalog.Tag, len(res))
+	for i, r := range res {
+		v := r.Values
+		out[i] = catalog.Tag{
+			ObjID: r.ObjID,
+			HTMID: htm.ID(v[0]),
+			X:     v[1], Y: v[2], Z: v[3],
+			Mag: [catalog.NumBands]float32{
+				float32(v[4]), float32(v[5]), float32(v[6]),
+				float32(v[7]), float32(v[8]),
+			},
+			Size:  float32(v[9]),
+			Class: catalog.Class(v[10]),
 		}
-		if _, ok := want[t.ObjID]; ok {
-			out = append(out, t)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return out, nil
 }

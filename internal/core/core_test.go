@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sdss/internal/catalog"
+	"sdss/internal/query"
 	"sdss/internal/skygen"
 	"sdss/internal/sphere"
 	"sdss/internal/tiling"
@@ -185,7 +186,7 @@ func TestWWWIntegration(t *testing.T) {
 	a, _ := testArchive(t, 1000, 7)
 	srv := httptest.NewServer(a.WWW())
 	defer srv.Close()
-	resp, err := srv.Client().Get(srv.URL + "/status")
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,5 +232,104 @@ func TestPrepareExecute(t *testing.T) {
 		if _, err := rows.Collect(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestQueryRowsTypedSurface(t *testing.T) {
+	a, _ := testArchive(t, 2000, 12)
+	rows, err := a.QueryRows(context.Background(), "SELECT objid, ra, dec, r FROM tag ORDER BY r", QueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := rows.Columns()
+	if len(cols) != 4 || cols[0].Name != "objid" || cols[3].Name != "r" {
+		t.Fatalf("columns = %+v", cols)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("limit delivered %d rows, want 5", len(res))
+	}
+	if !rows.Truncated() {
+		t.Error("capped stream not marked truncated")
+	}
+
+	// Offset pages line up with the unpaged result.
+	paged, err := a.QueryRows(context.Background(), "SELECT objid, ra, dec, r FROM tag ORDER BY r", QueryOptions{Limit: 2, Offset: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := paged.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0].ObjID != res[3].ObjID {
+		t.Fatalf("page = %+v, want rows 3..4 of %+v", page, res[3:])
+	}
+}
+
+func TestExplainPlan(t *testing.T) {
+	a, _ := testArchive(t, 100, 13)
+	plan, err := a.Explain("SELECT objid FROM tag WHERE CIRCLE(10, 10, 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != "scan" || !plan.Indexed {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if _, err := a.Explain("garbage"); err == nil {
+		t.Error("Explain accepted garbage")
+	}
+}
+
+func TestConeSearchFieldFidelity(t *testing.T) {
+	// The projected-value rebuild must reproduce the stored tags exactly.
+	a, ch := testArchive(t, 3000, 14)
+	c := &ch.Photo[0]
+	got, err := a.ConeSearch(context.Background(), c.RA, c.Dec, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty cone around a real object")
+	}
+	want := make(map[catalog.ObjID]catalog.Tag)
+	for i := range ch.Photo {
+		tag := catalog.MakeTag(&ch.Photo[i])
+		want[tag.ObjID] = tag
+	}
+	for _, g := range got {
+		w, ok := want[g.ObjID]
+		if !ok {
+			t.Fatalf("cone returned unknown object %d", g.ObjID)
+		}
+		if g.HTMID != w.HTMID || g.Mag != w.Mag || g.Size != w.Size || g.Class != w.Class {
+			t.Fatalf("rebuilt tag %+v != stored %+v", g, w)
+		}
+		if sphere.Dist(g.Pos(), w.Pos()) > 1e-12 {
+			t.Fatalf("position drifted for %d", g.ObjID)
+		}
+	}
+}
+
+func TestCone(t *testing.T) {
+	a, ch := testArchive(t, 2000, 15)
+	c := &ch.Photo[0]
+	rows, err := a.Cone(context.Background(), query.TableTag, c.RA, c.Dec, 30, "objid, r", QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := rows.Columns()
+	if len(cols) != 2 || cols[1].Name != "r" {
+		t.Fatalf("cone columns = %+v", cols)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("cone returned nothing")
 	}
 }

@@ -19,10 +19,13 @@ package qe
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sdss/internal/catalog"
 	"sdss/internal/query"
@@ -104,15 +107,23 @@ func (e *Engine) storeFor(t query.Table) (*store.Store, error) {
 }
 
 // Rows is a streaming query result. Read batches from C until it closes,
-// then check Err. Close cancels the query early.
+// then check Err. Close cancels the query early; it blocks until every
+// goroutine of the execution tree has exited, so a closed Rows never leaks
+// scan workers.
 type Rows struct {
 	// C delivers result batches as soon as nodes produce them.
 	C <-chan Batch
 
-	cancel context.CancelFunc
-	done   <-chan struct{}
-	errMu  sync.Mutex
-	err    error
+	cols      []query.Column
+	cancel    context.CancelFunc
+	done      <-chan struct{}
+	errMu     sync.Mutex
+	err       error
+	truncated bool
+	// interrupted is set by tree nodes that stop mid-production because
+	// the context fired; it distinguishes a timed-out stream from one
+	// whose deadline lapsed only after every row was delivered.
+	interrupted atomic.Bool
 }
 
 func (r *Rows) setErr(err error) {
@@ -124,6 +135,20 @@ func (r *Rows) setErr(err error) {
 	r.cancel()
 }
 
+// Columns describes the result schema: one entry per value in each
+// Result.Values slice, in order, named and typed by the compiler's
+// projection.
+func (r *Rows) Columns() []query.Column { return r.cols }
+
+// Truncated reports whether a row limit (ExecOptions.Limit) cut the stream
+// short while more rows were still arriving. Valid after C closes.
+func (r *Rows) Truncated() bool {
+	<-r.done
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.truncated
+}
+
 // Err reports the first error the tree hit; valid after C closes.
 func (r *Rows) Err() error {
 	<-r.done
@@ -132,8 +157,15 @@ func (r *Rows) Err() error {
 	return r.err
 }
 
-// Close cancels the query. Reading C afterwards drains quickly.
-func (r *Rows) Close() { r.cancel() }
+// Close cancels the query, discards any undelivered batches, and waits for
+// the execution tree to shut down. It is idempotent and safe to call while
+// another goroutine is still ranging over C.
+func (r *Rows) Close() {
+	r.cancel()
+	for range r.C {
+	}
+	<-r.done
+}
 
 // Collect drains the stream into a slice.
 func (r *Rows) Collect() ([]Result, error) {
@@ -144,30 +176,113 @@ func (r *Rows) Collect() ([]Result, error) {
 	return out, r.Err()
 }
 
+// ErrTimeout is reported by Rows.Err when ExecOptions.Timeout expired
+// before the query completed.
+var ErrTimeout = errors.New("qe: query timeout exceeded")
+
+// ExecOptions bounds one query execution. The zero value means unbounded:
+// every matching row, no deadline.
+type ExecOptions struct {
+	// Limit caps delivered rows (after Offset); 0 = unlimited. When the
+	// cap cuts off a still-producing stream, Rows.Truncated reports true.
+	Limit int
+	// Offset skips that many rows before the first delivery.
+	Offset int
+	// Timeout aborts the query after a wall-clock duration; the stream
+	// ends and Rows.Err reports ErrTimeout.
+	Timeout time.Duration
+}
+
 // Execute runs a prepared QET and returns the streaming result.
 func (e *Engine) Execute(ctx context.Context, prep *query.Prepared) (*Rows, error) {
+	return e.ExecuteOpts(ctx, prep, ExecOptions{})
+}
+
+// ExecuteOpts runs a prepared QET under per-query bounds.
+func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts ExecOptions) (*Rows, error) {
 	if err := e.validate(prep); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(ctx)
+	var timedOut func() bool
+	if opts.Timeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, opts.Timeout)
+		prev := cancel
+		cancel = func() { tcancel(); prev() }
+		timedOut = func() bool { return tctx.Err() == context.DeadlineExceeded }
+		ctx = tctx
+	}
 	done := make(chan struct{})
-	rows := &Rows{cancel: cancel, done: done}
+	rows := &Rows{cols: prep.Columns(), cancel: cancel, done: done}
 	out := e.runNode(ctx, prep, rows)
 	final := make(chan Batch, 4)
 	rows.C = final
 	go func() {
 		defer close(done)
 		defer close(final)
+		drain := func() {
+			cancel()
+			for range out {
+			}
+		}
+		// markTimeout records ErrTimeout only when the deadline lapsed
+		// AND a tree node was actually cut off mid-production: a deadline
+		// that expires just after the tree delivered everything is not a
+		// timeout.
+		markTimeout := func() {
+			if timedOut != nil && timedOut() && rows.interrupted.Load() {
+				rows.errMu.Lock()
+				if rows.err == nil {
+					rows.err = ErrTimeout
+				}
+				rows.errMu.Unlock()
+			}
+		}
+		skip, remaining := opts.Offset, opts.Limit
 		for b := range out {
+			if skip > 0 {
+				if len(b) <= skip {
+					skip -= len(b)
+					continue
+				}
+				b = b[skip:]
+				skip = 0
+			}
+			if opts.Limit > 0 {
+				if remaining == 0 {
+					// A row arrived past the cap: the limit truncated
+					// a still-producing stream.
+					rows.errMu.Lock()
+					rows.truncated = true
+					rows.errMu.Unlock()
+					drain()
+					return
+				}
+				if len(b) > remaining {
+					b = b[:remaining]
+					rows.errMu.Lock()
+					rows.truncated = true
+					rows.errMu.Unlock()
+					remaining = 0
+					// Deliver the clipped batch, then stop.
+					select {
+					case final <- b:
+					case <-ctx.Done():
+					}
+					drain()
+					return
+				}
+				remaining -= len(b)
+			}
 			select {
 			case final <- b:
 			case <-ctx.Done():
-				// Drain the tree so node goroutines can exit.
-				for range out {
-				}
+				drain()
+				markTimeout()
 				return
 			}
 		}
+		markTimeout()
 	}()
 	return rows, nil
 }
@@ -179,6 +294,15 @@ func (e *Engine) ExecuteString(ctx context.Context, src string) (*Rows, error) {
 		return nil, err
 	}
 	return e.Execute(ctx, prep)
+}
+
+// ExecuteStringOpts parses, prepares, and runs query text under bounds.
+func (e *Engine) ExecuteStringOpts(ctx context.Context, src string, opts ExecOptions) (*Rows, error) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteOpts(ctx, prep, opts)
 }
 
 // validate checks every leaf's table is available before starting the tree.

@@ -72,6 +72,7 @@ func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Ro
 		case out <- b:
 			return true
 		case <-ctx.Done():
+			rows.interrupted.Store(true)
 			return false
 		}
 	}
@@ -106,6 +107,7 @@ func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Ro
 			}
 			for cid := range work {
 				if ctx.Err() != nil {
+					rows.interrupted.Store(true)
 					return
 				}
 				err := st.ForEachInContainer(cid, func(rec []byte) error {

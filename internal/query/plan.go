@@ -1,0 +1,167 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType is the wire type of a result column. Values travel as float64
+// inside the engine; the type tells consumers (and the REST tier's
+// formatters) how to render them.
+type ColType string
+
+// The column types.
+const (
+	// TypeFloat is a real-valued attribute (positions, magnitudes, ...).
+	TypeFloat ColType = "float"
+	// TypeInt is an integral attribute (run, camcol, class codes, flags).
+	TypeInt ColType = "int"
+	// TypeID is a 64-bit identifier (objid, htmid); rendered unsigned.
+	TypeID ColType = "id"
+)
+
+// Column describes one named, typed column of a result set. Columns flow
+// from the compiled projection to the wire so no consumer ever needs a
+// hardcoded schema.
+type Column struct {
+	Name string  `json:"name"`
+	Type ColType `json:"type"`
+}
+
+// String names the aggregate as written in the language.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	default:
+		return ""
+	}
+}
+
+// Columns returns the select's result schema: the projected attributes in
+// projection order, or the single synthetic aggregate column.
+func (cs *CompiledSelect) Columns() []Column {
+	switch {
+	case cs.Agg == AggCount:
+		return []Column{{Name: "count(*)", Type: TypeInt}}
+	case cs.Agg != AggNone:
+		return []Column{{
+			Name: fmt.Sprintf("%s(%s)", cs.Agg, AttrName(cs.Table, cs.AggCol)),
+			Type: TypeFloat,
+		}}
+	default:
+		cols := make([]Column, len(cs.Cols))
+		for i, id := range cs.Cols {
+			cols[i] = Column{Name: AttrName(cs.Table, id), Type: AttrType(cs.Table, id)}
+		}
+		return cols
+	}
+}
+
+// Columns returns the statement's result schema. Following SQL convention,
+// a set operation takes its column names from the left branch.
+func (p *Prepared) Columns() []Column {
+	if p.Select != nil {
+		return p.Select.Columns()
+	}
+	return p.Left.Columns()
+}
+
+// PlanNode is one node of the EXPLAIN representation of a Query Execution
+// Tree: what each node scans, filters, and emits, and whether the HTM index
+// prunes its I/O.
+type PlanNode struct {
+	// Kind is "scan" for leaf query nodes, else the set operation
+	// ("union", "intersect", "minus").
+	Kind    string   `json:"kind"`
+	Table   string   `json:"table,omitempty"`
+	Columns []Column `json:"columns,omitempty"`
+	// Filter is the canonical WHERE clause, empty if all objects match.
+	Filter string `json:"filter,omitempty"`
+	// Indexed reports whether a spatial region was extracted from the
+	// filter, enabling HTM coverage pruning instead of a full-table scan.
+	Indexed  bool        `json:"indexed,omitempty"`
+	Agg      string      `json:"agg,omitempty"`
+	OrderBy  string      `json:"order_by,omitempty"`
+	Desc     bool        `json:"desc,omitempty"`
+	Limit    int         `json:"limit,omitempty"`
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// Plan returns the EXPLAIN tree for a prepared statement.
+func (p *Prepared) Plan() *PlanNode {
+	if cs := p.Select; cs != nil {
+		n := &PlanNode{
+			Kind:    "scan",
+			Table:   cs.Table.String(),
+			Columns: cs.Columns(),
+			Indexed: cs.Region != nil,
+			Limit:   cs.Limit,
+			Desc:    cs.Desc,
+		}
+		if cs.Source != nil && cs.Source.Where != nil {
+			n.Filter = cs.Source.Where.String()
+		}
+		if cs.Agg != AggNone {
+			n.Agg = cs.Agg.String()
+		}
+		if cs.Order != AttrInvalid {
+			n.OrderBy = AttrName(cs.Table, cs.Order)
+		}
+		return n
+	}
+	return &PlanNode{
+		Kind:     strings.ToLower(p.Op.String()),
+		Columns:  p.Columns(),
+		Children: []*PlanNode{p.Left.Plan(), p.Right.Plan()},
+	}
+}
+
+// Explain renders the plan as indented text, one node per line.
+func (p *Prepared) Explain() string {
+	var b strings.Builder
+	explainNode(&b, p.Plan(), 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n *PlanNode, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(strings.ToUpper(n.Kind))
+	if n.Table != "" {
+		fmt.Fprintf(b, " %s", n.Table)
+	}
+	if len(n.Columns) > 0 {
+		names := make([]string, len(n.Columns))
+		for i, c := range n.Columns {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(b, " [%s]", strings.Join(names, ", "))
+	}
+	if n.Filter != "" {
+		fmt.Fprintf(b, " WHERE %s", n.Filter)
+	}
+	if n.Indexed {
+		b.WriteString(" USING htm-index")
+	}
+	if n.OrderBy != "" {
+		fmt.Fprintf(b, " ORDER BY %s", n.OrderBy)
+		if n.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if n.Limit > 0 {
+		fmt.Fprintf(b, " LIMIT %d", n.Limit)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		explainNode(b, c, depth+1)
+	}
+}

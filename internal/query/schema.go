@@ -126,6 +126,96 @@ var specSchema = map[string]AttrID{
 	"cx": SpecCX, "cy": SpecCY, "cz": SpecCZ,
 }
 
+// photoNames lists the canonical attribute names in AttrID order. The
+// schema maps above may carry aliases; these are the names results report.
+var photoNames = [numPhotoAttrs]string{
+	"objid", "htmid", "ra", "dec", "cx", "cy", "cz",
+	"u", "g", "r", "i", "z",
+	"err_u", "err_g", "err_r", "err_i", "err_z",
+	"ext_u", "ext_g", "ext_r", "ext_i", "ext_z",
+	"petrorad", "petror50", "surfbright", "skybright", "airmass",
+	"rowc", "colc", "psfwidth", "mura", "mudec",
+	"mjd", "run", "camcol", "field", "class", "flags",
+}
+
+var tagNames = [numTagAttrs]string{
+	"objid", "htmid", "cx", "cy", "cz", "ra", "dec",
+	"u", "g", "r", "i", "z", "size", "class",
+}
+
+var specNames = [numSpecAttrs]string{
+	"objid", "htmid", "redshift", "zerr", "class",
+	"fiberid", "plate", "sn", "cx", "cy", "cz",
+}
+
+// attrTypes maps the non-float attributes of each table; everything absent
+// is TypeFloat.
+var photoTypes = map[AttrID]ColType{
+	PhotoObjID: TypeID, PhotoHTMID: TypeID,
+	PhotoRun: TypeInt, PhotoCamcol: TypeInt, PhotoField: TypeInt,
+	PhotoClass: TypeInt, PhotoFlags: TypeInt,
+}
+
+var tagTypes = map[AttrID]ColType{
+	TagObjID: TypeID, TagHTMID: TypeID, TagClass: TypeInt,
+}
+
+var specTypes = map[AttrID]ColType{
+	SpecObjID: TypeID, SpecHTMID: TypeID, SpecClass: TypeInt,
+	SpecFiberID: TypeInt, SpecPlate: TypeInt,
+}
+
+// AttrName returns the canonical name of an attribute, or "" if the ID is
+// out of range for the table.
+func AttrName(t Table, id AttrID) string {
+	if id < 0 {
+		return ""
+	}
+	switch t {
+	case TablePhoto:
+		if int(id) < len(photoNames) {
+			return photoNames[id]
+		}
+	case TableTag:
+		if int(id) < len(tagNames) {
+			return tagNames[id]
+		}
+	case TableSpec:
+		if int(id) < len(specNames) {
+			return specNames[id]
+		}
+	}
+	return ""
+}
+
+// AttrType returns the wire type of an attribute.
+func AttrType(t Table, id AttrID) ColType {
+	var m map[AttrID]ColType
+	switch t {
+	case TablePhoto:
+		m = photoTypes
+	case TableTag:
+		m = tagTypes
+	case TableSpec:
+		m = specTypes
+	}
+	if ct, ok := m[id]; ok {
+		return ct
+	}
+	return TypeFloat
+}
+
+// TableColumns returns a table's full schema as named, typed columns in
+// attribute order — the source of truth for schema-discovery endpoints.
+func TableColumns(t Table) []Column {
+	n := NumAttrs(t)
+	cols := make([]Column, n)
+	for i := 0; i < n; i++ {
+		cols[i] = Column{Name: AttrName(t, AttrID(i)), Type: AttrType(t, AttrID(i))}
+	}
+	return cols
+}
+
 // Schema returns the attribute name → ID map for a table.
 func Schema(t Table) map[string]AttrID {
 	switch t {
