@@ -24,15 +24,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("skyload: ")
 	var (
-		dir   = flag.String("archive", "archive", "archive directory")
-		depth = flag.Int("container-depth", 0, "HTM container depth (0 = default)")
+		dir    = flag.String("archive", "archive", "archive directory")
+		depth  = flag.Int("container-depth", 0, "HTM container depth (0 = default)")
+		shards = flag.Int("shards", 0, "store shard slices (0 = adopt the archive's recorded count, else 1)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("no chunk files given; usage: skyload -archive DIR chunk0000.fits ...")
 	}
 
-	a, err := core.Create(*dir, core.Options{ContainerDepth: *depth})
+	a, err := core.Create(*dir, core.Options{ContainerDepth: *depth, Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@ func main() {
 	var (
 		dir        = flag.String("archive", "archive", "archive directory")
 		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.Int("shards", 0, "store shard slices (0 = adopt the archive's recorded count, else 1)")
 		maxRows    = flag.Int("max-rows", 0, "interactive query row cap (0 = 10000)")
 		maxTimeout = flag.Duration("max-timeout", 0, "interactive query time cap (0 = 30s)")
 		jobs       = flag.Int("jobs", 0, "concurrent batch jobs (0 = 2)")
@@ -35,7 +36,7 @@ func main() {
 	)
 	flag.Parse()
 
-	a, err := core.Create(*dir, core.Options{})
+	a, err := core.Create(*dir, core.Options{Shards: *shards})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,8 +50,8 @@ func main() {
 	})
 
 	st := a.Stats()
-	fmt.Printf("serving archive %s (%d objects, %d containers) on %s\n",
-		*dir, st.PhotoObjects, st.Containers, *addr)
+	fmt.Printf("serving archive %s (%d objects, %d containers, %d shards) on %s\n",
+		*dir, st.PhotoObjects, st.Containers, st.Shards, *addr)
 	fmt.Println("endpoints: /v1/status /v1/tables /v1/query /v1/explain /v1/cone /v1/jobs")
 	srv := &http.Server{Addr: *addr, Handler: www.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(srv.ListenAndServe())

@@ -1,0 +1,214 @@
+package archive
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"sdss/internal/qe"
+	"sdss/internal/query"
+)
+
+// fmtSource builds a rowSource over literal results with controllable
+// post-stream state, the way live queries and job rows present themselves
+// to the writers.
+func fmtSource(cols []query.Column, results []qe.Result, truncated bool, streamErr error) rowSource {
+	src := staticSource(cols, results, truncated)
+	src.errFn = func() error { return streamErr }
+	return src
+}
+
+func floatCol(name string) query.Column { return query.Column{Name: name, Type: query.TypeFloat} }
+
+func TestWriteCSVEdgeCases(t *testing.T) {
+	idCol := query.Column{Name: "objid", Type: query.TypeID}
+	intCol := query.Column{Name: "run", Type: query.TypeInt}
+	tests := []struct {
+		name      string
+		cols      []query.Column
+		results   []qe.Result
+		truncated bool
+		streamErr error
+		want      []string // exact output lines, in order
+	}{
+		{
+			name: "quoting of separator and quote characters in headers",
+			cols: []query.Column{floatCol(`a,b`), floatCol(`say "r"`)},
+			results: []qe.Result{
+				{Values: []float64{1.5, 2}},
+			},
+			want: []string{`"a,b","say ""r"""`, "1.5,2"},
+		},
+		{
+			name: "NaN and infinities render as text fields",
+			cols: []query.Column{floatCol("x"), floatCol("y"), floatCol("z")},
+			results: []qe.Result{
+				{Values: []float64{math.NaN(), math.Inf(1), math.Inf(-1)}},
+			},
+			want: []string{"x,y,z", "NaN,+Inf,-Inf"},
+		},
+		{
+			name: "id and int columns render exactly",
+			cols: []query.Column{idCol, intCol},
+			results: []qe.Result{
+				{ObjID: 9007199254740993, Values: []float64{9007199254740993, 745}},
+			},
+			// 2^53+1 is not representable as float64; the ObjID side-channel
+			// must preserve it while the int column rounds.
+			want: []string{"objid,run", "9007199254740993,745"},
+		},
+		{
+			name:    "missing values pad as empty fields",
+			cols:    []query.Column{floatCol("a"), floatCol("b")},
+			results: []qe.Result{{Values: []float64{1}}},
+			want:    []string{"a,b", "1,"},
+		},
+		{
+			name:      "truncation marker after the last row",
+			cols:      []query.Column{floatCol("a")},
+			results:   []qe.Result{{Values: []float64{1}}, {Values: []float64{2}}},
+			truncated: true,
+			want:      []string{"a", "1", "2", "# truncated after 2 rows"},
+		},
+		{
+			name:      "stream error trailer replaces the truncation marker",
+			cols:      []query.Column{floatCol("a")},
+			results:   []qe.Result{{Values: []float64{1}}},
+			truncated: true,
+			streamErr: errors.New("boom"),
+			want:      []string{"a", "1", "# error: boom"},
+		},
+		{
+			name: "empty result is just the header",
+			cols: []query.Column{floatCol("a")},
+			want: []string{"a"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			writeCSV(&sb, fmtSource(tc.cols, tc.results, tc.truncated, tc.streamErr))
+			got := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d lines %q, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("line %d:\n got %q\nwant %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWriteNDJSONEdgeCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		cols      []query.Column
+		results   []qe.Result
+		truncated bool
+		streamErr error
+		want      []string
+	}{
+		{
+			name: "non-finite floats become null",
+			cols: []query.Column{floatCol("x"), floatCol("y"), floatCol("z")},
+			results: []qe.Result{
+				{Values: []float64{math.NaN(), math.Inf(1), 2.5}},
+			},
+			want: []string{`{"x":null,"y":null,"z":2.5}`},
+		},
+		{
+			name: "column names JSON-escape",
+			cols: []query.Column{floatCol(`he said "hi"`)},
+			results: []qe.Result{
+				{Values: []float64{1}},
+			},
+			want: []string{`{"he said \"hi\"":1}`},
+		},
+		{
+			name:    "missing values become null",
+			cols:    []query.Column{floatCol("a"), floatCol("b")},
+			results: []qe.Result{{Values: []float64{3}}},
+			want:    []string{`{"a":3,"b":null}`},
+		},
+		{
+			name:      "truncation trailer is exactly one record",
+			cols:      []query.Column{floatCol("a")},
+			results:   []qe.Result{{Values: []float64{1}}, {Values: []float64{2}}},
+			truncated: true,
+			want:      []string{`{"a":1}`, `{"a":2}`, `{"truncated":true,"rows":2}`},
+		},
+		{
+			name:      "error trailer wins over truncation",
+			cols:      []query.Column{floatCol("a")},
+			truncated: true,
+			streamErr: errors.New(`bad "stuff"`),
+			want:      []string{`{"error":"bad \"stuff\""}`},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			writeNDJSON(&sb, fmtSource(tc.cols, tc.results, tc.truncated, tc.streamErr))
+			got := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d lines %q, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("line %d:\n got %s\nwant %s", i, got[i], tc.want[i])
+				}
+				// Every line must stand alone as valid JSON.
+				var v map[string]any
+				if err := json.Unmarshal([]byte(got[i]), &v); err != nil {
+					t.Errorf("line %d is not valid JSON: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildJSONDocumentEdgeCases(t *testing.T) {
+	cols := []query.Column{floatCol("x")}
+	t.Run("stream error surfaces instead of a document", func(t *testing.T) {
+		_, err := buildJSONDocument(fmtSource(cols, nil, false, errors.New("late failure")))
+		if err == nil || err.Error() != "late failure" {
+			t.Fatalf("err = %v, want late failure", err)
+		}
+	})
+	t.Run("truncation and count flow into the envelope", func(t *testing.T) {
+		doc, err := buildJSONDocument(fmtSource(cols, []qe.Result{
+			{Values: []float64{math.Inf(1)}},
+			{Values: []float64{1}},
+		}, true, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.RowCount != 2 || !doc.Truncated {
+			t.Fatalf("RowCount %d Truncated %v, want 2 true", doc.RowCount, doc.Truncated)
+		}
+		if got := string(doc.Rows[0]); got != `{"x":null}` {
+			t.Fatalf("Inf row rendered %s", got)
+		}
+		// The envelope itself must marshal: RawMessage rows included.
+		if _, err := json.Marshal(doc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("empty result keeps rows as an array", func(t *testing.T) {
+		doc, err := buildJSONDocument(fmtSource(cols, nil, false, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"rows":[]`) {
+			t.Fatalf("empty rows marshaled as %s", b)
+		}
+	})
+}

@@ -132,16 +132,35 @@ type JobManager struct {
 	seq     int
 	// now is the clock; tests may override it.
 	now func() time.Time
+	// exec runs one job's query to completion; tests may override it to
+	// control execution without real queries or sleeps.
+	exec func(ctx context.Context, j *job) (results []qe.Result, truncated bool, err error)
 }
 
 // NewJobManager builds a job manager over an engine.
 func NewJobManager(engine *qe.Engine, cfg JobConfig) *JobManager {
-	return &JobManager{
+	m := &JobManager{
 		engine: engine,
 		cfg:    cfg,
 		jobs:   make(map[string]*job),
 		now:    time.Now,
 	}
+	m.exec = m.execQuery
+	return m
+}
+
+// execQuery is the production executor: run the prepared query under the
+// batch bounds and materialize its rows.
+func (m *JobManager) execQuery(ctx context.Context, j *job) ([]qe.Result, bool, error) {
+	rows, err := m.engine.ExecuteOpts(ctx, j.prep, qe.ExecOptions{
+		Limit:   m.cfg.maxRows(),
+		Timeout: m.cfg.timeout(),
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	results, err := rows.Collect()
+	return results, rows.Truncated(), err
 }
 
 // Submit compiles and enqueues a query, returning its initial status.
@@ -188,16 +207,7 @@ func (m *JobManager) startLocked(j *job) {
 
 // run executes one job to completion and then admits the next queued job.
 func (m *JobManager) run(ctx context.Context, j *job) {
-	rows, err := m.engine.ExecuteOpts(ctx, j.prep, qe.ExecOptions{
-		Limit:   m.cfg.maxRows(),
-		Timeout: m.cfg.timeout(),
-	})
-	var results []qe.Result
-	var trunc bool
-	if err == nil {
-		results, err = rows.Collect()
-		trunc = rows.Truncated()
-	}
+	results, trunc, err := m.exec(ctx, j)
 	canceled := ctx.Err() == context.Canceled
 
 	m.mu.Lock()

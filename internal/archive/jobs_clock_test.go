@@ -1,0 +1,190 @@
+package archive
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sdss/internal/qe"
+)
+
+// fakeClock is a manually advanced clock injected into the JobManager, so
+// TTL behavior is tested without real sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// waitState polls for a job to reach a terminal/expected state. The wait is
+// event-driven (the transition happens as soon as the fake executor
+// returns), so the loop spins briefly rather than sleeping for wall time.
+func waitState(t *testing.T, m *JobManager, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished while waiting for %s", id, want)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s reached %s, want %s (err %q)", id, st.State, want, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobTTLExpiryWithInjectedClock(t *testing.T) {
+	clock := newFakeClock()
+	m := NewJobManager(nil, JobConfig{TTL: 10 * time.Minute})
+	m.now = clock.Now
+	m.exec = func(ctx context.Context, j *job) ([]qe.Result, bool, error) {
+		return []qe.Result{{Values: []float64{1}}}, false, nil
+	}
+
+	st, err := m.Submit("SELECT COUNT(*) FROM tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, st.ID, JobDone)
+	if !done.Finished.Equal(clock.Now()) {
+		t.Errorf("finished stamp %v, want fake-clock %v", done.Finished, clock.Now())
+	}
+
+	// One tick short of the TTL the job is still fetchable...
+	clock.Advance(10*time.Minute - time.Nanosecond)
+	if _, ok := m.Get(st.ID); !ok {
+		t.Fatal("job expired before its TTL")
+	}
+	if _, _, _, found, ready := m.Rows(st.ID); !found || !ready {
+		t.Fatal("done job rows not fetchable before TTL")
+	}
+
+	// ...and one tick past it, gone from every surface.
+	clock.Advance(2 * time.Nanosecond)
+	if _, ok := m.Get(st.ID); ok {
+		t.Fatal("job fetchable past its TTL")
+	}
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("List returns %d expired jobs", len(got))
+	}
+	if _, _, _, found, _ := m.Rows(st.ID); found {
+		t.Fatal("expired job rows still fetchable")
+	}
+	q, r, f := m.Counts()
+	if q+r+f != 0 {
+		t.Fatalf("Counts after expiry = %d/%d/%d, want zeros", q, r, f)
+	}
+}
+
+func TestJobCancelWhileRunningWithInjectedClock(t *testing.T) {
+	clock := newFakeClock()
+	m := NewJobManager(nil, JobConfig{MaxConcurrent: 1, MaxQueued: 4})
+	m.now = clock.Now
+	started := make(chan string, 4)
+	m.exec = func(ctx context.Context, j *job) ([]qe.Result, bool, error) {
+		started <- j.id
+		// A long-running mining query: blocks until canceled.
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	}
+
+	st, err := m.Submit("SELECT objid FROM tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := <-started; id != st.ID {
+		t.Fatalf("executor started %s, want %s", id, st.ID)
+	}
+	// A second submission queues behind the blocked slot.
+	st2, err := m.Submit("SELECT objid FROM tag WHERE r < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != JobQueued {
+		t.Fatalf("second job state = %s, want queued", st2.State)
+	}
+
+	clock.Advance(42 * time.Second)
+	if got, ok := m.Cancel(st.ID); !ok || got.State == JobDone {
+		t.Fatalf("cancel running job = %+v ok=%v", got, ok)
+	}
+	canceled := waitState(t, m, st.ID, JobCanceled)
+	if canceled.Finished == nil || !canceled.Finished.Equal(clock.Now()) {
+		t.Errorf("cancel finished stamp %v, want %v", canceled.Finished, clock.Now())
+	}
+	if canceled.Error != "" {
+		t.Errorf("canceled job carries error %q", canceled.Error)
+	}
+
+	// The freed slot admits the queued job; cancel it too to shut down.
+	if id := <-started; id != st2.ID {
+		t.Fatalf("freed slot started %s, want %s", id, st2.ID)
+	}
+	if _, ok := m.Cancel(st2.ID); !ok {
+		t.Fatal("cancel of admitted job failed")
+	}
+	waitState(t, m, st2.ID, JobCanceled)
+
+	// Canceling a terminal job is a no-op, not a state change.
+	if got, ok := m.Cancel(st.ID); !ok || got.State != JobCanceled {
+		t.Fatalf("re-cancel = %+v ok=%v", got, ok)
+	}
+}
+
+// TestJobFailureStateWithInjectedExecutor pins the failed path: an executor
+// error that is not a cancellation marks the job failed with the message.
+func TestJobFailureStateWithInjectedExecutor(t *testing.T) {
+	m := NewJobManager(nil, JobConfig{})
+	m.now = newFakeClock().Now
+	m.exec = func(ctx context.Context, j *job) ([]qe.Result, bool, error) {
+		return nil, false, errors.New("store exploded")
+	}
+	st, err := m.Submit("SELECT objid FROM tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, ok := m.Get(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if got.State == JobFailed {
+			if got.Error != "store exploded" {
+				t.Fatalf("error = %q", got.Error)
+			}
+			if _, _, _, found, ready := m.Rows(st.ID); !found || ready {
+				t.Fatalf("failed job rows found=%v ready=%v, want true false", found, ready)
+			}
+			break
+		}
+		if got.State.terminal() || time.Now().After(deadline) {
+			t.Fatalf("job state %s, want failed", got.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

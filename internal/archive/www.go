@@ -106,15 +106,21 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		TagRecords    int64  `json:"tag_records"`
 		SpecRecords   int64  `json:"spec_records"`
 		NumContainers int    `json:"containers"`
-		JobsQueued    int    `json:"jobs_queued"`
-		JobsRunning   int    `json:"jobs_running"`
-		JobsFinished  int    `json:"jobs_finished"`
+		// Shards is the scatter width; ShardRecords the per-slice photo
+		// record counts, in shard order — the partition-balance view.
+		Shards       int     `json:"shards"`
+		ShardRecords []int64 `json:"shard_records,omitempty"`
+		JobsQueued   int     `json:"jobs_queued"`
+		JobsRunning  int     `json:"jobs_running"`
+		JobsFinished int     `json:"jobs_finished"`
 	}
 	st := status{Version: "v1", Uptime: time.Since(w.Started).Round(time.Second).String()}
+	st.Shards = w.Engine.NumShards()
 	if w.Engine.Photo != nil {
 		st.PhotoRecords = w.Engine.Photo.NumRecords()
 		st.PhotoBytes = w.Engine.Photo.Bytes()
 		st.NumContainers = w.Engine.Photo.NumContainers()
+		st.ShardRecords = w.Engine.Photo.ShardRecords()
 	}
 	if w.Engine.Tag != nil {
 		st.TagRecords = w.Engine.Tag.NumRecords()
@@ -274,12 +280,18 @@ func (w *WWW) handleExplain(rw http.ResponseWriter, req *http.Request) {
 		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
+	// Per-shard fan-out: how many candidate containers each leaf scan will
+	// touch on every slice. A fanout error (table not loaded) leaves the
+	// plan usable, so it is reported as an empty list, not a failure.
+	fanout, _ := w.Engine.Fanout(prep)
 	writeJSON(rw, http.StatusOK, struct {
-		Query   string          `json:"query"`
-		Columns []query.Column  `json:"columns"`
-		Plan    *query.PlanNode `json:"plan"`
-		Text    string          `json:"text"`
-	}{src, prep.Columns(), prep.Plan(), prep.Explain()})
+		Query   string           `json:"query"`
+		Columns []query.Column   `json:"columns"`
+		Plan    *query.PlanNode  `json:"plan"`
+		Shards  int              `json:"shards"`
+		Fanout  []qe.ShardFanout `json:"fanout,omitempty"`
+		Text    string           `json:"text"`
+	}{src, prep.Columns(), prep.Plan(), w.Engine.NumShards(), fanout, prep.Explain()})
 }
 
 // serveQuery compiles, executes, and encodes one bounded query. The query

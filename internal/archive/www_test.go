@@ -25,7 +25,7 @@ func buildEngine(t testing.TB) *qe.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := load.NewTarget("", 0)
+	tgt, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

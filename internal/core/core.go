@@ -43,6 +43,11 @@ type Options struct {
 	CoverDepth int
 	// Workers is the per-query scan parallelism (default GOMAXPROCS).
 	Workers int
+	// Shards splits every store into that many slices (default 1), each
+	// independently persistable; queries scatter across all slices and
+	// gather merged streams. A persisted archive remembers its shard count,
+	// so reopening with Shards 0 adopts it.
+	Shards int
 }
 
 // Archive is an opened Science Archive.
@@ -55,7 +60,7 @@ type Archive struct {
 // Create opens (or creates) an archive rooted at dir; an empty dir keeps
 // all data in memory.
 func Create(dir string, opts Options) (*Archive, error) {
-	tgt, err := load.NewTarget(dir, opts.ContainerDepth)
+	tgt, err := load.NewTarget(dir, opts.ContainerDepth, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -77,13 +82,16 @@ func Create(dir string, opts Options) (*Archive, error) {
 func (a *Archive) Engine() *qe.Engine { return a.engine }
 
 // PhotoStore exposes the full photometric store.
-func (a *Archive) PhotoStore() *store.Store { return a.target.Photo }
+func (a *Archive) PhotoStore() *store.Sharded { return a.target.Photo }
 
 // TagStore exposes the tag vertical partition.
-func (a *Archive) TagStore() *store.Store { return a.target.Tag }
+func (a *Archive) TagStore() *store.Sharded { return a.target.Tag }
 
 // SpecStore exposes the spectroscopic store.
-func (a *Archive) SpecStore() *store.Store { return a.target.Spec }
+func (a *Archive) SpecStore() *store.Sharded { return a.target.Spec }
+
+// NumShards reports how many slices each store is split into.
+func (a *Archive) NumShards() int { return a.target.Photo.NumShards() }
 
 // LoadChunk ingests one survey chunk (photometric objects, tags, spectra).
 func (a *Archive) LoadChunk(ch *skygen.Chunk) (load.Stats, error) {
@@ -258,15 +266,15 @@ func (a *Archive) Sample(frac float64) (*Archive, error) {
 	if err != nil {
 		return nil, err
 	}
-	photo, err := s.Subset(a.target.Photo)
+	photo, err := s.SubsetSharded(a.target.Photo)
 	if err != nil {
 		return nil, err
 	}
-	tag, err := s.Subset(a.target.Tag)
+	tag, err := s.SubsetSharded(a.target.Tag)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := s.Subset(a.target.Spec)
+	spec, err := s.SubsetSharded(a.target.Spec)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +336,7 @@ type Summary struct {
 	TagObjects   int64
 	Spectra      int64
 	Containers   int
+	Shards       int
 	PhotoBytes   int64
 	TagBytes     int64
 	SpecBytes    int64
@@ -336,6 +345,7 @@ type Summary struct {
 // Stats summarizes the archive.
 func (a *Archive) Stats() Summary {
 	return Summary{
+		Shards:       a.target.Photo.NumShards(),
 		PhotoObjects: a.target.Photo.NumRecords(),
 		TagObjects:   a.target.Tag.NumRecords(),
 		Spectra:      a.target.Spec.NumRecords(),

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"sdss/internal/skygen"
+)
+
+// TestShardedArchivePersistence creates a 4-shard on-disk archive, flushes
+// it, and reopens it with Shards 0 — the recorded slice count must be
+// adopted and queries must see every record.
+func TestShardedArchivePersistence(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Create(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photo, spec, err := skygen.GenerateAll(skygen.Default(5, 4000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadObjects(photo, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	count := func(a *Archive) float64 {
+		rows, err := a.Query(context.Background(), "SELECT COUNT(*) FROM tag")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rows.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Values[0]
+	}
+	want := count(a)
+	if int(want) != len(photo) {
+		t.Fatalf("count = %v, want %d", want, len(photo))
+	}
+
+	again, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.NumShards(); got != 4 {
+		t.Fatalf("reopened NumShards = %d, want 4", got)
+	}
+	if got := count(again); got != want {
+		t.Fatalf("reopened count = %v, want %v", got, want)
+	}
+	if st := again.Stats(); st.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", st.Shards)
+	}
+
+	// A mismatched shard request must refuse the directory.
+	if _, err := Create(dir, Options{Shards: 2}); err == nil {
+		t.Fatal("reopening 4-shard archive with Shards 2 did not fail")
+	}
+}
+
+// TestShardedSampleKeepsPartition derives a sample of a sharded archive and
+// checks the subset keeps the slice count and answers queries.
+func TestShardedSampleKeepsPartition(t *testing.T) {
+	a, err := Create("", Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photo, spec, err := skygen.GenerateAll(skygen.Default(6, 6000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadObjects(photo, spec); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := a.Sample(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NumShards(); got != 3 {
+		t.Fatalf("sample NumShards = %d, want 3", got)
+	}
+	n := sub.PhotoStore().NumRecords()
+	if n == 0 || n >= a.PhotoStore().NumRecords() {
+		t.Fatalf("sample holds %d of %d records", n, a.PhotoStore().NumRecords())
+	}
+	rows, err := sub.Query(context.Background(), "SELECT COUNT(*) FROM tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res[0].Values[0]) != sub.TagStore().NumRecords() {
+		t.Fatalf("sample query count %v != %d records", res[0].Values[0], sub.TagStore().NumRecords())
+	}
+}

@@ -28,7 +28,7 @@ func AblationContainerDepth(cfg Config, w io.Writer) error {
 	center := ch.Photo[0]
 	tbl := stats.NewTable("Depth", "Containers", "Load time", "Cone query", "Records touched")
 	for _, depth := range []int{3, 5, 7} {
-		tgt, err := load.NewTarget("", depth)
+		tgt, err := load.NewTarget("", depth, 1)
 		if err != nil {
 			return err
 		}
@@ -179,6 +179,7 @@ func All() []Experiment {
 		{"E12", "Cartesian vs trigonometry", CartesianVsTrig},
 		{"E13", "ASAP first result", ASAPFirstResult},
 		{"E14", "index vs scan crossover", IndexVsScanCrossover},
+		{"E15", "sharded scatter-gather", ShardScatterGather},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

@@ -89,7 +89,7 @@ func TagVsFull(cfg Config, w io.Writer) error {
 	st := h.Archive.Stats()
 
 	// I/O-bound: one full throttled sweep over each store.
-	sweep := func(s *store.Store) (time.Duration, error) {
+	sweep := func(s *store.Sharded) (time.Duration, error) {
 		fabric, err := cluster.New(4, perNodeRate)
 		if err != nil {
 			return 0, err
@@ -434,7 +434,7 @@ func DataLoading(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	clustered, err := load.NewTarget("", 0)
+	clustered, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		return err
 	}
@@ -445,7 +445,7 @@ func DataLoading(cfg Config, w io.Writer) error {
 	}
 	clusteredT := time.Since(start)
 
-	naive, err := load.NewTarget("", 0)
+	naive, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,10 @@ type Config struct {
 	Seed int64
 	// Nodes is the simulated cluster width (default 20, the paper's).
 	Nodes int
+	// Shards is the store slice count for the shared harness archive and
+	// the wide side of the scatter-gather experiment (default 8 there,
+	// 1 for the shared archive so the paper experiments are unchanged).
+	Shards int
 }
 
 // Objects returns the synthetic catalog size at this scale.
@@ -55,6 +59,13 @@ func (c Config) nodes() int {
 		return c.Nodes
 	}
 	return 20
+}
+
+func (c Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 8
 }
 
 // Harness holds the built archive shared by the experiments.

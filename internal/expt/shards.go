@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"sdss/internal/core"
+	"sdss/internal/stats"
+)
+
+// shardGridQueries is the conformance grid the scatter-gather experiment
+// (and the qe property tests) run: a plain filter, a cone, ORDER BY+LIMIT,
+// and every aggregate. center(RA, Dec) is substituted per dataset.
+// Deterministic marks queries whose first row is the same on every run
+// (ordered or aggregate); unordered streams deliver in arrival order, so
+// only their row counts are comparable.
+func shardGridQueries(ra, dec float64) []struct {
+	Name, Q       string
+	Deterministic bool
+} {
+	return []struct {
+		Name, Q       string
+		Deterministic bool
+	}{
+		{"filter", "SELECT objid, r FROM tag WHERE r < 21 AND class = 'GALAXY'", false},
+		{"cone", fmt.Sprintf("SELECT objid, ra, dec, r FROM tag WHERE CIRCLE(%v, %v, 30)", ra, dec), false},
+		{"order+limit", "SELECT objid, r FROM tag WHERE r < 21.5 ORDER BY r LIMIT 100", true},
+		{"count", "SELECT COUNT(*) FROM tag WHERE r < 21", true},
+		{"sum", "SELECT SUM(r) FROM tag WHERE r < 21", true},
+		{"min", "SELECT MIN(r) FROM tag WHERE r < 21", true},
+		{"max", "SELECT MAX(r) FROM tag WHERE r < 21", true},
+		{"avg", "SELECT AVG(r) FROM tag WHERE r < 21", true},
+	}
+}
+
+// ShardBenchResult is one row of BENCH_shards.json: a conformance-grid
+// query timed on the single-shard and N-shard archives.
+type ShardBenchResult struct {
+	Query       string  `json:"query"`
+	Rows        int     `json:"rows"`
+	SingleShard string  `json:"single_shard"`
+	Sharded     string  `json:"sharded"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// ShardScatterGather measures scatter-gather execution: the same dataset
+// loaded into a 1-shard and an N-shard archive, the conformance grid run
+// on both, results cross-checked, and throughput compared. When the
+// SKYBENCH_SHARDS_JSON environment variable names a file, the measured
+// rows are also written there as the BENCH_shards.json record.
+func ShardScatterGather(cfg Config, w io.Writer) error {
+	h, err := NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	n := cfg.shards()
+	section(w, "E15", fmt.Sprintf("sharded scatter-gather (1 shard vs %d)", n))
+
+	wide, err := core.Create("", core.Options{Shards: n})
+	if err != nil {
+		return err
+	}
+	if _, err := wide.LoadObjects(h.Photo, h.Spec); err != nil {
+		return err
+	}
+	wide.Sort()
+	narrow := h.Archive // the shared harness archive is single-shard
+
+	ctx := context.Background()
+	center := h.Photo[0]
+	tbl := stats.NewTable("Query", "Rows", "1 shard", fmt.Sprintf("%d shards", n), "Speedup")
+	var jsonRows []ShardBenchResult
+	for _, q := range shardGridQueries(center.RA, center.Dec) {
+		run := func(a *core.Archive) (time.Duration, int, float64, error) {
+			best := time.Duration(math.MaxInt64)
+			var rows int
+			var v0 float64
+			for i := 0; i < 4; i++ { // first iteration warms
+				start := time.Now()
+				rs, err := a.Query(ctx, q.Q)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				res, err := rs.Collect()
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if t := time.Since(start); i > 0 && t < best {
+					best = t
+				}
+				rows = len(res)
+				if rows > 0 && len(res[0].Values) > 0 {
+					v0 = res[0].Values[0]
+				}
+			}
+			return best, rows, v0, nil
+		}
+		nT, nRows, nV, err := run(narrow)
+		if err != nil {
+			return fmt.Errorf("expt: %s on 1 shard: %w", q.Name, err)
+		}
+		wT, wRows, wV, err := run(wide)
+		if err != nil {
+			return fmt.Errorf("expt: %s on %d shards: %w", q.Name, n, err)
+		}
+		if nRows != wRows {
+			return fmt.Errorf("expt: %s row count diverged: %d vs %d", q.Name, nRows, wRows)
+		}
+		// First values must agree on deterministic queries (to float
+		// tolerance: sum/avg addition order differs across shard counts).
+		if q.Deterministic && relDiff(nV, wV) > 1e-9 {
+			return fmt.Errorf("expt: %s first value diverged: %v vs %v", q.Name, nV, wV)
+		}
+		speedup := float64(nT) / float64(wT)
+		tbl.AddRow(q.Name, nRows, nT.Round(time.Microsecond), wT.Round(time.Microsecond),
+			fmt.Sprintf("%.2f×", speedup))
+		jsonRows = append(jsonRows, ShardBenchResult{
+			Query:       q.Q,
+			Rows:        nRows,
+			SingleShard: nT.Round(time.Microsecond).String(),
+			Sharded:     wT.Round(time.Microsecond).String(),
+			Speedup:     math.Round(speedup*100) / 100,
+		})
+	}
+	fmt.Fprint(w, tbl)
+	if path := os.Getenv("SKYBENCH_SHARDS_JSON"); path != "" {
+		doc := struct {
+			Objects int                `json:"objects"`
+			Shards  int                `json:"shards"`
+			Grid    []ShardBenchResult `json:"grid"`
+		}{cfg.Objects(), n, jsonRows}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// relDiff is the relative difference of two floats (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -28,7 +28,6 @@ import (
 	"sdss/internal/htm"
 	"sdss/internal/region"
 	"sdss/internal/sphere"
-	"sdss/internal/store"
 )
 
 // Config tunes the machine.
@@ -143,9 +142,15 @@ func Hash(tags []catalog.Tag, cfg Config, filter func(*catalog.Tag) bool) (Bucke
 	return buckets, nil
 }
 
+// TagScanner is the store surface HashStore needs: a full-scan source of
+// encoded tag records. Both store.Store and store.Sharded satisfy it.
+type TagScanner interface {
+	Scan(coverage *htm.RangeSet, fineFilter bool, fn func(rec []byte) error) error
+}
+
 // HashStore runs phase 1 directly over a tag store (the scan that feeds
 // the hash machine).
-func HashStore(st *store.Store, cfg Config, filter func(*catalog.Tag) bool) (Buckets, error) {
+func HashStore(st TagScanner, cfg Config, filter func(*catalog.Tag) bool) (Buckets, error) {
 	var tags []catalog.Tag
 	var t catalog.Tag
 	err := st.Scan(nil, false, func(rec []byte) error {

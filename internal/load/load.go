@@ -25,40 +25,44 @@ import (
 	"sdss/internal/store"
 )
 
-// Target is the set of stores one archive instance loads into.
+// Target is the set of stores one archive instance loads into. Each store
+// may be split into N shard slices; loads write every slice in parallel
+// (store.Sharded.BulkLoad) while still touching each clustering unit at
+// most once.
 type Target struct {
-	Photo *store.Store
-	Tag   *store.Store
-	Spec  *store.Store
+	Photo *store.Sharded
+	Tag   *store.Sharded
+	Spec  *store.Sharded
 }
 
-// NewTarget creates (or reopens) the three stores under dir; an empty dir
-// keeps everything in memory.
-func NewTarget(dir string, containerDepth int) (*Target, error) {
+// NewTarget creates (or reopens) the three stores under dir, each split
+// into shards slices (<= 1 keeps the historical single-slice layout); an
+// empty dir keeps everything in memory.
+func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 	sub := func(name string) string {
 		if dir == "" {
 			return ""
 		}
 		return filepath.Join(dir, name)
 	}
-	photo, err := store.Open(store.Options{
+	photo, err := store.OpenSharded(store.Options{
 		Dir: sub("photo"), ContainerDepth: containerDepth,
 		RecordSize: catalog.PhotoObjSize, KeyOffset: 8,
-	})
+	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening photo store: %w", err)
 	}
-	tag, err := store.Open(store.Options{
+	tag, err := store.OpenSharded(store.Options{
 		Dir: sub("tag"), ContainerDepth: containerDepth,
 		RecordSize: catalog.TagSize, KeyOffset: 8,
-	})
+	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening tag store: %w", err)
 	}
-	spec, err := store.Open(store.Options{
+	spec, err := store.OpenSharded(store.Options{
 		Dir: sub("spec"), ContainerDepth: containerDepth,
 		RecordSize: catalog.SpecObjSize, KeyOffset: 8,
-	})
+	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening spec store: %w", err)
 	}

@@ -13,7 +13,7 @@ func TestLoadChunk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := NewTarget("", 0)
+	tgt, err := NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestClusteredVsUnclusteredTouches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clustered, err := NewTarget("", 0)
+	clustered, err := NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestClusteredVsUnclusteredTouches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := NewTarget("", 0)
+	naive, err := NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestPersistAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := NewTarget(dir, 0)
+	tgt, err := NewTarget(dir, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestPersistAndReload(t *testing.T) {
 	if err := tgt.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	again, err := NewTarget(dir, 0)
+	again, err := NewTarget(dir, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestIncrementalNightlyLoads(t *testing.T) {
 	// Simulate several nights of incremental loading; totals must
 	// accumulate and container counts stabilize as the footprint fills.
 	p := skygen.Default(5, 4000)
-	tgt, err := NewTarget("", 0)
+	tgt, err := NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func BenchmarkLoadChunk(b *testing.B) {
 	var bytesPerLoad int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tgt, err := NewTarget("", 0)
+		tgt, err := NewTarget("", 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,311 @@
+// Shard-aware gather stages of the scatter-gather executor. A leaf select
+// fans its scan out across every slice of a sharded store (qe.runSelect);
+// the stages here merge the per-shard streams back into one:
+//
+//   - runInterleave forwards batches from all shards as they arrive — the
+//     ASAP push, order-free.
+//   - runSortShard + runMergeOrdered implement distributed ORDER BY: each
+//     shard sorts its own results by (key, objid), then an ordered k-way
+//     merge produces one globally sorted stream. The (key, objid) total
+//     order makes the merged output deterministic and identical to a
+//     single-shard sort of the same rows; exact duplicates are taken from
+//     the lowest shard index first (merge stability).
+//   - runAggregate computes a partial aggregate per shard and combines
+//     them: COUNT/SUM/MIN/MAX compose directly, AVG composes via sum+count.
+
+package qe
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"sdss/internal/query"
+)
+
+// runInterleave fans the shard streams into one channel in arrival order.
+func (e *Engine) runInterleave(ctx context.Context, ins []<-chan Batch, rows *Rows) <-chan Batch {
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	out := make(chan Batch, 4)
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in <-chan Batch) {
+			defer wg.Done()
+			for b := range in {
+				select {
+				case out <- b:
+				case <-ctx.Done():
+					// A batch is being dropped: the stream was cut off
+					// mid-production (a lapsed deadline here is a timeout).
+					rows.interrupted.Store(true)
+					// Producers watch the same context; just drain.
+					for range in {
+					}
+					return
+				}
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// keyCompare is a three-way comparison of sort keys that is total even for
+// NaN: NaN orders before every number and equal to itself, so per-shard
+// sorts and the k-way merge agree on one global order no matter how NaN
+// rows are distributed across slices.
+func keyCompare(ka, kb float64) int {
+	aNaN, bNaN := math.IsNaN(ka), math.IsNaN(kb)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortLess orders two results by the hidden sort key at keyIdx, breaking
+// key ties (including NaN-vs-NaN) by ObjID so the order is total and
+// shard-independent.
+func sortLess(a, b *Result, keyIdx int, desc bool) bool {
+	if c := keyCompare(a.Values[keyIdx], b.Values[keyIdx]); c != 0 {
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a.ObjID < b.ObjID
+}
+
+// runSortShard drains one shard's scan (a sort node "must be complete
+// before results can be sent further up the tree") and re-emits it ordered
+// by (sort key, objid). The hidden sort key stays appended to each row for
+// the downstream k-way merge; runMergeOrdered strips it.
+func (e *Engine) runSortShard(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		var all []Result
+		for b := range in {
+			all = append(all, b...)
+		}
+		keyIdx := len(cs.Cols)
+		sort.Slice(all, func(i, j int) bool {
+			return sortLess(&all[i], &all[j], keyIdx, cs.Desc)
+		})
+		bs := e.batchSize()
+		for start := 0; start < len(all); start += bs {
+			end := start + bs
+			if end > len(all) {
+				end = len(all)
+			}
+			select {
+			case out <- Batch(all[start:end]):
+			case <-ctx.Done():
+				rows.interrupted.Store(true)
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// mergeCursor is one shard's position in the k-way merge.
+type mergeCursor struct {
+	shard int
+	ch    <-chan Batch
+	batch Batch
+	pos   int
+}
+
+// head returns the cursor's current result.
+func (c *mergeCursor) head() *Result { return &c.batch[c.pos] }
+
+// advance moves past the current result, pulling the next batch when the
+// current one is exhausted. It reports false when the stream is done.
+func (c *mergeCursor) advance() bool {
+	c.pos++
+	for c.pos >= len(c.batch) {
+		b, ok := <-c.ch
+		if !ok {
+			return false
+		}
+		c.batch, c.pos = b, 0
+	}
+	return true
+}
+
+// runMergeOrdered k-way merges per-shard sorted streams into one globally
+// sorted stream, strips the hidden sort key, and re-batches. Ties on
+// (key, objid) — exact duplicates — are emitted lowest shard first, keeping
+// the merge stable and deterministic.
+func (e *Engine) runMergeOrdered(ctx context.Context, cs *query.CompiledSelect, ins []<-chan Batch, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 4)
+	keyIdx := len(cs.Cols)
+	go func() {
+		defer close(out)
+		// Prime one cursor per shard stream; empty shards drop out here.
+		var cursors []*mergeCursor
+		for i, in := range ins {
+			c := &mergeCursor{shard: i, ch: in, pos: -1}
+			if c.advance() {
+				cursors = append(cursors, c)
+			}
+		}
+		batch := make(Batch, 0, e.batchSize())
+		emit := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			b := make(Batch, len(batch))
+			copy(b, batch)
+			batch = batch[:0]
+			select {
+			case out <- b:
+				return true
+			case <-ctx.Done():
+				rows.interrupted.Store(true)
+				return false
+			}
+		}
+		drain := func() {
+			for _, c := range cursors {
+				for range c.ch {
+				}
+			}
+		}
+		for len(cursors) > 0 {
+			if ctx.Err() != nil {
+				rows.interrupted.Store(true)
+				drain()
+				return
+			}
+			// Pick the smallest head; linear scan — shard counts are small
+			// and cursors are slice-ordered, so equal heads resolve to the
+			// lowest shard index.
+			best := 0
+			for i := 1; i < len(cursors); i++ {
+				if sortLess(cursors[i].head(), cursors[best].head(), keyIdx, cs.Desc) {
+					best = i
+				}
+			}
+			r := *cursors[best].head()
+			r.Values = r.Values[:keyIdx] // strip the hidden sort key
+			batch = append(batch, r)
+			if len(batch) >= e.batchSize() {
+				if !emit() {
+					drain()
+					return
+				}
+			}
+			if !cursors[best].advance() {
+				cursors = append(cursors[:best], cursors[best+1:]...)
+			}
+		}
+		emit()
+	}()
+	return out
+}
+
+// aggPartial is one shard's partial aggregate: enough state to compose any
+// of the five aggregate functions (AVG recombines as sum/count).
+type aggPartial struct {
+	count    int64
+	sum      float64
+	min, max float64
+	any      bool // min/max are meaningful
+}
+
+// combine folds another partial in.
+func (p *aggPartial) combine(q aggPartial) {
+	p.count += q.count
+	p.sum += q.sum
+	if q.any {
+		if !p.any || q.min < p.min {
+			p.min = q.min
+		}
+		if !p.any || q.max > p.max {
+			p.max = q.max
+		}
+		p.any = true
+	}
+}
+
+// runAggregate computes one partial aggregate per shard stream concurrently
+// and combines them (in shard order, so the result is deterministic given
+// deterministic shard partials) into the single result row. Aggregation is
+// inherently blocking: every shard must finish before the row exists.
+func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, ins []<-chan Batch, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 1)
+	partials := make([]aggPartial, len(ins))
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for i, in := range ins {
+		go func(i int, in <-chan Batch) {
+			defer wg.Done()
+			var p aggPartial
+			for b := range in {
+				for _, r := range b {
+					p.count++
+					if cs.Agg == query.AggCount {
+						continue
+					}
+					v := r.Values[len(r.Values)-1] // hidden agg operand
+					p.sum += v
+					if !p.any || v < p.min {
+						p.min = v
+					}
+					if !p.any || v > p.max {
+						p.max = v
+					}
+					p.any = true
+				}
+			}
+			partials[i] = p
+		}(i, in)
+	}
+	go func() {
+		defer close(out)
+		wg.Wait()
+		var total aggPartial
+		for _, p := range partials {
+			total.combine(p)
+		}
+		var v float64
+		switch cs.Agg {
+		case query.AggCount:
+			v = float64(total.count)
+		case query.AggSum:
+			v = total.sum
+		case query.AggAvg:
+			if total.count > 0 {
+				v = total.sum / float64(total.count)
+			}
+		case query.AggMin:
+			v = total.min
+		case query.AggMax:
+			v = total.max
+		}
+		select {
+		case out <- Batch{{Values: []float64{v}}}:
+		case <-ctx.Done():
+			rows.interrupted.Store(true)
+		}
+	}()
+	return out
+}

@@ -22,12 +22,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sdss/internal/catalog"
+	"sdss/internal/htm"
 	"sdss/internal/query"
 	"sdss/internal/region"
 	"sdss/internal/store"
@@ -48,11 +48,15 @@ type Batch []Result
 // coarse enough that coverage stays small.
 const DefaultCoverDepth = 10
 
-// Engine executes prepared statements against the archive's stores.
+// Engine executes prepared statements against the archive's stores. Each
+// store may be split into shard slices (store.Sharded); leaf scans fan out
+// across every slice concurrently and the streams are merged shard-aware
+// (see runSelect): ordered k-way merge under ORDER BY, partial-aggregate
+// combine for aggregates, plain interleave otherwise.
 type Engine struct {
-	Photo *store.Store // PhotoObj records
-	Tag   *store.Store // Tag records (may be nil if no tag partition)
-	Spec  *store.Store // SpecObj records (may be nil)
+	Photo *store.Sharded // PhotoObj records
+	Tag   *store.Sharded // Tag records (may be nil if no tag partition)
+	Spec  *store.Sharded // SpecObj records (may be nil)
 
 	// CoverDepth is the HTM coverage depth for spatial pruning.
 	CoverDepth int
@@ -90,8 +94,8 @@ func (e *Engine) batchSize() int {
 	return 256
 }
 
-func (e *Engine) storeFor(t query.Table) (*store.Store, error) {
-	var s *store.Store
+func (e *Engine) storeFor(t query.Table) (*store.Sharded, error) {
+	var s *store.Sharded
 	switch t {
 	case query.TablePhoto:
 		s = e.Photo
@@ -327,11 +331,11 @@ func (e *Engine) runNode(ctx context.Context, prep *query.Prepared, rows *Rows) 
 	right := e.runNode(ctx, prep.Right, rows)
 	switch prep.Op {
 	case query.OpUnion:
-		return e.runUnion(ctx, left, right)
+		return e.runUnion(ctx, left, right, rows)
 	case query.OpIntersect:
-		return e.runIntersect(ctx, left, right)
+		return e.runIntersect(ctx, left, right, rows)
 	case query.OpMinus:
-		return e.runMinus(ctx, left, right)
+		return e.runMinus(ctx, left, right, rows)
 	default:
 		ch := make(chan Batch)
 		close(ch)
@@ -344,7 +348,7 @@ func (e *Engine) runNode(ctx context.Context, prep *query.Prepared, rows *Rows) 
 // either child produces them; duplicates (an object satisfying both sides)
 // are suppressed so the result is a set, as SQL UNION and the paper's bags
 // of pointers imply.
-func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -368,6 +372,7 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch) <-chan 
 				select {
 				case out <- filtered:
 				case <-ctx.Done():
+					rows.interrupted.Store(true)
 					for range in {
 					}
 					return
@@ -403,7 +408,7 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch) <-chan 
 // runIntersect drains the left child into a hash set (one child must be
 // complete before results can be sent further up the tree), then streams
 // the right child through it.
-func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -432,6 +437,7 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch) <-c
 			select {
 			case out <- keep:
 			case <-ctx.Done():
+				rows.interrupted.Store(true)
 				for range right {
 				}
 				return
@@ -443,7 +449,7 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch) <-c
 
 // runMinus drains the right child (the subtrahend must be complete), then
 // streams the left child filtered against it.
-func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch) <-chan Batch {
+func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -472,6 +478,7 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch) <-chan 
 			select {
 			case out <- keep:
 			case <-ctx.Done():
+				rows.interrupted.Store(true)
 				for range left {
 				}
 				return
@@ -481,68 +488,68 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch) <-chan 
 	return out
 }
 
-// runSelect executes a leaf query node: parallel container scan, then the
-// optional sort / limit / aggregate stages.
+// runSelect executes a leaf query node with scatter-gather across the
+// table's shard slices: the HTM coverage is computed once, every slice runs
+// its own parallel container scan concurrently, and the shard streams are
+// merged by a shard-aware gather stage — ordered k-way merge when ORDER BY
+// is present, partial-aggregate combine for aggregates (AVG via sum+count),
+// plain interleave otherwise. Limits apply after the merge; cancellation
+// propagates to every shard through the shared tree context.
 func (e *Engine) runSelect(ctx context.Context, cs *query.CompiledSelect, rows *Rows) <-chan Batch {
-	scanned := e.runScan(ctx, cs, rows)
+	fail := func(err error) <-chan Batch {
+		rows.setErr(err)
+		ch := make(chan Batch)
+		close(ch)
+		return ch
+	}
+	st, err := e.storeFor(cs.Table)
+	if err != nil {
+		return fail(err)
+	}
+	cov, err := e.coverage(cs)
+	if err != nil {
+		return fail(err)
+	}
+	var rangeSet *htm.RangeSet
+	if cov != nil {
+		rangeSet = cov.RangeSet()
+	}
+
+	shards := st.Shards()
+	// Spread the scan parallelism across the slices: each slice gets its
+	// ceiling share of the worker budget, and a shared token pool bounds
+	// the decode work actually in flight at e.workers() even when the
+	// shard count exceeds it — an N-shard query never runs more concurrent
+	// decode work than a single-shard one.
+	perShard := (e.workers() + len(shards) - 1) / len(shards)
+	tokens := make(chan struct{}, e.workers())
+	scanned := make([]<-chan Batch, len(shards))
+	for i, sh := range shards {
+		scanned[i] = e.runScan(ctx, sh, cs, rangeSet, perShard, tokens, rows)
+	}
 
 	switch {
 	case cs.Agg != query.AggNone:
-		return e.runAggregate(ctx, cs, scanned)
+		return e.runAggregate(ctx, cs, scanned, rows)
 	case cs.Order != query.AttrInvalid:
-		sorted := e.runSort(ctx, cs, scanned)
-		if cs.Limit > 0 {
-			return e.runLimit(ctx, cs.Limit, sorted)
+		sorted := make([]<-chan Batch, len(scanned))
+		for i, in := range scanned {
+			sorted[i] = e.runSortShard(ctx, cs, in, rows)
 		}
-		return sorted
+		merged := e.runMergeOrdered(ctx, cs, sorted, rows)
+		if cs.Limit > 0 {
+			return e.runLimit(ctx, cs.Limit, merged, rows)
+		}
+		return merged
 	case cs.Limit > 0:
-		return e.runLimit(ctx, cs.Limit, scanned)
+		return e.runLimit(ctx, cs.Limit, e.runInterleave(ctx, scanned, rows), rows)
 	default:
-		return scanned
+		return e.runInterleave(ctx, scanned, rows)
 	}
 }
 
-// runSort drains its child (a sort node "must be complete before results
-// can be sent further up the tree"), orders by the hidden sort key, and
-// re-emits.
-func (e *Engine) runSort(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch) <-chan Batch {
-	out := make(chan Batch, 4)
-	go func() {
-		defer close(out)
-		var all []Result
-		for b := range in {
-			all = append(all, b...)
-		}
-		// The scan appended the sort key as the last value.
-		keyIdx := len(cs.Cols)
-		sort.SliceStable(all, func(i, j int) bool {
-			if cs.Desc {
-				return all[i].Values[keyIdx] > all[j].Values[keyIdx]
-			}
-			return all[i].Values[keyIdx] < all[j].Values[keyIdx]
-		})
-		// Strip the hidden key.
-		for i := range all {
-			all[i].Values = all[i].Values[:keyIdx]
-		}
-		bs := e.batchSize()
-		for start := 0; start < len(all); start += bs {
-			end := start + bs
-			if end > len(all) {
-				end = len(all)
-			}
-			select {
-			case out <- Batch(all[start:end]):
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	return out
-}
-
 // runLimit forwards the first n results then stops consuming.
-func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch) <-chan Batch {
+func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -561,60 +568,14 @@ func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch) <-chan Ba
 			select {
 			case out <- b:
 			case <-ctx.Done():
+				// The batch in hand is dropped: the stream was cut off
+				// mid-production.
+				rows.interrupted.Store(true)
 				return
 			}
 			if remaining == 0 {
 				return
 			}
-		}
-	}()
-	return out
-}
-
-// runAggregate folds the stream into a single result row.
-func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch) <-chan Batch {
-	out := make(chan Batch, 1)
-	go func() {
-		defer close(out)
-		var count int64
-		var sum float64
-		first := true
-		var minV, maxV float64
-		for b := range in {
-			for _, r := range b {
-				count++
-				if cs.Agg == query.AggCount {
-					continue
-				}
-				v := r.Values[len(r.Values)-1] // hidden agg operand
-				sum += v
-				if first || v < minV {
-					minV = v
-				}
-				if first || v > maxV {
-					maxV = v
-				}
-				first = false
-			}
-		}
-		var v float64
-		switch cs.Agg {
-		case query.AggCount:
-			v = float64(count)
-		case query.AggSum:
-			v = sum
-		case query.AggAvg:
-			if count > 0 {
-				v = sum / float64(count)
-			}
-		case query.AggMin:
-			v = minV
-		case query.AggMax:
-			v = maxV
-		}
-		select {
-		case out <- Batch{{Values: []float64{v}}}:
-		case <-ctx.Done():
 		}
 	}()
 	return out
@@ -627,4 +588,71 @@ func (e *Engine) coverage(cs *query.CompiledSelect) (*region.Coverage, error) {
 		return nil, nil
 	}
 	return region.Cover(cs.Region, e.coverDepth())
+}
+
+// NumShards reports the scatter width: the number of shard slices a leaf
+// scan fans out across (taken from the first loaded store).
+func (e *Engine) NumShards() int {
+	for _, s := range []*store.Sharded{e.Photo, e.Tag, e.Spec} {
+		if s != nil {
+			return s.NumShards()
+		}
+	}
+	return 0
+}
+
+// ShardFanout describes how one leaf scan node fans out across the shard
+// slices of its table: the candidate (coverage-overlapping) container count
+// on each slice. EXPLAIN serves this so clients can see the scatter before
+// paying for it.
+type ShardFanout struct {
+	Table   string `json:"table"`
+	Indexed bool   `json:"indexed"`
+	// ContainersPerShard is the candidate container count on each slice,
+	// in shard order.
+	ContainersPerShard []int `json:"containers_per_shard"`
+	ContainersTotal    int   `json:"containers_total"`
+}
+
+// Fanout computes the per-shard scatter of every leaf scan in a prepared
+// statement, in tree order (left before right).
+func (e *Engine) Fanout(prep *query.Prepared) ([]ShardFanout, error) {
+	if prep.Select == nil {
+		left, err := e.Fanout(prep.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.Fanout(prep.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
+	cs := prep.Select
+	st, err := e.storeFor(cs.Table)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := e.coverage(cs)
+	if err != nil {
+		return nil, err
+	}
+	var rangeSet *htm.RangeSet
+	if cov != nil {
+		rangeSet = cov.RangeSet()
+	}
+	fo := ShardFanout{
+		Table:              cs.Table.String(),
+		Indexed:            rangeSet != nil,
+		ContainersPerShard: make([]int, st.NumShards()),
+	}
+	for i, sh := range st.Shards() {
+		for _, cid := range sh.Containers() {
+			if rangeSet == nil || rangeSet.OverlapsTrixel(cid) {
+				fo.ContainersPerShard[i]++
+				fo.ContainersTotal++
+			}
+		}
+	}
+	return []ShardFanout{fo}, nil
 }

@@ -22,7 +22,7 @@ func testArchive(t testing.TB, n int, seed int64) (*Engine, []catalog.PhotoObj, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := load.NewTarget("", 0)
+	tgt, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

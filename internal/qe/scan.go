@@ -6,32 +6,20 @@ import (
 
 	"sdss/internal/htm"
 	"sdss/internal/query"
+	"sdss/internal/store"
 )
 
-// runScan executes a leaf query node: the HTM coverage prunes the container
-// list, workers decode and filter candidates in parallel, and result
-// batches stream out as soon as they fill — the data-pump end of the ASAP
-// push.
-func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Rows) <-chan Batch {
+// runScan executes a leaf query node against one shard slice: the HTM
+// coverage (computed once per query by runSelect) prunes the slice's
+// container list, nWorkers decode and filter candidates in parallel, and
+// result batches stream out as soon as they fill — the data-pump end of
+// the ASAP push. The scatter half of scatter-gather runs one of these per
+// slice concurrently; tokens is the query-wide pool bounding how many
+// workers across all slices process containers at once.
+func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, rangeSet *htm.RangeSet, nWorkers int, tokens chan struct{}, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
-	st, err := e.storeFor(cs.Table)
-	if err != nil {
-		rows.setErr(err)
-		close(out)
-		return out
-	}
-	cov, err := e.coverage(cs)
-	if err != nil {
-		rows.setErr(err)
-		close(out)
-		return out
-	}
-	var rangeSet *htm.RangeSet
-	if cov != nil {
-		rangeSet = cov.RangeSet()
-	}
 
-	// Candidate containers.
+	// Candidate containers within this slice.
 	var containers []htm.ID
 	for _, id := range st.Containers() {
 		if rangeSet == nil || rangeSet.OverlapsTrixel(id) {
@@ -49,7 +37,6 @@ func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Ro
 		hidden = append(hidden, cs.AggCol)
 	}
 
-	nWorkers := e.workers()
 	if nWorkers > len(containers) {
 		nWorkers = len(containers)
 	}
@@ -106,7 +93,16 @@ func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Ro
 				return emitFn(b)
 			}
 			for cid := range work {
+				// One token per container in flight: across all shard
+				// slices at most e.workers() of these sections run at once.
+				select {
+				case tokens <- struct{}{}:
+				case <-ctx.Done():
+					rows.interrupted.Store(true)
+					return
+				}
 				if ctx.Err() != nil {
+					<-tokens
 					rows.interrupted.Store(true)
 					return
 				}
@@ -141,6 +137,7 @@ func (e *Engine) runScan(ctx context.Context, cs *query.CompiledSelect, rows *Ro
 					}
 					return nil
 				})
+				<-tokens
 				if err != nil && err != context.Canceled {
 					rows.setErr(err)
 					return

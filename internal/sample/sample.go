@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"sdss/internal/htm"
 	"sdss/internal/store"
 )
 
@@ -54,6 +55,28 @@ func (s *Sampler) ScaleCount(sampleCount float64) float64 {
 	return sampleCount / s.frac
 }
 
+// recordStore is the scan-and-load surface subsetting needs; store.Store
+// and store.Sharded both satisfy it.
+type recordStore interface {
+	Scan(coverage *htm.RangeSet, fineFilter bool, fn func(rec []byte) error) error
+	KeyOf(rec []byte) htm.ID
+	BulkLoad(recs []store.Record) error
+}
+
+// SubsetSharded builds a new memory sharded store (same slice count as
+// src) holding only the sampled records. The shard key is a pure function
+// of the container trixel, so the sample's partition matches the source's:
+// shard i of the sample holds exactly the sampled records of shard i.
+func (s *Sampler) SubsetSharded(src *store.Sharded) (*store.Sharded, error) {
+	opts := src.Options()
+	opts.Dir = "" // samples live in memory (or on the astronomer's laptop)
+	dst, err := store.OpenSharded(opts, src.NumShards())
+	if err != nil {
+		return nil, err
+	}
+	return dst, s.subsetInto(src, dst)
+}
+
 // Subset builds a new memory store holding only the sampled records from
 // src. Records must carry their ObjID as a little-endian uint64 at offset 0
 // (true of every catalog record type).
@@ -64,8 +87,14 @@ func (s *Sampler) Subset(src *store.Store) (*store.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	return dst, s.subsetInto(src, dst)
+}
+
+// subsetInto streams the sampled records of src into dst in 4096-record
+// bulk loads.
+func (s *Sampler) subsetInto(src, dst recordStore) error {
 	var recs []store.Record
-	err = src.Scan(nil, false, func(rec []byte) error {
+	err := src.Scan(nil, false, func(rec []byte) error {
 		objID := binary.LittleEndian.Uint64(rec)
 		if !s.Keep(objID) {
 			return nil
@@ -82,12 +111,10 @@ func (s *Sampler) Subset(src *store.Store) (*store.Store, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(recs) > 0 {
-		if err := dst.BulkLoad(recs); err != nil {
-			return nil, err
-		}
+		return dst.BulkLoad(recs)
 	}
-	return dst, nil
+	return nil
 }

@@ -52,7 +52,7 @@ func TestSubsetAndScaledEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := load.NewTarget("", 0)
+	tgt, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestSubsetAndScaledEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := s.Subset(tgt.Photo)
+	sub, err := s.SubsetSharded(tgt.Photo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,18 +116,18 @@ func TestSampleConsistentAcrossTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := load.NewTarget("", 0)
+	tgt, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo, Spec: spec}); err != nil {
 		t.Fatal(err)
 	}
-	subPhoto, err := s.Subset(tgt.Photo)
+	subPhoto, err := s.SubsetSharded(tgt.Photo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	subTag, err := s.Subset(tgt.Tag)
+	subTag, err := s.SubsetSharded(tgt.Tag)
 	if err != nil {
 		t.Fatal(err)
 	}

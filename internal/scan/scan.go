@@ -27,9 +27,18 @@ import (
 	"sdss/internal/store"
 )
 
+// ContainerStore is the store surface the machine sweeps: any container-
+// clustered source of records. Both store.Store and store.Sharded satisfy
+// it, so a machine can sweep a single slice or a whole sharded archive.
+type ContainerStore interface {
+	Containers() []htm.ID
+	Container(id htm.ID) *store.Container
+	ForEachInContainer(id htm.ID, fn func(rec []byte) error) error
+}
+
 // Machine is the scan machine over one store and fabric.
 type Machine struct {
-	st     *store.Store
+	st     ContainerStore
 	fabric *cluster.Fabric
 
 	mu      sync.Mutex
@@ -69,7 +78,7 @@ func (t *Ticket) Wait(ctx context.Context) error {
 // New builds a scan machine: the store's containers are partitioned across
 // the fabric's nodes (with replication, so the machine survives single-node
 // failures).
-func New(st *store.Store, fabric *cluster.Fabric) *Machine {
+func New(st ContainerStore, fabric *cluster.Fabric) *Machine {
 	fabric.Partition(st.Containers(), true)
 	return &Machine{
 		st:     st,

@@ -13,13 +13,13 @@ import (
 	"sdss/internal/store"
 )
 
-func buildStore(t testing.TB, n int, seed int64) (*store.Store, []catalog.PhotoObj) {
+func buildStore(t testing.TB, n int, seed int64) (*store.Sharded, []catalog.PhotoObj) {
 	t.Helper()
 	photo, spec, err := skygen.GenerateAll(skygen.Default(seed, n), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := load.NewTarget("", 0)
+	tgt, err := load.NewTarget("", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sdss/internal/htm"
+)
+
+// Sharded partitions a container-clustered store across N independent
+// slices — the structural step toward the paper's "data spread over many
+// containers/nodes" Science Archive. Containers are assigned to slices
+// round-robin over their coarse trixel ID (shard = trixel mod N): container
+// IDs at a fixed depth are a dense contiguous range, so adjacent patches of
+// sky land on different slices and every slice covers the whole sphere.
+// That keeps spatially concentrated queries (cone searches) fanned out
+// across all slices instead of hot-spotting one.
+//
+// Each slice is a complete, independently persistable Store; a query engine
+// scans all slices concurrently and merges the streams (package qe). With
+// one shard, Sharded is a thin pass-through over a single Store, including
+// its on-disk layout — existing single-store archives reopen unchanged.
+type Sharded struct {
+	opts   Options
+	shards []*Store
+}
+
+// shardMetaFile records the slice count of a persisted sharded store, so a
+// reopen cannot silently split the same directory differently.
+const shardMetaFile = "SHARDS"
+
+// OpenSharded creates or opens a store split into nShards slices. nShards
+// <= 1 means a single slice stored directly under opts.Dir (the historical
+// layout); more slices live in shard-NNN subdirectories. When opts.Dir
+// holds a previously persisted sharded store, its recorded slice count must
+// match nShards (nShards 0 adopts the recorded count).
+func OpenSharded(opts Options, nShards int) (*Sharded, error) {
+	if opts.Dir != "" {
+		recorded, err := readShardMeta(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if recorded == 0 && hasContainerFiles(opts.Dir) {
+			// Pre-shard layout: container files directly under the
+			// directory with no meta file means one slice.
+			recorded = 1
+		}
+		switch {
+		case recorded == 0:
+			// Fresh directory: adopt the request.
+		case nShards == 0:
+			nShards = recorded
+		case recorded != nShards:
+			return nil, fmt.Errorf("store: %s is split into %d shards, not %d", opts.Dir, recorded, nShards)
+		}
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	s := &Sharded{opts: opts, shards: make([]*Store, nShards)}
+	for i := range s.shards {
+		so := opts
+		if opts.Dir != "" && nShards > 1 {
+			so.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
+		}
+		sh, err := Open(so)
+		if err != nil {
+			return nil, fmt.Errorf("store: opening shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+	}
+	// Adopt the opened slices' normalized options (depth defaulting).
+	s.opts = s.shards[0].opts
+	s.opts.Dir = opts.Dir
+	if opts.Dir != "" && nShards > 1 {
+		if err := writeShardMeta(opts.Dir, nShards); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func readShardMeta(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, shardMetaFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: reading shard meta: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("store: corrupt shard meta %q in %s", strings.TrimSpace(string(b)), dir)
+	}
+	return n, nil
+}
+
+// hasContainerFiles reports whether dir holds container files in the flat
+// pre-shard layout, which makes it a 1-slice store even without meta.
+func hasContainerFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "c") && strings.HasSuffix(name, ".dat") {
+			return true
+		}
+	}
+	return false
+}
+
+func writeShardMeta(dir string, n int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return os.WriteFile(filepath.Join(dir, shardMetaFile), []byte(strconv.Itoa(n)+"\n"), 0o644)
+}
+
+// Options returns the store's configuration.
+func (s *Sharded) Options() Options { return s.opts }
+
+// ContainerDepth returns the depth of container keys.
+func (s *Sharded) ContainerDepth() int { return s.opts.ContainerDepth }
+
+// NumShards returns the number of slices.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shards returns the slices in shard order.
+func (s *Sharded) Shards() []*Store { return s.shards }
+
+// Shard returns one slice.
+func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
+
+// ShardFor returns the slice index owning a container trixel: round-robin
+// over the dense coarse-trixel ID space.
+func (s *Sharded) ShardFor(cid htm.ID) int {
+	return int(uint64(cid) % uint64(len(s.shards)))
+}
+
+// BulkLoad partitions the records by owning slice and loads every slice in
+// parallel. Each slice's BulkLoad groups by container, so each clustering
+// unit is still touched at most once per load — the paper's load invariant
+// survives sharding.
+func (s *Sharded) BulkLoad(recs []Record) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].BulkLoad(recs)
+	}
+	depth := s.opts.ContainerDepth
+	parts := make([][]Record, len(s.shards))
+	for _, r := range recs {
+		cid := r.HTMID.AtDepth(depth)
+		if cid == htm.Invalid {
+			return fmt.Errorf("store: record with invalid HTM ID %#x", uint64(r.HTMID))
+		}
+		i := s.ShardFor(cid)
+		parts[i] = append(parts[i], r)
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []Record) {
+			defer wg.Done()
+			errs[i] = s.shards[i].BulkLoad(part)
+		}(i, part)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sort orders every container of every slice by fine HTM ID.
+func (s *Sharded) Sort() {
+	for _, sh := range s.shards {
+		sh.Sort()
+	}
+}
+
+// Flush persists every slice.
+func (s *Sharded) Flush() error {
+	for i, sh := range s.shards {
+		if err := sh.Flush(); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NumContainers returns the number of clustering units across all slices.
+func (s *Sharded) NumContainers() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.NumContainers()
+	}
+	return n
+}
+
+// NumRecords returns the number of stored records across all slices.
+func (s *Sharded) NumRecords() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.NumRecords()
+	}
+	return n
+}
+
+// Bytes returns the total payload size across all slices.
+func (s *Sharded) Bytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Bytes()
+	}
+	return n
+}
+
+// Touches returns cumulative container touches across all slices.
+func (s *Sharded) Touches() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Touches()
+	}
+	return n
+}
+
+// ResetTouches zeroes every slice's touch counter.
+func (s *Sharded) ResetTouches() {
+	for _, sh := range s.shards {
+		sh.ResetTouches()
+	}
+}
+
+// ShardRecords reports each slice's record count, in shard order — the
+// balance view the status endpoint serves.
+func (s *Sharded) ShardRecords() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.NumRecords()
+	}
+	return out
+}
+
+// Containers returns every slice's container IDs merged in sorted order.
+func (s *Sharded) Containers() []htm.ID {
+	var ids []htm.ID
+	for _, sh := range s.shards {
+		ids = append(ids, sh.Containers()...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Container returns one container's data from its owning slice (nil if
+// absent).
+func (s *Sharded) Container(id htm.ID) *Container {
+	return s.shards[s.ShardFor(id)].Container(id)
+}
+
+// ForEachInContainer streams the records of a single container from its
+// owning slice.
+func (s *Sharded) ForEachInContainer(id htm.ID, fn func(rec []byte) error) error {
+	return s.shards[s.ShardFor(id)].ForEachInContainer(id, fn)
+}
+
+// Scan streams records slice by slice in shard order; within a slice the
+// ordering matches Store.Scan. Consumers needing global container order
+// should iterate Containers and route per container.
+func (s *Sharded) Scan(coverage *htm.RangeSet, fineFilter bool, fn func(rec []byte) error) error {
+	for _, sh := range s.shards {
+		if err := sh.Scan(coverage, fineFilter, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanContainers streams whole containers in global ID order, routing each
+// to its owning slice.
+func (s *Sharded) ScanContainers(fn func(id htm.ID, data []byte, count int) error) error {
+	for _, id := range s.Containers() {
+		c := s.Container(id)
+		if c == nil {
+			continue
+		}
+		if err := fn(id, c.data, c.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KeyOf reads the embedded fine HTM ID of an encoded record.
+func (s *Sharded) KeyOf(rec []byte) htm.ID { return s.shards[0].KeyOf(rec) }

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"sdss/internal/htm"
+)
+
+// shardedTestRecords builds n records spread over the sky with the HTM key
+// at offset 8 (the catalog layout).
+func shardedTestRecords(t *testing.T, n int, seed int64) []Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	for i := range recs {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*120 - 60
+		id, err := htm.LookupRADec(ra, dec, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 24)
+		binary.LittleEndian.PutUint64(data[0:], uint64(i+1))
+		binary.LittleEndian.PutUint64(data[8:], uint64(id))
+		binary.LittleEndian.PutUint64(data[16:], rng.Uint64())
+		recs[i] = Record{HTMID: id, Data: data}
+	}
+	return recs
+}
+
+func shardedTestOpts(dir string) Options {
+	return Options{Dir: dir, RecordSize: 24, KeyOffset: 8}
+}
+
+func TestShardedPartitionInvariants(t *testing.T) {
+	s, err := OpenSharded(shardedTestOpts(""), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := shardedTestRecords(t, 5000, 1)
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumRecords(); got != 5000 {
+		t.Fatalf("NumRecords = %d, want 5000", got)
+	}
+	// Every container lives on exactly the slice its trixel maps to, and
+	// the aggregate container set is the union of the slices.
+	total := 0
+	for i, sh := range s.Shards() {
+		for _, cid := range sh.Containers() {
+			if want := s.ShardFor(cid); want != i {
+				t.Fatalf("container %v on shard %d, ShardFor says %d", cid, i, want)
+			}
+		}
+		total += sh.NumContainers()
+	}
+	if total != s.NumContainers() {
+		t.Fatalf("slice containers sum %d != NumContainers %d", total, s.NumContainers())
+	}
+	if got := len(s.Containers()); got != total {
+		t.Fatalf("merged Containers has %d entries, want %d", got, total)
+	}
+	// Each clustering unit is touched at most once per bulk load even
+	// though slices load in parallel.
+	if got := s.Touches(); got != int64(s.NumContainers()) {
+		t.Fatalf("one load touched %d times for %d containers", got, s.NumContainers())
+	}
+	// No slice is starved: round-robin over the dense trixel space spreads
+	// a whole-sky catalog across every slice.
+	for i, n := range s.ShardRecords() {
+		if n == 0 {
+			t.Errorf("shard %d holds no records", i)
+		}
+	}
+}
+
+// TestShardedScanMatchesSingle loads identical records into 1- and 6-shard
+// stores and checks full and coverage-pruned scans see the same record
+// sets.
+func TestShardedScanMatchesSingle(t *testing.T) {
+	recs := shardedTestRecords(t, 3000, 2)
+	one, err := OpenSharded(shardedTestOpts(""), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := OpenSharded(shardedTestOpts(""), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Sharded{one, six} {
+		if err := s.BulkLoad(recs); err != nil {
+			t.Fatal(err)
+		}
+		s.Sort()
+	}
+	collect := func(s *Sharded, cov *htm.RangeSet, fine bool) map[uint64]bool {
+		seen := make(map[uint64]bool)
+		if err := s.Scan(cov, fine, func(rec []byte) error {
+			seen[binary.LittleEndian.Uint64(rec)] = true
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	same := func(name string, a, b map[uint64]bool) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d records", name, len(a), len(b))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatalf("%s: record %d missing from sharded scan", name, id)
+			}
+		}
+	}
+	same("full scan", collect(one, nil, false), collect(six, nil, false))
+
+	// Coverage-pruned scan over one octant's worth of trixels.
+	rs := htm.NewRangeSet(8)
+	lo := htm.FirstAtDepth(8)
+	rs.AddRange(htm.Range{Lo: lo, Hi: lo + htm.ID(1)<<14})
+	same("pruned scan", collect(one, rs, true), collect(six, rs, true))
+}
+
+func TestShardedPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(shardedTestOpts(dir), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := shardedTestRecords(t, 2000, 3)
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the recorded count adopted (0) and explicitly (3).
+	for _, req := range []int{0, 3} {
+		again, err := OpenSharded(shardedTestOpts(dir), req)
+		if err != nil {
+			t.Fatalf("reopen with %d shards: %v", req, err)
+		}
+		if got := again.NumShards(); got != 3 {
+			t.Fatalf("reopen(%d): NumShards = %d, want 3", req, got)
+		}
+		if got := again.NumRecords(); got != 2000 {
+			t.Fatalf("reopen(%d): NumRecords = %d, want 2000", req, got)
+		}
+	}
+
+	// A mismatched slice count must refuse, not silently repartition.
+	if _, err := OpenSharded(shardedTestOpts(dir), 5); err == nil {
+		t.Fatal("reopening a 3-shard store as 5 shards did not fail")
+	}
+}
+
+func TestShardedSingleSliceLayoutCompatible(t *testing.T) {
+	dir := t.TempDir()
+	// Write through the plain single store (the historical layout).
+	plain, err := Open(shardedTestOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := shardedTestRecords(t, 500, 4)
+	if err := plain.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A 1-shard sharded open must read it in place.
+	s, err := OpenSharded(shardedTestOpts(dir), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumRecords(); got != 500 {
+		t.Fatalf("NumRecords = %d, want 500", got)
+	}
+	// Shards 0 must adopt the implicit single slice, not treat it as fresh.
+	adopt, err := OpenSharded(shardedTestOpts(dir), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adopt.NumShards(); got != 1 {
+		t.Fatalf("adopting legacy layout gave %d shards, want 1", got)
+	}
+	// Asking to split a populated legacy directory must refuse: silently
+	// presenting it as N empty slices would hide every record.
+	if _, err := OpenSharded(shardedTestOpts(dir), 4); err == nil {
+		t.Fatal("opening a populated pre-shard layout as 4 shards did not fail")
+	}
+}
+
+func TestShardedContainerRouting(t *testing.T) {
+	s, err := OpenSharded(shardedTestOpts(""), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BulkLoad(shardedTestRecords(t, 1000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, cid := range s.Containers() {
+		c := s.Container(cid)
+		if c == nil {
+			t.Fatalf("container %v not routable", cid)
+		}
+		n := 0
+		if err := s.ForEachInContainer(cid, func([]byte) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != c.Count() {
+			t.Fatalf("container %v: iterated %d of %d records", cid, n, c.Count())
+		}
+	}
+}
