@@ -58,6 +58,7 @@ func BenchmarkCartesianVsTrig(b *testing.B)      { runExperiment(b, expt.Cartesi
 func BenchmarkASAPFirstResult(b *testing.B)      { runExperiment(b, expt.ASAPFirstResult) }
 func BenchmarkIndexVsScanCrossover(b *testing.B) { runExperiment(b, expt.IndexVsScanCrossover) }
 func BenchmarkShardScatterGather(b *testing.B)   { runExperiment(b, expt.ShardScatterGather) }
+func BenchmarkZoneMapPruning(b *testing.B)       { runExperiment(b, expt.ZoneMapPruning) }
 func BenchmarkContainerDepth(b *testing.B)       { runExperiment(b, expt.AblationContainerDepth) }
 func BenchmarkCoverageRangesVsList(b *testing.B) { runExperiment(b, expt.AblationCoverageRanges) }
 func BenchmarkCoverDepthSelection(b *testing.B)  { runExperiment(b, expt.AblationCoverDepth) }

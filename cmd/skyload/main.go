@@ -63,9 +63,10 @@ func main() {
 		log.Fatal(err)
 	}
 	sum := a.Stats()
-	fmt.Printf("archive %s: %d objects in %d containers, %s total, loaded in %v\n",
+	fmt.Printf("archive %s: %d objects in %d containers, %s total (%s of zone maps), loaded in %v\n",
 		*dir, sum.PhotoObjects, sum.Containers,
 		stats.ByteSize(float64(sum.PhotoBytes+sum.TagBytes+sum.SpecBytes)),
+		stats.ByteSize(float64(sum.ZoneMapBytes)),
 		time.Since(start).Round(time.Millisecond))
 	_ = totalBytes
 }

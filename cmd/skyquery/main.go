@@ -34,8 +34,10 @@ func main() {
 		timing  = flag.Bool("t", false, "print timing summary to stderr")
 		workers = flag.Int("workers", 0, "scan parallelism (0 = GOMAXPROCS)")
 		format  = flag.String("format", "tsv", "output format: tsv, csv, or ndjson")
-		explain = flag.Bool("explain", false, "print the query plan instead of executing")
+		explain = flag.Bool("explain", false, "print the query plan (with zone-map fanout) instead of executing")
 		timeout = flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+		noZone  = flag.Bool("nozone", false, "disable zone-map container pruning")
+		fullDec = flag.Bool("fulldecode", false, "decode full record structs instead of selective column reads")
 	)
 	flag.Parse()
 	q := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -47,6 +49,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	a.Engine().NoZone = *noZone
+	a.Engine().FullDecode = *fullDec
 
 	if *explain {
 		prep, err := a.Prepare(q)
@@ -54,6 +58,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(prep.Explain())
+		// Per-shard scatter + zone pruning: what the scan will actually
+		// read versus what the zone maps proved empty.
+		fanout, err := a.Engine().Fanout(prep)
+		if err == nil {
+			for _, fo := range fanout {
+				fmt.Printf("scan %s: %d candidate containers, %d zone-pruned, %d scanned (per shard: %v)\n",
+					fo.Table, fo.ContainersTotal, fo.ZonePruned, fo.ContainersScanned, fo.ContainersPerShard)
+			}
+		}
 		return
 	}
 

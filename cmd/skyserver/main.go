@@ -33,6 +33,7 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "concurrent batch jobs (0 = 2)")
 		jobQueue   = flag.Int("job-queue", 0, "batch admission queue depth (0 = 32)")
 		jobTTL     = flag.Duration("job-ttl", 0, "finished job retention (0 = 15m)")
+		noZone     = flag.Bool("nozone", false, "disable zone-map container pruning")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	a.Engine().NoZone = *noZone
 	www := archive.NewWWW(a.Engine())
 	www.MaxRows = *maxRows
 	www.MaxTimeout = *maxTimeout
@@ -50,8 +52,8 @@ func main() {
 	})
 
 	st := a.Stats()
-	fmt.Printf("serving archive %s (%d objects, %d containers, %d shards) on %s\n",
-		*dir, st.PhotoObjects, st.Containers, st.Shards, *addr)
+	fmt.Printf("serving archive %s (%d objects, %d containers, %d shards, %d zone-map bytes) on %s\n",
+		*dir, st.PhotoObjects, st.Containers, st.Shards, st.ZoneMapBytes, *addr)
 	fmt.Println("endpoints: /v1/status /v1/tables /v1/query /v1/explain /v1/cone /v1/jobs")
 	srv := &http.Server{Addr: *addr, Handler: www.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(srv.ListenAndServe())

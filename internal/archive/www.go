@@ -110,9 +110,12 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		// record counts, in shard order — the partition-balance view.
 		Shards       int     `json:"shards"`
 		ShardRecords []int64 `json:"shard_records,omitempty"`
-		JobsQueued   int     `json:"jobs_queued"`
-		JobsRunning  int     `json:"jobs_running"`
-		JobsFinished int     `json:"jobs_finished"`
+		// ZoneMapBytes is the in-memory footprint of the per-container
+		// min/max statistics across every store and slice.
+		ZoneMapBytes int64 `json:"zone_map_bytes"`
+		JobsQueued   int   `json:"jobs_queued"`
+		JobsRunning  int   `json:"jobs_running"`
+		JobsFinished int   `json:"jobs_finished"`
 	}
 	st := status{Version: "v1", Uptime: time.Since(w.Started).Round(time.Second).String()}
 	st.Shards = w.Engine.NumShards()
@@ -121,12 +124,15 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		st.PhotoBytes = w.Engine.Photo.Bytes()
 		st.NumContainers = w.Engine.Photo.NumContainers()
 		st.ShardRecords = w.Engine.Photo.ShardRecords()
+		st.ZoneMapBytes += w.Engine.Photo.ZoneBytes()
 	}
 	if w.Engine.Tag != nil {
 		st.TagRecords = w.Engine.Tag.NumRecords()
+		st.ZoneMapBytes += w.Engine.Tag.ZoneBytes()
 	}
 	if w.Engine.Spec != nil {
 		st.SpecRecords = w.Engine.Spec.NumRecords()
+		st.ZoneMapBytes += w.Engine.Spec.ZoneBytes()
 	}
 	st.JobsQueued, st.JobsRunning, st.JobsFinished = w.Jobs.Counts()
 	writeJSON(rw, http.StatusOK, st)

@@ -1,0 +1,89 @@
+package archive
+
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestV1StatusReportsZoneBytes: the status page surfaces the zone-map
+// footprint so operators can see the cost of the per-container statistics.
+func TestV1StatusReportsZoneBytes(t *testing.T) {
+	www, srv := newTestServer(t)
+	// Freshen zones the way a loader would (Sort builds them).
+	www.Engine.Photo.BuildZones()
+	www.Engine.Tag.BuildZones()
+	www.Engine.Spec.BuildZones()
+	code, body := get(t, srv, "/v1/status")
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var st struct {
+		ZoneMapBytes int64 `json:"zone_map_bytes"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ZoneMapBytes <= 0 {
+		t.Errorf("zone_map_bytes = %d, want > 0", st.ZoneMapBytes)
+	}
+}
+
+// TestV1ExplainReportsZonePruning: explain carries the predicate bounds in
+// the plan and the zone-pruned / scanned container split in the fanout.
+func TestV1ExplainReportsZonePruning(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	// An always-false predicate must show every candidate pruned.
+	q := "SELECT objid FROM tag WHERE r < 18 AND r > 21"
+	code, body := get(t, srv, "/v1/explain?q="+url.QueryEscape(q))
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var out struct {
+		Plan struct {
+			Bounds []string `json:"bounds"`
+		} `json:"plan"`
+		Fanout []struct {
+			ContainersTotal   int `json:"containers_total"`
+			ZonePruned        int `json:"zone_pruned"`
+			ContainersScanned int `json:"containers_scanned"`
+		} `json:"fanout"`
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Plan.Bounds) == 0 {
+		t.Fatal("plan has no bounds")
+	}
+	if len(out.Fanout) != 1 {
+		t.Fatalf("fanout entries = %d", len(out.Fanout))
+	}
+	fo := out.Fanout[0]
+	if fo.ContainersTotal == 0 || fo.ZonePruned != fo.ContainersTotal || fo.ContainersScanned != 0 {
+		t.Errorf("always-false fanout = %+v, want all candidates pruned", fo)
+	}
+
+	// A satisfiable cut reports bounds and a consistent scanned/pruned
+	// split.
+	q = "SELECT objid, r FROM tag WHERE r < 18"
+	code, body = get(t, srv, "/v1/explain?q="+url.QueryEscape(q))
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Plan.Bounds) != 1 || !strings.Contains(out.Plan.Bounds[0], "r ∈") {
+		t.Errorf("bounds = %v", out.Plan.Bounds)
+	}
+	fo = out.Fanout[0]
+	if fo.ZonePruned+fo.ContainersScanned != fo.ContainersTotal {
+		t.Errorf("pruned %d + scanned %d != total %d", fo.ZonePruned, fo.ContainersScanned, fo.ContainersTotal)
+	}
+	if !strings.Contains(out.Text, "ZONES [") {
+		t.Errorf("explain text lacks zone bounds: %q", out.Text)
+	}
+}

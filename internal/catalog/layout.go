@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// FieldKind is the wire encoding of one fixed-offset record field.
+type FieldKind uint8
+
+// The field encodings used by the catalog codecs.
+const (
+	KindU8 FieldKind = iota
+	KindU16
+	KindU64
+	KindF32
+	KindF64
+)
+
+// Size returns the encoded width of the kind in bytes.
+func (k FieldKind) Size() int {
+	switch k {
+	case KindU8:
+		return 1
+	case KindU16:
+		return 2
+	case KindF32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Field locates one scalar attribute inside an encoded record, so readers
+// can fetch a single attribute without decoding the whole struct — the
+// selective-decode path of the query engine and the zone-map builder.
+// Names match the query language's canonical attribute names.
+type Field struct {
+	Name   string
+	Offset int
+	Kind   FieldKind
+}
+
+// Read decodes the field from an encoded record as a float64 — the engine's
+// universal value type. Integral kinds convert exactly (all catalog integers
+// fit in a float64 mantissa).
+func (f Field) Read(rec []byte) float64 {
+	le := binary.LittleEndian
+	switch f.Kind {
+	case KindU8:
+		return float64(rec[f.Offset])
+	case KindU16:
+		return float64(le.Uint16(rec[f.Offset:]))
+	case KindU64:
+		return float64(le.Uint64(rec[f.Offset:]))
+	case KindF32:
+		return float64(math.Float32frombits(le.Uint32(rec[f.Offset:])))
+	default:
+		return math.Float64frombits(le.Uint64(rec[f.Offset:]))
+	}
+}
+
+// layoutBuilder accumulates fields at sequential offsets, mirroring the
+// AppendTo encoders so offsets can never drift from the codecs silently
+// (catalog_test cross-checks every field against a decoded struct).
+type layoutBuilder struct {
+	fields []Field
+	off    int
+}
+
+func (b *layoutBuilder) add(name string, k FieldKind) {
+	b.fields = append(b.fields, Field{Name: name, Offset: b.off, Kind: k})
+	b.off += k.Size()
+}
+
+func (b *layoutBuilder) skip(n int) { b.off += n }
+
+// PhotoLayout is the fixed byte layout of an encoded PhotoObj, in encoding
+// order. The radial profiles (the bulk of the record) are not addressable
+// attributes and appear only as trailing padding.
+var PhotoLayout = buildPhotoLayout()
+
+func buildPhotoLayout() []Field {
+	var b layoutBuilder
+	b.add("objid", KindU64)
+	b.add("htmid", KindU64)
+	b.add("run", KindU16)
+	b.add("camcol", KindU8)
+	b.add("field", KindU16)
+	b.add("mjd", KindF64)
+	b.add("ra", KindF64)
+	b.add("dec", KindF64)
+	b.add("cx", KindF64)
+	b.add("cy", KindF64)
+	b.add("cz", KindF64)
+	for _, band := range [NumBands]string{"u", "g", "r", "i", "z"} {
+		b.add(band, KindF32)
+	}
+	for _, band := range [NumBands]string{"u", "g", "r", "i", "z"} {
+		b.add("err_"+band, KindF32)
+	}
+	for _, band := range [NumBands]string{"u", "g", "r", "i", "z"} {
+		b.add("ext_"+band, KindF32)
+	}
+	b.add("petrorad", KindF32)
+	b.add("petror50", KindF32)
+	b.add("surfbright", KindF32)
+	b.add("skybright", KindF32)
+	b.add("airmass", KindF32)
+	b.add("rowc", KindF32)
+	b.add("colc", KindF32)
+	b.add("psfwidth", KindF32)
+	b.add("mura", KindF32)
+	b.add("mudec", KindF32)
+	b.add("class", KindU8)
+	b.add("flags", KindU64)
+	b.skip(4 * NumBands * NumProfileBins * 2) // Prof, ProfErr
+	if b.off != PhotoObjSize {
+		panic("catalog: PhotoLayout does not cover PhotoObjSize")
+	}
+	return b.fields
+}
+
+// TagLayout is the fixed byte layout of an encoded Tag. RA/Dec are not
+// stored — they derive from the Cartesian triplet.
+var TagLayout = buildTagLayout()
+
+func buildTagLayout() []Field {
+	var b layoutBuilder
+	b.add("objid", KindU64)
+	b.add("htmid", KindU64)
+	b.add("cx", KindF64)
+	b.add("cy", KindF64)
+	b.add("cz", KindF64)
+	for _, band := range [NumBands]string{"u", "g", "r", "i", "z"} {
+		b.add(band, KindF32)
+	}
+	b.add("size", KindF32)
+	b.add("class", KindU8)
+	if b.off != TagSize {
+		panic("catalog: TagLayout does not cover TagSize")
+	}
+	return b.fields
+}
+
+// SpecLayout is the fixed byte layout of an encoded SpecObj. The position
+// triplet is not stored — it derives from the trixel center. The spectral
+// lines are not addressable attributes.
+var SpecLayout = buildSpecLayout()
+
+func buildSpecLayout() []Field {
+	var b layoutBuilder
+	b.add("objid", KindU64)
+	b.add("htmid", KindU64)
+	b.add("redshift", KindF32)
+	b.add("zerr", KindF32)
+	b.add("class", KindU8)
+	b.add("fiberid", KindU16)
+	b.add("plate", KindU16)
+	b.add("sn", KindF32)
+	b.skip(NumLines * (4 + 4 + 2)) // Lines
+	if b.off != SpecObjSize {
+		panic("catalog: SpecLayout does not cover SpecObjSize")
+	}
+	return b.fields
+}

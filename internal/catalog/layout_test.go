@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fieldValue reads the struct field the layout entry names, via the decoded
+// struct, so layouts are cross-checked against the codecs themselves.
+func photoFieldValue(p *PhotoObj, name string) float64 {
+	bands := map[string]Band{"u": U, "g": G, "r": R, "i": I, "z": Z}
+	if b, ok := bands[name]; ok {
+		return float64(p.Mag[b])
+	}
+	switch name {
+	case "objid":
+		return float64(p.ObjID)
+	case "htmid":
+		return float64(p.HTMID)
+	case "run":
+		return float64(p.Run)
+	case "camcol":
+		return float64(p.Camcol)
+	case "field":
+		return float64(p.Field)
+	case "mjd":
+		return p.MJD
+	case "ra":
+		return p.RA
+	case "dec":
+		return p.Dec
+	case "cx":
+		return p.X
+	case "cy":
+		return p.Y
+	case "cz":
+		return p.Z
+	case "err_u", "err_g", "err_r", "err_i", "err_z":
+		return float64(p.MagErr[bands[name[4:]]])
+	case "ext_u", "ext_g", "ext_r", "ext_i", "ext_z":
+		return float64(p.Extinction[bands[name[4:]]])
+	case "petrorad":
+		return float64(p.PetroRad)
+	case "petror50":
+		return float64(p.PetroR50)
+	case "surfbright":
+		return float64(p.SurfBright)
+	case "skybright":
+		return float64(p.SkyBright)
+	case "airmass":
+		return float64(p.Airmass)
+	case "rowc":
+		return float64(p.RowC)
+	case "colc":
+		return float64(p.ColC)
+	case "psfwidth":
+		return float64(p.PSFWidth)
+	case "mura":
+		return float64(p.MuRA)
+	case "mudec":
+		return float64(p.MuDec)
+	case "class":
+		return float64(p.Class)
+	case "flags":
+		return float64(p.Flags)
+	}
+	panic("unknown photo field " + name)
+}
+
+func TestPhotoLayoutMatchesCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		p := randomPhotoObj(rng)
+		rec := p.AppendTo(nil)
+		for _, f := range PhotoLayout {
+			got := f.Read(rec)
+			want := photoFieldValue(&p, f.Name)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("PhotoLayout %s at offset %d read %v, struct has %v",
+					f.Name, f.Offset, got, want)
+			}
+		}
+	}
+}
+
+func TestTagLayoutMatchesCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	bands := map[string]Band{"u": U, "g": G, "r": R, "i": I, "z": Z}
+	for i := 0; i < 50; i++ {
+		p := randomPhotoObj(rng)
+		tag := MakeTag(&p)
+		rec := tag.AppendTo(nil)
+		for _, f := range TagLayout {
+			got := f.Read(rec)
+			var want float64
+			if b, ok := bands[f.Name]; ok {
+				want = float64(tag.Mag[b])
+			} else {
+				switch f.Name {
+				case "objid":
+					want = float64(tag.ObjID)
+				case "htmid":
+					want = float64(tag.HTMID)
+				case "cx":
+					want = tag.X
+				case "cy":
+					want = tag.Y
+				case "cz":
+					want = tag.Z
+				case "size":
+					want = float64(tag.Size)
+				case "class":
+					want = float64(tag.Class)
+				default:
+					t.Fatalf("unknown tag field %s", f.Name)
+				}
+			}
+			if got != want {
+				t.Fatalf("TagLayout %s at offset %d read %v, struct has %v",
+					f.Name, f.Offset, got, want)
+			}
+		}
+	}
+}
+
+func TestSpecLayoutMatchesCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		s := SpecObj{
+			ObjID:       ObjID(rng.Uint64()),
+			HTMID:       1 << 40,
+			Redshift:    float32(rng.Float64() * 5),
+			RedshiftErr: float32(rng.Float64() * 0.01),
+			Class:       Class(rng.Intn(4)),
+			FiberID:     uint16(1 + rng.Intn(640)),
+			Plate:       uint16(rng.Intn(3000)),
+			SN:          float32(rng.Float64() * 30),
+		}
+		rec := s.AppendTo(nil)
+		for _, f := range SpecLayout {
+			got := f.Read(rec)
+			var want float64
+			switch f.Name {
+			case "objid":
+				want = float64(s.ObjID)
+			case "htmid":
+				want = float64(s.HTMID)
+			case "redshift":
+				want = float64(s.Redshift)
+			case "zerr":
+				want = float64(s.RedshiftErr)
+			case "class":
+				want = float64(s.Class)
+			case "fiberid":
+				want = float64(s.FiberID)
+			case "plate":
+				want = float64(s.Plate)
+			case "sn":
+				want = float64(s.SN)
+			default:
+				t.Fatalf("unknown spec field %s", f.Name)
+			}
+			if got != want {
+				t.Fatalf("SpecLayout %s at offset %d read %v, struct has %v",
+					f.Name, f.Offset, got, want)
+			}
+		}
+	}
+}

@@ -340,6 +340,9 @@ type Summary struct {
 	PhotoBytes   int64
 	TagBytes     int64
 	SpecBytes    int64
+	// ZoneMapBytes is the resident footprint of the per-container
+	// min/max attribute statistics across all stores and slices.
+	ZoneMapBytes int64
 }
 
 // Stats summarizes the archive.
@@ -353,5 +356,6 @@ func (a *Archive) Stats() Summary {
 		PhotoBytes:   a.target.Photo.Bytes(),
 		TagBytes:     a.target.Tag.Bytes(),
 		SpecBytes:    a.target.Spec.Bytes(),
+		ZoneMapBytes: a.target.Photo.ZoneBytes() + a.target.Tag.ZoneBytes() + a.target.Spec.ZoneBytes(),
 	}
 }

@@ -180,6 +180,7 @@ func All() []Experiment {
 		{"E13", "ASAP first result", ASAPFirstResult},
 		{"E14", "index vs scan crossover", IndexVsScanCrossover},
 		{"E15", "sharded scatter-gather", ShardScatterGather},
+		{"E16", "zone-map pruning + selective decode", ZoneMapPruning},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

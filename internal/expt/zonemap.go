@@ -1,0 +1,262 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"sdss/internal/catalog"
+	"sdss/internal/core"
+	"sdss/internal/qe"
+	"sdss/internal/query"
+	"sdss/internal/stats"
+)
+
+// zoneGridQueries is the E16 measurement grid: selective non-spatial
+// predicates — the query class the zone maps and selective decode exist
+// for. The photo queries carry the full weight of the 778-byte record;
+// the tag queries show the gain on the compact vertical partition. run is
+// substituted with a run number actually present in the dataset, making
+// that predicate spatially clustered (drift-scan stripes) and genuinely
+// zone-prunable.
+func zoneGridQueries(run uint16) []struct{ Name, Q string } {
+	return []struct{ Name, Q string }{
+		{"photo r<18", "SELECT objid, r FROM photoobj WHERE r < 18"},
+		{"photo class QSO", "SELECT objid FROM photoobj WHERE class = 'QSO' AND r < 19"},
+		{"photo run stripe", fmt.Sprintf("SELECT COUNT(*) FROM photoobj WHERE run = %d", run)},
+		{"tag r<18", "SELECT objid, r FROM tag WHERE r < 18"},
+		{"tag count r<21", "SELECT COUNT(*) FROM tag WHERE r < 21"},
+		{"always false", "SELECT objid FROM tag WHERE r < -5"},
+	}
+}
+
+// ZoneQueryResult is one (query, shard-count) cell of BENCH_zonemap.json.
+type ZoneQueryResult struct {
+	Query      string  `json:"query"`
+	Shards     int     `json:"shards"`
+	Rows       int     `json:"rows"`
+	FullDecode string  `json:"full_decode"` // pre-PR path: no zones, struct decode
+	ZoneMap    string  `json:"zonemap"`     // zone pruning + selective decode
+	Speedup    float64 `json:"speedup"`
+	ZonePruned int     `json:"zone_pruned"`
+	Candidates int     `json:"containers_total"`
+}
+
+// ZoneDecodeBench reports the per-record decode micro-measurement.
+type ZoneDecodeBench struct {
+	PhotoFullNs      float64 `json:"photo_full_ns"`
+	PhotoSelectiveNs float64 `json:"photo_selective_ns"`
+	TagFullNs        float64 `json:"tag_full_ns"`
+	TagSelectiveNs   float64 `json:"tag_selective_ns"`
+}
+
+// ZoneBuildBench reports the cost and footprint of the zone maps.
+type ZoneBuildBench struct {
+	Containers int     `json:"containers"`
+	Records    int     `json:"records"`
+	RebuildMs  float64 `json:"rebuild_ms"`
+	ZoneBytes  int64   `json:"zone_bytes"`
+}
+
+// ZoneMapPruning is experiment E16: the non-spatial scan path before and
+// after zone-map container pruning + selective column decoding, measured on
+// 1-shard and N-shard archives over the same dataset, with results
+// cross-checked between the two configurations.
+func ZoneMapPruning(cfg Config, w io.Writer) error {
+	h, err := NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	nShards := cfg.shards()
+	section(w, "E16", fmt.Sprintf("zone-map pruning + selective decode (1 and %d shards)", nShards))
+
+	// The harness archive is 1-shard; build the wide one alongside.
+	wide, err := core.Create("", core.Options{Shards: nShards})
+	if err != nil {
+		return err
+	}
+	if _, err := wide.LoadObjects(h.Photo, h.Spec); err != nil {
+		return err
+	}
+	wide.Sort()
+	h.Archive.Sort() // harness loads leave zones fresh, but be explicit
+
+	run := h.Photo[len(h.Photo)/2].Run
+	ctx := context.Background()
+	tbl := stats.NewTable("Query", "Shards", "Rows", "Full decode", "Zone+selective", "Speedup", "Pruned")
+	var grid []ZoneQueryResult
+
+	for _, arch := range []struct {
+		a      *core.Archive
+		shards int
+	}{{h.Archive, 1}, {wide, nShards}} {
+		fast := *arch.a.Engine()
+		fast.NoZone, fast.FullDecode = false, false
+		slow := *arch.a.Engine()
+		slow.NoZone, slow.FullDecode = true, true
+
+		for _, q := range zoneGridQueries(run) {
+			time4 := func(e *qe.Engine) (time.Duration, int, error) {
+				best := time.Duration(math.MaxInt64)
+				var rows int
+				for i := 0; i < 4; i++ { // first iteration warms
+					start := time.Now()
+					rs, err := e.ExecuteString(ctx, q.Q)
+					if err != nil {
+						return 0, 0, err
+					}
+					res, err := rs.Collect()
+					if err != nil {
+						return 0, 0, err
+					}
+					if t := time.Since(start); i > 0 && t < best {
+						best = t
+					}
+					rows = len(res)
+				}
+				return best, rows, nil
+			}
+			slowT, slowRows, err := time4(&slow)
+			if err != nil {
+				return fmt.Errorf("expt: %s (full decode): %w", q.Name, err)
+			}
+			fastT, fastRows, err := time4(&fast)
+			if err != nil {
+				return fmt.Errorf("expt: %s (zonemap): %w", q.Name, err)
+			}
+			if slowRows != fastRows {
+				return fmt.Errorf("expt: %s row count diverged: full %d vs zoned %d", q.Name, slowRows, fastRows)
+			}
+			prep, err := query.PrepareString(q.Q)
+			if err != nil {
+				return err
+			}
+			fo, err := fast.Fanout(prep)
+			if err != nil {
+				return err
+			}
+			speedup := float64(slowT) / float64(fastT)
+			tbl.AddRow(q.Name, arch.shards, fastRows,
+				slowT.Round(time.Microsecond), fastT.Round(time.Microsecond),
+				fmt.Sprintf("%.2f×", speedup),
+				fmt.Sprintf("%d/%d", fo[0].ZonePruned, fo[0].ContainersTotal))
+			grid = append(grid, ZoneQueryResult{
+				Query:      q.Q,
+				Shards:     arch.shards,
+				Rows:       fastRows,
+				FullDecode: slowT.Round(time.Microsecond).String(),
+				ZoneMap:    fastT.Round(time.Microsecond).String(),
+				Speedup:    math.Round(speedup*100) / 100,
+				ZonePruned: fo[0].ZonePruned,
+				Candidates: fo[0].ContainersTotal,
+			})
+		}
+	}
+	fmt.Fprint(w, tbl)
+
+	decode := measureDecode(h)
+	fmt.Fprintf(w, "decode ns/record: photo %.0f → %.1f, tag %.1f → %.1f (full → selective)\n",
+		decode.PhotoFullNs, decode.PhotoSelectiveNs, decode.TagFullNs, decode.TagSelectiveNs)
+
+	build := measureZoneBuild(h)
+	fmt.Fprintf(w, "zone build: %d containers / %d records rebuilt in %.2f ms; %d bytes resident\n",
+		build.Containers, build.Records, build.RebuildMs, build.ZoneBytes)
+
+	if path := os.Getenv("SKYBENCH_ZONEMAP_JSON"); path != "" {
+		doc := struct {
+			Objects int               `json:"objects"`
+			Shards  int               `json:"shards"`
+			Grid    []ZoneQueryResult `json:"grid"`
+			Decode  ZoneDecodeBench   `json:"decode_bench"`
+			Build   ZoneBuildBench    `json:"zone_build"`
+		}{cfg.Objects(), nShards, grid, decode, build}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// measureDecode times the per-record cost of full-struct decode versus a
+// selective read (reset + r magnitude + objid) for photo and tag records.
+func measureDecode(h *Harness) ZoneDecodeBench {
+	n := len(h.Photo)
+	if n > 20000 {
+		n = 20000
+	}
+	photoRecs := make([][]byte, n)
+	tagRecs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		photoRecs[i] = h.Photo[i].AppendTo(nil)
+		tag := catalog.MakeTag(&h.Photo[i])
+		tagRecs[i] = tag.AppendTo(nil)
+	}
+	perRecord := func(recs [][]byte, fn func(rec []byte)) float64 {
+		const rounds = 3
+		best := math.MaxFloat64
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for _, rec := range recs {
+				fn(rec)
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(len(recs)); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	var sink float64
+	var p catalog.PhotoObj
+	photoFull := perRecord(photoRecs, func(rec []byte) {
+		_ = p.Decode(rec)
+		sink += float64(p.Mag[catalog.R])
+	})
+	var tg catalog.Tag
+	tagFull := perRecord(tagRecs, func(rec []byte) {
+		_ = tg.Decode(rec)
+		sink += float64(tg.Mag[catalog.R])
+	})
+	prr, _ := query.NewRowReader(query.TablePhoto)
+	photoSel := perRecord(photoRecs, func(rec []byte) {
+		_ = prr.Reset(rec)
+		sink += prr.Get(query.PhotoR)
+		_ = prr.ObjID()
+	})
+	trr, _ := query.NewRowReader(query.TableTag)
+	tagSel := perRecord(tagRecs, func(rec []byte) {
+		_ = trr.Reset(rec)
+		sink += trr.Get(query.TagR)
+		_ = trr.ObjID()
+	})
+	_ = sink
+	return ZoneDecodeBench{
+		PhotoFullNs:      math.Round(photoFull*10) / 10,
+		PhotoSelectiveNs: math.Round(photoSel*10) / 10,
+		TagFullNs:        math.Round(tagFull*10) / 10,
+		TagSelectiveNs:   math.Round(tagSel*10) / 10,
+	}
+}
+
+// measureZoneBuild times a from-scratch zone rebuild over the harness
+// archive's photo store — the one-time cost a pre-zone archive pays.
+func measureZoneBuild(h *Harness) ZoneBuildBench {
+	st := h.Archive.PhotoStore()
+	start := time.Now()
+	st.RebuildZones()
+	elapsed := time.Since(start)
+	return ZoneBuildBench{
+		Containers: st.NumContainers(),
+		Records:    int(st.NumRecords()),
+		RebuildMs:  math.Round(float64(elapsed.Microseconds())/10) / 100,
+		ZoneBytes:  st.ZoneBytes() + h.Archive.TagStore().ZoneBytes() + h.Archive.SpecStore().ZoneBytes(),
+	}
+}

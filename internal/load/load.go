@@ -21,6 +21,7 @@ import (
 
 	"sdss/internal/catalog"
 	"sdss/internal/fits"
+	"sdss/internal/query"
 	"sdss/internal/skygen"
 	"sdss/internal/store"
 )
@@ -45,9 +46,14 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 		}
 		return filepath.Join(dir, name)
 	}
+	// Every store maintains zone maps over the query schema's attributes
+	// (indexed by query.AttrID), so scans can prune containers on any
+	// predicate bound, not just spatial coverage.
 	photo, err := store.OpenSharded(store.Options{
 		Dir: sub("photo"), ContainerDepth: containerDepth,
 		RecordSize: catalog.PhotoObjSize, KeyOffset: 8,
+		ZoneAttrs:  query.NumAttrs(query.TablePhoto),
+		ZoneValues: query.ZoneValues(query.TablePhoto),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening photo store: %w", err)
@@ -55,6 +61,8 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 	tag, err := store.OpenSharded(store.Options{
 		Dir: sub("tag"), ContainerDepth: containerDepth,
 		RecordSize: catalog.TagSize, KeyOffset: 8,
+		ZoneAttrs:  query.NumAttrs(query.TableTag),
+		ZoneValues: query.ZoneValues(query.TableTag),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening tag store: %w", err)
@@ -62,6 +70,8 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 	spec, err := store.OpenSharded(store.Options{
 		Dir: sub("spec"), ContainerDepth: containerDepth,
 		RecordSize: catalog.SpecObjSize, KeyOffset: 8,
+		ZoneAttrs:  query.NumAttrs(query.TableSpec),
+		ZoneValues: query.ZoneValues(query.TableSpec),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening spec store: %w", err)

@@ -9,24 +9,34 @@ import (
 	"sdss/internal/sphere"
 )
 
-// rowDecoder decodes raw store records of one table and exposes attribute
-// access for compiled predicates. One decoder (and one getter closure) is
-// allocated per scan worker, so the per-object path allocates nothing.
+// rowDecoder is the legacy full-struct decode path: every record is decoded
+// into its catalog struct before the predicate runs, regardless of which
+// attributes the query references. The default scan path now reads
+// attributes selectively at fixed byte offsets (query.RowReader); these
+// decoders remain as the Engine.FullDecode baseline that experiment E16 and
+// the decode micro-benchmarks measure the selective path against.
 type rowDecoder interface {
 	decode(rec []byte) error
 	objID() catalog.ObjID
 	get(id query.AttrID) float64
 }
 
-// newDecoder builds the decoder for a table.
-func newDecoder(t query.Table) (rowDecoder, error) {
+// fullRow adapts a rowDecoder to the scan worker's accessor interface.
+type fullRow struct{ dec rowDecoder }
+
+func (f fullRow) reset(rec []byte) error { return f.dec.decode(rec) }
+func (f fullRow) objID() catalog.ObjID   { return f.dec.objID() }
+func (f fullRow) getter() query.Getter   { return f.dec.get }
+
+// newDecoder builds the full-struct decoder for a table.
+func newDecoder(t query.Table) (rowAccessor, error) {
 	switch t {
 	case query.TablePhoto:
-		return &photoRow{}, nil
+		return fullRow{dec: &photoRow{}}, nil
 	case query.TableTag:
-		return &tagRow{}, nil
+		return fullRow{dec: &tagRow{}}, nil
 	case query.TableSpec:
-		return &specRow{}, nil
+		return fullRow{dec: &specRow{}}, nil
 	default:
 		return nil, fmt.Errorf("qe: no decoder for table %v", t)
 	}

@@ -42,8 +42,10 @@ func (e *Engine) runInterleave(ctx context.Context, ins []<-chan Batch, rows *Ro
 					// A batch is being dropped: the stream was cut off
 					// mid-production (a lapsed deadline here is a timeout).
 					rows.interrupted.Store(true)
+					RecycleBatch(b)
 					// Producers watch the same context; just drain.
-					for range in {
+					for b := range in {
+						RecycleBatch(b)
 					}
 					return
 				}
@@ -103,6 +105,7 @@ func (e *Engine) runSortShard(ctx context.Context, cs *query.CompiledSelect, in 
 		var all []Result
 		for b := range in {
 			all = append(all, b...)
+			RecycleBatch(b)
 		}
 		keyIdx := len(cs.Cols)
 		sort.Slice(all, func(i, j int) bool {
@@ -114,10 +117,14 @@ func (e *Engine) runSortShard(ctx context.Context, cs *query.CompiledSelect, in 
 			if end > len(all) {
 				end = len(all)
 			}
+			// Re-batch through the pool (a copy, not a window over `all`)
+			// so downstream recycling keeps the one-owner-per-buffer rule.
+			b := append(getBatch(bs), all[start:end]...)
 			select {
-			case out <- Batch(all[start:end]):
+			case out <- b:
 			case <-ctx.Done():
 				rows.interrupted.Store(true)
+				RecycleBatch(b)
 				return
 			}
 		}
@@ -137,7 +144,9 @@ type mergeCursor struct {
 func (c *mergeCursor) head() *Result { return &c.batch[c.pos] }
 
 // advance moves past the current result, pulling the next batch when the
-// current one is exhausted. It reports false when the stream is done.
+// current one is exhausted (and recycling the spent buffer — the merge
+// copies results out before emitting). It reports false when the stream is
+// done.
 func (c *mergeCursor) advance() bool {
 	c.pos++
 	for c.pos >= len(c.batch) {
@@ -145,6 +154,7 @@ func (c *mergeCursor) advance() bool {
 		if !ok {
 			return false
 		}
+		RecycleBatch(c.batch)
 		c.batch, c.pos = b, 0
 	}
 	return true
@@ -167,25 +177,26 @@ func (e *Engine) runMergeOrdered(ctx context.Context, cs *query.CompiledSelect, 
 				cursors = append(cursors, c)
 			}
 		}
-		batch := make(Batch, 0, e.batchSize())
+		batch := getBatch(e.batchSize())
 		emit := func() bool {
 			if len(batch) == 0 {
 				return true
 			}
-			b := make(Batch, len(batch))
-			copy(b, batch)
-			batch = batch[:0]
 			select {
-			case out <- b:
+			case out <- batch:
+				batch = getBatch(e.batchSize())
 				return true
 			case <-ctx.Done():
 				rows.interrupted.Store(true)
+				RecycleBatch(batch)
+				batch = nil
 				return false
 			}
 		}
 		drain := func() {
 			for _, c := range cursors {
-				for range c.ch {
+				for b := range c.ch {
+					RecycleBatch(b)
 				}
 			}
 		}
@@ -218,6 +229,7 @@ func (e *Engine) runMergeOrdered(ctx context.Context, cs *query.CompiledSelect, 
 			}
 		}
 		emit()
+		RecycleBatch(batch) // the trailing (empty or undelivered) buffer
 	}()
 	return out
 }
@@ -275,6 +287,7 @@ func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, ins
 					}
 					p.any = true
 				}
+				RecycleBatch(b)
 			}
 			partials[i] = p
 		}(i, in)

@@ -1,0 +1,38 @@
+package qe
+
+import "sync"
+
+// Batch buffers cycle through a pool so the steady-state scan path allocates
+// nothing per record: a scan worker takes an empty buffer, fills it, and
+// hands it downstream with ownership; whichever node finally consumes the
+// batch without forwarding it returns the buffer via RecycleBatch.
+//
+// Ownership discipline: a batch on a channel belongs to the receiver. Nodes
+// that forward a batch (possibly re-sliced — the base array travels with it)
+// pass ownership along; nodes that drop or fully copy a batch recycle it.
+// Result.Values arrays are deliberately NOT pooled — collected results and
+// materialized job rows keep referencing them after the Batch buffer is
+// reused, and only the Result structs themselves are copied around.
+var batchPool = sync.Pool{New: func() any { return Batch(nil) }}
+
+// getBatch returns an empty batch with capacity ≥ n.
+func getBatch(n int) Batch {
+	b := batchPool.Get().(Batch)
+	if cap(b) < n {
+		return make(Batch, 0, n)
+	}
+	return b[:0]
+}
+
+// RecycleBatch returns a batch's buffer to the pool. Callers must own the
+// batch (received it from a Rows stream or an internal channel) and must not
+// touch it afterwards; the Result structs will be overwritten, though any
+// Values slices stay valid. It is safe on batches of unknown origin only in
+// the sense that misuse corrupts results, not memory — so the engine calls
+// it exactly at the points where a batch provably stops flowing.
+func RecycleBatch(b Batch) {
+	if cap(b) == 0 {
+		return
+	}
+	batchPool.Put(b[:0]) //nolint:staticcheck // slice header box is amortized per batch
+}

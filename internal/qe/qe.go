@@ -71,6 +71,14 @@ type Engine struct {
 	// NoIndex disables HTM coverage pruning, forcing full-table scans.
 	// It exists for the index-versus-scan crossover experiment (E14).
 	NoIndex bool
+	// NoZone disables zone-map container pruning, so scans visit every
+	// coverage candidate regardless of predicate bounds. It exists for the
+	// zone-map experiment (E16) and as an escape hatch.
+	NoZone bool
+	// FullDecode replaces the selective offset-based attribute reads with
+	// the legacy full-struct decode of every record. It exists as the
+	// measured baseline of experiment E16.
+	FullDecode bool
 }
 
 func (e *Engine) coverDepth() int {
@@ -166,16 +174,20 @@ func (r *Rows) Err() error {
 // another goroutine is still ranging over C.
 func (r *Rows) Close() {
 	r.cancel()
-	for range r.C {
+	for b := range r.C {
+		RecycleBatch(b)
 	}
 	<-r.done
 }
 
-// Collect drains the stream into a slice.
+// Collect drains the stream into a slice. The batch buffers are recycled
+// (the Result structs are copied out; their Values arrays are not pooled and
+// stay valid).
 func (r *Rows) Collect() ([]Result, error) {
 	var out []Result
 	for b := range r.C {
 		out = append(out, b...)
+		RecycleBatch(b)
 	}
 	return out, r.Err()
 }
@@ -226,7 +238,8 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 		defer close(final)
 		drain := func() {
 			cancel()
-			for range out {
+			for b := range out {
+				RecycleBatch(b)
 			}
 		}
 		// markTimeout records ErrTimeout only when the deadline lapsed
@@ -247,8 +260,11 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 			if skip > 0 {
 				if len(b) <= skip {
 					skip -= len(b)
+					RecycleBatch(b)
 					continue
 				}
+				// The forwarded sub-slice carries the buffer's ownership;
+				// the skipped head is simply dead capacity until recycle.
 				b = b[skip:]
 				skip = 0
 			}
@@ -259,6 +275,7 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 					rows.errMu.Lock()
 					rows.truncated = true
 					rows.errMu.Unlock()
+					RecycleBatch(b)
 					drain()
 					return
 				}
@@ -272,6 +289,7 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 					select {
 					case final <- b:
 					case <-ctx.Done():
+						RecycleBatch(b)
 					}
 					drain()
 					return
@@ -281,6 +299,7 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 			select {
 			case final <- b:
 			case <-ctx.Done():
+				RecycleBatch(b)
 				drain()
 				markTimeout()
 				return
@@ -357,6 +376,8 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *R
 		forward := func(in <-chan Batch) {
 			for b := range in {
 				mu.Lock()
+				// In-place filter: the surviving results shift down inside
+				// the same buffer, whose ownership travels with them.
 				filtered := b[:0]
 				for _, r := range b {
 					if _, dup := seen[r.ObjID]; dup {
@@ -367,13 +388,16 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *R
 				}
 				mu.Unlock()
 				if len(filtered) == 0 {
+					RecycleBatch(b)
 					continue
 				}
 				select {
 				case out <- filtered:
 				case <-ctx.Done():
 					rows.interrupted.Store(true)
-					for range in {
+					RecycleBatch(filtered)
+					for b := range in {
+						RecycleBatch(b)
 					}
 					return
 				}
@@ -417,10 +441,11 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, row
 			for _, r := range b {
 				inLeft[r.ObjID] = struct{}{}
 			}
+			RecycleBatch(b)
 		}
 		emitted := make(map[catalog.ObjID]struct{})
 		for b := range right {
-			var keep Batch
+			keep := b[:0]
 			for _, r := range b {
 				if _, ok := inLeft[r.ObjID]; !ok {
 					continue
@@ -432,13 +457,16 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, row
 				keep = append(keep, r)
 			}
 			if len(keep) == 0 {
+				RecycleBatch(b)
 				continue
 			}
 			select {
 			case out <- keep:
 			case <-ctx.Done():
 				rows.interrupted.Store(true)
-				for range right {
+				RecycleBatch(keep)
+				for b := range right {
+					RecycleBatch(b)
 				}
 				return
 			}
@@ -458,10 +486,11 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *R
 			for _, r := range b {
 				sub[r.ObjID] = struct{}{}
 			}
+			RecycleBatch(b)
 		}
 		emitted := make(map[catalog.ObjID]struct{})
 		for b := range left {
-			var keep Batch
+			keep := b[:0]
 			for _, r := range b {
 				if _, drop := sub[r.ObjID]; drop {
 					continue
@@ -473,13 +502,16 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *R
 				keep = append(keep, r)
 			}
 			if len(keep) == 0 {
+				RecycleBatch(b)
 				continue
 			}
 			select {
 			case out <- keep:
 			case <-ctx.Done():
 				rows.interrupted.Store(true)
-				for range left {
+				RecycleBatch(keep)
+				for b := range left {
+					RecycleBatch(b)
 				}
 				return
 			}
@@ -556,7 +588,8 @@ func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch, rows *Row
 		defer func() {
 			// Unblock the producer; the tree context may still be live
 			// if the limit is below the result count.
-			for range in {
+			for b := range in {
+				RecycleBatch(b)
 			}
 		}()
 		remaining := n
@@ -571,6 +604,7 @@ func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch, rows *Row
 				// The batch in hand is dropped: the stream was cut off
 				// mid-production.
 				rows.interrupted.Store(true)
+				RecycleBatch(b)
 				return
 			}
 			if remaining == 0 {
@@ -608,10 +642,15 @@ func (e *Engine) NumShards() int {
 type ShardFanout struct {
 	Table   string `json:"table"`
 	Indexed bool   `json:"indexed"`
-	// ContainersPerShard is the candidate container count on each slice,
-	// in shard order.
+	// ContainersPerShard is the candidate (coverage-overlapping) container
+	// count on each slice, in shard order.
 	ContainersPerShard []int `json:"containers_per_shard"`
 	ContainersTotal    int   `json:"containers_total"`
+	// ZonePruned counts candidates whose zone maps prove no satisfying
+	// record can live in them; ContainersScanned is what the scan will
+	// actually read (ContainersTotal - ZonePruned).
+	ZonePruned        int `json:"zone_pruned"`
+	ContainersScanned int `json:"containers_scanned"`
 }
 
 // Fanout computes the per-shard scatter of every leaf scan in a prepared
@@ -646,11 +685,20 @@ func (e *Engine) Fanout(prep *query.Prepared) ([]ShardFanout, error) {
 		Indexed:            rangeSet != nil,
 		ContainersPerShard: make([]int, st.NumShards()),
 	}
+	// zoneAdmit already answers false for every container when the bounds
+	// are provably unsatisfiable, so Never needs no special case here.
+	zoneCheck := e.zoneAdmit(cs)
 	for i, sh := range st.Shards() {
 		for _, cid := range sh.Containers() {
-			if rangeSet == nil || rangeSet.OverlapsTrixel(cid) {
-				fo.ContainersPerShard[i]++
-				fo.ContainersTotal++
+			if rangeSet != nil && !rangeSet.OverlapsTrixel(cid) {
+				continue
+			}
+			fo.ContainersPerShard[i]++
+			fo.ContainersTotal++
+			if zoneCheck != nil && !sh.CheckZone(cid, zoneCheck) {
+				fo.ZonePruned++
+			} else {
+				fo.ContainersScanned++
 			}
 		}
 	}

@@ -4,27 +4,78 @@ import (
 	"context"
 	"sync"
 
+	"sdss/internal/catalog"
 	"sdss/internal/htm"
 	"sdss/internal/query"
 	"sdss/internal/store"
 )
 
-// runScan executes a leaf query node against one shard slice: the HTM
-// coverage (computed once per query by runSelect) prunes the slice's
-// container list, nWorkers decode and filter candidates in parallel, and
-// result batches stream out as soon as they fill — the data-pump end of
-// the ASAP push. The scatter half of scatter-gather runs one of these per
-// slice concurrently; tokens is the query-wide pool bounding how many
-// workers across all slices process containers at once.
+// rowAccessor is what a scan worker needs from a decoder: position on a
+// record, attribute access for the compiled predicate and projection, and
+// the object identity. Two implementations exist: the selective offset-based
+// query.RowReader (default — reads only referenced attributes) and the
+// legacy full-struct decoders of attr.go (Engine.FullDecode, kept as the
+// measured baseline of experiment E16).
+type rowAccessor interface {
+	reset(rec []byte) error
+	objID() catalog.ObjID
+	getter() query.Getter
+}
+
+// selectiveRow adapts query.RowReader to the accessor interface.
+type selectiveRow struct{ rr *query.RowReader }
+
+func (s selectiveRow) reset(rec []byte) error { return s.rr.Reset(rec) }
+func (s selectiveRow) objID() catalog.ObjID   { return s.rr.ObjID() }
+func (s selectiveRow) getter() query.Getter   { return s.rr.Get }
+
+// newAccessor builds the per-worker row accessor.
+func (e *Engine) newAccessor(t query.Table) (rowAccessor, error) {
+	if e.FullDecode {
+		return newDecoder(t)
+	}
+	rr, err := query.NewRowReader(t)
+	if err != nil {
+		return nil, err
+	}
+	return selectiveRow{rr: rr}, nil
+}
+
+// runScan executes a leaf query node against one shard slice. Candidate
+// containers pass two prunes before any record is touched: the HTM coverage
+// (computed once per query by runSelect) and the zone maps — per-container
+// min/max statistics checked against the predicate's attribute bounds, which
+// skip containers no satisfying record can live in. Surviving containers are
+// decoded selectively: the compiled getter reads only the attributes the
+// predicate and projection reference, at fixed byte offsets, instead of
+// decoding whole structs. nWorkers process containers in parallel and result
+// batches stream out as soon as they fill — the data-pump end of the ASAP
+// push. tokens is the query-wide pool bounding how many workers across all
+// slices process containers at once.
 func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, rangeSet *htm.RangeSet, nWorkers int, tokens chan struct{}, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 
-	// Candidate containers within this slice.
+	// A provably false predicate (r < 18 AND r > 21) answers empty without
+	// touching a single container. NoZone disables this short-circuit too:
+	// its contract is "visit every coverage candidate", which keeps it an
+	// honest full-scan baseline and consistent with Fanout's reporting.
+	if cs.Bounds != nil && cs.Bounds.Never && !e.NoZone {
+		close(out)
+		return out
+	}
+
+	// Candidate containers within this slice: coverage prune, then zone
+	// prune.
+	zoneCheck := e.zoneAdmit(cs)
 	var containers []htm.ID
 	for _, id := range st.Containers() {
-		if rangeSet == nil || rangeSet.OverlapsTrixel(id) {
-			containers = append(containers, id)
+		if rangeSet != nil && !rangeSet.OverlapsTrixel(id) {
+			continue
 		}
+		if zoneCheck != nil && !st.CheckZone(id, zoneCheck) {
+			continue
+		}
+		containers = append(containers, id)
 	}
 
 	// Hidden values appended after the projection: the sort key and/or
@@ -36,6 +87,7 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 	if cs.Agg != query.AggNone && cs.Agg != query.AggCount {
 		hidden = append(hidden, cs.AggCol)
 	}
+	width := len(cs.Cols) + len(hidden)
 
 	if nWorkers > len(containers) {
 		nWorkers = len(containers)
@@ -50,8 +102,9 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 	close(work)
 
 	var wg sync.WaitGroup
-	// emitFn delivers one batch; in blocking comparison mode (E13) batches
-	// accumulate in memory and only flow after the scan completes.
+	// emitFn delivers one batch, transferring ownership; in blocking
+	// comparison mode (E13) batches accumulate in memory and only flow
+	// after the scan completes.
 	var blockMu sync.Mutex
 	var blocked []Batch
 	emitFn := func(b Batch) bool {
@@ -72,25 +125,42 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 		}
 	}
 
+	bs := e.batchSize()
 	wg.Add(nWorkers)
 	for w := 0; w < nWorkers; w++ {
 		go func() {
 			defer wg.Done()
-			dec, err := newDecoder(cs.Table)
+			acc, err := e.newAccessor(cs.Table)
 			if err != nil {
 				rows.setErr(err)
 				return
 			}
-			getter := query.Getter(dec.get)
-			batch := make(Batch, 0, e.batchSize())
+			getter := acc.getter()
+			// The batch buffer comes from the pool; Values of all its
+			// results are carved out of one backing array sized for a full
+			// batch, so the per-record path allocates nothing. Every
+			// successful emit transfers ownership and immediately replaces
+			// the buffer, so whatever the worker still holds on any exit
+			// path (cancellation, scan error, the empty post-flush buffer)
+			// is the worker's to recycle.
+			batch := getBatch(bs)
+			defer func() { RecycleBatch(batch) }()
+			var vals []float64
+			if width > 0 {
+				vals = make([]float64, 0, bs*width)
+			}
 			flush := func() bool {
 				if len(batch) == 0 {
 					return true
 				}
-				b := make(Batch, len(batch))
-				copy(b, batch)
-				batch = batch[:0]
-				return emitFn(b)
+				if !emitFn(batch) {
+					return false
+				}
+				batch = getBatch(bs)
+				if width > 0 {
+					vals = make([]float64, 0, bs*width)
+				}
+				return true
 			}
 			for cid := range work {
 				// One token per container in flight: across all shard
@@ -108,29 +178,30 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 				}
 				err := st.ForEachInContainer(cid, func(rec []byte) error {
 					// Cheap prefilter on the embedded key before paying
-					// for a decode: skip records whose fine trixel falls
-					// outside the coverage.
+					// for attribute reads: skip records whose fine trixel
+					// falls outside the coverage.
 					if rangeSet != nil && !rangeSet.Contains(st.KeyOf(rec)) {
 						return nil
 					}
-					if err := dec.decode(rec); err != nil {
+					if err := acc.reset(rec); err != nil {
 						return err
 					}
 					if cs.Pred != nil && !cs.Pred(getter) {
 						return nil
 					}
-					res := Result{ObjID: dec.objID()}
-					if n := len(cs.Cols) + len(hidden); n > 0 {
-						res.Values = make([]float64, 0, n)
+					res := Result{ObjID: acc.objID()}
+					if width > 0 {
+						start := len(vals)
 						for _, col := range cs.Cols {
-							res.Values = append(res.Values, getter(col))
+							vals = append(vals, getter(col))
 						}
 						for _, col := range hidden {
-							res.Values = append(res.Values, getter(col))
+							vals = append(vals, getter(col))
 						}
+						res.Values = vals[start:len(vals):len(vals)]
 					}
 					batch = append(batch, res)
-					if len(batch) >= e.batchSize() {
+					if len(batch) >= bs {
 						if !flush() {
 							return context.Canceled
 						}
@@ -149,10 +220,13 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 	go func() {
 		wg.Wait()
 		if e.Blocking {
-			for _, b := range blocked {
+			for i, b := range blocked {
 				select {
 				case out <- b:
 				case <-ctx.Done():
+					for _, rest := range blocked[i:] {
+						RecycleBatch(rest)
+					}
 					close(out)
 					return
 				}
@@ -161,4 +235,13 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 		close(out)
 	}()
 	return out
+}
+
+// zoneAdmit returns the zone-map admission check for a select, or nil when
+// zone pruning cannot apply (no bounds, or disabled via NoZone).
+func (e *Engine) zoneAdmit(cs *query.CompiledSelect) func(min, max []float64, hasNaN []bool) bool {
+	if e.NoZone || !cs.Bounds.Constrained() {
+		return nil
+	}
+	return cs.Bounds.AdmitZone
 }

@@ -1,0 +1,209 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sdss/internal/catalog"
+	"sdss/internal/htm"
+	"sdss/internal/sphere"
+)
+
+// fieldRef resolves one AttrID to its fixed byte position inside an encoded
+// record. stored is false for derived attributes (tag RA/Dec from the
+// Cartesian triplet, spec position from the trixel center), which have no
+// bytes of their own.
+type fieldRef struct {
+	field  catalog.Field
+	stored bool
+}
+
+// The per-table AttrID → field tables, built once from the catalog layouts.
+// Attribute order is dense, so a slice indexed by AttrID suffices.
+var (
+	photoFieldRefs = buildFieldRefs(TablePhoto, catalog.PhotoLayout)
+	tagFieldRefs   = buildFieldRefs(TableTag, catalog.TagLayout)
+	specFieldRefs  = buildFieldRefs(TableSpec, catalog.SpecLayout)
+)
+
+func buildFieldRefs(t Table, layout []catalog.Field) []fieldRef {
+	byName := make(map[string]catalog.Field, len(layout))
+	for _, f := range layout {
+		byName[f.Name] = f
+	}
+	refs := make([]fieldRef, NumAttrs(t))
+	for id := range refs {
+		name := AttrName(t, AttrID(id))
+		if f, ok := byName[name]; ok {
+			refs[id] = fieldRef{field: f, stored: true}
+			continue
+		}
+		// Only the known derived attributes may lack stored bytes.
+		switch {
+		case t == TableTag && (AttrID(id) == TagRA || AttrID(id) == TagDec):
+		case t == TableSpec && (AttrID(id) == SpecCX || AttrID(id) == SpecCY || AttrID(id) == SpecCZ):
+		default:
+			panic(fmt.Sprintf("query: attribute %s.%s has no stored field", t, name))
+		}
+	}
+	return refs
+}
+
+func fieldRefs(t Table) []fieldRef {
+	switch t {
+	case TablePhoto:
+		return photoFieldRefs
+	case TableTag:
+		return tagFieldRefs
+	case TableSpec:
+		return specFieldRefs
+	default:
+		return nil
+	}
+}
+
+// RecordSize returns the encoded record length of a table.
+func RecordSize(t Table) int {
+	switch t {
+	case TablePhoto:
+		return catalog.PhotoObjSize
+	case TableTag:
+		return catalog.TagSize
+	case TableSpec:
+		return catalog.SpecObjSize
+	default:
+		return 0
+	}
+}
+
+// RowReader is the selective-decode accessor over raw encoded records: Get
+// reads single attributes at fixed byte offsets, so a predicate or
+// projection touching 3 of a PhotoObj's 38 attributes reads ~24 bytes
+// instead of decoding the full 778-byte struct. Derived attributes (tag
+// RA/Dec, spec position) are computed lazily and cached per record.
+//
+// A RowReader is stateful (it holds the current record and the derivation
+// cache) and not safe for concurrent use; the engine allocates one per scan
+// worker so the per-record path allocates nothing.
+type RowReader struct {
+	table   Table
+	refs    []fieldRef
+	recSize int
+	rec     []byte
+	// derived caches the lazily computed attributes of the current record:
+	// {RA, Dec, 0} for tag, {X, Y, Z} for spec.
+	derived   [3]float64
+	derivedOK bool
+}
+
+// NewRowReader builds the offset-based accessor for a table.
+func NewRowReader(t Table) (*RowReader, error) {
+	refs := fieldRefs(t)
+	if refs == nil {
+		return nil, fmt.Errorf("query: no record layout for table %v", t)
+	}
+	return &RowReader{table: t, refs: refs, recSize: RecordSize(t)}, nil
+}
+
+// Reset points the reader at a new encoded record.
+func (r *RowReader) Reset(rec []byte) error {
+	if len(rec) < r.recSize {
+		return fmt.Errorf("query: %s record of %d bytes, need %d", r.table, len(rec), r.recSize)
+	}
+	r.rec = rec
+	r.derivedOK = false
+	return nil
+}
+
+// ObjID reads the record's object identifier (offset 0 in every table) as
+// the raw uint64 — not through float64, which would round IDs above 2⁵³.
+func (r *RowReader) ObjID() catalog.ObjID {
+	return catalog.ObjID(binary.LittleEndian.Uint64(r.rec))
+}
+
+// Get reads one attribute of the current record.
+func (r *RowReader) Get(id AttrID) float64 {
+	if id < 0 || int(id) >= len(r.refs) {
+		return 0
+	}
+	ref := r.refs[id]
+	if ref.stored {
+		return ref.field.Read(r.rec)
+	}
+	if !r.derivedOK {
+		r.deriveFrom()
+	}
+	switch {
+	case r.table == TableTag:
+		if id == TagRA {
+			return r.derived[0]
+		}
+		return r.derived[1]
+	case r.table == TableSpec:
+		return r.derived[id-SpecCX]
+	}
+	return 0
+}
+
+// deriveFrom fills the derivation cache from the current record.
+func (r *RowReader) deriveFrom() {
+	r.derivedOK = true
+	switch r.table {
+	case TableTag:
+		v := sphere.Vec3{
+			X: r.refs[TagCX].field.Read(r.rec),
+			Y: r.refs[TagCY].field.Read(r.rec),
+			Z: r.refs[TagCZ].field.Read(r.rec),
+		}
+		r.derived[0], r.derived[1] = sphere.ToRADec(v)
+	case TableSpec:
+		id := htm.ID(uint64(r.refs[SpecHTMID].field.Read(r.rec)))
+		if c, err := htm.Center(id); err == nil {
+			r.derived = [3]float64{c.X, c.Y, c.Z}
+		} else {
+			r.derived = [3]float64{math.NaN(), math.NaN(), math.NaN()}
+		}
+	}
+}
+
+// ZoneValues returns the zone-map extractor for a table: it fills out
+// (length NumAttrs(t), indexed by AttrID) with every attribute of one
+// encoded record, including the derived ones, so per-container min/max
+// statistics cover the full schema. The returned function is stateless and
+// safe for concurrent use — shard slices fold zones in parallel during a
+// bulk load.
+func ZoneValues(t Table) func(rec []byte, out []float64) {
+	refs := fieldRefs(t)
+	if refs == nil {
+		return nil
+	}
+	readStored := func(rec []byte, out []float64) {
+		for id, ref := range refs {
+			if ref.stored {
+				out[id] = ref.field.Read(rec)
+			}
+		}
+	}
+	switch t {
+	case TableTag:
+		return func(rec []byte, out []float64) {
+			readStored(rec, out)
+			out[TagRA], out[TagDec] = sphere.ToRADec(sphere.Vec3{
+				X: out[TagCX], Y: out[TagCY], Z: out[TagCZ],
+			})
+		}
+	case TableSpec:
+		return func(rec []byte, out []float64) {
+			readStored(rec, out)
+			if c, err := htm.Center(htm.ID(uint64(out[SpecHTMID]))); err == nil {
+				out[SpecCX], out[SpecCY], out[SpecCZ] = c.X, c.Y, c.Z
+			} else {
+				nan := math.NaN()
+				out[SpecCX], out[SpecCY], out[SpecCZ] = nan, nan, nan
+			}
+		}
+	default:
+		return readStored
+	}
+}

@@ -209,7 +209,11 @@ type CompiledSelect struct {
 	Table  Table
 	Pred   BoolFn         // nil means all objects match
 	Region *region.Region // nil means whole sky
-	Cols   []AttrID       // projection (resolved); nil for COUNT-only
+	// Bounds are the conservative per-attribute value intervals implied by
+	// the WHERE clause — the scalar analogue of Region, used for zone-map
+	// container pruning. Nil means the predicate constrains no attribute.
+	Bounds *Bounds
+	Cols   []AttrID // projection (resolved); nil for COUNT-only
 	Agg    AggFunc
 	AggCol AttrID
 	Order  AttrID // AttrInvalid if unordered
@@ -235,6 +239,7 @@ func Compile(sel *Select) (*CompiledSelect, error) {
 		}
 		cs.Pred = pred
 		cs.Region = ExtractRegion(sel.Where)
+		cs.Bounds = ExtractBounds(sel.Where)
 	}
 	switch {
 	case sel.Agg == AggCount:

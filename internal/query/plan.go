@@ -88,7 +88,11 @@ type PlanNode struct {
 	Filter string `json:"filter,omitempty"`
 	// Indexed reports whether a spatial region was extracted from the
 	// filter, enabling HTM coverage pruning instead of a full-table scan.
-	Indexed  bool        `json:"indexed,omitempty"`
+	Indexed bool `json:"indexed,omitempty"`
+	// Bounds lists the per-attribute value intervals extracted from the
+	// filter ("r ∈ [-Inf, 18)"), which zone maps use to prune containers;
+	// "never (...)" marks a provably empty predicate.
+	Bounds   []string    `json:"bounds,omitempty"`
 	Agg      string      `json:"agg,omitempty"`
 	OrderBy  string      `json:"order_by,omitempty"`
 	Desc     bool        `json:"desc,omitempty"`
@@ -104,6 +108,7 @@ func (p *Prepared) Plan() *PlanNode {
 			Table:   cs.Table.String(),
 			Columns: cs.Columns(),
 			Indexed: cs.Region != nil,
+			Bounds:  cs.Bounds.Strings(cs.Table),
 			Limit:   cs.Limit,
 			Desc:    cs.Desc,
 		}
@@ -150,6 +155,9 @@ func explainNode(b *strings.Builder, n *PlanNode, depth int) {
 	}
 	if n.Indexed {
 		b.WriteString(" USING htm-index")
+	}
+	if len(n.Bounds) > 0 {
+		fmt.Fprintf(b, " ZONES [%s]", strings.Join(n.Bounds, "; "))
 	}
 	if n.OrderBy != "" {
 		fmt.Fprintf(b, " ORDER BY %s", n.OrderBy)

@@ -41,6 +41,16 @@ func (s *Store) Flush() error {
 		}
 		c.dirty = false
 	}
+	// Persist zone maps beside the container files, freshening any that a
+	// stale append left behind first.
+	if s.zoneEnabled() {
+		for _, c := range s.containers {
+			s.ensureZone(c)
+		}
+		if err := s.flushZones(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -95,6 +105,9 @@ func (s *Store) loadDir() error {
 			return err
 		}
 	}
+	// Attach persisted zone maps; anything missing or stale (including a
+	// whole pre-zone archive) rebuilds transparently on first use.
+	s.loadZones()
 	return nil
 }
 

@@ -304,3 +304,32 @@ func (s *Sharded) ScanContainers(fn func(id htm.ID, data []byte, count int) erro
 
 // KeyOf reads the embedded fine HTM ID of an encoded record.
 func (s *Sharded) KeyOf(rec []byte) htm.ID { return s.shards[0].KeyOf(rec) }
+
+// CheckZone evaluates admit against a container's zone statistics on its
+// owning slice (true when zoning is disabled or the container is absent).
+func (s *Sharded) CheckZone(id htm.ID, admit func(min, max []float64, hasNaN []bool) bool) bool {
+	return s.shards[s.ShardFor(id)].CheckZone(id, admit)
+}
+
+// BuildZones ensures every slice's zone maps are fresh.
+func (s *Sharded) BuildZones() {
+	for _, sh := range s.shards {
+		sh.BuildZones()
+	}
+}
+
+// RebuildZones drops and rebuilds every slice's zone maps from scratch.
+func (s *Sharded) RebuildZones() {
+	for _, sh := range s.shards {
+		sh.RebuildZones()
+	}
+}
+
+// ZoneBytes reports the in-memory zone-map footprint across all slices.
+func (s *Sharded) ZoneBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.ZoneBytes()
+	}
+	return n
+}

@@ -45,6 +45,13 @@ type Options struct {
 	// KeyOffset is the byte offset of the little-endian uint64 HTM ID
 	// within each record.
 	KeyOffset int
+	// ZoneAttrs is the number of per-record attributes tracked by zone
+	// maps (0 disables zoning).
+	ZoneAttrs int
+	// ZoneValues extracts one record's attribute values into out (length
+	// ZoneAttrs). It must be safe for concurrent use: shard slices fold
+	// zones in parallel during bulk loads.
+	ZoneValues func(rec []byte, out []float64)
 }
 
 // Record is one object headed for the store.
@@ -62,6 +69,9 @@ type Container struct {
 	count  int
 	sorted bool
 	dirty  bool
+	// zone holds the container's per-attribute min/max statistics; nil or
+	// stale (zone.count != count) until built.
+	zone *zoneMap
 }
 
 // Count returns the number of records in the container.
@@ -139,6 +149,10 @@ func (s *Store) BulkLoad(recs []Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var zoneScratch []float64
+	if s.zoneEnabled() {
+		zoneScratch = make([]float64, s.opts.ZoneAttrs)
+	}
 	for cid, group := range groups {
 		c := s.containers[cid]
 		if c == nil {
@@ -163,6 +177,11 @@ func (s *Store) BulkLoad(recs []Record) error {
 		c.count += len(group)
 		c.dirty = true
 		s.records += int64(len(group))
+		// Zone maps only widen under appends, so fold the new records in
+		// incrementally — the zone stays fresh without a rebuild.
+		if zoneScratch != nil {
+			s.zoneFold(c, group, zoneScratch)
+		}
 	}
 	return nil
 }
@@ -190,12 +209,15 @@ func (s *Store) ensureSorted(c *Container) {
 	c.dirty = true
 }
 
-// Sort ensures every container's records are ordered by fine HTM ID.
+// Sort ensures every container's records are ordered by fine HTM ID, and
+// brings every zone map up to date (sorting permutes records but never
+// changes the value set, so fresh zones stay valid).
 func (s *Store) Sort() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.containers {
 		s.ensureSorted(c)
+		s.ensureZone(c)
 	}
 }
 
@@ -342,13 +364,7 @@ const keyDepth = 20
 // ScanContainers streams whole containers in ID order, the unit the scan
 // machine and partition map work in.
 func (s *Store) ScanContainers(fn func(id htm.ID, data []byte, count int) error) error {
-	s.mu.RLock()
-	ids := make([]htm.ID, 0, len(s.containers))
-	for id := range s.containers {
-		ids = append(ids, id)
-	}
-	s.mu.RUnlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := s.Containers()
 	for _, id := range ids {
 		s.mu.RLock()
 		c := s.containers[id]

@@ -1,0 +1,336 @@
+// Zone maps: per-container min/max (and NaN-presence) statistics for every
+// numeric attribute of the stored records — the "indices on the popular
+// attributes" the SDSS archive kept per clustering unit. A scan with
+// attribute bounds (a magnitude cut, a class test) consults the zone of each
+// candidate container and skips containers whose value ranges cannot
+// intersect the bounds, exactly like HTM coverage skips trixels.
+//
+// Zones are built incrementally as bulk loads append records (min/max only
+// ever widen, so appends never invalidate them), ensured for every container
+// at Sort/Flush time, persisted in one versioned ZONES file per store
+// directory, and rebuilt transparently — per container — whenever they are
+// missing or stale (pre-zone archives, interrupted writes).
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sdss/internal/htm"
+)
+
+// zoneMap holds one container's per-attribute statistics, indexed by the
+// attribute IDs the store's ZoneValues extractor emits. min > max for an
+// attribute means the container holds no non-NaN value for it.
+type zoneMap struct {
+	min, max []float64
+	hasNaN   []bool
+	// count is the number of records folded in; a mismatch against the
+	// container's record count marks the zone stale.
+	count int
+}
+
+func newZoneMap(attrs int) *zoneMap {
+	z := &zoneMap{
+		min:    make([]float64, attrs),
+		max:    make([]float64, attrs),
+		hasNaN: make([]bool, attrs),
+	}
+	for i := 0; i < attrs; i++ {
+		z.min[i] = math.Inf(1)
+		z.max[i] = math.Inf(-1)
+	}
+	return z
+}
+
+// fold widens the zone with one record's attribute values.
+func (z *zoneMap) fold(vals []float64) {
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			z.hasNaN[i] = true
+			continue
+		}
+		if v < z.min[i] {
+			z.min[i] = v
+		}
+		if v > z.max[i] {
+			z.max[i] = v
+		}
+	}
+	z.count++
+}
+
+// zoneBytes is the in-memory footprint of one zone map.
+func (z *zoneMap) bytes() int64 {
+	return int64(len(z.min)*8 + len(z.max)*8 + len(z.hasNaN) + 24)
+}
+
+// zoneEnabled reports whether this store maintains zone maps.
+func (s *Store) zoneEnabled() bool {
+	return s.opts.ZoneAttrs > 0 && s.opts.ZoneValues != nil
+}
+
+// zoneFold incrementally folds freshly appended records into a container's
+// zone. If the zone is missing or stale (records appended before zoning, a
+// partial reload), it is left for ensureZone to rebuild lazily. Callers hold
+// the write lock.
+func (s *Store) zoneFold(c *Container, recs []Record, scratch []float64) {
+	preCount := c.count - len(recs)
+	if c.zone == nil {
+		if preCount != 0 {
+			return // stale; rebuilt on demand
+		}
+		c.zone = newZoneMap(s.opts.ZoneAttrs)
+	} else if c.zone.count != preCount {
+		return
+	}
+	for _, r := range recs {
+		s.opts.ZoneValues(r.Data, scratch)
+		c.zone.fold(scratch)
+	}
+}
+
+// ensureZone rebuilds a container's zone from its records when missing or
+// stale. Callers hold the write lock.
+func (s *Store) ensureZone(c *Container) {
+	if !s.zoneEnabled() || (c.zone != nil && c.zone.count == c.count) {
+		return
+	}
+	z := newZoneMap(s.opts.ZoneAttrs)
+	rs := s.opts.RecordSize
+	scratch := make([]float64, s.opts.ZoneAttrs)
+	for i := 0; i < c.count; i++ {
+		s.opts.ZoneValues(c.data[i*rs:(i+1)*rs], scratch)
+		z.fold(scratch)
+	}
+	c.zone = z
+}
+
+// CheckZone evaluates admit against a container's zone statistics, building
+// the zone first if it is missing or stale. It returns true (scan the
+// container) when zoning is disabled or the container is absent, so callers
+// need no feature test. admit must not retain the slices.
+func (s *Store) CheckZone(id htm.ID, admit func(min, max []float64, hasNaN []bool) bool) bool {
+	if !s.zoneEnabled() {
+		return true
+	}
+	// Fast path: fresh zone under the read lock.
+	s.mu.RLock()
+	c := s.containers[id]
+	if c == nil {
+		s.mu.RUnlock()
+		return true
+	}
+	if z := c.zone; z != nil && z.count == c.count {
+		ok := admit(z.min, z.max, z.hasNaN)
+		s.mu.RUnlock()
+		return ok
+	}
+	s.mu.RUnlock()
+	// Slow path: build under the write lock.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c = s.containers[id]
+	if c == nil {
+		return true
+	}
+	s.ensureZone(c)
+	z := c.zone
+	return admit(z.min, z.max, z.hasNaN)
+}
+
+// BuildZones ensures every container has a fresh zone map (Sort and Flush
+// call it; it is also the warm-up a benchmark times).
+func (s *Store) BuildZones() {
+	if !s.zoneEnabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.containers {
+		s.ensureZone(c)
+	}
+}
+
+// RebuildZones drops and rebuilds every zone map from scratch — the
+// measured cost of a full zone build over the store's records.
+func (s *Store) RebuildZones() {
+	if !s.zoneEnabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.containers {
+		c.zone = nil
+		s.ensureZone(c)
+	}
+}
+
+// ZoneBytes reports the in-memory footprint of all built zone maps.
+func (s *Store) ZoneBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, c := range s.containers {
+		if c.zone != nil {
+			n += c.zone.bytes()
+		}
+	}
+	return n
+}
+
+// Zone-map persistence: one ZONES file per store directory holding every
+// container's statistics, written atomically alongside the container files.
+// The header records a format version and the attribute count; a mismatch on
+// either (or a per-container record-count mismatch against the loaded
+// container) makes the affected zones rebuild transparently from the data.
+const (
+	zoneFileName    = "ZONES"
+	zoneFileMagic   = "SDSSZONE"
+	zoneFileVersion = 1
+)
+
+// flushZones writes the ZONES file. Callers hold the write lock and have
+// ensured zones are fresh.
+func (s *Store) flushZones() error {
+	if s.opts.Dir == "" || !s.zoneEnabled() {
+		return nil
+	}
+	path := filepath.Join(s.opts.Dir, zoneFileName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	attrs := s.opts.ZoneAttrs
+	var hdr [8 + 4 + 4 + 4]byte
+	copy(hdr[:8], zoneFileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], zoneFileVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(attrs))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(s.containers)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	for _, id := range s.containerOrder() {
+		c := s.containers[id]
+		z := c.zone
+		if z == nil || z.count != c.count {
+			// Should not happen (callers ensure freshness); skip rather
+			// than persist a stale zone.
+			continue
+		}
+		if err := writeU64(uint64(id)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := writeU64(uint64(z.count)); err != nil {
+			f.Close()
+			return err
+		}
+		for i := 0; i < attrs; i++ {
+			if err := writeU64(math.Float64bits(z.min[i])); err != nil {
+				f.Close()
+				return err
+			}
+			if err := writeU64(math.Float64bits(z.max[i])); err != nil {
+				f.Close()
+				return err
+			}
+			nan := byte(0)
+			if z.hasNaN[i] {
+				nan = 1
+			}
+			if err := w.WriteByte(nan); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// loadZones attaches persisted zone maps to loaded containers. Any
+// irregularity — missing file, version or attribute-count mismatch, stale
+// per-container counts — is not an error: the affected zones simply rebuild
+// from the records on first use.
+func (s *Store) loadZones() {
+	if s.opts.Dir == "" || !s.zoneEnabled() {
+		return
+	}
+	f, err := os.Open(filepath.Join(s.opts.Dir, zoneFileName))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8 + 4 + 4 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	if string(hdr[:8]) != zoneFileMagic {
+		return
+	}
+	if binary.LittleEndian.Uint32(hdr[8:]) != zoneFileVersion {
+		return
+	}
+	attrs := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if attrs != s.opts.ZoneAttrs {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[16:]))
+	var buf [8]byte
+	readU64 := func() (uint64, error) {
+		_, err := io.ReadFull(r, buf[:])
+		return binary.LittleEndian.Uint64(buf[:]), err
+	}
+	for n := 0; n < count; n++ {
+		idBits, err := readU64()
+		if err != nil {
+			return
+		}
+		recCount, err := readU64()
+		if err != nil {
+			return
+		}
+		z := newZoneMap(attrs)
+		z.count = int(recCount)
+		for i := 0; i < attrs; i++ {
+			minBits, err1 := readU64()
+			maxBits, err2 := readU64()
+			nan, err3 := r.ReadByte()
+			if err1 != nil || err2 != nil || err3 != nil {
+				return
+			}
+			z.min[i] = math.Float64frombits(minBits)
+			z.max[i] = math.Float64frombits(maxBits)
+			z.hasNaN[i] = nan != 0
+		}
+		c := s.containers[htm.ID(idBits)]
+		if c != nil && c.count == z.count {
+			c.zone = z
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdss/internal/htm"
+)
+
+// zoneTestRecord encodes a record for zoneTestOptions: an 8-byte HTM key
+// followed by one little-endian float64 value.
+func zoneTestRecord(id htm.ID, v float64) Record {
+	data := make([]byte, 16)
+	binary.LittleEndian.PutUint64(data, uint64(id))
+	binary.LittleEndian.PutUint64(data[8:], math.Float64bits(v))
+	return Record{HTMID: id, Data: data}
+}
+
+func zoneTestOptions(dir string) Options {
+	return Options{
+		Dir:        dir,
+		RecordSize: 16,
+		KeyOffset:  0,
+		ZoneAttrs:  1,
+		ZoneValues: func(rec []byte, out []float64) {
+			out[0] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		},
+	}
+}
+
+// zoneTrixels returns n depth-20 trixel IDs landing in n distinct
+// default-depth containers (stepping a whole depth-5 trixel apart).
+func zoneTrixels(t testing.TB, n int) []htm.ID {
+	t.Helper()
+	base := htm.FirstAtDepth(20)
+	step := htm.ID(1) << (2 * (20 - DefaultContainerDepth))
+	out := make([]htm.ID, n)
+	for i := range out {
+		out[i] = base + htm.ID(i)*step
+	}
+	return out
+}
+
+func zoneSpan(t *testing.T, s *Store, cid htm.ID) (lo, hi float64, nan bool) {
+	t.Helper()
+	found := false
+	s.CheckZone(cid, func(min, max []float64, hasNaN []bool) bool {
+		lo, hi, nan = min[0], max[0], hasNaN[0]
+		found = true
+		return true
+	})
+	if !found {
+		t.Fatalf("no zone evaluated for container %v", cid)
+	}
+	return lo, hi, nan
+}
+
+func TestZoneIncrementalBuild(t *testing.T) {
+	s, err := Open(zoneTestOptions(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 2)
+	recs := []Record{
+		zoneTestRecord(ids[0], 3),
+		zoneTestRecord(ids[0], -1),
+		zoneTestRecord(ids[1], math.NaN()),
+		zoneTestRecord(ids[1], 7),
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	cid0 := ids[0].AtDepth(s.ContainerDepth())
+	lo, hi, nan := zoneSpan(t, s, cid0)
+	if lo != -1 || hi != 3 || nan {
+		t.Fatalf("container 0 zone = [%g, %g] nan=%v, want [-1, 3] nan=false", lo, hi, nan)
+	}
+	cid1 := ids[1].AtDepth(s.ContainerDepth())
+	lo, hi, nan = zoneSpan(t, s, cid1)
+	if lo != 7 || hi != 7 || !nan {
+		t.Fatalf("container 1 zone = [%g, %g] nan=%v, want [7, 7] nan=true", lo, hi, nan)
+	}
+
+	// A second load widens incrementally (no rebuild needed).
+	if err := s.BulkLoad([]Record{zoneTestRecord(ids[0], 10)}); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ = zoneSpan(t, s, cid0)
+	if lo != -1 || hi != 10 {
+		t.Fatalf("widened zone = [%g, %g], want [-1, 10]", lo, hi)
+	}
+}
+
+func TestZonePruneDecision(t *testing.T) {
+	s, err := Open(zoneTestOptions(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 1)
+	if err := s.BulkLoad([]Record{zoneTestRecord(ids[0], 5), zoneTestRecord(ids[0], 9)}); err != nil {
+		t.Fatal(err)
+	}
+	cid := ids[0].AtDepth(s.ContainerDepth())
+	admitBelow := func(min, max []float64, hasNaN []bool) bool { return min[0] < 4 }
+	if s.CheckZone(cid, admitBelow) {
+		t.Error("zone [5,9] must be prunable for v < 4")
+	}
+	admitAbove := func(min, max []float64, hasNaN []bool) bool { return max[0] >= 9 }
+	if !s.CheckZone(cid, admitAbove) {
+		t.Error("zone [5,9] must admit v >= 9")
+	}
+	// Absent containers and zone-disabled stores always admit.
+	if !s.CheckZone(cid+1, admitBelow) {
+		t.Error("absent container must admit")
+	}
+	noZone, err := Open(Options{RecordSize: 16, KeyOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noZone.CheckZone(cid, admitBelow) {
+		t.Error("zone-disabled store must admit")
+	}
+}
+
+func TestZonePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 3)
+	var recs []Record
+	for i, id := range ids {
+		recs = append(recs, zoneTestRecord(id, float64(i)*2-1))
+	}
+	recs = append(recs, zoneTestRecord(ids[2], math.NaN()))
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, zoneFileName)); err != nil {
+		t.Fatalf("ZONES file not written: %v", err)
+	}
+
+	// Reopen: zones must come back from the file, not a rebuild. Verify by
+	// checking spans match without mutating anything.
+	s2, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		cid := id.AtDepth(s.ContainerDepth())
+		lo1, hi1, nan1 := zoneSpan(t, s, cid)
+		lo2, hi2, nan2 := zoneSpan(t, s2, cid)
+		if lo1 != lo2 || hi1 != hi2 || nan1 != nan2 {
+			t.Fatalf("container %d zone diverged after reload: [%g,%g]%v vs [%g,%g]%v",
+				i, lo1, hi1, nan1, lo2, hi2, nan2)
+		}
+	}
+	if s2.ZoneBytes() == 0 {
+		t.Error("reloaded store reports no zone bytes")
+	}
+}
+
+func TestZoneRebuildForPreZoneArchive(t *testing.T) {
+	dir := t.TempDir()
+	// Write the archive with zoning disabled — the pre-zone layout.
+	opts := zoneTestOptions(dir)
+	legacy := opts
+	legacy.ZoneAttrs = 0
+	legacy.ZoneValues = nil
+	s, err := Open(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 1)
+	if err := s.BulkLoad([]Record{zoneTestRecord(ids[0], 4), zoneTestRecord(ids[0], 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, zoneFileName)); !os.IsNotExist(err) {
+		t.Fatal("zone-disabled store must not write ZONES")
+	}
+
+	// Reopen with zoning on: the zone rebuilds transparently on first use.
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid := ids[0].AtDepth(s2.ContainerDepth())
+	lo, hi, nan := zoneSpan(t, s2, cid)
+	if lo != 4 || hi != 6 || nan {
+		t.Fatalf("rebuilt zone = [%g, %g] nan=%v, want [4, 6] nan=false", lo, hi, nan)
+	}
+}
+
+func TestZoneCorruptFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 1)
+	if err := s.BulkLoad([]Record{zoneTestRecord(ids[0], 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, zoneFileName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatalf("corrupt ZONES must not fail open: %v", err)
+	}
+	cid := ids[0].AtDepth(s2.ContainerDepth())
+	lo, hi, _ := zoneSpan(t, s2, cid)
+	if lo != 2 || hi != 2 {
+		t.Fatalf("zone after corrupt file = [%g, %g], want [2, 2]", lo, hi)
+	}
+}
+
+func TestShardedZoneForwarding(t *testing.T) {
+	opts := zoneTestOptions("")
+	s, err := OpenSharded(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 8)
+	var recs []Record
+	for i, id := range ids {
+		recs = append(recs, zoneTestRecord(id, float64(i)))
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	s.BuildZones()
+	if s.ZoneBytes() == 0 {
+		t.Error("sharded store reports no zone bytes")
+	}
+	for _, id := range ids {
+		cid := id.AtDepth(s.ContainerDepth())
+		if !s.CheckZone(cid, func(min, max []float64, hasNaN []bool) bool { return true }) {
+			t.Fatalf("container %v not admitted by trivial check", cid)
+		}
+	}
+	s.RebuildZones()
+	if s.ZoneBytes() == 0 {
+		t.Error("rebuild dropped zones")
+	}
+}
+
+// BenchmarkZoneBuild measures the from-scratch zone build over a populated
+// store — the cost a pre-zone archive pays once on first use.
+func BenchmarkZoneBuild(b *testing.B) {
+	s, err := Open(zoneTestOptions(""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := zoneTrixels(b, 64)
+	var recs []Record
+	for i := 0; i < 64*256; i++ {
+		recs = append(recs, zoneTestRecord(ids[i%64], float64(i%97)))
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(recs) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RebuildZones()
+	}
+}
