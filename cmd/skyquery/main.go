@@ -4,8 +4,11 @@
 // Usage:
 //
 //	skyquery -archive archive/ "SELECT objid, ra, dec, r FROM tag WHERE CIRCLE(185, 32, 10) AND r < 21"
+//	skyquery -archive archive/ "SELECT p.objid, s.z FROM photo p JOIN spec s ON p.objid = s.objid WHERE p.r < 18"
+//	skyquery -archive archive/ "SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 0.5) WHERE a.objid < b.objid"
 //	skyquery -archive archive/ -format csv "SELECT objid, r FROM tag LIMIT 100"
 //	skyquery -archive archive/ -explain "SELECT objid FROM tag WHERE CIRCLE(185, 32, 10)"
+//	skyquery -archive archive/ -explain -analyze "SELECT p.objid FROM photo p JOIN spec s ON p.objid = s.objid"
 package main
 
 import (
@@ -34,7 +37,8 @@ func main() {
 		timing  = flag.Bool("t", false, "print timing summary to stderr")
 		workers = flag.Int("workers", 0, "scan parallelism (0 = GOMAXPROCS)")
 		format  = flag.String("format", "tsv", "output format: tsv, csv, or ndjson")
-		explain = flag.Bool("explain", false, "print the query plan (with zone-map fanout) instead of executing")
+		explain = flag.Bool("explain", false, "print the logical and physical plans (with zone-map fanout) instead of executing")
+		analyze = flag.Bool("analyze", false, "with -explain: execute the query and report actual rows and timing per operator")
 		timeout = flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 		noZone  = flag.Bool("nozone", false, "disable zone-map container pruning")
 		fullDec = flag.Bool("fulldecode", false, "decode full record structs instead of selective column reads")
@@ -57,7 +61,34 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Println("logical plan:")
 		fmt.Print(prep.Explain())
+		plan, err := a.Engine().PlanAnalyze(prep, *analyze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *analyze {
+			// EXPLAIN ANALYZE: run the query, discard rows, keep counters.
+			rows, err := a.Engine().ExecutePlan(context.Background(), plan, qe.ExecOptions{
+				Timeout: *timeout,
+				Analyze: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := 0
+			for b := range rows.C {
+				n += len(b)
+				qe.RecycleBatch(b)
+			}
+			if err := rows.Err(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("physical plan (analyzed, %d rows):\n", n)
+		} else {
+			fmt.Println("physical plan:")
+		}
+		fmt.Print(plan.Text())
 		// Per-shard scatter + zone pruning: what the scan will actually
 		// read versus what the zone maps proved empty.
 		fanout, err := a.Engine().Fanout(prep)

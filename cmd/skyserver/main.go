@@ -54,7 +54,7 @@ func main() {
 	st := a.Stats()
 	fmt.Printf("serving archive %s (%d objects, %d containers, %d shards, %d zone-map bytes) on %s\n",
 		*dir, st.PhotoObjects, st.Containers, st.Shards, st.ZoneMapBytes, *addr)
-	fmt.Println("endpoints: /v1/status /v1/tables /v1/query /v1/explain /v1/cone /v1/jobs")
+	fmt.Println("endpoints: /v1/status /v1/tables /v1/query /v1/explain[?analyze=1] /v1/cone /v1/jobs")
 	srv := &http.Server{Addr: *addr, Handler: www.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(srv.ListenAndServe())
 }

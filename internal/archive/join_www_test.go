@@ -1,0 +1,158 @@
+package archive
+
+import (
+	"encoding/json"
+	"net/url"
+	"testing"
+
+	"sdss/internal/qe"
+	"sdss/internal/query"
+)
+
+// explainResp mirrors the /v1/explain response shape.
+type explainResp struct {
+	Query    string           `json:"query"`
+	Columns  []query.Column   `json:"columns"`
+	Plan     *query.PlanNode  `json:"plan"`
+	Physical *qe.OpNode       `json:"physical"`
+	Analyzed bool             `json:"analyzed"`
+	Rows     *int64           `json:"rows"`
+	Shards   int              `json:"shards"`
+	Fanout   []qe.ShardFanout `json:"fanout"`
+	Text     string           `json:"text"`
+	Phystext string           `json:"physical_text"`
+}
+
+// TestV1ExplainPhysicalTree: /v1/explain serves a multi-operator physical
+// tree for a join, with chosen access paths and cost estimates.
+func TestV1ExplainPhysicalTree(t *testing.T) {
+	_, srv := newTestServer(t)
+	q := "SELECT p.objid, s.z FROM photo p JOIN spec s ON p.objid = s.objid WHERE p.r < 18"
+	code, body := get(t, srv, "/v1/explain?q="+url.QueryEscape(q))
+	if code != 200 {
+		t.Fatalf("explain = %d: %s", code, body)
+	}
+	var resp explainResp
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan == nil || resp.Plan.Kind != "hash-join" {
+		t.Fatalf("logical plan = %+v", resp.Plan)
+	}
+	phys := resp.Physical
+	if phys == nil || phys.Op != "hash-join" {
+		t.Fatalf("physical root = %+v", phys)
+	}
+	if phys.BuildSide == "" || phys.On == "" {
+		t.Errorf("join node incomplete: %+v", phys)
+	}
+	if len(phys.Children) != 2 {
+		t.Fatalf("physical tree has %d children", len(phys.Children))
+	}
+	for _, c := range phys.Children {
+		if c.Op != "scan" || c.Access == "" {
+			t.Errorf("scan child missing access path: %+v", c)
+		}
+		if c.EstCost <= 0 {
+			t.Errorf("scan %s has no cost estimate", c.Table)
+		}
+		if c.Actual != nil {
+			t.Errorf("plain explain carries actuals: %+v", c.Actual)
+		}
+	}
+	// Both join sides appear in the fanout report.
+	if len(resp.Fanout) != 2 {
+		t.Errorf("fanout entries = %d, want 2", len(resp.Fanout))
+	}
+	if resp.Phystext == "" || resp.Rows != nil {
+		t.Errorf("physical_text empty or rows set without analyze")
+	}
+	// Columns carry qualified names.
+	if len(resp.Columns) != 2 || resp.Columns[0].Name != "p.objid" {
+		t.Errorf("columns = %+v", resp.Columns)
+	}
+}
+
+// TestV1ExplainAnalyze: ?analyze=1 executes and reports actual rows per
+// operator alongside the estimates.
+func TestV1ExplainAnalyze(t *testing.T) {
+	_, srv := newTestServer(t)
+	q := "SELECT p.objid, s.redshift FROM photoobj p JOIN specobj s ON p.objid = s.objid WHERE p.r < 20"
+	code, body := get(t, srv, "/v1/explain?q="+url.QueryEscape(q)+"&analyze=1")
+	if code != 200 {
+		t.Fatalf("explain analyze = %d: %s", code, body)
+	}
+	var resp explainResp
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Analyzed || resp.Rows == nil {
+		t.Fatalf("analyze metadata missing: analyzed=%v rows=%v", resp.Analyzed, resp.Rows)
+	}
+	phys := resp.Physical
+	if phys.Actual == nil {
+		t.Fatal("no actuals on the root operator")
+	}
+	if phys.Actual.RowsOut != *resp.Rows {
+		t.Errorf("root rows_out %d != delivered %d", phys.Actual.RowsOut, *resp.Rows)
+	}
+	for _, c := range phys.Children {
+		if c.Actual == nil || c.Actual.RowsIn <= 0 {
+			t.Errorf("scan %s actuals = %+v", c.Table, c.Actual)
+		}
+	}
+	// Bad analyze values are rejected.
+	code, _ = get(t, srv, "/v1/explain?q="+url.QueryEscape(q)+"&analyze=yes")
+	if code != 400 {
+		t.Errorf("bad analyze value = %d, want 400", code)
+	}
+}
+
+// TestV1QueryJoin: joins execute through the bounded interactive query
+// endpoint with qualified columns on the wire.
+func TestV1QueryJoin(t *testing.T) {
+	_, srv := newTestServer(t)
+	q := "SELECT p.objid, s.z FROM photo p JOIN spec s ON p.objid = s.objid WHERE p.r < 20 ORDER BY s.z DESC LIMIT 7"
+	code, body := get(t, srv, queryPath(q, ""))
+	if code != 200 {
+		t.Fatalf("join query = %d: %s", code, body)
+	}
+	var doc struct {
+		Columns []query.Column    `json:"columns"`
+		Rows    []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Columns) != 2 || doc.Columns[0].Name != "p.objid" || doc.Columns[1].Name != "s.redshift" {
+		t.Fatalf("columns = %+v", doc.Columns)
+	}
+	if len(doc.Rows) == 0 || len(doc.Rows) > 7 {
+		t.Fatalf("rows = %d", len(doc.Rows))
+	}
+	var row map[string]any
+	if err := json.Unmarshal(doc.Rows[0], &row); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := row["p.objid"]; !ok {
+		t.Errorf("row keys = %v, want qualified names", row)
+	}
+	// NEIGHBORS through the same endpoint.
+	q2 := "SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 5) WHERE a.objid < b.objid LIMIT 20"
+	code, body = get(t, srv, queryPath(q2, ""))
+	if code != 200 {
+		t.Fatalf("neighbors query = %d: %s", code, body)
+	}
+	// Parse errors surface with positions.
+	code, body = get(t, srv, queryPath("SELECT p.objid FROM photo p JOIN", ""))
+	if code != 400 {
+		t.Fatalf("bad join query = %d", code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Error("no error body")
+	}
+}

@@ -23,7 +23,8 @@ import (
 //	GET  /v1/status             archive holdings + job-queue depth
 //	GET  /v1/tables             schema discovery: tables, columns, types
 //	GET  /v1/query              ?q= &format=json|csv|ndjson &limit= &offset= &timeout=
-//	GET  /v1/explain            ?q=  → the compiled QET plan
+//	GET  /v1/explain            ?q= [&analyze=1] → logical QET + physical operator tree
+//	                            (cost-based access paths; analyze adds actual rows/timing)
 //	GET  /v1/cone               ?ra= &dec= &radius= [&table= &cols= &format= ...]
 //	POST /v1/jobs               {"query": "..."} → 202 + job status
 //	GET  /v1/jobs               list jobs
@@ -274,11 +275,25 @@ func (w *WWW) handleCone(rw http.ResponseWriter, req *http.Request) {
 	w.serveQuery(rw, req, src, format, opts)
 }
 
-// handleExplain compiles ?q= and returns the plan without executing it.
+// handleExplain compiles ?q= and returns both plans: the logical QET
+// (parse/analyze/pushdown output) and the physical operator tree with the
+// optimizer's chosen access paths and cost estimates. With ?analyze=1 the
+// query also executes — under the interactive time cap, rows discarded —
+// and every physical operator reports actual rows-in/rows-out/elapsed next
+// to its estimates.
 func (w *WWW) handleExplain(rw http.ResponseWriter, req *http.Request) {
 	src := req.URL.Query().Get("q")
 	if src == "" {
 		jsonError(rw, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	analyze := false
+	switch req.URL.Query().Get("analyze") {
+	case "", "0", "false":
+	case "1", "true":
+		analyze = true
+	default:
+		jsonError(rw, http.StatusBadRequest, "bad analyze parameter (want 1 or 0)")
 		return
 	}
 	prep, err := query.PrepareString(src)
@@ -286,18 +301,54 @@ func (w *WWW) handleExplain(rw http.ResponseWriter, req *http.Request) {
 		jsonError(rw, http.StatusBadRequest, "%s", err)
 		return
 	}
+	plan, err := w.Engine.PlanAnalyze(prep, analyze)
+	if err != nil {
+		jsonError(rw, http.StatusBadRequest, "%s", err)
+		return
+	}
+	var rowCount int64 = -1
+	if analyze {
+		rows, err := w.Engine.ExecutePlan(req.Context(), plan,
+			qe.ExecOptions{Timeout: w.maxTimeout(), Analyze: true})
+		if err != nil {
+			jsonError(rw, statusForQueryError(err), "%s", err)
+			return
+		}
+		rowCount = 0
+		for b := range rows.C {
+			rowCount += int64(len(b))
+			qe.RecycleBatch(b)
+		}
+		if err := rows.Err(); err != nil {
+			jsonError(rw, statusForQueryError(err), "%s", err)
+			return
+		}
+	}
 	// Per-shard fan-out: how many candidate containers each leaf scan will
 	// touch on every slice. A fanout error (table not loaded) leaves the
 	// plan usable, so it is reported as an empty list, not a failure.
 	fanout, _ := w.Engine.Fanout(prep)
-	writeJSON(rw, http.StatusOK, struct {
-		Query   string           `json:"query"`
-		Columns []query.Column   `json:"columns"`
-		Plan    *query.PlanNode  `json:"plan"`
-		Shards  int              `json:"shards"`
-		Fanout  []qe.ShardFanout `json:"fanout,omitempty"`
-		Text    string           `json:"text"`
-	}{src, prep.Columns(), prep.Plan(), w.Engine.NumShards(), fanout, prep.Explain()})
+	resp := struct {
+		Query    string           `json:"query"`
+		Columns  []query.Column   `json:"columns"`
+		Plan     *query.PlanNode  `json:"plan"`
+		Physical *qe.OpNode       `json:"physical"`
+		Analyzed bool             `json:"analyzed,omitempty"`
+		Rows     *int64           `json:"rows,omitempty"`
+		Shards   int              `json:"shards"`
+		Fanout   []qe.ShardFanout `json:"fanout,omitempty"`
+		Text     string           `json:"text"`
+		Phystext string           `json:"physical_text"`
+	}{
+		Query: src, Columns: prep.Columns(), Plan: prep.Plan(),
+		Physical: plan.Describe(), Analyzed: analyze,
+		Shards: w.Engine.NumShards(), Fanout: fanout,
+		Text: prep.Explain(), Phystext: plan.Text(),
+	}
+	if analyze {
+		resp.Rows = &rowCount
+	}
+	writeJSON(rw, http.StatusOK, resp)
 }
 
 // serveQuery compiles, executes, and encodes one bounded query. The query

@@ -157,13 +157,27 @@ func (a *Archive) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Qu
 	})
 }
 
-// Explain compiles query text and returns its execution plan.
+// Explain compiles query text and returns its logical plan: the analyzed
+// QET with predicates pushed below joins.
 func (a *Archive) Explain(src string) (*query.PlanNode, error) {
 	prep, err := query.PrepareString(src)
 	if err != nil {
 		return nil, err
 	}
 	return prep.Plan(), nil
+}
+
+// PlanQuery compiles query text through the cost-based physical planner:
+// the operator tree with chosen access paths (HTM coverage versus
+// zone-pruned versus full scan), hash-join build sides, and cardinality
+// estimates. Execute the plan with Engine().ExecutePlan, or read it with
+// Describe/Text.
+func (a *Archive) PlanQuery(src string) (*qe.ExecPlan, error) {
+	prep, err := query.PrepareString(src)
+	if err != nil {
+		return nil, err
+	}
+	return a.engine.Plan(prep)
 }
 
 // Cone runs a cone search on a table, streaming the projected columns.

@@ -181,6 +181,7 @@ func All() []Experiment {
 		{"E14", "index vs scan crossover", IndexVsScanCrossover},
 		{"E15", "sharded scatter-gather", ShardScatterGather},
 		{"E16", "zone-map pruning + selective decode", ZoneMapPruning},
+		{"E17", "photo⋈spec join execution", PhotoSpecJoin},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

@@ -1,0 +1,239 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"sdss/internal/catalog"
+	"sdss/internal/core"
+	"sdss/internal/qe"
+	"sdss/internal/query"
+	"sdss/internal/stats"
+)
+
+// JoinBenchResult is one row of BENCH_join.json: a join query timed on the
+// single-shard and N-shard archives, with the client-side two-query merge
+// (what the engine forced before JOIN existed) as the baseline where it
+// applies.
+type JoinBenchResult struct {
+	Query       string  `json:"query"`
+	Rows        int     `json:"rows"`
+	SingleShard string  `json:"single_shard"`
+	Sharded     string  `json:"sharded"`
+	Speedup     float64 `json:"speedup"`
+	// ClientMerge times the pre-JOIN workaround: two separate selects
+	// merged by objid in application code ("" when not applicable).
+	ClientMerge string `json:"client_merge,omitempty"`
+	// EstRows/ActualRows compare the optimizer's cardinality estimate
+	// with reality for the join operator itself.
+	EstRows    float64 `json:"est_rows"`
+	ActualRows int64   `json:"actual_rows"`
+	BuildSide  string  `json:"build_side,omitempty"`
+}
+
+// joinGrid is the E17 measurement grid: the flagship photo⋈spec equi-join,
+// its aggregate form, a residual-predicate join, and the spatial neighbor
+// self-join on the tag partition.
+func joinGrid() []struct {
+	Name, Q     string
+	ClientMerge bool
+} {
+	return []struct {
+		Name, Q     string
+		ClientMerge bool
+	}{
+		{"photo⋈spec r<18", "SELECT p.objid, s.redshift FROM photoobj p JOIN specobj s ON p.objid = s.objid WHERE p.r < 18", true},
+		{"join count", "SELECT COUNT(*) FROM photoobj p JOIN specobj s ON p.objid = s.objid WHERE p.r < 19", false},
+		{"residual u-g>z", "SELECT p.objid FROM photoobj p JOIN specobj s ON p.objid = s.objid WHERE p.u - p.g > s.redshift", false},
+		{"neighbors 0.5'", "SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 0.5) WHERE a.objid < b.objid", false},
+	}
+}
+
+// joinNode finds the join operator inside a physical plan (it may sit
+// under aggregate/sort/limit wrappers).
+func joinNode(n *qe.OpNode) *qe.OpNode {
+	if n == nil {
+		return nil
+	}
+	if n.Op == "hash-join" || n.Op == "neighbor-join" {
+		return n
+	}
+	for _, c := range n.Children {
+		if j := joinNode(c); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// PhotoSpecJoin is experiment E17: JOIN execution at bench scale. The same
+// join grid runs on 1-shard and N-shard archives (results cross-checked),
+// the flagship query is compared against the client-side two-query merge
+// it replaces, and the optimizer's estimated rows are reported against the
+// actual counts from EXPLAIN ANALYZE.
+func PhotoSpecJoin(cfg Config, w io.Writer) error {
+	h, err := NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	nShards := cfg.shards()
+	section(w, "E17", fmt.Sprintf("photo⋈spec join execution (1 and %d shards)", nShards))
+
+	wide, err := core.Create("", core.Options{Shards: nShards})
+	if err != nil {
+		return err
+	}
+	if _, err := wide.LoadObjects(h.Photo, h.Spec); err != nil {
+		return err
+	}
+	wide.Sort()
+
+	ctx := context.Background()
+	tbl := stats.NewTable("Query", "Rows", "1 shard", fmt.Sprintf("%d shards", nShards), "Speedup", "Est rows", "Build")
+	var grid []JoinBenchResult
+
+	for _, q := range joinGrid() {
+		run := func(a *core.Archive) (time.Duration, int, error) {
+			best := time.Duration(math.MaxInt64)
+			var rows int
+			for i := 0; i < 4; i++ { // first iteration warms
+				start := time.Now()
+				rs, err := a.Query(ctx, q.Q)
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := rs.Collect()
+				if err != nil {
+					return 0, 0, err
+				}
+				if t := time.Since(start); i > 0 && t < best {
+					best = t
+				}
+				rows = len(res)
+			}
+			return best, rows, nil
+		}
+		nT, nRows, err := run(h.Archive)
+		if err != nil {
+			return fmt.Errorf("expt: %s on 1 shard: %w", q.Name, err)
+		}
+		wT, wRows, err := run(wide)
+		if err != nil {
+			return fmt.Errorf("expt: %s on %d shards: %w", q.Name, nShards, err)
+		}
+		if nRows != wRows {
+			return fmt.Errorf("expt: %s row count diverged: %d vs %d", q.Name, nRows, wRows)
+		}
+
+		// Estimated versus actual rows at the join operator, from an
+		// analyzed run on the single-shard archive.
+		prep, err := query.PrepareString(q.Q)
+		if err != nil {
+			return err
+		}
+		aplan, err := h.Archive.Engine().PlanAnalyze(prep, true)
+		if err != nil {
+			return err
+		}
+		rs, err := h.Archive.Engine().ExecutePlan(ctx, aplan, qe.ExecOptions{Analyze: true})
+		if err != nil {
+			return err
+		}
+		if _, err := rs.Collect(); err != nil {
+			return err
+		}
+		jn := joinNode(aplan.Describe())
+		res := JoinBenchResult{
+			Query:       q.Q,
+			Rows:        nRows,
+			SingleShard: nT.Round(time.Microsecond).String(),
+			Sharded:     wT.Round(time.Microsecond).String(),
+			Speedup:     math.Round(float64(nT)/float64(wT)*100) / 100,
+		}
+		if jn != nil {
+			res.EstRows = math.Round(jn.EstRows)
+			res.BuildSide = jn.BuildSide
+			if jn.Actual != nil {
+				res.ActualRows = jn.Actual.RowsOut
+			}
+		}
+		if q.ClientMerge {
+			cm, cmRows, err := clientMergeBaseline(ctx, h.Archive)
+			if err != nil {
+				return err
+			}
+			if cmRows != nRows {
+				return fmt.Errorf("expt: client merge found %d rows, join %d", cmRows, nRows)
+			}
+			res.ClientMerge = cm.Round(time.Microsecond).String()
+		}
+		tbl.AddRow(q.Name, nRows, nT.Round(time.Microsecond), wT.Round(time.Microsecond),
+			fmt.Sprintf("%.2f×", res.Speedup), res.EstRows, res.BuildSide)
+		grid = append(grid, res)
+	}
+	fmt.Fprint(w, tbl)
+
+	if path := os.Getenv("SKYBENCH_JOIN_JSON"); path != "" {
+		doc := struct {
+			Objects int               `json:"objects"`
+			Spectra int               `json:"spectra"`
+			Shards  int               `json:"shards"`
+			Grid    []JoinBenchResult `json:"grid"`
+		}{cfg.Objects(), len(h.Spec), nShards, grid}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// clientMergeBaseline times the pre-JOIN workaround for the flagship
+// query: select the bright photo objects, select all spectra, and match
+// them by objid in application code.
+func clientMergeBaseline(ctx context.Context, a *core.Archive) (time.Duration, int, error) {
+	best := time.Duration(math.MaxInt64)
+	var matched int
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		photoRows, err := a.Query(ctx, "SELECT objid FROM photoobj WHERE r < 18")
+		if err != nil {
+			return 0, 0, err
+		}
+		photoRes, err := photoRows.Collect()
+		if err != nil {
+			return 0, 0, err
+		}
+		specRows, err := a.Query(ctx, "SELECT objid, redshift FROM specobj")
+		if err != nil {
+			return 0, 0, err
+		}
+		specRes, err := specRows.Collect()
+		if err != nil {
+			return 0, 0, err
+		}
+		bright := make(map[catalog.ObjID]bool, len(photoRes))
+		for _, r := range photoRes {
+			bright[r.ObjID] = true
+		}
+		matched = 0
+		for _, s := range specRes {
+			if bright[s.ObjID] {
+				matched++
+			}
+		}
+		if t := time.Since(start); i > 0 && t < best {
+			best = t
+		}
+	}
+	return best, matched, nil
+}

@@ -1,0 +1,207 @@
+// Generic spatial join on the hash machine's bucket scheme. The query
+// engine's NEIGHBORS operator feeds arbitrary result rows through this
+// bridge: each row becomes an Item (identity + unit-sphere position + the
+// caller's row index), the right side is hashed into HTM-trixel buckets
+// with exact margin replication, and the left side probes its home bucket —
+// the same two-phase shape Hash/Pairs run over tag objects, generalized so
+// any pair of row streams can neighbor-join.
+package hashm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sdss/internal/catalog"
+	"sdss/internal/htm"
+	"sdss/internal/region"
+	"sdss/internal/sphere"
+)
+
+// Item is one row entering a spatial join: its object identity, position on
+// the unit sphere, and the caller's row index (carried back in IndexPair).
+type Item struct {
+	ID  catalog.ObjID
+	Pos sphere.Vec3
+	Row int32
+}
+
+// IndexPair is one emitted join pair: row indexes into the caller's left
+// and right slices, plus the angular separation in radians.
+type IndexPair struct {
+	Left, Right int32
+	Dist        float64
+}
+
+// JoinDepth picks a bucket depth for a pair radius: the deepest depth whose
+// trixels still comfortably exceed the radius (so margin replication stays
+// cheap), clamped to [5, 12]. Depth-d trixels are roughly 90°/2^d across.
+func JoinDepth(radius float64) int {
+	depth := 5
+	for depth < 12 {
+		trixel := (math.Pi / 2) / float64(uint(1)<<uint(depth+1))
+		if trixel < 4*radius {
+			break
+		}
+		depth++
+	}
+	return depth
+}
+
+// bucketItems hashes items into trixel buckets at depth with exact margin
+// replication: every item lands in each bucket whose trixel lies within
+// radius — so probing any single bucket sees every item within radius of
+// any point inside that bucket's trixel. Items within one bucket are
+// deduplicated.
+func bucketItems(items []Item, depth int, radius float64) (map[htm.ID][]Item, error) {
+	buckets := make(map[htm.ID][]Item)
+	type bucketEdges struct{ n0, n1, n2 sphere.Vec3 }
+	edges := make(map[htm.ID]bucketEdges)
+	sinR := math.Sin(radius)
+	for i := range items {
+		it := items[i]
+		home, err := htm.Lookup(it.Pos, depth)
+		if err != nil {
+			return nil, fmt.Errorf("hashm: item %d: %w", it.ID, err)
+		}
+		buckets[home] = append(buckets[home], it)
+		eg, ok := edges[home]
+		if !ok {
+			tri, err := htm.Vertices(home)
+			if err != nil {
+				return nil, err
+			}
+			eg = bucketEdges{
+				n0: tri.V[0].Cross(tri.V[1]).Normalize(),
+				n1: tri.V[1].Cross(tri.V[2]).Normalize(),
+				n2: tri.V[2].Cross(tri.V[0]).Normalize(),
+			}
+			edges[home] = eg
+		}
+		// Interior items (further than radius from every bucket edge)
+		// cannot spill into a neighbor: skip the margin coverage.
+		if it.Pos.Dot(eg.n0) >= sinR && it.Pos.Dot(eg.n1) >= sinR && it.Pos.Dot(eg.n2) >= sinR {
+			continue
+		}
+		cov, err := region.Cover(region.Circle(it.Pos, radius), depth)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[htm.ID]struct{}{home: {}}
+		addTrixels := func(trixels []htm.ID) {
+			for _, id := range trixels {
+				lo, hi := id.RangeAtDepth(depth)
+				if lo == htm.Invalid {
+					continue
+				}
+				for b := lo; b <= hi; b++ {
+					if _, dup := seen[b]; dup {
+						continue
+					}
+					seen[b] = struct{}{}
+					buckets[b] = append(buckets[b], it)
+				}
+			}
+		}
+		addTrixels(cov.Full)
+		addTrixels(cov.Partial)
+	}
+	return buckets, nil
+}
+
+// JoinItems emits every (left, right) pair within radius radians, except
+// identity pairs (same ObjID on both sides, which a same-table join would
+// otherwise always produce at distance zero). The right side is bucketed
+// with margin replication; left items probe only their home bucket, so each
+// pair is discovered exactly once. Buckets are probed in parallel by
+// workers goroutines (0 = GOMAXPROCS); pairs return sorted by (left row,
+// right row), deterministic regardless of worker count.
+func JoinItems(left, right []Item, radius float64, workers int) ([]IndexPair, error) {
+	// The interior-item shortcut in bucketItems compares edge distances
+	// against sin(radius), which is only conservative up to π/2; the
+	// parser caps NEIGHBORS at 90°, this guards direct callers.
+	if radius <= 0 || radius > math.Pi/2 {
+		return nil, fmt.Errorf("hashm: join radius must be in (0, π/2] radians, got %g", radius)
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	depth := JoinDepth(radius)
+	buckets, err := bucketItems(right, depth, radius)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group left probes by home bucket so each bucket's entries are walked
+	// once per probe group, in parallel.
+	probes := make(map[htm.ID][]Item)
+	for i := range left {
+		home, err := htm.Lookup(left[i].Pos, depth)
+		if err != nil {
+			return nil, fmt.Errorf("hashm: item %d: %w", left[i].ID, err)
+		}
+		probes[home] = append(probes[home], left[i])
+	}
+	ids := make([]htm.ID, 0, len(probes))
+	for id := range probes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	work := make(chan htm.ID, len(ids))
+	for _, id := range ids {
+		work <- id
+	}
+	close(work)
+
+	cosMax := math.Cos(radius)
+	var mu sync.Mutex
+	var out []IndexPair
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local []IndexPair
+			for id := range work {
+				cands := buckets[id]
+				if len(cands) == 0 {
+					continue
+				}
+				for _, l := range probes[id] {
+					for _, r := range cands {
+						if l.ID == r.ID {
+							continue // identity pair
+						}
+						if sphere.CosDist(l.Pos, r.Pos) < cosMax {
+							continue
+						}
+						local = append(local, IndexPair{
+							Left:  l.Row,
+							Right: r.Row,
+							Dist:  sphere.Dist(l.Pos, r.Pos),
+						})
+					}
+				}
+			}
+			if len(local) > 0 {
+				mu.Lock()
+				out = append(out, local...)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package hashm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/sphere"
+)
+
+// randomItems scatters n items in a patch of sky so a small radius yields
+// a healthy pair count.
+func randomItems(n int, seed int64, idBase uint64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		ra := 180 + rng.Float64()*2
+		dec := 20 + rng.Float64()*2
+		items[i] = Item{
+			ID:  catalog.ObjID(idBase + uint64(i)),
+			Pos: sphere.FromRADec(ra, dec),
+			Row: int32(i),
+		}
+	}
+	return items
+}
+
+// TestJoinItemsMatchesBruteForce: the bucketed bipartite join must emit
+// exactly the all-pairs set within radius, identity pairs excluded.
+func TestJoinItemsMatchesBruteForce(t *testing.T) {
+	radius := 2 * sphere.Arcmin
+	left := randomItems(400, 1, 0)
+	right := randomItems(500, 2, 10000)
+	// A few identity collisions: give some right items left IDs at the
+	// same position, which must never pair with themselves.
+	for i := 0; i < 20; i++ {
+		right[i].ID = left[i].ID
+		right[i].Pos = left[i].Pos
+	}
+
+	got, err := JoinItems(left, right, radius, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ l, r int32 }
+	want := map[pair]float64{}
+	cosMax := math.Cos(radius)
+	for i := range left {
+		for j := range right {
+			if left[i].ID == right[j].ID {
+				continue
+			}
+			if sphere.CosDist(left[i].Pos, right[j].Pos) >= cosMax {
+				want[pair{left[i].Row, right[j].Row}] = sphere.Dist(left[i].Pos, right[j].Pos)
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate dataset: no pairs")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("join found %d pairs, brute force %d", len(got), len(want))
+	}
+	seen := map[pair]bool{}
+	for _, p := range got {
+		k := pair{p.Left, p.Right}
+		d, ok := want[k]
+		if !ok {
+			t.Fatalf("unexpected pair %v", k)
+		}
+		if math.Abs(p.Dist-d) > 1e-12 {
+			t.Errorf("pair %v dist %v, want %v", k, p.Dist, d)
+		}
+		if seen[k] {
+			t.Fatalf("pair %v emitted twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestJoinItemsDeterministic: worker count must not change the output.
+func TestJoinItemsDeterministic(t *testing.T) {
+	radius := 3 * sphere.Arcmin
+	left := randomItems(300, 3, 0)
+	right := randomItems(300, 4, 5000)
+	a, err := JoinItems(left, right, radius, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JoinItems(left, right, radius, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("1 worker %d pairs, 8 workers %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestJoinDepthScalesWithRadius: tighter radii pick deeper buckets, and the
+// depth stays within HTM limits.
+func TestJoinDepthScalesWithRadius(t *testing.T) {
+	wide := JoinDepth(1 * sphere.Arcmin * 60) // 1 degree
+	tight := JoinDepth(10 * sphere.Arcsec)
+	if tight <= wide {
+		t.Errorf("JoinDepth(10\") = %d not deeper than JoinDepth(1°) = %d", tight, wide)
+	}
+	for _, r := range []float64{1e-8, 1e-4, 0.01, 1} {
+		d := JoinDepth(r)
+		if d < 5 || d > 12 {
+			t.Errorf("JoinDepth(%g) = %d out of [5, 12]", r, d)
+		}
+	}
+}

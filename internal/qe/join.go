@@ -1,0 +1,384 @@
+// The two join operators of the physical plan:
+//
+//   - hashJoinOp executes ON a.col = b.col as a classic hash join: the
+//     build side (chosen by the optimizer as the smaller estimated input)
+//     is drained into a hash table, then the probe side streams through it.
+//     ON objid = objid joins key on the exact 64-bit object identifiers;
+//     general numeric keys hash their float64 values, with NaN keys dropped
+//     from both sides (NaN equals nothing, so they can never match).
+//
+//   - neighborJoinOp executes FROM NEIGHBORS(a, b, radius) on the hash
+//     machine's bucket scheme (package hashm): both inputs drain, the right
+//     side hashes into HTM-trixel buckets with exact margin replication,
+//     and each left row probes its home bucket — "the spatial analogue of a
+//     relational hash-join", exactly as the paper frames it.
+//
+// Both operators consume leaf scans that are already shard-aware: each side
+// scatters across its store's slices under the query-wide token pool and
+// arrives here as one merged stream.
+package qe
+
+import (
+	"context"
+	"math"
+
+	"sdss/internal/catalog"
+	"sdss/internal/hashm"
+	"sdss/internal/query"
+	"sdss/internal/sphere"
+)
+
+// planJoin plans a two-table leaf: both side scans (each with its own
+// cost-based access path), the join operator with its build side chosen by
+// estimated cardinality, and the statement's aggregate / sort / limit
+// wrappers.
+func (e *Engine) planJoin(cj *query.CompiledJoin, analyze bool) (Operator, error) {
+	left, err := e.planLeaf(cj.Left, analyze)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.planLeaf(cj.Right, analyze)
+	if err != nil {
+		return nil, err
+	}
+	estL, estR := left.info.EstRows, right.info.EstRows
+	cost := left.info.EstCost + right.info.EstCost
+
+	var op Operator
+	switch cj.Kind {
+	case query.JoinInner:
+		// Build on the smaller estimated input, probe with the larger.
+		buildLeft := estL <= estR
+		side := "right"
+		if buildLeft {
+			side = "left"
+		}
+		est := math.Min(estL, estR)
+		j := &hashJoinOp{e: e, cj: cj, buildLeft: buildLeft, left: left, right: right}
+		j.opBase = opBase{
+			info: OpNode{
+				Op:        "hash-join",
+				On:        cj.On,
+				BuildSide: side,
+				Filter:    cj.ResidualStr,
+				EstRows:   est,
+				EstCost:   cost + estL + estR,
+			},
+			stats:    newStats(analyze),
+			children: []Operator{left, right},
+		}
+		op = j
+	case query.JoinNeighbors:
+		// Expected pairs under uniform density: n·m × the cap fraction of
+		// the sphere a pair radius subtends.
+		capFrac := (1 - math.Cos(cj.Radius)) / 2
+		est := estL * estR * capFrac
+		j := &neighborJoinOp{e: e, cj: cj, left: left, right: right}
+		j.opBase = opBase{
+			info: OpNode{
+				Op:           "neighbor-join",
+				On:           cj.On,
+				RadiusArcmin: cj.Radius / sphere.Arcmin,
+				Filter:       cj.ResidualStr,
+				EstRows:      est,
+				EstCost:      cost + estL + estR,
+			},
+			stats:    newStats(analyze),
+			children: []Operator{left, right},
+		}
+		op = j
+	}
+
+	est := op.describe().EstRows
+	switch {
+	case cj.Agg != query.AggNone:
+		op = e.newAggOp(cj.Agg, op, est, analyze)
+	case cj.OrderRef >= 0:
+		orderBy := ""
+		if cj.Source != nil {
+			orderBy = cj.Source.OrderBy
+		}
+		op = e.newSortOp(cj.OrderRef, orderBy, cj.Desc, op, est, est, analyze)
+		if cj.Limit > 0 {
+			op = e.newLimitOp(cj.Limit, op, est, est, analyze)
+		}
+	case cj.Limit > 0:
+		op = e.newLimitOp(cj.Limit, op, est, est, analyze)
+	}
+	return op, nil
+}
+
+// pairEmitter assembles joined output rows into pooled batches: the shared
+// tail of both join operators. Not safe for concurrent use; each join runs
+// one emitting goroutine.
+type pairEmitter struct {
+	e     *Engine
+	cj    *query.CompiledJoin
+	rows  *Rows
+	out   chan Batch
+	batch Batch
+	vals  []float64
+	// lv/rv hold the current candidate pair for the residual getter.
+	lv, rv []float64
+	getter query.Getter
+}
+
+func newPairEmitter(e *Engine, cj *query.CompiledJoin, rows *Rows, out chan Batch) *pairEmitter {
+	p := &pairEmitter{e: e, cj: cj, rows: rows, out: out}
+	p.batch = getBatch(e.batchSize())
+	if w := len(cj.Out); w > 0 {
+		p.vals = make([]float64, 0, e.batchSize()*w)
+	}
+	p.getter = func(id query.AttrID) float64 {
+		side, attr := query.DecodeSideAttr(id)
+		if side == 1 {
+			return p.rv[p.cj.RightAttrIdx[attr]]
+		}
+		return p.lv[p.cj.LeftAttrIdx[attr]]
+	}
+	return p
+}
+
+// emit appends one (left, right) pair if it passes the residual predicates
+// (the exact-ID comparison first — 64-bit identifiers round through the
+// float path — then the compiled expression), flushing full batches. It
+// reports false when the context fired.
+func (p *pairEmitter) emit(ctx context.Context, left, right *Result) bool {
+	if p.cj.IDPred != nil && !p.cj.IDPred(uint64(left.ObjID), uint64(right.ObjID)) {
+		return true
+	}
+	p.lv, p.rv = left.Values, right.Values
+	if p.cj.Residual != nil && !p.cj.Residual(p.getter) {
+		return true
+	}
+	res := Result{ObjID: left.ObjID}
+	if w := len(p.cj.Out); w > 0 {
+		start := len(p.vals)
+		for _, ref := range p.cj.Out {
+			if ref.Side == 1 {
+				p.vals = append(p.vals, right.Values[ref.Idx])
+			} else {
+				p.vals = append(p.vals, left.Values[ref.Idx])
+			}
+		}
+		res.Values = p.vals[start:len(p.vals):len(p.vals)]
+	}
+	p.batch = append(p.batch, res)
+	if len(p.batch) >= p.e.batchSize() {
+		return p.flush(ctx)
+	}
+	return true
+}
+
+func (p *pairEmitter) flush(ctx context.Context) bool {
+	if len(p.batch) == 0 {
+		return true
+	}
+	select {
+	case p.out <- p.batch:
+	case <-ctx.Done():
+		p.rows.interrupted.Store(true)
+		RecycleBatch(p.batch)
+		p.batch = nil
+		return false
+	}
+	p.batch = getBatch(p.e.batchSize())
+	if w := len(p.cj.Out); w > 0 {
+		p.vals = make([]float64, 0, p.e.batchSize()*w)
+	}
+	return true
+}
+
+// close recycles whatever buffer the emitter still owns.
+func (p *pairEmitter) close() { RecycleBatch(p.batch) }
+
+// drainCollect drains a stream into a slice, copying Result structs out and
+// recycling the batch buffers (Values arrays stay valid — they are never
+// pooled). It reports false when the context fired mid-drain.
+func drainCollect(ctx context.Context, in <-chan Batch, rows *Rows) ([]Result, bool) {
+	var all []Result
+	for b := range in {
+		all = append(all, b...)
+		RecycleBatch(b)
+	}
+	if ctx.Err() != nil {
+		rows.interrupted.Store(true)
+		return all, false
+	}
+	return all, true
+}
+
+// hashJoinOp executes the equi-join.
+type hashJoinOp struct {
+	opBase
+	e           *Engine
+	cj          *query.CompiledJoin
+	buildLeft   bool
+	left, right Operator
+}
+
+// floatKey normalizes a float64 join key for hashing: NaN keys are
+// unusable (ok=false — NaN matches nothing under SQL equality) and -0
+// folds onto +0 so the hash agrees with ==.
+func floatKey(v float64) (uint64, bool) {
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v), true
+}
+
+func (o *hashJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		cj := o.cj
+		buildOp, probeOp := o.right, o.left
+		buildKey, probeKey := cj.RightKey, cj.LeftKey
+		if o.buildLeft {
+			buildOp, probeOp = o.left, o.right
+			buildKey, probeKey = cj.LeftKey, cj.RightKey
+		}
+
+		// Open both sides up front — the probe side's scan workers fill
+		// their channel buffers while the build side drains — then block
+		// on the build child, exactly like the paper's sort and
+		// intersection nodes block on theirs.
+		probe := probeOp.open(ctx, rows)
+		built, ok := drainCollect(ctx, buildOp.open(ctx, rows), rows)
+		if !ok {
+			for b := range probe {
+				RecycleBatch(b)
+			}
+			return
+		}
+		ht := make(map[uint64][]int32, len(built))
+		for i := range built {
+			var key uint64
+			if cj.KeyObjID {
+				key = uint64(built[i].ObjID)
+			} else {
+				k, usable := floatKey(built[i].Values[buildKey])
+				if !usable {
+					continue // NaN keys are dropped, never matched
+				}
+				key = k
+			}
+			ht[key] = append(ht[key], int32(i))
+		}
+
+		// Probe phase: stream the probe side through the table.
+		em := newPairEmitter(o.e, cj, rows, out)
+		defer em.close()
+		for b := range probe {
+			for i := range b {
+				var key uint64
+				if cj.KeyObjID {
+					key = uint64(b[i].ObjID)
+				} else {
+					k, usable := floatKey(b[i].Values[probeKey])
+					if !usable {
+						continue
+					}
+					key = k
+				}
+				matches := ht[key]
+				if len(matches) == 0 {
+					continue
+				}
+				for _, m := range matches {
+					l, r := &b[i], &built[m]
+					if o.buildLeft {
+						l, r = &built[m], &b[i]
+					}
+					if !em.emit(ctx, l, r) {
+						RecycleBatch(b)
+						for rest := range probe {
+							RecycleBatch(rest)
+						}
+						return
+					}
+				}
+			}
+			RecycleBatch(b)
+		}
+		em.flush(ctx)
+	}()
+	return o.instrument(out)
+}
+
+// neighborJoinOp executes the spatial join on hashm's bucket scheme.
+type neighborJoinOp struct {
+	opBase
+	e           *Engine
+	cj          *query.CompiledJoin
+	left, right Operator
+}
+
+// items converts drained results into hash-machine items, reading the
+// Cartesian position from the side's projected columns. Rows without a
+// finite position (a spectrum whose trixel failed to resolve) are skipped —
+// they have no location to join on.
+func joinItems(res []Result, pos [3]int) []hashm.Item {
+	items := make([]hashm.Item, 0, len(res))
+	for i := range res {
+		v := sphere.Vec3{
+			X: res[i].Values[pos[0]],
+			Y: res[i].Values[pos[1]],
+			Z: res[i].Values[pos[2]],
+		}
+		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) {
+			continue
+		}
+		items = append(items, hashm.Item{ID: catalog.ObjID(res[i].ObjID), Pos: v, Row: int32(i)})
+	}
+	return items
+}
+
+func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		cj := o.cj
+		// Both sides drain before the bucket phase — the neighbor join is
+		// a blocking node — but they drain concurrently, so the wall time
+		// is the slower scan, not the sum.
+		leftCh := o.left.open(ctx, rows)
+		rightCh := o.right.open(ctx, rows)
+		var rightRes []Result
+		var okR bool
+		rightDone := make(chan struct{})
+		go func() {
+			defer close(rightDone)
+			rightRes, okR = drainCollect(ctx, rightCh, rows)
+		}()
+		leftRes, okL := drainCollect(ctx, leftCh, rows)
+		<-rightDone
+		if !okL || !okR {
+			return
+		}
+		pairs, err := hashm.JoinItems(
+			joinItems(leftRes, cj.LeftPos),
+			joinItems(rightRes, cj.RightPos),
+			cj.Radius, o.e.workers())
+		if err != nil {
+			rows.setErr(err)
+			return
+		}
+		em := newPairEmitter(o.e, cj, rows, out)
+		defer em.close()
+		for _, p := range pairs {
+			if ctx.Err() != nil {
+				rows.interrupted.Store(true)
+				return
+			}
+			if !em.emit(ctx, &leftRes[p.Left], &rightRes[p.Right]) {
+				return
+			}
+		}
+		em.flush(ctx)
+	}()
+	return o.instrument(out)
+}

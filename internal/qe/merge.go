@@ -1,6 +1,6 @@
-// Shard-aware gather stages of the scatter-gather executor. A leaf select
-// fans its scan out across every slice of a sharded store (qe.runSelect);
-// the stages here merge the per-shard streams back into one:
+// Shard-aware gather stages of the scatter-gather executor. A leaf scan
+// operator fans out across every slice of a sharded store (scanOp in
+// plan.go); the stages here merge the per-shard streams back into one:
 //
 //   - runInterleave forwards batches from all shards as they arrive — the
 //     ASAP push, order-free.
@@ -82,8 +82,13 @@ func keyCompare(ka, kb float64) int {
 }
 
 // sortLess orders two results by the hidden sort key at keyIdx, breaking
-// key ties (including NaN-vs-NaN) by ObjID so the order is total and
-// shard-independent.
+// key ties (including NaN-vs-NaN) by ObjID, and ObjID ties by the full
+// value row. Single-table rows have unique ObjIDs, but join rows inherit
+// the left row's ObjID — one probe row matching several build rows with
+// tied sort keys would otherwise sort in nondeterministic arrival order.
+// Comparing the remaining values keeps the order total and
+// shard-independent for those too (rows tying on every value are
+// interchangeable).
 func sortLess(a, b *Result, keyIdx int, desc bool) bool {
 	if c := keyCompare(a.Values[keyIdx], b.Values[keyIdx]); c != 0 {
 		if desc {
@@ -91,14 +96,23 @@ func sortLess(a, b *Result, keyIdx int, desc bool) bool {
 		}
 		return c < 0
 	}
-	return a.ObjID < b.ObjID
+	if a.ObjID != b.ObjID {
+		return a.ObjID < b.ObjID
+	}
+	for i := range a.Values {
+		if c := keyCompare(a.Values[i], b.Values[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
 }
 
-// runSortShard drains one shard's scan (a sort node "must be complete
+// runSortShard drains one input stream (a sort node "must be complete
 // before results can be sent further up the tree") and re-emits it ordered
-// by (sort key, objid). The hidden sort key stays appended to each row for
-// the downstream k-way merge; runMergeOrdered strips it.
-func (e *Engine) runSortShard(ctx context.Context, cs *query.CompiledSelect, in <-chan Batch, rows *Rows) <-chan Batch {
+// by (sort key, objid), the key living at keyIdx of each row's values. The
+// hidden sort key stays appended to each row for the downstream k-way
+// merge; runMergeOrdered strips it.
+func (e *Engine) runSortShard(ctx context.Context, keyIdx int, desc bool, in <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -107,9 +121,8 @@ func (e *Engine) runSortShard(ctx context.Context, cs *query.CompiledSelect, in 
 			all = append(all, b...)
 			RecycleBatch(b)
 		}
-		keyIdx := len(cs.Cols)
 		sort.Slice(all, func(i, j int) bool {
-			return sortLess(&all[i], &all[j], keyIdx, cs.Desc)
+			return sortLess(&all[i], &all[j], keyIdx, desc)
 		})
 		bs := e.batchSize()
 		for start := 0; start < len(all); start += bs {
@@ -161,12 +174,11 @@ func (c *mergeCursor) advance() bool {
 }
 
 // runMergeOrdered k-way merges per-shard sorted streams into one globally
-// sorted stream, strips the hidden sort key, and re-batches. Ties on
-// (key, objid) — exact duplicates — are emitted lowest shard first, keeping
-// the merge stable and deterministic.
-func (e *Engine) runMergeOrdered(ctx context.Context, cs *query.CompiledSelect, ins []<-chan Batch, rows *Rows) <-chan Batch {
+// sorted stream, strips the hidden sort key at keyIdx, and re-batches. Ties
+// on (key, objid) — exact duplicates — are emitted lowest shard first,
+// keeping the merge stable and deterministic.
+func (e *Engine) runMergeOrdered(ctx context.Context, keyIdx int, desc bool, ins []<-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
-	keyIdx := len(cs.Cols)
 	go func() {
 		defer close(out)
 		// Prime one cursor per shard stream; empty shards drop out here.
@@ -211,7 +223,7 @@ func (e *Engine) runMergeOrdered(ctx context.Context, cs *query.CompiledSelect, 
 			// lowest shard index.
 			best := 0
 			for i := 1; i < len(cursors); i++ {
-				if sortLess(cursors[i].head(), cursors[best].head(), keyIdx, cs.Desc) {
+				if sortLess(cursors[i].head(), cursors[best].head(), keyIdx, desc) {
 					best = i
 				}
 			}
@@ -258,11 +270,12 @@ func (p *aggPartial) combine(q aggPartial) {
 	}
 }
 
-// runAggregate computes one partial aggregate per shard stream concurrently
+// runAggregate computes one partial aggregate per input stream concurrently
 // and combines them (in shard order, so the result is deterministic given
-// deterministic shard partials) into the single result row. Aggregation is
-// inherently blocking: every shard must finish before the row exists.
-func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, ins []<-chan Batch, rows *Rows) <-chan Batch {
+// deterministic shard partials) into the single result row. The non-count
+// aggregate operand is the hidden last value of each row. Aggregation is
+// inherently blocking: every input must finish before the row exists.
+func (e *Engine) runAggregate(ctx context.Context, agg query.AggFunc, ins []<-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 1)
 	partials := make([]aggPartial, len(ins))
 	var wg sync.WaitGroup
@@ -274,7 +287,7 @@ func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, ins
 			for b := range in {
 				for _, r := range b {
 					p.count++
-					if cs.Agg == query.AggCount {
+					if agg == query.AggCount {
 						continue
 					}
 					v := r.Values[len(r.Values)-1] // hidden agg operand
@@ -300,7 +313,7 @@ func (e *Engine) runAggregate(ctx context.Context, cs *query.CompiledSelect, ins
 			total.combine(p)
 		}
 		var v float64
-		switch cs.Agg {
+		switch agg {
 		case query.AggCount:
 			v = float64(total.count)
 		case query.AggSum:

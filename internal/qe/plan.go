@@ -1,0 +1,446 @@
+// The physical planner — the optimizer layer of the logical/physical split.
+// query.Prepared carries the logical plan (what to compute: compiled leaf
+// predicates, pushed below joins, with their coverage regions and zone
+// bounds); this file decides how to compute it:
+//
+//   - Access path per leaf, cost-based: HTM coverage pruning is taken only
+//     when the candidate containers hold comfortably fewer records than the
+//     table (the E14 index-versus-scan crossover — past that point the
+//     per-record fine filter costs more than it saves); zone-map pruning
+//     applies whenever the predicate yields attribute bounds; otherwise a
+//     full scan.
+//   - Cardinality estimates from store statistics: per-container record
+//     counts and zone min/max spans (query.Bounds.EstimateFraction), with a
+//     partial-coverage discount for containers the region only clips.
+//   - Join sides by estimated cardinality: the hash join builds on the
+//     smaller input and probes with the larger.
+//
+// The result is an Operator tree (op.go) mirroring the executable shape;
+// Describe() serves it to EXPLAIN with estimates (and actuals after
+// EXPLAIN ANALYZE).
+package qe
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sdss/internal/htm"
+	"sdss/internal/query"
+	"sdss/internal/store"
+)
+
+// indexCrossover is the fraction of the table's records above which
+// coverage pruning stops paying: when the candidate containers hold more
+// than this share of all records, the planner drops the HTM path and scans
+// the containers without per-record trixel checks (measured in E14).
+const indexCrossover = 0.6
+
+// partialCoverFraction discounts the estimated rows of containers the
+// coverage region only partially overlaps.
+const partialCoverFraction = 0.3
+
+// ExecPlan is a planned, executable statement: the physical operator tree
+// plus its result schema.
+type ExecPlan struct {
+	root    Operator
+	cols    []query.Column
+	analyze bool
+}
+
+// Columns returns the plan's result schema.
+func (p *ExecPlan) Columns() []query.Column { return p.cols }
+
+// Analyzed reports whether the plan's operators carry live counters.
+func (p *ExecPlan) Analyzed() bool { return p.analyze }
+
+// Describe snapshots the physical plan tree. Called after the plan ran
+// under ANALYZE, every node carries actual row counts and elapsed time
+// alongside the estimates.
+func (p *ExecPlan) Describe() *OpNode { return p.root.describe() }
+
+// Text renders the physical plan as indented text, one operator per line.
+func (p *ExecPlan) Text() string {
+	var b strings.Builder
+	renderOpNode(&b, p.Describe(), 0)
+	return b.String()
+}
+
+// Plan compiles a prepared statement into its physical plan.
+func (e *Engine) Plan(prep *query.Prepared) (*ExecPlan, error) {
+	return e.PlanAnalyze(prep, false)
+}
+
+// PlanAnalyze compiles a prepared statement into its physical plan; with
+// analyze set, every operator is instrumented to count rows and elapsed
+// time as it runs (EXPLAIN ANALYZE).
+func (e *Engine) PlanAnalyze(prep *query.Prepared, analyze bool) (*ExecPlan, error) {
+	root, err := e.planNode(prep, analyze)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecPlan{root: root, cols: prep.Columns(), analyze: analyze}, nil
+}
+
+func newStats(analyze bool) *opStats {
+	if !analyze {
+		return nil
+	}
+	return &opStats{}
+}
+
+// planNode plans one QET node.
+func (e *Engine) planNode(prep *query.Prepared, analyze bool) (Operator, error) {
+	switch {
+	case prep.Select != nil:
+		return e.planSelect(prep.Select, analyze)
+	case prep.Join != nil:
+		return e.planJoin(prep.Join, analyze)
+	default:
+		left, err := e.planNode(prep.Left, analyze)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.planNode(prep.Right, analyze)
+		if err != nil {
+			return nil, err
+		}
+		op := &setOp{e: e, op: prep.Op, left: left, right: right}
+		op.opBase = opBase{
+			info: OpNode{
+				Op:      strings.ToLower(prep.Op.String()),
+				EstRows: left.describe().EstRows + right.describe().EstRows,
+				EstCost: left.describe().EstCost + right.describe().EstCost,
+			},
+			stats:    newStats(analyze),
+			children: []Operator{left, right},
+		}
+		return op, nil
+	}
+}
+
+// planSelect plans a single-table select: the leaf scan with its chosen
+// access path, wrapped by aggregate / sort / limit operators as the
+// statement requires.
+func (e *Engine) planSelect(cs *query.CompiledSelect, analyze bool) (Operator, error) {
+	leaf, err := e.planLeaf(cs, analyze)
+	if err != nil {
+		return nil, err
+	}
+	est := leaf.info.EstRows
+	cost := leaf.info.EstCost
+	var op Operator = leaf
+	switch {
+	case cs.Agg != query.AggNone:
+		op = e.newAggOp(cs.Agg, op, cost, analyze)
+	case cs.Order != query.AttrInvalid:
+		op = e.newSortOp(len(cs.Cols), query.AttrName(cs.Table, cs.Order), cs.Desc, op, est, cost, analyze)
+		if cs.Limit > 0 {
+			op = e.newLimitOp(cs.Limit, op, est, cost, analyze)
+		}
+	case cs.Limit > 0:
+		op = e.newLimitOp(cs.Limit, op, est, cost, analyze)
+	}
+	return op, nil
+}
+
+// planLeaf chooses the access path for one leaf scan and computes its
+// estimates from store statistics.
+func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, error) {
+	st, err := e.storeFor(cs.Table)
+	if err != nil {
+		return nil, err
+	}
+	shards := st.Shards()
+	op := &scanOp{e: e, cs: cs, st: st, shardContainers: make([][]htm.ID, len(shards))}
+	op.opBase = opBase{
+		info: OpNode{
+			Op:     "scan",
+			Table:  cs.Table.String(),
+			Shards: len(shards),
+		},
+		stats: newStats(analyze),
+	}
+	if cs.Source != nil && cs.Source.Where != nil {
+		op.info.Filter = cs.Source.Where.String()
+	}
+
+	// A provably false predicate answers empty without touching a single
+	// container (NoZone keeps the scan honest as a full-scan baseline).
+	if cs.Bounds != nil && cs.Bounds.Never && !e.NoZone {
+		op.info.Access = "empty"
+		return op, nil
+	}
+
+	cov, err := e.coverage(cs)
+	if err != nil {
+		return nil, err
+	}
+	var rangeSet *htm.RangeSet
+	if cov != nil {
+		rangeSet = cov.RangeSet()
+	}
+
+	totalRecords := float64(st.NumRecords())
+
+	// Candidate containers per shard under coverage pruning (rs == nil
+	// admits everything), and the records they hold — the cost of that
+	// access path.
+	collect := func(rs *htm.RangeSet) (cands [][]htm.ID, n int, records float64) {
+		cands = make([][]htm.ID, len(shards))
+		for i, sh := range shards {
+			for _, cid := range sh.Containers() {
+				if rs != nil && !rs.OverlapsTrixel(cid) {
+					continue
+				}
+				cands[i] = append(cands[i], cid)
+				n++
+				if c := sh.Container(cid); c != nil {
+					records += float64(c.Count())
+				}
+			}
+		}
+		return cands, n, records
+	}
+	candidates, nCandidates, candRecords := collect(rangeSet)
+
+	// Cost-based index-versus-scan crossover: when coverage admits most of
+	// the table anyway, the per-record fine filter costs more than the
+	// skipped containers save.
+	if rangeSet != nil && candRecords >= indexCrossover*totalRecords {
+		rangeSet = nil
+		candidates, nCandidates, _ = collect(nil)
+	}
+
+	// Zone-map pruning over the surviving candidates, folding the
+	// cardinality estimate from each admitted container's statistics.
+	// Zones are only consulted when the predicate yields bounds — a pure
+	// spatial or unfiltered query must not pay on-demand zone rebuilds on
+	// a pre-zone archive just to be planned.
+	zoneCheck := e.zoneAdmit(cs)
+	var estRows, scanRecords float64
+	pruned := 0
+	for i, sh := range shards {
+		kept := candidates[i][:0]
+		for _, cid := range candidates[i] {
+			covFrac := 1.0
+			if rangeSet != nil && !coverageContains(rangeSet, cid) {
+				covFrac = partialCoverFraction
+			}
+			if zoneCheck == nil {
+				var count float64
+				if c := sh.Container(cid); c != nil {
+					count = float64(c.Count())
+				}
+				kept = append(kept, cid)
+				estRows += count * covFrac
+				scanRecords += count
+				continue
+			}
+			admitted := true
+			var rows, cost float64
+			sh.ZoneStats(cid, func(count int, min, max []float64, hasNaN []bool) {
+				cost = float64(count)
+				if min != nil && !zoneCheck(min, max, hasNaN) {
+					admitted = false
+					return
+				}
+				frac := covFrac
+				if min != nil {
+					frac *= cs.Bounds.EstimateFraction(min, max, hasNaN)
+				}
+				rows = float64(count) * frac
+			})
+			if !admitted {
+				pruned++
+				continue
+			}
+			kept = append(kept, cid)
+			estRows += rows
+			scanRecords += cost
+		}
+		op.shardContainers[i] = kept
+	}
+
+	op.rangeSet = rangeSet
+	op.info.Containers = nCandidates
+	op.info.ZonePruned = pruned
+	op.info.EstRows = estRows
+	op.info.EstCost = scanRecords
+	switch {
+	case rangeSet != nil && zoneCheck != nil:
+		op.info.Access = "htm-index+zone"
+	case rangeSet != nil:
+		op.info.Access = "htm-index"
+	case zoneCheck != nil:
+		op.info.Access = "zone-scan"
+	default:
+		op.info.Access = "full-scan"
+	}
+	return op, nil
+}
+
+// coverageContains reports whether the coverage fully contains a container
+// trixel (a partially overlapped container contributes fewer rows).
+func coverageContains(rs *htm.RangeSet, cid htm.ID) bool {
+	lo, hi := cid.RangeAtDepth(rs.Depth())
+	if lo == htm.Invalid {
+		return false
+	}
+	for _, r := range rs.Ranges() {
+		if r.Lo <= lo && hi <= r.Hi {
+			return true
+		}
+		if r.Lo > lo {
+			break
+		}
+	}
+	return false
+}
+
+// scanOp is the leaf operator: a scatter-gather container scan across the
+// table's shard slices, with the planner-chosen candidate containers and
+// access path baked in.
+type scanOp struct {
+	opBase
+	e               *Engine
+	cs              *query.CompiledSelect
+	st              *store.Sharded
+	rangeSet        *htm.RangeSet
+	shardContainers [][]htm.ID
+}
+
+// openShards launches one scan per shard slice, sharing the query-wide
+// token pool, and returns the per-shard streams (order-sensitive consumers
+// like the k-way merge want them unmixed).
+func (o *scanOp) openShards(ctx context.Context, rows *Rows) []<-chan Batch {
+	shards := o.st.Shards()
+	perShard := (o.e.workers() + len(shards) - 1) / len(shards)
+	tokens := make(chan struct{}, o.e.workers())
+	outs := make([]<-chan Batch, len(shards))
+	for i, sh := range shards {
+		outs[i] = o.instrument(o.e.runScan(ctx, sh, o.cs, o.rangeSet, o.shardContainers[i], perShard, tokens, rows, o.stats))
+	}
+	return outs
+}
+
+func (o *scanOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	return o.e.runInterleave(ctx, o.openShards(ctx, rows), rows)
+}
+
+// setOp executes one set operation over its children's streams.
+type setOp struct {
+	opBase
+	e           *Engine
+	op          query.SetOp
+	left, right Operator
+}
+
+func (o *setOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	left := o.left.open(ctx, rows)
+	right := o.right.open(ctx, rows)
+	var out <-chan Batch
+	switch o.op {
+	case query.OpUnion:
+		out = o.e.runUnion(ctx, left, right, rows)
+	case query.OpIntersect:
+		out = o.e.runIntersect(ctx, left, right, rows)
+	case query.OpMinus:
+		out = o.e.runMinus(ctx, left, right, rows)
+	default:
+		ch := make(chan Batch)
+		close(ch)
+		rows.setErr(fmt.Errorf("qe: unknown set operation %v", o.op))
+		out = ch
+	}
+	return o.instrument(out)
+}
+
+// sortOp is the distributed ORDER BY: per-input sort, then an ordered
+// k-way merge. Over a scan it sorts each shard stream independently; over
+// anything else (a join) it sorts the single input stream.
+type sortOp struct {
+	opBase
+	e      *Engine
+	keyIdx int
+	desc   bool
+	in     Operator
+}
+
+func (e *Engine) newSortOp(keyIdx int, orderBy string, desc bool, in Operator, est, cost float64, analyze bool) *sortOp {
+	op := &sortOp{e: e, keyIdx: keyIdx, desc: desc, in: in}
+	op.opBase = opBase{
+		info:     OpNode{Op: "sort", OrderBy: orderBy, Desc: desc, EstRows: est, EstCost: cost},
+		stats:    newStats(analyze),
+		children: []Operator{in},
+	}
+	return op
+}
+
+func (o *sortOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	var ins []<-chan Batch
+	if sc, ok := o.in.(*scanOp); ok {
+		ins = sc.openShards(ctx, rows)
+	} else {
+		ins = []<-chan Batch{o.in.open(ctx, rows)}
+	}
+	sorted := make([]<-chan Batch, len(ins))
+	for i, in := range ins {
+		sorted[i] = o.e.runSortShard(ctx, o.keyIdx, o.desc, in, rows)
+	}
+	return o.instrument(o.e.runMergeOrdered(ctx, o.keyIdx, o.desc, sorted, rows))
+}
+
+// aggOp combines per-shard partial aggregates (over a scan) or folds a
+// single stream (over a join) into the one-row result.
+type aggOp struct {
+	opBase
+	e   *Engine
+	agg query.AggFunc
+	in  Operator
+}
+
+func (e *Engine) newAggOp(agg query.AggFunc, in Operator, cost float64, analyze bool) *aggOp {
+	op := &aggOp{e: e, agg: agg, in: in}
+	op.opBase = opBase{
+		info:     OpNode{Op: "aggregate", Agg: agg.String(), EstRows: 1, EstCost: cost},
+		stats:    newStats(analyze),
+		children: []Operator{in},
+	}
+	return op
+}
+
+func (o *aggOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	var ins []<-chan Batch
+	if sc, ok := o.in.(*scanOp); ok {
+		ins = sc.openShards(ctx, rows)
+	} else {
+		ins = []<-chan Batch{o.in.open(ctx, rows)}
+	}
+	return o.instrument(o.e.runAggregate(ctx, o.agg, ins, rows))
+}
+
+// limitOp caps the stream at n rows.
+type limitOp struct {
+	opBase
+	e  *Engine
+	n  int
+	in Operator
+}
+
+func (e *Engine) newLimitOp(n int, in Operator, est, cost float64, analyze bool) *limitOp {
+	if est > float64(n) {
+		est = float64(n)
+	}
+	op := &limitOp{e: e, n: n, in: in}
+	op.opBase = opBase{
+		info:     OpNode{Op: "limit", Limit: n, EstRows: est, EstCost: cost},
+		stats:    newStats(analyze),
+		children: []Operator{in},
+	}
+	return op
+}
+
+func (o *limitOp) open(ctx context.Context, rows *Rows) <-chan Batch {
+	return o.instrument(o.e.runLimit(ctx, o.n, o.in.open(ctx, rows), rows))
+}

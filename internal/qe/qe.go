@@ -48,11 +48,13 @@ type Batch []Result
 // coarse enough that coverage stays small.
 const DefaultCoverDepth = 10
 
-// Engine executes prepared statements against the archive's stores. Each
-// store may be split into shard slices (store.Sharded); leaf scans fan out
-// across every slice concurrently and the streams are merged shard-aware
-// (see runSelect): ordered k-way merge under ORDER BY, partial-aggregate
-// combine for aggregates, plain interleave otherwise.
+// Engine executes prepared statements against the archive's stores: the
+// physical planner (plan.go) compiles each statement into an operator tree
+// with cost-chosen access paths, and ExecutePlan runs it. Each store may be
+// split into shard slices (store.Sharded); leaf scans fan out across every
+// slice concurrently and the streams are merged shard-aware: ordered k-way
+// merge under ORDER BY, partial-aggregate combine for aggregates, plain
+// interleave otherwise.
 type Engine struct {
 	Photo *store.Sharded // PhotoObj records
 	Tag   *store.Sharded // Tag records (may be nil if no tag partition)
@@ -207,6 +209,12 @@ type ExecOptions struct {
 	// Timeout aborts the query after a wall-clock duration; the stream
 	// ends and Rows.Err reports ErrTimeout.
 	Timeout time.Duration
+	// Analyze requests EXPLAIN ANALYZE instrumentation: every physical
+	// operator counts rows and timing, read from the plan's Describe
+	// after the stream ends. Instrumentation is wired at planning time —
+	// ExecuteOpts handles that; ExecutePlan rejects Analyze on a plan
+	// that was not built with PlanAnalyze.
+	Analyze bool
 }
 
 // Execute runs a prepared QET and returns the streaming result.
@@ -214,10 +222,21 @@ func (e *Engine) Execute(ctx context.Context, prep *query.Prepared) (*Rows, erro
 	return e.ExecuteOpts(ctx, prep, ExecOptions{})
 }
 
-// ExecuteOpts runs a prepared QET under per-query bounds.
+// ExecuteOpts plans and runs a prepared QET under per-query bounds.
 func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts ExecOptions) (*Rows, error) {
-	if err := e.validate(prep); err != nil {
+	plan, err := e.PlanAnalyze(prep, opts.Analyze)
+	if err != nil {
 		return nil, err
+	}
+	return e.ExecutePlan(ctx, plan, opts)
+}
+
+// ExecutePlan runs an already planned statement. The plan is the physical
+// operator tree Engine.Plan produced; running it a second time re-opens the
+// same operators (safe — operators hold no per-run state beyond counters).
+func (e *Engine) ExecutePlan(ctx context.Context, plan *ExecPlan, opts ExecOptions) (*Rows, error) {
+	if opts.Analyze && !plan.analyze {
+		return nil, errors.New("qe: ExecOptions.Analyze requires a plan built with PlanAnalyze")
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	var timedOut func() bool
@@ -229,8 +248,8 @@ func (e *Engine) ExecuteOpts(ctx context.Context, prep *query.Prepared, opts Exe
 		ctx = tctx
 	}
 	done := make(chan struct{})
-	rows := &Rows{cols: prep.Columns(), cancel: cancel, done: done}
-	out := e.runNode(ctx, prep, rows)
+	rows := &Rows{cols: plan.Columns(), cancel: cancel, done: done}
+	out := plan.root.open(ctx, rows)
 	final := make(chan Batch, 4)
 	rows.C = final
 	go func() {
@@ -326,41 +345,6 @@ func (e *Engine) ExecuteStringOpts(ctx context.Context, src string, opts ExecOpt
 		return nil, err
 	}
 	return e.ExecuteOpts(ctx, prep, opts)
-}
-
-// validate checks every leaf's table is available before starting the tree.
-func (e *Engine) validate(prep *query.Prepared) error {
-	if prep.Select != nil {
-		_, err := e.storeFor(prep.Select.Table)
-		return err
-	}
-	if err := e.validate(prep.Left); err != nil {
-		return err
-	}
-	return e.validate(prep.Right)
-}
-
-// runNode launches the goroutines for one QET node and returns its output
-// stream. Errors are reported through rows and cancel the whole tree.
-func (e *Engine) runNode(ctx context.Context, prep *query.Prepared, rows *Rows) <-chan Batch {
-	if prep.Select != nil {
-		return e.runSelect(ctx, prep.Select, rows)
-	}
-	left := e.runNode(ctx, prep.Left, rows)
-	right := e.runNode(ctx, prep.Right, rows)
-	switch prep.Op {
-	case query.OpUnion:
-		return e.runUnion(ctx, left, right, rows)
-	case query.OpIntersect:
-		return e.runIntersect(ctx, left, right, rows)
-	case query.OpMinus:
-		return e.runMinus(ctx, left, right, rows)
-	default:
-		ch := make(chan Batch)
-		close(ch)
-		rows.setErr(fmt.Errorf("qe: unknown set operation %v", prep.Op))
-		return ch
-	}
 }
 
 // runUnion merges children. In ASAP mode batches flow upward the moment
@@ -520,66 +504,6 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *R
 	return out
 }
 
-// runSelect executes a leaf query node with scatter-gather across the
-// table's shard slices: the HTM coverage is computed once, every slice runs
-// its own parallel container scan concurrently, and the shard streams are
-// merged by a shard-aware gather stage — ordered k-way merge when ORDER BY
-// is present, partial-aggregate combine for aggregates (AVG via sum+count),
-// plain interleave otherwise. Limits apply after the merge; cancellation
-// propagates to every shard through the shared tree context.
-func (e *Engine) runSelect(ctx context.Context, cs *query.CompiledSelect, rows *Rows) <-chan Batch {
-	fail := func(err error) <-chan Batch {
-		rows.setErr(err)
-		ch := make(chan Batch)
-		close(ch)
-		return ch
-	}
-	st, err := e.storeFor(cs.Table)
-	if err != nil {
-		return fail(err)
-	}
-	cov, err := e.coverage(cs)
-	if err != nil {
-		return fail(err)
-	}
-	var rangeSet *htm.RangeSet
-	if cov != nil {
-		rangeSet = cov.RangeSet()
-	}
-
-	shards := st.Shards()
-	// Spread the scan parallelism across the slices: each slice gets its
-	// ceiling share of the worker budget, and a shared token pool bounds
-	// the decode work actually in flight at e.workers() even when the
-	// shard count exceeds it — an N-shard query never runs more concurrent
-	// decode work than a single-shard one.
-	perShard := (e.workers() + len(shards) - 1) / len(shards)
-	tokens := make(chan struct{}, e.workers())
-	scanned := make([]<-chan Batch, len(shards))
-	for i, sh := range shards {
-		scanned[i] = e.runScan(ctx, sh, cs, rangeSet, perShard, tokens, rows)
-	}
-
-	switch {
-	case cs.Agg != query.AggNone:
-		return e.runAggregate(ctx, cs, scanned, rows)
-	case cs.Order != query.AttrInvalid:
-		sorted := make([]<-chan Batch, len(scanned))
-		for i, in := range scanned {
-			sorted[i] = e.runSortShard(ctx, cs, in, rows)
-		}
-		merged := e.runMergeOrdered(ctx, cs, sorted, rows)
-		if cs.Limit > 0 {
-			return e.runLimit(ctx, cs.Limit, merged, rows)
-		}
-		return merged
-	case cs.Limit > 0:
-		return e.runLimit(ctx, cs.Limit, e.runInterleave(ctx, scanned, rows), rows)
-	default:
-		return e.runInterleave(ctx, scanned, rows)
-	}
-}
-
 // runLimit forwards the first n results then stops consuming.
 func (e *Engine) runLimit(ctx context.Context, n int, in <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
@@ -654,8 +578,24 @@ type ShardFanout struct {
 }
 
 // Fanout computes the per-shard scatter of every leaf scan in a prepared
-// statement, in tree order (left before right).
+// statement, in tree order (left before right; a join contributes its left
+// then right side scans). It reports the coverage + zone pruning view
+// independent of the physical planner: when the planner's crossover rule
+// drops the HTM path (see planLeaf), the executed scan touches more
+// containers than Fanout's candidate count — compare against the physical
+// plan's Containers for the as-executed numbers.
 func (e *Engine) Fanout(prep *query.Prepared) ([]ShardFanout, error) {
+	if prep.Join != nil {
+		left, err := e.fanoutSelect(prep.Join.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.fanoutSelect(prep.Join.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(left, right...), nil
+	}
 	if prep.Select == nil {
 		left, err := e.Fanout(prep.Left)
 		if err != nil {
@@ -667,7 +607,11 @@ func (e *Engine) Fanout(prep *query.Prepared) ([]ShardFanout, error) {
 		}
 		return append(left, right...), nil
 	}
-	cs := prep.Select
+	return e.fanoutSelect(prep.Select)
+}
+
+// fanoutSelect computes one leaf scan's per-shard scatter.
+func (e *Engine) fanoutSelect(cs *query.CompiledSelect) ([]ShardFanout, error) {
 	st, err := e.storeFor(cs.Table)
 	if err != nil {
 		return nil, err

@@ -41,42 +41,20 @@ func (e *Engine) newAccessor(t query.Table) (rowAccessor, error) {
 	return selectiveRow{rr: rr}, nil
 }
 
-// runScan executes a leaf query node against one shard slice. Candidate
-// containers pass two prunes before any record is touched: the HTM coverage
-// (computed once per query by runSelect) and the zone maps — per-container
-// min/max statistics checked against the predicate's attribute bounds, which
-// skip containers no satisfying record can live in. Surviving containers are
-// decoded selectively: the compiled getter reads only the attributes the
-// predicate and projection reference, at fixed byte offsets, instead of
-// decoding whole structs. nWorkers process containers in parallel and result
-// batches stream out as soon as they fill — the data-pump end of the ASAP
-// push. tokens is the query-wide pool bounding how many workers across all
-// slices process containers at once.
-func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, rangeSet *htm.RangeSet, nWorkers int, tokens chan struct{}, rows *Rows) <-chan Batch {
+// runScan executes a leaf query node against one shard slice. The physical
+// planner has already chosen the access path: containers is the slice's
+// candidate list after coverage and zone-map pruning, and rangeSet is
+// non-nil only when the planner judged per-record fine filtering worth its
+// cost (the index-versus-scan crossover). Surviving containers are decoded
+// selectively: the compiled getter reads only the attributes the predicate
+// and projection reference, at fixed byte offsets, instead of decoding
+// whole structs. nWorkers process containers in parallel and result batches
+// stream out as soon as they fill — the data-pump end of the ASAP push.
+// tokens is the query-wide pool bounding how many workers across all slices
+// process containers at once. Under EXPLAIN ANALYZE, stats counts the
+// records examined (rows in).
+func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, rangeSet *htm.RangeSet, containers []htm.ID, nWorkers int, tokens chan struct{}, rows *Rows, stats *opStats) <-chan Batch {
 	out := make(chan Batch, 4)
-
-	// A provably false predicate (r < 18 AND r > 21) answers empty without
-	// touching a single container. NoZone disables this short-circuit too:
-	// its contract is "visit every coverage candidate", which keeps it an
-	// honest full-scan baseline and consistent with Fanout's reporting.
-	if cs.Bounds != nil && cs.Bounds.Never && !e.NoZone {
-		close(out)
-		return out
-	}
-
-	// Candidate containers within this slice: coverage prune, then zone
-	// prune.
-	zoneCheck := e.zoneAdmit(cs)
-	var containers []htm.ID
-	for _, id := range st.Containers() {
-		if rangeSet != nil && !rangeSet.OverlapsTrixel(id) {
-			continue
-		}
-		if zoneCheck != nil && !st.CheckZone(id, zoneCheck) {
-			continue
-		}
-		containers = append(containers, id)
-	}
 
 	// Hidden values appended after the projection: the sort key and/or
 	// aggregate operand the upper nodes need.
@@ -176,7 +154,9 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 					rows.interrupted.Store(true)
 					return
 				}
+				examined := 0
 				err := st.ForEachInContainer(cid, func(rec []byte) error {
+					examined++
 					// Cheap prefilter on the embedded key before paying
 					// for attribute reads: skip records whose fine trixel
 					// falls outside the coverage.
@@ -209,6 +189,9 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 					return nil
 				})
 				<-tokens
+				if stats != nil {
+					stats.rowsIn.Add(int64(examined))
+				}
 				if err != nil && err != context.Canceled {
 					rows.setErr(err)
 					return

@@ -155,7 +155,7 @@ func TestShardFanout(t *testing.T) {
 // index first.
 func TestMergeOrderedStability(t *testing.T) {
 	e := &Engine{BatchSize: 2}
-	cs := &query.CompiledSelect{Cols: []query.AttrID{0}} // 1 projected col, key at index 1
+	const keyIdx = 1 // 1 projected col, key at index 1
 	mk := func(objID catalog.ObjID, col, key float64) Result {
 		return Result{ObjID: objID, Values: []float64{col, key}}
 	}
@@ -177,7 +177,7 @@ func TestMergeOrderedStability(t *testing.T) {
 	}
 	rows := &Rows{cancel: func() {}}
 	var got []Result
-	for b := range e.runMergeOrdered(context.Background(), cs, ins, rows) {
+	for b := range e.runMergeOrdered(context.Background(), keyIdx, false, ins, rows) {
 		got = append(got, b...)
 	}
 	var desc []string

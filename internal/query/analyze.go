@@ -10,12 +10,16 @@ import (
 )
 
 // Analyze resolves names and rewrites the statement in place: attribute
-// identifiers are bound to schema IDs, class-name string literals become
-// their numeric codes, flag tests are validated, and the spatial functions
-// CIRCLE / RECT / LATBAND are resolved into SpatialPred nodes whose
-// constant arguments the planner can turn into half-space coverage.
+// identifiers are bound to schema IDs (and, in join queries, to their join
+// side), class-name string literals become their numeric codes, flag tests
+// are validated, and the spatial functions CIRCLE / RECT / LATBAND are
+// resolved into SpatialPred nodes whose constant arguments the planner can
+// turn into half-space coverage.
 func Analyze(stmt *Stmt) error {
 	if stmt.Select != nil {
+		if stmt.Select.Join != nil {
+			return analyzeJoinSelect(stmt.Select)
+		}
 		return analyzeSelect(stmt.Select)
 	}
 	if err := Analyze(stmt.Left); err != nil {
@@ -24,24 +28,81 @@ func Analyze(stmt *Stmt) error {
 	return Analyze(stmt.Right)
 }
 
+// binder resolves identifier references for one FROM clause shape. The
+// single-table binder resolves against one schema; the join binder resolves
+// qualified (and unambiguous unqualified) references against both sides.
+type binder interface {
+	// bind resolves the identifier in place: Attr gets the table-local
+	// attribute ID and Side the join side (-1 for single-table selects).
+	bind(id *Ident) error
+	// tableOf returns the table a bound identifier belongs to.
+	tableOf(id *Ident) Table
+	// flagTable is the table FLAG() tests bind to (the left table in
+	// joins, documented in the README).
+	flagTable() Table
+}
+
+// tableBinder resolves against a single table, accepting the select's alias
+// or the canonical table name as a qualifier.
+type tableBinder struct {
+	t     Table
+	alias string
+}
+
+func (b tableBinder) bind(id *Ident) error {
+	if id.Qual != "" && id.Qual != b.alias && id.Qual != b.t.String() {
+		return fmt.Errorf("query: unknown table alias %q in %s", id.Qual, id)
+	}
+	attr, err := Resolve(b.t, id.Name)
+	if err != nil {
+		return err
+	}
+	id.Attr = attr
+	id.Side = -1
+	return nil
+}
+
+func (b tableBinder) tableOf(*Ident) Table { return b.t }
+func (b tableBinder) flagTable() Table     { return b.t }
+
+// resolveRef validates a possibly qualified column reference ("p.r" or "r")
+// against the binder and returns the bound identifier.
+func resolveRef(b binder, ref string) (*Ident, error) {
+	id := identFromRef(ref)
+	if err := b.bind(id); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
 func analyzeSelect(sel *Select) error {
-	for _, c := range sel.Cols {
-		if _, err := Resolve(sel.Table, c); err != nil {
+	b := tableBinder{t: sel.Table, alias: sel.Alias}
+	// Qualified references in the select list, aggregate argument, and
+	// ORDER BY are validated and normalized to bare names, so compilation
+	// and every downstream consumer see the historical single-table shape.
+	for i, c := range sel.Cols {
+		id, err := resolveRef(b, c)
+		if err != nil {
 			return err
 		}
+		sel.Cols[i] = id.Name
 	}
 	if sel.AggArg != "" {
-		if _, err := Resolve(sel.Table, sel.AggArg); err != nil {
+		id, err := resolveRef(b, sel.AggArg)
+		if err != nil {
 			return err
 		}
+		sel.AggArg = id.Name
 	}
 	if sel.OrderBy != "" {
-		if _, err := Resolve(sel.Table, sel.OrderBy); err != nil {
+		id, err := resolveRef(b, sel.OrderBy)
+		if err != nil {
 			return err
 		}
+		sel.OrderBy = id.Name
 	}
 	if sel.Where != nil {
-		rewritten, err := analyzeExpr(sel.Where, sel.Table)
+		rewritten, err := analyzeExpr(sel.Where, b)
 		if err != nil {
 			return err
 		}
@@ -52,45 +113,43 @@ func analyzeSelect(sel *Select) error {
 
 // analyzeExpr resolves one expression tree, returning the (possibly
 // rewritten) node.
-func analyzeExpr(e Expr, t Table) (Expr, error) {
+func analyzeExpr(e Expr, b binder) (Expr, error) {
 	switch n := e.(type) {
 	case *NumberLit, *StringLit, *SpatialPred:
 		return e, nil
 	case *Ident:
-		id, err := Resolve(t, n.Name)
-		if err != nil {
+		if err := b.bind(n); err != nil {
 			return nil, err
 		}
-		n.Attr = id
 		return n, nil
 	case *NotOp:
-		child, err := analyzeExpr(n.Child, t)
+		child, err := analyzeExpr(n.Child, b)
 		if err != nil {
 			return nil, err
 		}
 		n.Child = child
 		return n, nil
 	case *LogicalOp:
-		l, err := analyzeExpr(n.Left, t)
+		l, err := analyzeExpr(n.Left, b)
 		if err != nil {
 			return nil, err
 		}
-		r, err := analyzeExpr(n.Right, t)
+		r, err := analyzeExpr(n.Right, b)
 		if err != nil {
 			return nil, err
 		}
 		n.Left, n.Right = l, r
 		return n, nil
 	case *BinaryOp:
-		return analyzeBinary(n, t)
+		return analyzeBinary(n, b)
 	case *FuncCall:
-		return analyzeCall(n, t)
+		return analyzeCall(n, b)
 	default:
 		return nil, fmt.Errorf("query: unknown expression node %T", e)
 	}
 }
 
-func analyzeBinary(n *BinaryOp, t Table) (Expr, error) {
+func analyzeBinary(n *BinaryOp, b binder) (Expr, error) {
 	// class = 'GALAXY' and friends: map the class name to its code before
 	// the generic numeric path rejects the string literal.
 	if n.Op == "=" || n.Op == "!=" {
@@ -99,14 +158,12 @@ func analyzeBinary(n *BinaryOp, t Table) (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			id, err := Resolve(t, ident.Name)
-			if err != nil {
+			if err := b.bind(ident); err != nil {
 				return nil, err
 			}
-			if id != ClassAttr(t) {
+			if ident.Attr != ClassAttr(b.tableOf(ident)) {
 				return nil, fmt.Errorf("query: string comparison only supported on class, not %q", ident.Name)
 			}
-			ident.Attr = id
 			num := &NumberLit{Value: float64(code)}
 			if swapped {
 				return &BinaryOp{Op: n.Op, Left: num, Right: ident}, nil
@@ -114,11 +171,11 @@ func analyzeBinary(n *BinaryOp, t Table) (Expr, error) {
 			return &BinaryOp{Op: n.Op, Left: ident, Right: num}, nil
 		}
 	}
-	l, err := analyzeExpr(n.Left, t)
+	l, err := analyzeExpr(n.Left, b)
 	if err != nil {
 		return nil, err
 	}
-	r, err := analyzeExpr(n.Right, t)
+	r, err := analyzeExpr(n.Right, b)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +213,7 @@ func classCode(name string) (catalog.Class, error) {
 	}
 }
 
-func analyzeCall(n *FuncCall, t Table) (Expr, error) {
+func analyzeCall(n *FuncCall, b binder) (Expr, error) {
 	switch n.Name {
 	case "circle":
 		args, err := constArgs(n, 3)
@@ -198,6 +255,7 @@ func analyzeCall(n *FuncCall, t Table) (Expr, error) {
 		}
 		return &SpatialPred{Kind: SpatialBand, Frame: frame, Args: []float64{lo, hi}, Source: n}, nil
 	case "flag":
+		t := b.flagTable()
 		if FlagsAttr(t) == AttrInvalid {
 			return nil, fmt.Errorf("query: table %s has no flags", t)
 		}
@@ -224,7 +282,7 @@ func analyzeCall(n *FuncCall, t Table) (Expr, error) {
 		return nil, fmt.Errorf("query: unknown function %q", n.Name)
 	}
 	for i, a := range n.Args {
-		resolved, err := analyzeExpr(a, t)
+		resolved, err := analyzeExpr(a, b)
 		if err != nil {
 			return nil, err
 		}

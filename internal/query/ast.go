@@ -19,10 +19,15 @@ type NumberLit struct{ Value float64 }
 // StringLit is a quoted string literal (class names, frame names).
 type StringLit struct{ Value string }
 
-// Ident is an attribute reference, resolved during analysis.
+// Ident is an attribute reference, resolved during analysis. In join
+// queries the reference may be qualified ("p.objid"); Qual carries the
+// qualifier as written and Side records which join side the attribute
+// resolved to (0 left, 1 right, -1 for single-table selects).
 type Ident struct {
 	Name string
+	Qual string // alias qualifier as written, "" if unqualified
 	Attr AttrID // filled by Analyze; AttrInvalid before
+	Side int8   // join side the reference bound to; -1 outside joins
 }
 
 // BinaryOp is an arithmetic or comparison operator.
@@ -82,7 +87,12 @@ func (*SpatialPred) exprNode() {}
 
 func (e *NumberLit) String() string { return fmt.Sprintf("%g", e.Value) }
 func (e *StringLit) String() string { return fmt.Sprintf("'%s'", e.Value) }
-func (e *Ident) String() string     { return e.Name }
+func (e *Ident) String() string {
+	if e.Qual != "" {
+		return e.Qual + "." + e.Name
+	}
+	return e.Name
+}
 func (e *BinaryOp) String() string {
 	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
 }
@@ -141,15 +151,49 @@ const (
 	AggSum
 )
 
-// Select is one SELECT ... FROM ... WHERE ... statement.
+// TableRef is one table in a FROM clause with its binding alias. When the
+// query writes no alias, Alias is the table name as written (lowercased), so
+// qualified references always have something to bind to.
+type TableRef struct {
+	Table Table
+	Alias string
+}
+
+// JoinKind distinguishes the two join forms of the language.
+type JoinKind int
+
+const (
+	// JoinInner is FROM a JOIN b ON a.col = b.col — the relational
+	// equi-join, executed as a hash join.
+	JoinInner JoinKind = iota
+	// JoinNeighbors is FROM NEIGHBORS(a, b, radiusArcmin) — the paper's
+	// spatial join, executed on the hash machine's bucket scheme.
+	JoinNeighbors
+)
+
+// JoinClause is the join half of a two-table FROM clause. The left table
+// lives in Select.Table/Select.Alias.
+type JoinClause struct {
+	Kind  JoinKind
+	Right TableRef
+	// OnLeft/OnRight are the ON columns for JoinInner, as written.
+	OnLeft, OnRight *Ident
+	// RadiusArcmin is the pair radius for JoinNeighbors.
+	RadiusArcmin float64
+}
+
+// Select is one SELECT ... FROM ... WHERE ... statement. Cols entries may be
+// qualified ("p.objid") in join queries.
 type Select struct {
 	Agg     AggFunc // AggNone for plain selects
-	AggArg  string  // attribute name for min/max/avg/sum
+	AggArg  string  // attribute name for min/max/avg/sum (may be qualified)
 	Cols    []string
 	Star    bool
 	Table   Table
-	Where   Expr   // nil if absent
-	OrderBy string // attribute name, "" if absent
+	Alias   string      // left-table alias; "" on pre-alias paths
+	Join    *JoinClause // nil for single-table selects
+	Where   Expr        // nil if absent
+	OrderBy string      // attribute name, "" if absent (may be qualified)
 	Desc    bool
 	Limit   int // 0 = unlimited
 }
@@ -184,7 +228,26 @@ func (s *Select) String() string {
 	default:
 		b.WriteString(strings.Join(s.Cols, ", "))
 	}
-	fmt.Fprintf(&b, " FROM %s", s.Table)
+	left := s.Table.String()
+	if s.Alias != "" && s.Alias != left {
+		left += " " + s.Alias
+	}
+	switch {
+	case s.Join != nil && s.Join.Kind == JoinNeighbors:
+		right := s.Join.Right.Table.String()
+		if s.Join.Right.Alias != "" && s.Join.Right.Alias != right {
+			right += " " + s.Join.Right.Alias
+		}
+		fmt.Fprintf(&b, " FROM NEIGHBORS(%s, %s, %g)", left, right, s.Join.RadiusArcmin)
+	case s.Join != nil:
+		right := s.Join.Right.Table.String()
+		if s.Join.Right.Alias != "" && s.Join.Right.Alias != right {
+			right += " " + s.Join.Right.Alias
+		}
+		fmt.Fprintf(&b, " FROM %s JOIN %s ON %s = %s", left, right, s.Join.OnLeft, s.Join.OnRight)
+	default:
+		fmt.Fprintf(&b, " FROM %s", left)
+	}
 	if s.Where != nil {
 		fmt.Fprintf(&b, " WHERE %s", s.Where)
 	}

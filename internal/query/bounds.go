@@ -143,6 +143,70 @@ func (b *Bounds) AdmitZone(min, max []float64, hasNaN []bool) bool {
 	return true
 }
 
+// fractionIn estimates what fraction of a container's values on one
+// attribute fall inside the interval, assuming a uniform spread over the
+// container's [zoneLo, zoneHi] span — the coarse selectivity estimate the
+// cost-based planner feeds on. It is an estimate, not a bound: 0 means "the
+// zone proves nothing survives", 1 "the whole zone lies inside".
+func (iv Interval) fractionIn(zoneLo, zoneHi float64, hasNaN bool) float64 {
+	if !iv.admits(zoneLo, zoneHi, hasNaN) {
+		return 0
+	}
+	if zoneLo > zoneHi {
+		return 1 // all-NaN container admitted via AllowNaN
+	}
+	width := zoneHi - zoneLo
+	if width <= 0 || math.IsInf(width, 0) {
+		// Point zones (or degenerate spans): the admit test already said
+		// records can survive.
+		return 1
+	}
+	lo := math.Max(iv.Lo, zoneLo)
+	hi := math.Min(iv.Hi, zoneHi)
+	if hi < lo {
+		return 0
+	}
+	if iv.Lo == iv.Hi {
+		// Point predicates (attr = c): a uniform model gives measure zero;
+		// use a small floor so equality cuts still rank as selective
+		// without estimating empty.
+		return 0.05
+	}
+	f := (hi - lo) / width
+	if f < 0.01 {
+		f = 0.01 // admitted containers always contribute something
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// EstimateFraction estimates the fraction of a container's records that
+// satisfy the bounds, given its zone statistics, multiplying the
+// per-attribute fractions (attribute independence assumed). Used by the
+// cost-based planner for cardinality estimates; pruning correctness never
+// depends on it.
+func (b *Bounds) EstimateFraction(min, max []float64, hasNaN []bool) float64 {
+	if b == nil {
+		return 1
+	}
+	if b.Never {
+		return 0
+	}
+	f := 1.0
+	for attr, iv := range b.ByAttr {
+		if int(attr) >= len(min) {
+			continue
+		}
+		f *= iv.fractionIn(min[attr], max[attr], hasNaN[attr])
+		if f == 0 {
+			return 0
+		}
+	}
+	return f
+}
+
 // Strings renders the bounds as "attr ∈ interval" lines, sorted by
 // attribute, for EXPLAIN output.
 func (b *Bounds) Strings(t Table) []string {

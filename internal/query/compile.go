@@ -283,14 +283,24 @@ func PrepareStmt(stmt *Stmt) (*Prepared, error) {
 }
 
 // Prepared mirrors the Stmt tree with compiled leaves — the executable QET.
+// A leaf is either a single-table Select or a two-table Join; interior nodes
+// are set operations.
 type Prepared struct {
 	Select      *CompiledSelect
+	Join        *CompiledJoin
 	Op          SetOp
 	Left, Right *Prepared
 }
 
 func prepare(stmt *Stmt) (*Prepared, error) {
 	if stmt.Select != nil {
+		if stmt.Select.Join != nil {
+			cj, err := CompileJoin(stmt.Select)
+			if err != nil {
+				return nil, err
+			}
+			return &Prepared{Join: cj}, nil
+		}
 		cs, err := Compile(stmt.Select)
 		if err != nil {
 			return nil, err
@@ -305,7 +315,26 @@ func prepare(stmt *Stmt) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Set operations work on bags of object pointers, matched and deduped
+	// by ObjID; join rows are pairs, which that identity cannot represent
+	// (every pair sharing a left object would collapse). Refuse rather
+	// than silently drop rows.
+	if l.hasJoin() || r.hasJoin() {
+		return nil, fmt.Errorf("query: set operations over joins are not supported (join rows are pairs, not object pointers)")
+	}
 	return &Prepared{Op: stmt.Op, Left: l, Right: r}, nil
+}
+
+// hasJoin reports whether any leaf of the prepared tree is a join.
+func (p *Prepared) hasJoin() bool {
+	switch {
+	case p.Join != nil:
+		return true
+	case p.Select != nil:
+		return false
+	default:
+		return p.Left.hasJoin() || p.Right.hasJoin()
+	}
 }
 
 // PrepareString parses, analyzes, and compiles query text in one call.

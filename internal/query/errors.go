@@ -1,0 +1,45 @@
+package query
+
+import "fmt"
+
+// ParseError is a lexical or syntactic error with its source position. Line
+// and Col are 1-based; Tok is the offending token's text (or a description
+// like "end of query") so user interfaces can underline the exact spot.
+type ParseError struct {
+	Line, Col int
+	Tok       string
+	Msg       string
+}
+
+// Error renders "query: LINE:COL: MSG (at TOKEN)".
+func (e *ParseError) Error() string {
+	if e.Tok == "" {
+		return fmt.Sprintf("query: %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("query: %d:%d: %s (at %q)", e.Line, e.Col, e.Msg, e.Tok)
+}
+
+// posOf converts a byte offset into 1-based line and column numbers.
+// Columns count bytes, which matches terminals for the ASCII queries the
+// language is made of.
+func posOf(src string, off int) (line, col int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// parseErrorf builds a positioned ParseError.
+func parseErrorf(src string, off int, tok string, format string, args ...any) error {
+	line, col := posOf(src, off)
+	return &ParseError{Line: line, Col: col, Tok: tok, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,71 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPositions is the table-driven contract for positioned
+// errors: every lexical and syntactic failure carries the 1-based line and
+// column of the offending token, plus its text.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		col  int
+		tok  string // "" = don't check
+	}{
+		{"missing from", "SELECT objid WHERE r < 2", 1, 14, "where"},
+		{"bad table", "SELECT objid FROM nosuchtable", 1, 19, "nosuchtable"},
+		{"truncated where", "SELECT objid FROM tag WHERE r <", 1, 32, "end of query"},
+		{"bad limit", "SELECT objid FROM tag LIMIT 0", 1, 29, "0"},
+		{"negative limit", "SELECT objid FROM tag LIMIT -1", 1, 29, "-"},
+		{"unterminated string", "SELECT objid FROM tag WHERE class = 'GAL", 1, 37, ""},
+		{"bad char", "SELECT objid FROM tag WHERE r § 2", 1, 31, "§"},
+		{"lone bang", "SELECT objid FROM tag WHERE r ! 2", 1, 31, "!"},
+		{"second line", "SELECT objid\nFROM tag\nWHERE r <", 3, 10, "end of query"},
+		{"multiline operator", "SELECT objid FROM tag\n  WHERE ((r < 2", 2, 16, "end of query"},
+		{"trailing garbage", "SELECT objid FROM tag LIMIT 5 garbage", 1, 31, "garbage"},
+		{"join without on", "SELECT p.objid FROM photo p JOIN spec s WHERE p.r < 2", 1, 41, "where"},
+		{"neighbors bad radius", "SELECT a.objid FROM NEIGHBORS(tag a, tag b, 0)", 1, 45, "0"},
+		// "p.from" reads FROM as the column name (keywords are not
+		// reserved after a dot), so the missing-FROM error lands on the
+		// next token.
+		{"dangling dot", "SELECT p. FROM photo p", 1, 16, "photo"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", c.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, not *ParseError: %v", err, err)
+			}
+			if pe.Line != c.line || pe.Col != c.col {
+				t.Errorf("position %d:%d, want %d:%d (%v)", pe.Line, pe.Col, c.line, c.col, err)
+			}
+			if c.tok != "" && pe.Tok != c.tok {
+				t.Errorf("token %q, want %q (%v)", pe.Tok, c.tok, err)
+			}
+			if !strings.Contains(err.Error(), "query:") {
+				t.Errorf("error does not identify the package: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseErrorRendering pins the human-readable form.
+func TestParseErrorRendering(t *testing.T) {
+	e := &ParseError{Line: 2, Col: 7, Tok: "limut", Msg: "expected limit"}
+	if got := e.Error(); got != `query: 2:7: expected limit (at "limut")` {
+		t.Errorf("Error() = %q", got)
+	}
+	e2 := &ParseError{Line: 1, Col: 1, Msg: "empty query"}
+	if got := e2.Error(); got != "query: 1:1: empty query" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -28,6 +28,23 @@ func FuzzParse(f *testing.F) {
 		"SELECT objid FROM tag INTERSECT SELECT objid FROM specobj",
 		"SELECT objid FROM tag MINUS SELECT objid FROM tag WHERE r < 19",
 		"(SELECT objid FROM tag) UNION (SELECT objid FROM tag)",
+		"SELECT p.objid, s.z FROM photo p JOIN spec s ON p.objid = s.objid WHERE p.r < 18",
+		"SELECT p.objid, s.redshift FROM photoobj p JOIN specobj s ON p.objid = s.objid WHERE p.u - p.g > s.redshift ORDER BY s.redshift DESC LIMIT 10",
+		"SELECT COUNT(*) FROM photoobj p JOIN specobj s ON p.objid = s.objid",
+		"SELECT photo.objid FROM photo JOIN spec ON photo.objid = spec.objid",
+		"SELECT p.objid FROM photoobj p JOIN specobj s ON p.r = s.sn",
+		"SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 0.5) WHERE a.objid < b.objid",
+		"SELECT p.objid, t.objid FROM NEIGHBORS(photoobj p, tag t, 2)",
+		"SELECT a.objid FROM NEIGHBORS(tag a, tag b, 1) WHERE a.r < 20 AND b.r < 20 AND CIRCLE(185, 32, 30)",
+		"SELECT t.objid FROM tag t WHERE t.r < 20 ORDER BY t.r",
+		"SELECT p.objid FROM photo p JOIN spec s",
+		"SELECT p.objid FROM photo p JOIN spec s ON p.objid < s.objid",
+		"SELECT x.objid FROM photo p JOIN spec s ON p.objid = s.objid",
+		"SELECT class FROM photo p JOIN spec s ON p.objid = s.objid",
+		"SELECT a.objid FROM NEIGHBORS(tag a, tag a, 1)",
+		"SELECT a.objid FROM NEIGHBORS(tag a, tag b, -1)",
+		"SELECT p. FROM photo p",
+		"SELECT p..objid FROM photo p",
 		"SELECT",
 		"SELECT FROM WHERE",
 		"SELECT objid FROM nosuchtable",

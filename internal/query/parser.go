@@ -11,13 +11,18 @@ import (
 //	(SELECT ... ) UNION (SELECT ...)
 //
 // mirroring the paper's QET structure of query nodes and set-operation
-// nodes.
+// nodes. Leaf selects may read one table, an equi-join
+// (FROM photoobj p JOIN specobj s ON p.objid = s.objid), or a spatial
+// neighbor join (FROM NEIGHBORS(tag a, tag b, radiusArcmin)).
+//
+// Errors are *ParseError values carrying the 1-based line and column of the
+// offending token.
 func Parse(src string) (*Stmt, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{src: src, toks: toks}
 	stmt, err := p.parseStmt()
 	if err != nil {
 		return nil, err
@@ -29,6 +34,7 @@ func Parse(src string) (*Stmt, error) {
 }
 
 type parser struct {
+	src  string
 	toks []token
 	pos  int
 }
@@ -36,14 +42,19 @@ type parser struct {
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
+// errorf builds a positioned error at the current token.
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("query: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+	tok := p.cur().text
+	if p.cur().kind == tokEOF {
+		tok = "end of query"
+	}
+	return parseErrorf(p.src, p.cur().pos, tok, format, args...)
 }
 
 // expect consumes a token of the given kind or fails.
 func (p *parser) expect(kind tokenKind) (token, error) {
 	if p.cur().kind != kind {
-		return token{}, p.errorf("expected %s, got %s %q", kind, p.cur().kind, p.cur().text)
+		return token{}, p.errorf("expected %s, got %s", kind, p.cur().kind)
 	}
 	return p.next(), nil
 }
@@ -51,7 +62,7 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 // keyword consumes a specific identifier or fails.
 func (p *parser) keyword(kw string) error {
 	if p.cur().kind != tokIdent || p.cur().text != kw {
-		return p.errorf("expected %s, got %q", kw, p.cur().text)
+		return p.errorf("expected %s", kw)
 	}
 	p.next()
 	return nil
@@ -60,6 +71,15 @@ func (p *parser) keyword(kw string) error {
 // isKeyword tests without consuming.
 func (p *parser) isKeyword(kw string) bool {
 	return p.cur().kind == tokIdent && p.cur().text == kw
+}
+
+// reservedWords are identifiers that can never serve as a table alias, so
+// "FROM tag ORDER BY r" does not read ORDER as an alias.
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "order": true, "by": true,
+	"limit": true, "asc": true, "desc": true, "and": true, "or": true,
+	"not": true, "union": true, "intersect": true, "minus": true,
+	"except": true, "join": true, "on": true, "neighbors": true,
 }
 
 func (p *parser) parseStmt() (*Stmt, error) {
@@ -118,13 +138,146 @@ func (p *parser) parseStmt() (*Stmt, error) {
 	}
 }
 
+// parseColRef parses a possibly qualified column reference and returns it as
+// written: "r" or "p.r".
+func (p *parser) parseColRef() (string, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if p.cur().kind != tokDot {
+		return id.text, nil
+	}
+	p.next()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return id.text + "." + name.text, nil
+}
+
+// parseTableRef parses "table [alias]".
+func (p *parser) parseTableRef() (TableRef, error) {
+	tbl, err := p.expect(tokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	t, err := ParseTable(tbl.text)
+	if err != nil {
+		return TableRef{}, parseErrorf(p.src, tbl.pos, tbl.text, "unknown table")
+	}
+	ref := TableRef{Table: t, Alias: tbl.text}
+	if p.cur().kind == tokIdent && !reservedWords[p.cur().text] {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// parseFrom parses the FROM clause into the select's table, alias, and
+// optional join.
+func (p *parser) parseFrom(sel *Select) error {
+	if err := p.keyword("from"); err != nil {
+		return err
+	}
+	// NEIGHBORS(a, b, radius): the spatial join form.
+	if p.isKeyword("neighbors") && p.toks[p.pos+1].kind == tokLParen {
+		p.next()
+		p.next() // (
+		left, err := p.parseTableRef()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return err
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return err
+		}
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		radius, err := strconv.ParseFloat(n.text, 64)
+		// The bucket scheme's margin replication is sound for radii below a
+		// quarter sphere; 5400' (90°) is far past any neighbor workload.
+		if err != nil || radius <= 0 || radius > 5400 {
+			return parseErrorf(p.src, n.pos, n.text, "NEIGHBORS radius must be in (0, 5400] arcminutes")
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		if left.Alias == right.Alias {
+			return parseErrorf(p.src, n.pos, left.Alias,
+				"NEIGHBORS sides need distinct aliases (e.g. NEIGHBORS(tag a, tag b, %g))", radius)
+		}
+		sel.Table, sel.Alias = left.Table, left.Alias
+		sel.Join = &JoinClause{Kind: JoinNeighbors, Right: right, RadiusArcmin: radius}
+		return nil
+	}
+	left, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	sel.Table, sel.Alias = left.Table, left.Alias
+	if !p.isKeyword("join") {
+		return nil
+	}
+	p.next()
+	right, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	if left.Alias == right.Alias {
+		return p.errorf("joined tables need distinct aliases")
+	}
+	if err := p.keyword("on"); err != nil {
+		return err
+	}
+	onLeft, err := p.parseOnRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEQ); err != nil {
+		return err
+	}
+	onRight, err := p.parseOnRef()
+	if err != nil {
+		return err
+	}
+	sel.Join = &JoinClause{Kind: JoinInner, Right: right, OnLeft: onLeft, OnRight: onRight}
+	return nil
+}
+
+// parseOnRef parses one side of an ON equality as a qualified reference.
+func (p *parser) parseOnRef() (*Ident, error) {
+	ref, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	return identFromRef(ref), nil
+}
+
+// identFromRef splits "qual.name" (or bare "name") into an Ident.
+func identFromRef(ref string) *Ident {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '.' {
+			return &Ident{Qual: ref[:i], Name: ref[i+1:], Attr: AttrInvalid, Side: -1}
+		}
+	}
+	return &Ident{Name: ref, Attr: AttrInvalid, Side: -1}
+}
+
 func (p *parser) parseSelect() (*Select, error) {
 	if err := p.keyword("select"); err != nil {
 		return nil, err
 	}
 	sel := &Select{}
 
-	// Select list: *, COUNT(*), agg(attr), or column names.
+	// Select list: *, COUNT(*), agg(attr), or column references.
 	switch {
 	case p.cur().kind == tokStar:
 		p.next()
@@ -139,11 +292,11 @@ func (p *parser) parseSelect() (*Select, error) {
 			}
 			p.next()
 		} else {
-			id, err := p.expect(tokIdent)
+			ref, err := p.parseColRef()
 			if err != nil {
 				return nil, err
 			}
-			sel.AggArg = id.text
+			sel.AggArg = ref
 			if sel.Agg == AggCount {
 				// COUNT(attr) behaves as COUNT(*) here.
 				sel.AggArg = ""
@@ -154,11 +307,11 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 	default:
 		for {
-			id, err := p.expect(tokIdent)
+			ref, err := p.parseColRef()
 			if err != nil {
 				return nil, err
 			}
-			sel.Cols = append(sel.Cols, id.text)
+			sel.Cols = append(sel.Cols, ref)
 			if p.cur().kind != tokComma {
 				break
 			}
@@ -166,20 +319,13 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 	}
 
-	if err := p.keyword("from"); err != nil {
-		return nil, err
-	}
-	tbl, err := p.expect(tokIdent)
-	if err != nil {
-		return nil, err
-	}
-	sel.Table, err = ParseTable(tbl.text)
-	if err != nil {
+	if err := p.parseFrom(sel); err != nil {
 		return nil, err
 	}
 
 	if p.isKeyword("where") {
 		p.next()
+		var err error
 		sel.Where, err = p.parseOr()
 		if err != nil {
 			return nil, err
@@ -190,11 +336,11 @@ func (p *parser) parseSelect() (*Select, error) {
 		if err := p.keyword("by"); err != nil {
 			return nil, err
 		}
-		id, err := p.expect(tokIdent)
+		ref, err := p.parseColRef()
 		if err != nil {
 			return nil, err
 		}
-		sel.OrderBy = id.text
+		sel.OrderBy = ref
 		if p.isKeyword("desc") {
 			p.next()
 			sel.Desc = true
@@ -210,7 +356,7 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 		limit, err := strconv.Atoi(n.text)
 		if err != nil || limit < 1 {
-			return nil, p.errorf("bad LIMIT %q", n.text)
+			return nil, parseErrorf(p.src, n.pos, n.text, "bad LIMIT (want a positive integer)")
 		}
 		sel.Limit = limit
 	}
@@ -417,7 +563,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		t := p.next()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, p.errorf("bad number %q", t.text)
+			return nil, parseErrorf(p.src, t.pos, t.text, "bad number")
 		}
 		return &NumberLit{Value: v}, nil
 	case tokString:
@@ -455,8 +601,28 @@ func (p *parser) parsePrimary() (Expr, error) {
 			}
 			return call, nil
 		}
-		return &Ident{Name: t.text, Attr: AttrInvalid}, nil
+		if p.cur().kind == tokDot {
+			p.next()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qual: t.text, Name: name.text, Attr: AttrInvalid, Side: -1}, nil
+		}
+		return &Ident{Name: t.text, Attr: AttrInvalid, Side: -1}, nil
 	default:
-		return nil, p.errorf("unexpected %s %q in expression", p.cur().kind, p.cur().text)
+		return nil, p.errorf("unexpected %s in expression", p.cur().kind)
+	}
+}
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "join"
+	case JoinNeighbors:
+		return "neighbors"
+	default:
+		return fmt.Sprintf("joinkind(%d)", int(k))
 	}
 }

@@ -72,6 +72,9 @@ func (p *Prepared) Columns() []Column {
 	if p.Select != nil {
 		return p.Select.Columns()
 	}
+	if p.Join != nil {
+		return p.Join.Columns()
+	}
 	return p.Left.Columns()
 }
 
@@ -92,34 +95,70 @@ type PlanNode struct {
 	// Bounds lists the per-attribute value intervals extracted from the
 	// filter ("r ∈ [-Inf, 18)"), which zone maps use to prune containers;
 	// "never (...)" marks a provably empty predicate.
-	Bounds   []string    `json:"bounds,omitempty"`
-	Agg      string      `json:"agg,omitempty"`
-	OrderBy  string      `json:"order_by,omitempty"`
-	Desc     bool        `json:"desc,omitempty"`
-	Limit    int         `json:"limit,omitempty"`
-	Children []*PlanNode `json:"children,omitempty"`
+	Bounds []string `json:"bounds,omitempty"`
+	// On is the join condition of a join node ("p.objid = s.objid", or the
+	// neighbor-join distance constraint).
+	On string `json:"on,omitempty"`
+	// RadiusArcmin is the neighbor-join pair radius.
+	RadiusArcmin float64     `json:"radius_arcmin,omitempty"`
+	Agg          string      `json:"agg,omitempty"`
+	OrderBy      string      `json:"order_by,omitempty"`
+	Desc         bool        `json:"desc,omitempty"`
+	Limit        int         `json:"limit,omitempty"`
+	Children     []*PlanNode `json:"children,omitempty"`
+}
+
+// scanPlanNode describes one leaf scan (a whole single-table select, or one
+// side of a join).
+func scanPlanNode(cs *CompiledSelect) *PlanNode {
+	n := &PlanNode{
+		Kind:    "scan",
+		Table:   cs.Table.String(),
+		Columns: cs.Columns(),
+		Indexed: cs.Region != nil,
+		Bounds:  cs.Bounds.Strings(cs.Table),
+		Limit:   cs.Limit,
+		Desc:    cs.Desc,
+	}
+	if cs.Source != nil && cs.Source.Where != nil {
+		n.Filter = cs.Source.Where.String()
+	}
+	if cs.Agg != AggNone {
+		n.Agg = cs.Agg.String()
+	}
+	if cs.Order != AttrInvalid {
+		n.OrderBy = AttrName(cs.Table, cs.Order)
+	}
+	return n
 }
 
 // Plan returns the EXPLAIN tree for a prepared statement.
 func (p *Prepared) Plan() *PlanNode {
 	if cs := p.Select; cs != nil {
+		return scanPlanNode(cs)
+	}
+	if cj := p.Join; cj != nil {
+		kind := "hash-join"
+		if cj.Kind == JoinNeighbors {
+			kind = "neighbor-join"
+		}
 		n := &PlanNode{
-			Kind:    "scan",
-			Table:   cs.Table.String(),
-			Columns: cs.Columns(),
-			Indexed: cs.Region != nil,
-			Bounds:  cs.Bounds.Strings(cs.Table),
-			Limit:   cs.Limit,
-			Desc:    cs.Desc,
+			Kind:     kind,
+			Columns:  cj.Columns(),
+			On:       cj.On,
+			Filter:   cj.ResidualStr,
+			Limit:    cj.Limit,
+			Desc:     cj.Desc,
+			Children: []*PlanNode{scanPlanNode(cj.Left), scanPlanNode(cj.Right)},
 		}
-		if cs.Source != nil && cs.Source.Where != nil {
-			n.Filter = cs.Source.Where.String()
+		if cj.Kind == JoinNeighbors && cj.Source != nil && cj.Source.Join != nil {
+			n.RadiusArcmin = cj.Source.Join.RadiusArcmin
 		}
-		if cs.Agg != AggNone {
-			n.Agg = cs.Agg.String()
+		if cj.Agg != AggNone {
+			n.Agg = cj.Agg.String()
 		}
-		if cs.Order != AttrInvalid {
-			n.OrderBy = AttrName(cs.Table, cs.Order)
+		if cj.OrderRef >= 0 && cj.Source != nil {
+			n.OrderBy = cj.Source.OrderBy
 		}
 		return n
 	}
@@ -149,6 +188,9 @@ func explainNode(b *strings.Builder, n *PlanNode, depth int) {
 			names[i] = c.Name
 		}
 		fmt.Fprintf(b, " [%s]", strings.Join(names, ", "))
+	}
+	if n.On != "" {
+		fmt.Fprintf(b, " ON %s", n.On)
 	}
 	if n.Filter != "" {
 		fmt.Fprintf(b, " WHERE %s", n.Filter)

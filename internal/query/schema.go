@@ -120,7 +120,9 @@ var tagSchema = map[string]AttrID{
 
 var specSchema = map[string]AttrID{
 	"objid": SpecObjID, "htmid": SpecHTMID,
-	"redshift": SpecRedshift, "zspec": SpecRedshift,
+	// "z" is the astronomer's name for redshift; in spectroscopic context
+	// it cannot collide with the z band, which SpecObj does not carry.
+	"redshift": SpecRedshift, "zspec": SpecRedshift, "z": SpecRedshift,
 	"zerr": SpecRedshiftErr, "class": SpecClass,
 	"fiberid": SpecFiberID, "plate": SpecPlate, "sn": SpecSN,
 	"cx": SpecCX, "cy": SpecCY, "cz": SpecCZ,

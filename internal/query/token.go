@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind classifies lexical tokens.
@@ -30,6 +31,7 @@ const (
 	tokLParen
 	tokRParen
 	tokComma
+	tokDot
 	tokPlus
 	tokMinus
 	tokStar
@@ -58,6 +60,8 @@ func (k tokenKind) String() string {
 		return "')'"
 	case tokComma:
 		return "','"
+	case tokDot:
+		return "'.'"
 	case tokPlus:
 		return "'+'"
 	case tokMinus:
@@ -157,7 +161,7 @@ func lex(src string) ([]token, error) {
 				l.emit(tokNE, "!=")
 				l.pos += 2
 			} else {
-				return nil, fmt.Errorf("query: unexpected '!' at %d", l.pos)
+				return nil, parseErrorf(l.src, l.pos, "!", "unexpected '!' (use != or <>)")
 			}
 		case c == '\'' || c == '"':
 			if err := l.lexString(c); err != nil {
@@ -165,10 +169,16 @@ func lex(src string) ([]token, error) {
 			}
 		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
 			l.lexNumber()
-		case unicode.IsLetter(rune(c)) || c == '_':
+		case c == '.':
+			l.emit(tokDot, ".")
+			l.pos++
+		case c < utf8.RuneSelf && (unicode.IsLetter(rune(c)) || c == '_'):
 			l.lexIdent()
 		default:
-			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+			// The language is ASCII; a multi-byte rune is reported whole
+			// rather than byte-mangled.
+			r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+			return nil, parseErrorf(l.src, l.pos, string(r), "unexpected character")
 		}
 	}
 }
@@ -203,7 +213,13 @@ func (l *lexer) lexString(quote byte) error {
 		sb.WriteByte(l.src[l.pos])
 		l.pos++
 	}
-	return fmt.Errorf("query: unterminated string starting at %d", start)
+	// Report only a short prefix as the offending token — the tail of an
+	// unterminated string is the rest of the query.
+	tok := l.src[start:]
+	if len(tok) > 12 {
+		tok = tok[:12] + "…"
+	}
+	return parseErrorf(l.src, start, tok, "unterminated string")
 }
 
 func (l *lexer) lexNumber() {

@@ -144,6 +144,44 @@ func (s *Store) CheckZone(id htm.ID, admit func(min, max []float64, hasNaN []boo
 	return admit(z.min, z.max, z.hasNaN)
 }
 
+// ZoneStats exposes a container's statistics to the cost-based planner:
+// record count plus per-attribute min/max/NaN zones (built on demand when
+// missing or stale). When zoning is disabled the zone slices are nil and
+// only count is meaningful. The callback must not retain the slices. An
+// absent container never invokes the callback.
+func (s *Store) ZoneStats(id htm.ID, fn func(count int, min, max []float64, hasNaN []bool)) {
+	s.mu.RLock()
+	c := s.containers[id]
+	if c == nil {
+		s.mu.RUnlock()
+		return
+	}
+	if !s.zoneEnabled() {
+		count := c.count
+		s.mu.RUnlock()
+		fn(count, nil, nil, nil)
+		return
+	}
+	if z := c.zone; z != nil && z.count == c.count {
+		fn(c.count, z.min, z.max, z.hasNaN)
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c = s.containers[id]
+	if c == nil {
+		return
+	}
+	s.ensureZone(c)
+	if z := c.zone; z != nil {
+		fn(c.count, z.min, z.max, z.hasNaN)
+	} else {
+		fn(c.count, nil, nil, nil)
+	}
+}
+
 // BuildZones ensures every container has a fresh zone map (Sort and Flush
 // call it; it is also the warm-up a benchmark times).
 func (s *Store) BuildZones() {
