@@ -27,6 +27,7 @@ func main() {
 		nChunks = flag.Int("chunks", 10, "number of chunks (nights) to split the survey into")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		packet  = flag.Int("packet", 1024, "rows per FITS stream packet")
+		verify  = flag.Bool("verify", true, "read each chunk file back and check every row round-trips bit-identically")
 	)
 	flag.Parse()
 
@@ -41,18 +42,26 @@ func main() {
 			log.Fatal(err)
 		}
 		path := filepath.Join(*out, fmt.Sprintf("chunk%04d.fits", i))
-		f, err := os.Create(path)
+		if err := load.WriteChunkFile(path, ch, *packet); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		if *verify {
+			got, cst, err := load.ReadChunkFile(path)
+			if err != nil {
+				log.Fatalf("verifying %s: %v", path, err)
+			}
+			if len(cst.Warnings) > 0 {
+				log.Fatalf("verifying %s: fresh chunk read back with warnings: %v", path, cst.Warnings)
+			}
+			if !got.EqualData(ch) {
+				log.Fatalf("verifying %s: round trip mismatch (%d/%d photo, %d/%d spec rows)",
+					path, len(got.Photo), len(ch.Photo), len(got.Spec), len(ch.Spec))
+			}
+		}
+		info, err := os.Stat(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := load.WriteChunkFITS(f, ch, *packet); err != nil {
-			f.Close()
-			log.Fatalf("writing %s: %v", path, err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		info, _ := os.Stat(path)
 		fmt.Printf("%s: %d objects, %d spectra, %d bytes\n",
 			path, len(ch.Photo), len(ch.Spec), info.Size())
 		totalObjs += len(ch.Photo)

@@ -11,12 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"sdss/internal/core"
 	"sdss/internal/load"
-	"sdss/internal/skygen"
 	"sdss/internal/stats"
 )
 
@@ -40,22 +38,20 @@ func main() {
 	start := time.Now()
 	var totalBytes int64
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		photo, err := load.ReadChunkFITS(f)
-		f.Close()
+		ch, cst, err := load.ReadChunkFile(path)
 		if err != nil {
 			log.Fatalf("reading %s: %v", path, err)
 		}
-		st, err := a.LoadChunk(&skygen.Chunk{Photo: photo})
+		for _, warn := range cst.Warnings {
+			log.Printf("%s: warning: %s", path, warn)
+		}
+		st, err := a.LoadChunk(ch)
 		if err != nil {
 			log.Fatalf("loading %s: %v", path, err)
 		}
 		totalBytes += st.Bytes
-		fmt.Printf("%s: %d objects, %d container touches, %s at %s/s\n",
-			path, st.PhotoObjects, st.Containers,
+		fmt.Printf("%s: %d photo + %d tag + %d spec records, %d container touches, %s at %s/s\n",
+			path, st.PhotoObjects, st.TagObjects, st.SpecObjects, st.Containers,
 			stats.ByteSize(float64(st.Bytes)), stats.ByteSize(st.Rate()))
 	}
 	a.Sort()
@@ -63,10 +59,10 @@ func main() {
 		log.Fatal(err)
 	}
 	sum := a.Stats()
-	fmt.Printf("archive %s: %d objects in %d containers, %s total (%s of zone maps), loaded in %v\n",
-		*dir, sum.PhotoObjects, sum.Containers,
+	fmt.Printf("archive %s: %d photo + %d tag + %d spec records in %d containers, %s stored (%s of zone maps); this load added %s of records in %v\n",
+		*dir, sum.PhotoObjects, sum.TagObjects, sum.Spectra, sum.Containers,
 		stats.ByteSize(float64(sum.PhotoBytes+sum.TagBytes+sum.SpecBytes)),
 		stats.ByteSize(float64(sum.ZoneMapBytes)),
+		stats.ByteSize(float64(totalBytes)),
 		time.Since(start).Round(time.Millisecond))
-	_ = totalBytes
 }

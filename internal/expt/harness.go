@@ -72,14 +72,22 @@ func (c Config) shards() int {
 type Harness struct {
 	Cfg     Config
 	Archive *core.Archive
-	Photo   []catalog.PhotoObj
-	Spec    []catalog.SpecObj
+	// Chunks is the survey chunk by chunk (HarnessChunks of them); Photo
+	// and Spec are the same rows concatenated.
+	Chunks []*skygen.Chunk
+	Photo  []catalog.PhotoObj
+	Spec   []catalog.SpecObj
 }
 
 var (
 	harnessMu    sync.Mutex
 	harnessCache = map[Config]*Harness{}
 )
+
+// HarnessChunks is the chunk count the harness survey is generated with.
+// Chunked generation seeds per (chunk, nChunks), so anything regenerating
+// the harness data chunk by chunk (the E17 disk arm) must use this count.
+const HarnessChunks = 4
 
 // NewHarness generates the survey at the configured scale and loads it into
 // an in-memory archive. Harnesses are cached per Config, so a bench run
@@ -90,9 +98,15 @@ func NewHarness(cfg Config) (*Harness, error) {
 	if h, ok := harnessCache[cfg]; ok {
 		return h, nil
 	}
-	photo, spec, err := skygen.GenerateAll(skygen.Default(cfg.Seed+1, cfg.Objects()), 4)
+	chunks, err := skygen.Generate(skygen.Default(cfg.Seed+1, cfg.Objects()), HarnessChunks)
 	if err != nil {
 		return nil, err
+	}
+	var photo []catalog.PhotoObj
+	var spec []catalog.SpecObj
+	for _, ch := range chunks {
+		photo = append(photo, ch.Photo...)
+		spec = append(spec, ch.Spec...)
 	}
 	a, err := core.Create("", core.Options{})
 	if err != nil {
@@ -102,7 +116,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 		return nil, err
 	}
 	a.Sort()
-	h := &Harness{Cfg: cfg, Archive: a, Photo: photo, Spec: spec}
+	h := &Harness{Cfg: cfg, Archive: a, Chunks: chunks, Photo: photo, Spec: spec}
 	harnessCache[cfg] = h
 	return h, nil
 }

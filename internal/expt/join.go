@@ -7,25 +7,31 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
 	"sdss/internal/catalog"
 	"sdss/internal/core"
+	"sdss/internal/load"
 	"sdss/internal/qe"
 	"sdss/internal/query"
 	"sdss/internal/stats"
 )
 
 // JoinBenchResult is one row of BENCH_join.json: a join query timed on the
-// single-shard and N-shard archives, with the client-side two-query merge
-// (what the engine forced before JOIN existed) as the baseline where it
-// applies.
+// single-shard and N-shard archives plus the disk archive built from FITS
+// chunk files, with the client-side two-query merge (what the engine forced
+// before JOIN existed) as the baseline where it applies.
 type JoinBenchResult struct {
-	Query       string  `json:"query"`
-	Rows        int     `json:"rows"`
-	SingleShard string  `json:"single_shard"`
-	Sharded     string  `json:"sharded"`
-	Speedup     float64 `json:"speedup"`
+	Query       string `json:"query"`
+	Rows        int    `json:"rows"`
+	SingleShard string `json:"single_shard"`
+	Sharded     string `json:"sharded"`
+	// FITSLoaded times the same query on an archive ingested skyload-style
+	// from multi-HDU FITS chunk files — the path that silently held zero
+	// spectra before SPECOBJ became a first-class HDU.
+	FITSLoaded string  `json:"fits_loaded"`
+	Speedup    float64 `json:"speedup"`
 	// ClientMerge times the pre-JOIN workaround: two separate selects
 	// merged by objid in application code ("" when not applicable).
 	ClientMerge string `json:"client_merge,omitempty"`
@@ -71,10 +77,59 @@ func joinNode(n *qe.OpNode) *qe.OpNode {
 	return nil
 }
 
+// fitsLoadedArchive builds the disk-archive arm of E17: the harness survey
+// written as multi-HDU FITS chunk files and ingested skyload-style into an
+// on-disk archive. Returns the archive and a cleanup function.
+func fitsLoadedArchive(h *Harness) (*core.Archive, func(), error) {
+	dir, err := os.MkdirTemp("", "sdss-e17-fits-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	a, err := core.Create(filepath.Join(dir, "archive"), core.Options{})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	var nSpec int
+	for i, ch := range h.Chunks {
+		path := filepath.Join(dir, fmt.Sprintf("chunk%04d.fits", i))
+		if err := load.WriteChunkFile(path, ch, 0); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		got, st, err := load.ReadChunkFile(path)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("expt: reading %s: %w", path, err)
+		}
+		if len(st.Warnings) != 0 {
+			cleanup()
+			return nil, nil, fmt.Errorf("expt: %s read back with warnings: %v", path, st.Warnings)
+		}
+		if _, err := a.LoadChunk(got); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		nSpec += st.SpecRows
+	}
+	a.Sort()
+	if err := a.Flush(); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if nSpec != len(h.Spec) {
+		cleanup()
+		return nil, nil, fmt.Errorf("expt: FITS-loaded archive has %d spectra, harness has %d", nSpec, len(h.Spec))
+	}
+	return a, cleanup, nil
+}
+
 // PhotoSpecJoin is experiment E17: JOIN execution at bench scale. The same
-// join grid runs on 1-shard and N-shard archives (results cross-checked),
-// the flagship query is compared against the client-side two-query merge
-// it replaces, and the optimizer's estimated rows are reported against the
+// join grid runs on 1-shard and N-shard in-memory archives and on a disk
+// archive ingested from FITS chunk files (all results cross-checked), the
+// flagship query is compared against the client-side two-query merge it
+// replaces, and the optimizer's estimated rows are reported against the
 // actual counts from EXPLAIN ANALYZE.
 func PhotoSpecJoin(cfg Config, w io.Writer) error {
 	h, err := NewHarness(cfg)
@@ -82,7 +137,7 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 		return err
 	}
 	nShards := cfg.shards()
-	section(w, "E17", fmt.Sprintf("photo⋈spec join execution (1 and %d shards)", nShards))
+	section(w, "E17", fmt.Sprintf("photo⋈spec join execution (1 and %d shards, FITS-loaded disk archive)", nShards))
 
 	wide, err := core.Create("", core.Options{Shards: nShards})
 	if err != nil {
@@ -93,8 +148,14 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 	}
 	wide.Sort()
 
+	disk, diskCleanup, err := fitsLoadedArchive(h)
+	if err != nil {
+		return err
+	}
+	defer diskCleanup()
+
 	ctx := context.Background()
-	tbl := stats.NewTable("Query", "Rows", "1 shard", fmt.Sprintf("%d shards", nShards), "Speedup", "Est rows", "Build")
+	tbl := stats.NewTable("Query", "Rows", "1 shard", fmt.Sprintf("%d shards", nShards), "FITS-loaded", "Speedup", "Est rows", "Build")
 	var grid []JoinBenchResult
 
 	for _, q := range joinGrid() {
@@ -129,6 +190,13 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 		if nRows != wRows {
 			return fmt.Errorf("expt: %s row count diverged: %d vs %d", q.Name, nRows, wRows)
 		}
+		dT, dRows, err := run(disk)
+		if err != nil {
+			return fmt.Errorf("expt: %s on the FITS-loaded archive: %w", q.Name, err)
+		}
+		if dRows != nRows {
+			return fmt.Errorf("expt: %s on the FITS-loaded archive found %d rows, in-memory %d", q.Name, dRows, nRows)
+		}
 
 		// Estimated versus actual rows at the join operator, from an
 		// analyzed run on the single-shard archive.
@@ -153,6 +221,7 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 			Rows:        nRows,
 			SingleShard: nT.Round(time.Microsecond).String(),
 			Sharded:     wT.Round(time.Microsecond).String(),
+			FITSLoaded:  dT.Round(time.Microsecond).String(),
 			Speedup:     math.Round(float64(nT)/float64(wT)*100) / 100,
 		}
 		if jn != nil {
@@ -173,7 +242,7 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 			res.ClientMerge = cm.Round(time.Microsecond).String()
 		}
 		tbl.AddRow(q.Name, nRows, nT.Round(time.Microsecond), wT.Round(time.Microsecond),
-			fmt.Sprintf("%.2f×", res.Speedup), res.EstRows, res.BuildSide)
+			dT.Round(time.Microsecond), fmt.Sprintf("%.2f×", res.Speedup), res.EstRows, res.BuildSide)
 		grid = append(grid, res)
 	}
 	fmt.Fprint(w, tbl)

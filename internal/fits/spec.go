@@ -1,0 +1,109 @@
+package fits
+
+import (
+	"fmt"
+
+	"sdss/internal/catalog"
+	"sdss/internal/htm"
+)
+
+// SpecColumns returns the binary-table schema for spectroscopic objects —
+// the second HDU stream of a chunk file, carrying the redshift measurement
+// and identified lines for every targeted photometric object.
+func SpecColumns() []Column {
+	return []Column{
+		{Name: "OBJID", Type: TypeInt64, Repeat: 1},
+		{Name: "HTMID", Type: TypeInt64, Repeat: 1},
+		{Name: "Z", Type: TypeFloat32, Repeat: 1},
+		{Name: "ZERR", Type: TypeFloat32, Repeat: 1},
+		{Name: "CLASS", Type: TypeByte, Repeat: 1},
+		{Name: "FIBERID", Type: TypeInt16, Repeat: 1},
+		{Name: "PLATE", Type: TypeInt16, Repeat: 1},
+		{Name: "SN", Type: TypeFloat32, Repeat: 1},
+		{Name: "LINEWAVE", Type: TypeFloat32, Repeat: catalog.NumLines, Unit: "Angstrom"},
+		{Name: "LINEEW", Type: TypeFloat32, Repeat: catalog.NumLines, Unit: "Angstrom"},
+		{Name: "LINEID", Type: TypeInt16, Repeat: catalog.NumLines},
+	}
+}
+
+// SpecRow converts a SpecObj to a table row matching SpecColumns.
+func SpecRow(s *catalog.SpecObj) []any {
+	wave := make([]float32, catalog.NumLines)
+	ew := make([]float32, catalog.NumLines)
+	id := make([]int16, catalog.NumLines)
+	for i, l := range s.Lines {
+		wave[i] = l.Wavelength
+		ew[i] = l.EquivWidth
+		id[i] = int16(l.LineID)
+	}
+	return []any{
+		int64(s.ObjID), int64(s.HTMID),
+		s.Redshift, s.RedshiftErr,
+		byte(s.Class), int16(s.FiberID), int16(s.Plate), s.SN,
+		wave, ew, id,
+	}
+}
+
+// RowSpec converts a table row (schema SpecColumns) back to a SpecObj.
+func RowSpec(row []any) (catalog.SpecObj, error) {
+	var s catalog.SpecObj
+	if len(row) != 11 {
+		return s, fmt.Errorf("fits: spec row has %d cells, want 11", len(row))
+	}
+	fail := func(i int, what string) error {
+		return fmt.Errorf("fits: spec row cell %d (%s): unexpected type %T", i, what, row[i])
+	}
+	v, ok := row[0].(int64)
+	if !ok {
+		return s, fail(0, "OBJID")
+	}
+	s.ObjID = catalog.ObjID(v)
+	if v, ok = row[1].(int64); !ok {
+		return s, fail(1, "HTMID")
+	}
+	s.HTMID = htm.ID(v)
+	if s.Redshift, ok = row[2].(float32); !ok {
+		return s, fail(2, "Z")
+	}
+	if s.RedshiftErr, ok = row[3].(float32); !ok {
+		return s, fail(3, "ZERR")
+	}
+	cls, ok := row[4].(byte)
+	if !ok {
+		return s, fail(4, "CLASS")
+	}
+	s.Class = catalog.Class(cls)
+	fiber, ok := row[5].(int16)
+	if !ok {
+		return s, fail(5, "FIBERID")
+	}
+	s.FiberID = uint16(fiber)
+	plate, ok := row[6].(int16)
+	if !ok {
+		return s, fail(6, "PLATE")
+	}
+	s.Plate = uint16(plate)
+	if s.SN, ok = row[7].(float32); !ok {
+		return s, fail(7, "SN")
+	}
+	wave, ok := row[8].([]float32)
+	if !ok || len(wave) != catalog.NumLines {
+		return s, fail(8, "LINEWAVE")
+	}
+	ew, ok := row[9].([]float32)
+	if !ok || len(ew) != catalog.NumLines {
+		return s, fail(9, "LINEEW")
+	}
+	id, ok := row[10].([]int16)
+	if !ok || len(id) != catalog.NumLines {
+		return s, fail(10, "LINEID")
+	}
+	for i := range s.Lines {
+		s.Lines[i] = catalog.SpectralLine{
+			Wavelength: wave[i],
+			EquivWidth: ew[i],
+			LineID:     uint16(id[i]),
+		}
+	}
+	return s, nil
+}

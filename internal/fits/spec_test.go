@@ -1,0 +1,100 @@
+package fits
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sdss/internal/catalog"
+	"sdss/internal/skygen"
+)
+
+// specChunk generates a chunk guaranteed to carry spectra.
+func specChunk(t *testing.T, seed int64, n int) *skygen.Chunk {
+	t.Helper()
+	ch, err := skygen.GenerateChunk(skygen.Default(seed, n), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Spec) == 0 {
+		t.Fatal("chunk has no spectra")
+	}
+	return ch
+}
+
+func TestSpecObjFITSRoundTrip(t *testing.T) {
+	ch := specChunk(t, 6, 800)
+	tab := &Table{Name: "SPECOBJ", Cols: SpecColumns()}
+	for i := range ch.Spec {
+		tab.Rows = append(tab.Rows, SpecRow(&ch.Spec[i]))
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "SPECOBJ" {
+		t.Errorf("EXTNAME = %q, want SPECOBJ", got.Name)
+	}
+	if len(got.Rows) != len(ch.Spec) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(ch.Spec))
+	}
+	for i, row := range got.Rows {
+		s, err := RowSpec(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != ch.Spec[i] {
+			t.Fatalf("spectrum %d: FITS round trip mismatch\ngot  %+v\nwant %+v", i, s, ch.Spec[i])
+		}
+	}
+}
+
+// TestSpecColumnsCoverSpecLayout cross-checks the FITS codec against the
+// store codec the way the photo codecs are: every attribute the query
+// engine can address (catalog.SpecLayout) must survive the FITS round trip
+// bit-identically, read back through the byte-offset layout itself.
+func TestSpecColumnsCoverSpecLayout(t *testing.T) {
+	ch := specChunk(t, 7, 600)
+	for i := range ch.Spec {
+		want := &ch.Spec[i]
+		got, err := RowSpec(SpecRow(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRec := want.AppendTo(nil)
+		gotRec := got.AppendTo(nil)
+		for _, f := range catalog.SpecLayout {
+			w, g := f.Read(wantRec), f.Read(gotRec)
+			if w != g && !(math.IsNaN(w) && math.IsNaN(g)) {
+				t.Fatalf("spectrum %d: SpecLayout attribute %s lost in FITS codec: %v -> %v",
+					i, f.Name, w, g)
+			}
+		}
+	}
+}
+
+func TestRowSpecErrors(t *testing.T) {
+	if _, err := RowSpec([]any{int64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	var s catalog.SpecObj
+	row := SpecRow(&s)
+	row[0] = "bad"
+	if _, err := RowSpec(row); err == nil {
+		t.Error("mistyped OBJID accepted")
+	}
+	row = SpecRow(&s)
+	row[8] = []float32{1}
+	if _, err := RowSpec(row); err == nil {
+		t.Error("short LINEWAVE array accepted")
+	}
+	row = SpecRow(&s)
+	row[10] = []int16{1, 2, 3}
+	if _, err := RowSpec(row); err == nil {
+		t.Error("short LINEID array accepted")
+	}
+}

@@ -16,6 +16,7 @@ package load
 import (
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -186,37 +187,141 @@ func (t *Target) Sort() {
 	t.Spec.Sort()
 }
 
-// WriteChunkFITS serializes a chunk's photometric table as a blocked FITS
-// stream — the on-the-wire format between the Operational Archive and the
-// Science Archive.
+// The EXTNAMEs of the two HDU streams a chunk file may carry. Every packet
+// in a chunk stream must name one of these; anything else is a format error
+// (decoding an unknown table with the photo schema would produce garbage).
+const (
+	ExtPhoto = "PHOTOOBJ"
+	ExtSpec  = "SPECOBJ"
+)
+
+// ChunkStats reports what ReadChunkFITS found in one chunk file, including
+// non-fatal compatibility warnings callers can surface.
+type ChunkStats struct {
+	PhotoRows int
+	SpecRows  int
+	Packets   int
+	// Version is 2 for multi-HDU files (a SPECOBJ stream is present, even
+	// if empty) and 1 for legacy photo-only files.
+	Version int
+	// Warnings lists non-fatal findings — today only the legacy-file note
+	// that no SPECOBJ HDU exists, so the archive gains no spectra. Returned
+	// rather than logged so the silent-empty-join failure mode of v1 files
+	// can never recur unnoticed.
+	Warnings []string
+}
+
+// WriteChunkFITS serializes a chunk as a blocked FITS stream — the
+// on-the-wire format between the Operational Archive and the Science
+// Archive. The photometric table streams first (EXTNAME PHOTOOBJ), then the
+// spectroscopic table (EXTNAME SPECOBJ). A chunk with no spectra still
+// carries one empty SPECOBJ packet, so readers can distinguish "this night
+// observed no spectra" from a legacy v1 photo-only file.
 func WriteChunkFITS(w io.Writer, ch *skygen.Chunk, packetRows int) error {
-	sw := fits.NewStreamWriter(w, "PHOTOOBJ", fits.PhotoColumns(), packetRows)
+	sw := fits.NewStreamWriter(w, ExtPhoto, fits.PhotoColumns(), packetRows)
 	for i := range ch.Photo {
 		if err := sw.WriteRow(fits.PhotoRow(&ch.Photo[i])); err != nil {
 			return err
 		}
 	}
-	return sw.Flush()
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	ss := fits.NewStreamWriter(w, ExtSpec, fits.SpecColumns(), packetRows)
+	for i := range ch.Spec {
+		if err := ss.WriteRow(fits.SpecRow(&ch.Spec[i])); err != nil {
+			return err
+		}
+	}
+	if err := ss.Flush(); err != nil {
+		return err
+	}
+	if ss.Packets() == 0 {
+		empty := &fits.Table{Name: ExtSpec, Cols: fits.SpecColumns()}
+		return empty.Write(w)
+	}
+	return nil
 }
 
-// ReadChunkFITS reads a blocked FITS photometric stream back into objects.
-func ReadChunkFITS(r io.Reader) ([]catalog.PhotoObj, error) {
+// WriteChunkFile writes one chunk to path as a multi-HDU FITS file.
+func WriteChunkFile(path string, ch *skygen.Chunk, packetRows int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChunkFITS(f, ch, packetRows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChunkFile reads one chunk file from disk via ReadChunkFITS.
+func ReadChunkFile(path string) (*skygen.Chunk, ChunkStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ChunkStats{}, err
+	}
+	defer f.Close()
+	return ReadChunkFITS(f)
+}
+
+// ReadChunkFITS reads a blocked FITS chunk stream back into a full chunk,
+// dispatching each packet by its EXTNAME: PHOTOOBJ packets decode as
+// photometric objects, SPECOBJ packets as spectra, and any other table name
+// is a descriptive error. Legacy v1 files (photo stream only) load cleanly;
+// the missing SPECOBJ HDU is reported in ChunkStats.Warnings.
+func ReadChunkFITS(r io.Reader) (*skygen.Chunk, ChunkStats, error) {
 	sr := fits.NewStreamReader(r)
-	var out []catalog.PhotoObj
+	ch := &skygen.Chunk{}
+	var st ChunkStats
+	sawSpec := false
 	for {
 		tab, err := sr.Next()
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		for _, row := range tab.Rows {
-			p, err := fits.RowPhoto(row)
-			if err != nil {
-				return nil, err
+		st.Packets++
+		switch tab.Name {
+		case ExtPhoto:
+			for _, row := range tab.Rows {
+				p, err := fits.RowPhoto(row)
+				if err != nil {
+					return nil, st, fmt.Errorf("load: chunk packet %d (%s): %w", st.Packets, tab.Name, err)
+				}
+				ch.Photo = append(ch.Photo, p)
 			}
-			out = append(out, p)
+		case ExtSpec:
+			sawSpec = true
+			for _, row := range tab.Rows {
+				s, err := fits.RowSpec(row)
+				if err != nil {
+					return nil, st, fmt.Errorf("load: chunk packet %d (%s): %w", st.Packets, tab.Name, err)
+				}
+				ch.Spec = append(ch.Spec, s)
+			}
+		default:
+			return nil, st, fmt.Errorf("load: chunk packet %d has unknown EXTNAME %q (want %q or %q)",
+				st.Packets, tab.Name, ExtPhoto, ExtSpec)
 		}
 	}
+	if st.Packets == 0 {
+		// A real v1 file always carries at least one PHOTOOBJ packet; zero
+		// packets means an empty or truncated-to-nothing file, and loading
+		// it as "zero records" would be silent data loss.
+		return nil, st, fmt.Errorf("load: chunk stream contains no packets (empty or truncated file)")
+	}
+	st.PhotoRows = len(ch.Photo)
+	st.SpecRows = len(ch.Spec)
+	if sawSpec {
+		st.Version = 2
+	} else {
+		st.Version = 1
+		st.Warnings = append(st.Warnings,
+			"no SPECOBJ HDU: legacy v1 photo-only chunk; the archive gains no spectra from this file")
+	}
+	return ch, st, nil
 }

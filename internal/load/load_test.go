@@ -2,9 +2,11 @@ package load
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"sdss/internal/catalog"
+	"sdss/internal/fits"
 	"sdss/internal/skygen"
 )
 
@@ -110,21 +112,136 @@ func TestChunkFITSRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(ch.Spec) == 0 {
+		t.Fatal("chunk has no spectra; the round trip would not cover the SPECOBJ HDU")
+	}
 	var buf bytes.Buffer
 	if err := WriteChunkFITS(&buf, ch, 100); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadChunkFITS(&buf)
+	got, st, err := ReadChunkFITS(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(ch.Photo) {
-		t.Fatalf("read %d objects, want %d", len(got), len(ch.Photo))
+	if !got.EqualData(ch) {
+		t.Fatalf("chunk differs after FITS round trip (%d/%d photo, %d/%d spec rows)",
+			len(got.Photo), len(ch.Photo), len(got.Spec), len(ch.Spec))
 	}
-	for i := range got {
-		if got[i] != ch.Photo[i] {
-			t.Fatalf("object %d differs after FITS round trip", i)
+	if st.Version != 2 || st.PhotoRows != len(ch.Photo) || st.SpecRows != len(ch.Spec) {
+		t.Errorf("stats %+v do not match chunk (%d photo, %d spec)", st, len(ch.Photo), len(ch.Spec))
+	}
+	if len(st.Warnings) != 0 {
+		t.Errorf("fresh multi-HDU chunk produced warnings: %v", st.Warnings)
+	}
+}
+
+func TestChunkFITSEmptySpec(t *testing.T) {
+	// A chunk with photo rows but zero spectra must still write a v2 file:
+	// an explicit empty SPECOBJ HDU, not a legacy-looking photo-only stream.
+	ch, err := skygen.GenerateChunk(skygen.Default(4, 800), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Spec = nil
+	var buf bytes.Buffer
+	if err := WriteChunkFITS(&buf, ch, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReadChunkFITS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualData(ch) {
+		t.Fatalf("read %d photo + %d spec rows, want %d + 0",
+			len(got.Photo), len(got.Spec), len(ch.Photo))
+	}
+	if st.Version != 2 {
+		t.Errorf("empty-spec chunk read as version %d, want 2", st.Version)
+	}
+	if len(st.Warnings) != 0 {
+		t.Errorf("empty-spec v2 chunk produced warnings: %v", st.Warnings)
+	}
+}
+
+func TestChunkFITSLegacyV1(t *testing.T) {
+	// A v1 file — the photo stream alone, exactly what WriteChunkFITS
+	// emitted before the multi-HDU format — must load cleanly with an
+	// observable warning.
+	ch, err := skygen.GenerateChunk(skygen.Default(6, 600), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw := fits.NewStreamWriter(&buf, ExtPhoto, fits.PhotoColumns(), 100)
+	for i := range ch.Photo {
+		if err := sw.WriteRow(fits.PhotoRow(&ch.Photo[i])); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReadChunkFITS(&buf)
+	if err != nil {
+		t.Fatalf("legacy photo-only chunk rejected: %v", err)
+	}
+	if len(got.Photo) != len(ch.Photo) || len(got.Spec) != 0 {
+		t.Fatalf("read %d photo + %d spec rows, want %d + 0",
+			len(got.Photo), len(got.Spec), len(ch.Photo))
+	}
+	if st.Version != 1 {
+		t.Errorf("legacy chunk read as version %d, want 1", st.Version)
+	}
+	if len(st.Warnings) != 1 || !strings.Contains(st.Warnings[0], "no SPECOBJ HDU") {
+		t.Errorf("legacy chunk warnings = %v, want one naming the missing SPECOBJ HDU", st.Warnings)
+	}
+}
+
+func TestChunkFITSEmptyFile(t *testing.T) {
+	// A zero-packet stream (empty or truncated-to-nothing file) must be an
+	// error, not a legacy v1 chunk with zero records: an interrupted export
+	// would otherwise load silently as data loss.
+	_, _, err := ReadChunkFITS(bytes.NewReader(nil))
+	if err == nil {
+		t.Fatal("empty chunk stream accepted")
+	}
+	if !strings.Contains(err.Error(), "no packets") {
+		t.Errorf("empty stream error %q does not explain the zero-packet condition", err)
+	}
+}
+
+func TestChunkFITSUnknownExtname(t *testing.T) {
+	var buf bytes.Buffer
+	bogus := &fits.Table{
+		Name: "GALAXYZOO",
+		Cols: []fits.Column{{Name: "X", Type: fits.TypeInt32, Repeat: 1}},
+		Rows: [][]any{{int32(1)}},
+	}
+	if err := bogus.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadChunkFITS(&buf)
+	if err == nil {
+		t.Fatal("unknown EXTNAME accepted")
+	}
+	if !strings.Contains(err.Error(), "GALAXYZOO") {
+		t.Errorf("error %q does not name the offending EXTNAME", err)
+	}
+
+	// Same for a packet appearing after a valid photo stream.
+	buf.Reset()
+	ch, err := skygen.GenerateChunk(skygen.Default(7, 400), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChunkFITS(&buf, ch, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := bogus.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadChunkFITS(&buf); err == nil || !strings.Contains(err.Error(), "GALAXYZOO") {
+		t.Errorf("trailing unknown HDU: err = %v, want one naming GALAXYZOO", err)
 	}
 }
 

@@ -20,6 +20,26 @@ type Chunk struct {
 	Spec  []catalog.SpecObj
 }
 
+// EqualData reports whether two chunks carry identical photometric and
+// spectroscopic rows. Index is ignored: it is not serialized in chunk
+// files, so a chunk read back from FITS compares equal to its source.
+func (c *Chunk) EqualData(o *Chunk) bool {
+	if len(c.Photo) != len(o.Photo) || len(c.Spec) != len(o.Spec) {
+		return false
+	}
+	for i := range c.Photo {
+		if c.Photo[i] != o.Photo[i] {
+			return false
+		}
+	}
+	for i := range c.Spec {
+		if c.Spec[i] != o.Spec[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // subSeed derives a stream-specific seed so that each component (clusters,
 // field, stars, ...) of each chunk has its own reproducible RNG.
 func subSeed(seed int64, stream string, n int) int64 {

@@ -298,6 +298,33 @@ func TestFootprintArea(t *testing.T) {
 	}
 }
 
+func TestChunkEqualData(t *testing.T) {
+	ch, err := GenerateChunk(Default(9, 1500), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Photo) == 0 || len(ch.Spec) == 0 {
+		t.Fatal("chunk missing photo or spec rows")
+	}
+	same := &Chunk{Index: ch.Index + 1, Photo: ch.Photo, Spec: ch.Spec}
+	if !ch.EqualData(same) {
+		t.Error("identical rows with different Index compared unequal")
+	}
+	photo := append([]catalog.PhotoObj(nil), ch.Photo...)
+	photo[0].RA += 1e-9
+	if ch.EqualData(&Chunk{Photo: photo, Spec: ch.Spec}) {
+		t.Error("perturbed photo row compared equal")
+	}
+	spec := append([]catalog.SpecObj(nil), ch.Spec...)
+	spec[len(spec)-1].Redshift += 1e-6
+	if ch.EqualData(&Chunk{Photo: ch.Photo, Spec: spec}) {
+		t.Error("perturbed spec row compared equal")
+	}
+	if ch.EqualData(&Chunk{Photo: ch.Photo}) {
+		t.Error("missing spectra compared equal")
+	}
+}
+
 func BenchmarkGenerateChunk(b *testing.B) {
 	p := Default(1, 50000)
 	b.ReportAllocs()
