@@ -1,0 +1,86 @@
+// Command skylint is the archive's project-specific static-analysis suite:
+// five analyzers that mechanically enforce the engine's convention-only
+// invariants (batch ownership, layout-mediated record access, NaN-safe
+// comparisons, interrupted-marking at drop points, cancellable fan-out).
+//
+// It runs two ways, producing identical findings:
+//
+//	skylint ./...                      # standalone, from the module root
+//	go vet -vettool=$(which skylint) ./...   # inside go vet
+//
+// Both exit nonzero when any finding survives the //lint:skylint-ignore
+// suppressions. `skylint -list` documents the analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdss/internal/lint/analysis"
+	"sdss/internal/lint/batchown"
+	"sdss/internal/lint/ctxcancel"
+	"sdss/internal/lint/dropmark"
+	"sdss/internal/lint/nansafe"
+	"sdss/internal/lint/rawoffset"
+)
+
+// analyzers is the skylint suite, in documentation order.
+var analyzers = []*analysis.Analyzer{
+	batchown.Analyzer,
+	rawoffset.Analyzer,
+	nansafe.Analyzer,
+	dropmark.Analyzer,
+	ctxcancel.Analyzer,
+}
+
+func main() {
+	// go vet's -V=full / -flags / unit.cfg protocol takes priority; if the
+	// arguments match it, VettoolMain exits the process itself.
+	if analysis.VettoolMain(os.Args[1:], analyzers) {
+		return
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", "", "change to this directory (module root) before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: skylint [-list] [-C dir] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-10s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skylint:", err)
+		os.Exit(1)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := pkg.Run(analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "skylint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

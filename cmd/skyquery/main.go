@@ -166,6 +166,7 @@ func main() {
 			emit(r)
 			n++
 		}
+		qe.RecycleBatch(batch)
 	}
 	finish()
 	if err := rows.Err(); err != nil {

@@ -60,6 +60,16 @@ func (f Field) Read(rec []byte) float64 {
 	}
 }
 
+// RecordObjID reads the object identifier of an encoded record as the raw
+// uint64 — not through Field.Read's float64, which would round identifiers
+// above 2⁵³. Every table layout places objid first as a KindU64 field
+// (catalog_test asserts it), making this the one sanctioned cross-table
+// byte read; callers outside this package must use it instead of indexing
+// record bytes directly.
+func RecordObjID(rec []byte) ObjID {
+	return ObjID(binary.LittleEndian.Uint64(rec))
+}
+
 // layoutBuilder accumulates fields at sequential offsets, mirroring the
 // AppendTo encoders so offsets can never drift from the codecs silently
 // (catalog_test cross-checks every field against a decoded struct).

@@ -542,6 +542,7 @@ func ASAPFirstResult(cfg Config, w io.Writer) error {
 				first = time.Since(start)
 			}
 			n += len(b)
+			qe.RecycleBatch(b)
 		}
 		return first, time.Since(start), n, rows.Err()
 	}

@@ -1,0 +1,162 @@
+// Package analysis is a dependency-free re-implementation of the subset of
+// golang.org/x/tools/go/analysis that skylint needs. The archive's build
+// environment must stay hermetic — the lint gate may not pull modules — so
+// the framework is ~300 lines of stdlib go/ast + go/types instead of an
+// external dependency. The API shape (Analyzer, Pass, Diagnostic) matches
+// x/tools deliberately: if the repo ever vendors the real framework, the
+// analyzers port by changing one import line.
+//
+// Two drivers share the analyzers: Load (load.go) typechecks packages from
+// source for the standalone `skylint ./...` binary and the analysistest-style
+// harness, and Unitchecker (unitchecker.go) speaks the `go vet -vettool`
+// protocol so the suite runs inside an ordinary vet invocation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one skylint pass: a named, documented invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:skylint-ignore suppressions. It must be a valid identifier.
+	Name string
+	// Doc states the invariant the analyzer enforces; the first line is the
+	// summary shown by `skylint -list`.
+	Doc string
+	// Run executes the check over one package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for every expression.
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver applies suppression filtering.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// IgnoreDirective is the suppression marker: a comment of the form
+//
+//	//lint:skylint-ignore <analyzer> <reason...>
+//
+// on the flagged line or the line immediately above it silences that
+// analyzer there. The reason is mandatory — an unexplained suppression is
+// itself reported as a finding by the driver.
+const IgnoreDirective = "lint:skylint-ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	file     string
+	line     int // the directive's own line
+	analyzer string
+	reason   string
+	used     bool
+	pos      token.Pos
+}
+
+// collectSuppressions parses every ignore directive in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var sups []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				sups = append(sups, &suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// RunAnalyzers executes the analyzers over one loaded package, applying the
+// suppression directives, and returns the surviving diagnostics sorted by
+// position. Malformed suppressions (no analyzer name or no reason) and
+// unused ones are themselves diagnostics: the suppression story must stay
+// auditable.
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sups := collectSuppressions(pass.Fset, pass.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := *pass
+		p.Analyzer = a
+		p.Report = func(d Diagnostic) {
+			dp := pass.Fset.Position(d.Pos)
+			for _, s := range sups {
+				if s.analyzer != a.Name || s.file != dp.Filename {
+					continue
+				}
+				if s.line == dp.Line || s.line == dp.Line-1 {
+					s.used = true
+					if s.reason == "" {
+						break // malformed; reported below, finding stands
+					}
+					return
+				}
+			}
+			d.Message = a.Name + ": " + d.Message
+			diags = append(diags, d)
+		}
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, s := range sups {
+		switch {
+		case !known[s.analyzer]:
+			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+				"skylint-ignore names unknown analyzer %q", s.analyzer)})
+		case s.reason == "":
+			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+				"skylint-ignore %s has no reason; suppressions must say why", s.analyzer)})
+		case !s.used:
+			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+				"skylint-ignore %s suppresses nothing here; remove it", s.analyzer)})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

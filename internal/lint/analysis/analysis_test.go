@@ -1,0 +1,100 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sdss/internal/lint/analysis"
+)
+
+// demo flags every return statement, giving the suppression machinery
+// something deterministic to act on.
+var demo = &analysis.Analyzer{
+	Name: "demo",
+	Doc:  "flags every return statement (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const hygieneSrc = `package p
+
+func a() int {
+	//lint:skylint-ignore demo fixture-justified exception
+	return 1
+}
+
+func b() int {
+	//lint:skylint-ignore demo
+	return 2
+}
+
+func c() int {
+	//lint:skylint-ignore nosuch the analyzer does not exist
+	return 3
+}
+
+func d() int {
+	return 4
+}
+
+//lint:skylint-ignore demo nothing is flagged anywhere near this line
+var unusedSite = 0
+`
+
+// TestSuppressionHygiene pins the driver's suppression contract: a
+// reasoned suppression silences its finding; a reasonless one does not
+// (and is itself reported); unknown-analyzer and unused directives are
+// findings too.
+func TestSuppressionHygiene(t *testing.T) {
+	fset := token.NewFileSet()
+	lp, err := analysis.CheckFiles(fset, "p", []string{"p.go"},
+		map[string]any{"p.go": hygieneSrc}, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lp.Run([]*analysis.Analyzer{demo})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fset.Position(d.Pos).String()+": "+d.Message)
+	}
+
+	want := []struct{ line, substr string }{
+		{"p.go:9", "has no reason"},
+		{"p.go:10", "demo: return statement"}, // reasonless suppression must not silence
+		{"p.go:14", `unknown analyzer "nosuch"`},
+		{"p.go:15", "demo: return statement"},
+		{"p.go:19", "demo: return statement"},
+		{"p.go:22", "suppresses nothing"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(got[i], w.line+":") || !strings.Contains(got[i], w.substr) {
+			t.Errorf("diag %d = %q, want line %s containing %q", i, got[i], w.line, w.substr)
+		}
+	}
+
+	// Line 4's reasoned suppression must have silenced the return on line 5.
+	for _, g := range got {
+		if strings.HasPrefix(g, "p.go:5:") {
+			t.Errorf("suppressed finding leaked: %s", g)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// LoadedPackage is one package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	// TestGoFiles are in-package _test.go files; XTestGoFiles form the
+	// separate package_test external test package.
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load enumerates packages matching the patterns with `go list`, parses and
+// type-checks each from source, and returns them ready for RunAnalyzers.
+// In-package test files are checked together with the package (as go vet
+// does); external _test packages are loaded as their own unit. dir is the
+// module directory to run in ("" = current).
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	// One file set and one source importer shared across every package, so
+	// common dependencies (stdlib, sibling internal packages) type-check
+	// once, not per root.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*LoadedPackage
+	for _, p := range listed {
+		units := []struct {
+			path  string
+			files []string
+		}{
+			{p.ImportPath, append(append([]string{}, p.GoFiles...), p.TestGoFiles...)},
+			{p.ImportPath + "_test", p.XTestGoFiles},
+		}
+		for _, u := range units {
+			if len(u.files) == 0 {
+				continue
+			}
+			abs := make([]string, len(u.files))
+			for i, f := range u.files {
+				abs[i] = filepath.Join(p.Dir, f)
+			}
+			lp, err := CheckFiles(fset, u.path, abs, nil, imp)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, lp)
+		}
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses the named files (or src overrides, keyed by filename)
+// and type-checks them as one package using imp for imports. It is the
+// shared core of the standalone loader, the vettool driver, and the test
+// harness.
+func CheckFiles(fset *token.FileSet, importPath string, filenames []string, src map[string]any, imp types.Importer) (*LoadedPackage, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &LoadedPackage{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Run analyzes one loaded package with every analyzer and returns the
+// surviving diagnostics.
+func (lp *LoadedPackage) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.Info,
+	}
+	return RunAnalyzers(pass, analyzers)
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file speaks the `go vet -vettool=...` driver protocol, mirroring
+// golang.org/x/tools/go/analysis/unitchecker without the dependency. The go
+// command probes the tool three ways:
+//
+//   - `tool -V=full` — a version/content fingerprint used as a cache key;
+//   - `tool -flags`  — a JSON description of supported flags (none here);
+//   - `tool <unit>.cfg` — analyze one compilation unit described by a JSON
+//     config, with dependency types read from compiler export data.
+//
+// Diagnostics print to stderr as file:line:col: message and the process
+// exits nonzero, which go vet surfaces per package.
+
+// vetConfig is the JSON the go command writes for each unit. Field names
+// are fixed by the protocol; unknown fields are ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VettoolMain implements the whole vettool entry protocol for args (the
+// program arguments after the command name). It returns false when args do
+// not look like a vettool invocation — the caller should fall through to
+// standalone mode — and otherwise exits the process itself.
+func VettoolMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 1 && args[0] == "-V=full" {
+		// Fingerprint the binary content: rebuilding skylint invalidates
+		// go vet's result cache, exactly like the x/tools handshake.
+		name := filepath.Base(os.Args[0])
+		sum := [sha256.Size]byte{}
+		if data, err := os.ReadFile(os.Args[0]); err == nil {
+			sum = sha256.Sum256(data)
+		}
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, sum)
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no analyzer flags
+		os.Exit(0)
+	}
+	if len(args) == 1 && filepath.Ext(args[0]) == ".cfg" {
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	return false
+}
+
+// runUnit analyzes one vet compilation unit and returns the process exit
+// code.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the facts file to exist afterwards even
+	// though skylint exports no facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, no diagnostics wanted.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	lp, err := CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, nil, imp)
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
+		return 1
+	}
+	diags, err := lp.Run(analyzers)
+	writeVetx()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

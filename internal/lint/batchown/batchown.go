@@ -1,0 +1,274 @@
+// Package batchown enforces the query engine's batch-ownership discipline
+// (internal/qe/pool.go): a Batch obtained from a channel or the pool is
+// owned by exactly one consumer, which must forward it, return it, or pass
+// it to RecycleBatch — once — and must never touch it after giving it up.
+//
+// The check is flow-insensitive and keyed to the engine's known drop-point
+// idioms, statement-list by statement-list:
+//
+//   - after RecycleBatch(b), any later use of b in the same statement list
+//     is a use-after-recycle (reassigning b starts a new ownership);
+//   - recycling b twice in one list without a reassignment between is a
+//     double recycle;
+//   - after a direct send `ch <- b`, later uses of b in the same list are
+//     uses after ownership transfer;
+//   - a `for b := range ch` loop over a Batch channel whose body never
+//     consumes b (recycle, send, append, call, assignment, or return) drops
+//     the buffer on the floor — a pool leak.
+//
+// Batches recycled or sent inside a nested block almost always `continue`
+// or `return` immediately, so only same-list ordering is judged: the check
+// stays conservative and false positives carry //lint:skylint-ignore
+// annotations with the reason.
+package batchown
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdss/internal/lint/analysis"
+)
+
+// Analyzer is the batchown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchown",
+	Doc:  "batch buffers must be forwarded, returned, or recycled exactly once and never used afterwards",
+	Run:  run,
+}
+
+// isBatchType reports whether t is (a pointer or alias to) a defined slice
+// type named Batch — qe.Batch on the real tree, any structural double in
+// fixtures.
+func isBatchType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Batch" {
+		return false
+	}
+	_, isSlice := named.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// isBatchChan reports whether t is a channel of Batch.
+func isBatchChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	return ok && isBatchType(ch.Elem())
+}
+
+// recycleArg returns the plain-identifier argument of a RecycleBatch call,
+// or nil if call is not one (or recycles a non-identifier expression, which
+// the flow-insensitive check cannot track).
+func recycleArg(info *types.Info, call *ast.CallExpr) *ast.Ident {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return nil
+	}
+	if name != "RecycleBatch" || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return id
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, n.List)
+			case *ast.CaseClause:
+				checkList(pass, n.Body)
+			case *ast.CommClause:
+				// The comm statement itself transfers ownership before the
+				// body runs: `case out <- b:` means b is gone inside.
+				list := n.Body
+				if send, ok := n.Comm.(*ast.SendStmt); ok {
+					list = append([]ast.Stmt{send}, n.Body...)
+				}
+				checkList(pass, list)
+			case *ast.RangeStmt:
+				checkRangeDrop(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkList walks one statement list in order, tracking which batch
+// variables have been recycled or sent away.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	// gone maps a variable to why it is no longer owned.
+	gone := make(map[types.Object]string)
+	for _, stmt := range list {
+		if len(gone) > 0 {
+			reportUses(pass, stmt, gone)
+		}
+		// Reassignment grants fresh ownership.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						delete(gone, obj)
+					}
+				}
+			}
+		}
+		// Record ownership transfers made directly by this statement.
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id := recycleArg(pass.TypesInfo, call); id != nil && isBatchType(pass.TypeOf(id)) {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						gone[obj] = "RecycleBatch"
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := s.Value.(*ast.Ident); ok && isBatchType(pass.TypeOf(id)) {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					gone[obj] = "send"
+				}
+			}
+		}
+	}
+}
+
+// reportUses flags identifiers in stmt whose objects were already given up.
+func reportUses(pass *analysis.Pass, stmt ast.Stmt, gone map[types.Object]string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		// An assignment re-grants ownership to its left-hand variables, but
+		// its right-hand side still reads the old values: report the RHS
+		// first, then clear the LHS objects.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				reportUses(pass, &ast.ExprStmt{X: rhs}, gone)
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						delete(gone, obj)
+					}
+				} else {
+					reportUses(pass, &ast.ExprStmt{X: lhs}, gone)
+				}
+			}
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id := recycleArg(pass.TypesInfo, call); id != nil {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if why, dead := gone[obj]; dead {
+						verb := "double RecycleBatch of %s"
+						if why == "send" {
+							verb = "RecycleBatch of %s after it was sent (receiver owns it)"
+						}
+						pass.Reportf(id.Pos(), verb, id.Name)
+					}
+				}
+				return false // the recycle call's own mention is not a use
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if why, dead := gone[obj]; dead {
+			if why == "send" {
+				pass.Reportf(id.Pos(), "use of batch %s after sending it (ownership moved to the receiver)", id.Name)
+			} else {
+				pass.Reportf(id.Pos(), "use of batch %s after RecycleBatch (buffer may already be reused)", id.Name)
+			}
+			delete(gone, obj) // one report per lost variable is enough
+		}
+		return true
+	})
+}
+
+// checkRangeDrop flags `for b := range ch` loops over Batch channels whose
+// bodies never consume b.
+func checkRangeDrop(pass *analysis.Pass, loop *ast.RangeStmt) {
+	if loop.X == nil || !isBatchChan(pass.TypeOf(loop.X)) {
+		return
+	}
+	id, ok := loop.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		pass.Reportf(loop.Pos(), "batches received from this channel are dropped without RecycleBatch")
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	consumed := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// len/cap inspect without consuming; every other call (incl.
+			// RecycleBatch and append) takes the batch.
+			if fn, ok := n.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentions(pass, arg, obj) {
+					consumed = true
+				}
+			}
+		case *ast.SendStmt:
+			if mentions(pass, n.Value, obj) {
+				consumed = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if mentions(pass, rhs, obj) {
+					consumed = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentions(pass, res, obj) {
+					consumed = true
+				}
+			}
+		}
+		return true
+	})
+	if !consumed {
+		pass.Reportf(loop.Pos(), "batch %s is consumed but never recycled, forwarded, or returned (pool leak — call RecycleBatch)", id.Name)
+	}
+}
+
+// mentions reports whether expr references obj in a consuming position.
+// References inside len/cap calls only inspect the batch and do not count.
+func mentions(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

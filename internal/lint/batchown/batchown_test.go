@@ -1,0 +1,12 @@
+package batchown_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/batchown"
+	"sdss/internal/lint/linttest"
+)
+
+func TestBatchOwn(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), batchown.Analyzer, "a")
+}

@@ -1,0 +1,115 @@
+// Package a is the batchown fixture: a structural double of the query
+// engine's batch pool (internal/qe/pool.go) with positive findings marked
+// by want comments and the engine's sanctioned idioms left unmarked.
+package a
+
+import "context"
+
+type Result struct {
+	ObjID  uint64
+	Values []float64
+}
+
+// Batch mirrors qe.Batch: a defined slice type named Batch.
+type Batch []Result
+
+// RecycleBatch mirrors qe.RecycleBatch.
+func RecycleBatch(b Batch) { _ = b }
+
+func getBatch(n int) Batch { return make(Batch, 0, n) }
+
+func sink(Batch)  {}
+func observe(int) {}
+func anyUse(any)  {}
+
+// useAfterRecycle is the classic violation.
+func useAfterRecycle(in <-chan Batch) {
+	for b := range in {
+		RecycleBatch(b)
+		sink(b) // want `use of batch b after RecycleBatch`
+	}
+}
+
+// doubleRecycle returns one buffer twice.
+func doubleRecycle(b Batch) {
+	RecycleBatch(b)
+	RecycleBatch(b) // want `double RecycleBatch of b`
+}
+
+// useAfterSend touches a batch whose ownership moved to the receiver.
+func useAfterSend(out chan<- Batch, b Batch) {
+	out <- b
+	observe(len(b)) // want `use of batch b after sending it`
+}
+
+// sendCaseThenUse transfers in the comm clause, then reads in the body.
+func sendCaseThenUse(ctx context.Context, out chan<- Batch, b Batch) {
+	select {
+	case out <- b:
+		anyUse(b) // want `use of batch b after sending it`
+	case <-ctx.Done():
+		RecycleBatch(b)
+	}
+}
+
+// droppedRange consumes a stream without ever recycling: a pool leak.
+func droppedRange(in <-chan Batch) int {
+	n := 0
+	for b := range in { // want `batch b is consumed but never recycled`
+		n += len(b)
+	}
+	return n
+}
+
+// Sanctioned idioms below — no findings expected.
+
+// drainRecycle is the engine's standard drain loop.
+func drainRecycle(in <-chan Batch) {
+	for b := range in {
+		RecycleBatch(b)
+	}
+}
+
+// collect copies results out then recycles: Collect's shape.
+func collect(in <-chan Batch) []Result {
+	var all []Result
+	for b := range in {
+		all = append(all, b...)
+		RecycleBatch(b)
+	}
+	return all
+}
+
+// forward re-slices and sends: ownership travels with the buffer.
+func forward(ctx context.Context, in <-chan Batch, out chan<- Batch) {
+	for b := range in {
+		if len(b) > 4 {
+			b = b[:4]
+		}
+		select {
+		case out <- b:
+		case <-ctx.Done():
+			RecycleBatch(b)
+			return
+		}
+	}
+}
+
+// reassignAfterRecycle grants fresh ownership from the pool.
+func reassignAfterRecycle(b Batch) {
+	RecycleBatch(b)
+	b = getBatch(8)
+	sink(b)
+}
+
+// emitAndReplace is the merge emit idiom: send, then refill in the body.
+func emitAndReplace(ctx context.Context, out chan<- Batch, b Batch) Batch {
+	select {
+	case out <- b:
+		b = getBatch(8)
+		return b
+	case <-ctx.Done():
+		RecycleBatch(b)
+		return nil
+	}
+}

@@ -1,0 +1,102 @@
+// Package ctxcancel guards the fan-out sites of the scatter-gather engine:
+// every goroutine the engine spawns (shard scans, gather stages, async
+// jobs) eventually blocks sending results upward, and a send that does not
+// select on a cancellation signal can never be interrupted — Close() hangs
+// and the worker leaks, exactly the failure mode Rows.Close's contract
+// ("a closed Rows never leaks scan workers") forbids.
+//
+// The analyzer flags channel sends inside `go func(...)`-launched function
+// literals unless the send is:
+//
+//   - a select case (the engine's `case out <- b: / case <-ctx.Done():`
+//     idiom), or
+//   - inside a `for ... range ch` loop over a channel (pure forwarding:
+//     the loop is bounded by the upstream stream, whose producer honors
+//     cancellation and whose consumer drains on cancel).
+//
+// Sends that are provably non-blocking (a channel pre-sized to the exact
+// element count) carry //lint:skylint-ignore ctxcancel <reason>.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdss/internal/lint/analysis"
+)
+
+// Analyzer is the ctxcancel pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "goroutine fan-out sends must select on a cancellation channel/context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named functions are checked where they are defined
+			}
+			checkGoroutine(pass, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutine walks one spawned body looking for unguarded sends,
+// tracking whether the current path is inside a channel-range forwarding
+// loop. Nested go statements are visited by the outer Inspect.
+func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, forwarding bool)
+	walk = func(n ast.Node, forwarding bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			return // its own goroutine, checked separately
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				// The comm itself is guarded by the select; the body is an
+				// ordinary path.
+				for _, st := range cc.Body {
+					walk(st, forwarding)
+				}
+			}
+			return
+		case *ast.RangeStmt:
+			inner := forwarding
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					inner = true
+				}
+			}
+			walk(n.Body, inner)
+			return
+		case *ast.SendStmt:
+			if !forwarding {
+				pass.Reportf(n.Arrow,
+					"unguarded channel send in a spawned goroutine; select on a cancellation signal (ctx.Done()) so the fan-out can be torn down")
+			}
+			return
+		}
+		// Generic traversal one level down.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child, forwarding)
+			return false
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt, false)
+	}
+}

@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/ctxcancel"
+	"sdss/internal/lint/linttest"
+)
+
+func TestCtxCancel(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), ctxcancel.Analyzer, "a")
+}

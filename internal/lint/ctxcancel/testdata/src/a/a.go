@@ -1,0 +1,70 @@
+// Package a is the ctxcancel fixture: spawned goroutines that send with
+// and without a cancellation path.
+package a
+
+import "context"
+
+type batch []uint64
+
+// badFanout sends unguarded from a worker: Close() can never unblock it.
+func badFanout(items []batch, out chan<- batch) {
+	for _, it := range items {
+		go func(b batch) {
+			out <- b // want `unguarded channel send in a spawned goroutine`
+		}(it)
+	}
+}
+
+// badLoopSend computes in a loop and pushes results with no escape hatch.
+func badLoopSend(n int, out chan<- int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i * i // want `unguarded channel send in a spawned goroutine`
+		}
+	}()
+}
+
+// goodSelect is the engine idiom: every send can lose to cancellation.
+func goodSelect(ctx context.Context, in []int, out chan<- int) {
+	go func() {
+		for _, v := range in {
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// goodForward relays between channels: bounded by the upstream close, whose
+// producer honors cancellation.
+func goodForward(in <-chan batch, out chan<- batch) {
+	go func() {
+		for b := range in {
+			out <- b
+		}
+	}()
+}
+
+// closeThenSignal: close never blocks, but the completion signal is still
+// an unguarded send.
+func closeThenSignal(done chan<- struct{}, out chan int) {
+	go func() {
+		close(out)
+		done <- struct{}{} // want `unguarded channel send in a spawned goroutine`
+	}()
+}
+
+// suppressedReplay fills a channel pre-sized to the element count.
+func suppressedReplay(all []batch) <-chan batch {
+	replay := make(chan batch, len(all))
+	go func() {
+		for _, b := range all {
+			//lint:skylint-ignore ctxcancel replay is buffered to len(all); the send can never block
+			replay <- b
+		}
+		close(replay)
+	}()
+	return replay
+}

@@ -1,0 +1,14 @@
+package dropmark_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/dropmark"
+	"sdss/internal/lint/linttest"
+)
+
+func TestDropMark(t *testing.T) {
+	// Package qe defines the Rows/interrupted idiom and is checked; package
+	// other has no Rows type and is exempt even with identical code.
+	linttest.Run(t, linttest.Dir(), dropmark.Analyzer, "qe", "other")
+}

@@ -1,0 +1,89 @@
+// Package qe is the dropmark fixture: a structural double of the engine's
+// streaming tree with marked and unmarked drop points.
+package qe
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type Result struct{ ObjID uint64 }
+
+type Batch []Result
+
+func RecycleBatch(b Batch) { _ = b }
+
+// Rows carries the interrupted flag; its presence scopes the analyzer to
+// this package.
+type Rows struct {
+	C           <-chan Batch
+	interrupted atomic.Bool
+}
+
+// badDoneDrop recycles in a Done case without marking: the timeout
+// vanishes.
+func badDoneDrop(ctx context.Context, out chan<- Batch, b Batch, rows *Rows) {
+	select {
+	case out <- b:
+	case <-ctx.Done(): // want `without rows.interrupted.Store`
+		RecycleBatch(b)
+	}
+}
+
+// badErrReturn abandons a producing stream without marking.
+func badErrReturn(ctx context.Context, in <-chan Batch, rows *Rows) {
+	for b := range in {
+		RecycleBatch(b)
+		if ctx.Err() != nil { // want `context-cancelled early return`
+			return
+		}
+	}
+}
+
+// goodDoneDrop is the engine's sanctioned shape.
+func goodDoneDrop(ctx context.Context, out chan<- Batch, b Batch, rows *Rows) {
+	select {
+	case out <- b:
+	case <-ctx.Done():
+		rows.interrupted.Store(true)
+		RecycleBatch(b)
+	}
+}
+
+// goodErrReturn marks before bailing.
+func goodErrReturn(ctx context.Context, in <-chan Batch, rows *Rows) {
+	for b := range in {
+		RecycleBatch(b)
+		if ctx.Err() != nil {
+			rows.interrupted.Store(true)
+			return
+		}
+	}
+}
+
+// nonProducer early-exits without touching batches: no stream is cut, no
+// mark needed.
+func nonProducer(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 1
+}
+
+// doneWithoutBatch stops cleanly without dropping owned work.
+func doneWithoutBatch(ctx context.Context, tick <-chan int) {
+	select {
+	case <-tick:
+	case <-ctx.Done():
+	}
+}
+
+// suppressedDrop documents a deliberate post-completion drop.
+func suppressedDrop(ctx context.Context, out chan<- Batch, b Batch, rows *Rows) {
+	select {
+	case out <- b:
+	//lint:skylint-ignore dropmark limit already reached; the stream is complete as delivered
+	case <-ctx.Done():
+		RecycleBatch(b)
+	}
+}

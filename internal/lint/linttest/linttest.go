@@ -1,0 +1,145 @@
+// Package linttest is the fixture harness for skylint analyzers — the
+// dependency-free counterpart of golang.org/x/tools/go/analysis/analysistest.
+// Fixture packages live under <analyzer>/testdata/src/<pkg>/ and annotate
+// the lines where findings are expected:
+//
+//	RecycleBatch(b)
+//	use(b) // want `use after RecycleBatch`
+//
+// Each `// want` comment carries one or more backquoted or double-quoted
+// regular expressions; every expectation must be matched by a diagnostic on
+// that line, and every diagnostic must be expected. Fixtures may import only
+// the standard library, so they type-check hermetically from source.
+package linttest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sdss/internal/lint/analysis"
+)
+
+// wantRe extracts the quoted patterns of one // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named fixture package from dir/testdata/src and checks the
+// analyzer's diagnostics against the // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkgDir := filepath.Join(dir, "testdata", "src", pkg)
+		runPackage(t, pkgDir, pkg, a)
+	}
+}
+
+func runPackage(t *testing.T, pkgDir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgDir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", pkgDir)
+	}
+
+	fset := token.NewFileSet()
+	lp, err := analysis.CheckFiles(fset, importPath, files, nil, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	expects := collectWants(t, files)
+	diags, err := lp.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// collectWants scans fixture sources for // want comments.
+func collectWants(t *testing.T, files []string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, wants, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(wants, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed // want comment (no quoted pattern)", file, i+1)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, pat, err)
+				}
+				out = append(out, &expectation{file: file, line: i + 1, pattern: re})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// Dir returns the caller-relative analyzer directory for Run, so tests read
+// as linttest.Run(t, linttest.Dir(), Analyzer, "a").
+func Dir() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(fmt.Sprintf("linttest: %v", err))
+	}
+	return wd
+}

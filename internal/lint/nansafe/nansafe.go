@@ -1,0 +1,153 @@
+// Package nansafe guards the engine's total-order invariant: attribute
+// values and sort keys are float64s that may be NaN (unmeasured magnitudes)
+// or -0, and a bare `a < b` or `a == b` on two of them silently violates
+// the ordering contract the distributed merge depends on (a NaN row sorts
+// differently depending on which shard it landed on). All such comparisons
+// must go through NaN-aware comparators — keyCompare/sortLess for ordering,
+// floatKey for hash-join keys, the zone-map fold for container stats.
+//
+// The analyzer runs only over the attribute-handling packages (qe, query,
+// store — plus fixture doubles with those names) and flags binary
+// comparisons where BOTH operands are non-constant floating expressions.
+// Comparing against a literal (`r < 18`) is SQL predicate semantics — NaN
+// compares false, which the bounds analyzer mirrors — and stays legal, as
+// are _test.go files, where exact-value assertions are the point.
+//
+// A function that calls math.IsNaN or math.Signbit is itself a sanctioned
+// NaN-aware comparator: its comparisons are presumed deliberate.
+// Deliberate NaN-oblivious comparisons elsewhere carry
+// //lint:skylint-ignore nansafe <reason>.
+package nansafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sdss/internal/lint/analysis"
+)
+
+// Analyzer is the nansafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nansafe",
+	Doc:  "attribute/sort-key float comparisons must use the NaN-aware comparators",
+	Run:  run,
+}
+
+// attrPkgs are the final import-path segments of packages that handle raw
+// attribute values; only they are checked.
+var attrPkgs = []string{"qe", "query", "store"}
+
+func applies(path string) bool {
+	segs := strings.Split(path, "/")
+	last := segs[len(segs)-1]
+	last = strings.TrimSuffix(last, "_test")
+	for _, p := range attrPkgs {
+		if last == p {
+			return true
+		}
+	}
+	return false
+}
+
+var cmpOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isNaNAware reports whether the function body calls math.IsNaN or
+// math.Signbit — the mark of a comparator that has thought about NaN/-0.
+func isNaNAware(body *ast.BlockStmt) bool {
+	aware := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if aware {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if base, ok := sel.X.(*ast.Ident); ok && base.Name == "math" &&
+				(sel.Sel.Name == "IsNaN" || sel.Sel.Name == "Signbit") {
+				aware = true
+			}
+		}
+		return true
+	})
+	return aware
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Tests assert exact values on data they constructed, where == is
+		// the point; the invariant protects production ordering paths.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags unsanctioned float comparisons in one function. Nested
+// function literals are judged on their own bodies: a NaN-aware closure
+// inside an oblivious function is fine, and vice versa.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sanctioned := isNaNAware(body)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		if sanctioned {
+			return true
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !cmpOps[be.Op] {
+			return true
+		}
+		if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+			return true
+		}
+		// A constant operand means a predicate-style threshold test, not an
+		// attribute-vs-attribute comparison.
+		if isConst(pass, be.X) || isConst(pass, be.Y) {
+			return true
+		}
+		pass.Reportf(be.OpPos,
+			"NaN-unsafe %s on two float values; use a NaN-aware comparator (qe.keyCompare-style) or guard with math.IsNaN", be.Op)
+		return true
+	}
+	// Walk statements, not the body node itself, so isNaNAware's verdict
+	// applies to this body only.
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, walk)
+	}
+	return
+}
+
+func isConst(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,15 @@
+package nansafe_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/linttest"
+	"sdss/internal/lint/nansafe"
+)
+
+func TestNaNSafe(t *testing.T) {
+	// Package qe handles attribute values: bare float comparisons are
+	// violations unless the function is NaN-aware. Package geom is outside
+	// the attribute-handling set and is never checked.
+	linttest.Run(t, linttest.Dir(), nansafe.Analyzer, "qe", "geom")
+}

@@ -1,0 +1,9 @@
+// Package geom is the nansafe negative fixture: geometry code compares
+// coordinates freely — it is outside the attribute-handling package set.
+package geom
+
+type vec struct{ x, y, z float64 }
+
+func inside(a, b vec) bool {
+	return a.x*b.x+a.y*b.y+a.z*b.z >= b.z
+}

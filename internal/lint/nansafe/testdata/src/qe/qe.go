@@ -1,0 +1,72 @@
+// Package qe is the nansafe fixture: attribute-handling code where bare
+// float comparisons break the total order.
+package qe
+
+import "math"
+
+type result struct {
+	key    float64
+	values []float64
+}
+
+// badLess is the violation the analyzer exists for: a sort comparator that
+// orders NaN rows differently per shard.
+func badLess(a, b result) bool {
+	return a.key < b.key // want `NaN-unsafe < on two float values`
+}
+
+// badEqual compares attribute values with ==: NaN never matches itself and
+// -0 aliases +0.
+func badEqual(a, b result) bool {
+	return a.key == b.key // want `NaN-unsafe == on two float values`
+}
+
+// badFold is the zone/aggregate-fold mistake: min/max drift depending on
+// which value arrived first when NaN is present.
+func badFold(min *float64, v float64) {
+	if v < *min { // want `NaN-unsafe < on two float values`
+		*min = v
+	}
+}
+
+// badClosure hides the comparison in a function literal; literals are
+// judged on their own bodies.
+func badClosure(xs []result) func(i, j int) bool {
+	return func(i, j int) bool {
+		return xs[i].key > xs[j].key // want `NaN-unsafe > on two float values`
+	}
+}
+
+// keyCompare is the sanctioned idiom: it handles NaN explicitly, so its
+// comparisons are deliberate.
+func keyCompare(ka, kb float64) int {
+	aNaN, bNaN := math.IsNaN(ka), math.IsNaN(kb)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// threshold compares against constants: SQL predicate semantics, legal.
+func threshold(v float64) bool {
+	return v < 18.0 && v != 0
+}
+
+// ints are not floats.
+func ints(a, b int) bool { return a < b }
+
+// suppressed demonstrates the annotated escape hatch.
+func suppressed(a, b float64) bool {
+	//lint:skylint-ignore nansafe cost estimates only steer the planner; either outcome is correct
+	return a <= b
+}

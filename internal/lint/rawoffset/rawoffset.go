@@ -1,0 +1,148 @@
+// Package rawoffset enforces the record-layout invariant (PR 3): encoded
+// catalog records are fixed byte layouts owned by internal/catalog
+// (PhotoLayout/TagLayout/SpecLayout) and internal/fits, and every other
+// package must reach attributes through catalog.Field offsets — never by
+// hard-coding byte positions. A literal `rec[26]` that compiles today
+// silently reads garbage the day a field is added, which is exactly the
+// schema-drift failure mode the SkyServer papers mechanized away.
+//
+// Outside catalog and fits the analyzer flags, on values of type []byte:
+//
+//   - indexing with a constant (`rec[8]`);
+//   - slicing with a nonzero constant bound (`rec[8:16]`, `hdr[:24]`);
+//   - passing a bare identifier straight to an encoding/binary ByteOrder
+//     decode/encode (`le.Uint64(rec)` — an implicit offset-0 read).
+//
+// Variable offsets (`rec[f.Offset:]`) pass: they came from a layout.
+// _test.go files pass too: tests hand-roll synthetic records whose byte
+// positions are the test's own fixture, not the catalog contract.
+// Serialization code that owns a non-record format (e.g. the zone-map file
+// header) suppresses with //lint:skylint-ignore rawoffset <reason>.
+package rawoffset
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sdss/internal/lint/analysis"
+)
+
+// Analyzer is the rawoffset pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawoffset",
+	Doc:  "encoded record bytes must be addressed through catalog layout fields, not literal offsets",
+	Run:  run,
+}
+
+// exemptPkgs own record encodings and may use literal offsets: the layout
+// definitions themselves and the FITS codec.
+var exemptPkgs = []string{"catalog", "fits"}
+
+func exempt(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		for _, e := range exemptPkgs {
+			if seg == e {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isByteSlice reports whether t is []byte (possibly via a named type).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// constVal reports whether expr is a compile-time integer constant, and its
+// value when small enough to print.
+func constVal(pass *analysis.Pass, expr ast.Expr) (int64, bool) {
+	if expr == nil {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, _ := constant.Int64Val(tv.Value)
+	return v, true
+}
+
+func run(pass *analysis.Pass) error {
+	if exempt(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Tests build synthetic records by hand; those byte positions are
+		// the test's own fixture, not the catalog contract.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if !isByteSlice(pass.TypeOf(n.X)) {
+					return true
+				}
+				if v, isConst := constVal(pass, n.Index); isConst {
+					pass.Reportf(n.Index.Pos(),
+						"raw byte offset %d into encoded bytes; address fields via a catalog layout (Field.Offset)", v)
+				}
+			case *ast.SliceExpr:
+				if !isByteSlice(pass.TypeOf(n.X)) {
+					return true
+				}
+				for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+					if v, isConst := constVal(pass, bound); isConst && v != 0 {
+						pass.Reportf(bound.Pos(),
+							"raw byte offset %d into encoded bytes; address fields via a catalog layout (Field.Offset)", v)
+						break
+					}
+				}
+			case *ast.CallExpr:
+				checkBinaryCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBinaryCall flags le.Uint64(rec)-style implicit offset-0 decodes: the
+// []byte argument is a bare identifier or field selector, so the call pins
+// the field to the start of the record without saying so.
+func checkBinaryCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if !strings.HasPrefix(name, "Uint") && !strings.HasPrefix(name, "PutUint") {
+		return
+	}
+	// Only encoding/binary's ByteOrder methods count.
+	if t := pass.TypeOf(sel.X); t == nil || !strings.Contains(t.String(), "encoding/binary") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	switch arg.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if isByteSlice(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"implicit offset-0 %s on encoded bytes; address the field via a catalog layout (Field.Offset)", name)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package rawoffset_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/linttest"
+	"sdss/internal/lint/rawoffset"
+)
+
+func TestRawOffset(t *testing.T) {
+	// Package a is an ordinary consumer: literal offsets are violations.
+	// Package catalog is layout-owning: the same code is sanctioned.
+	linttest.Run(t, linttest.Dir(), rawoffset.Analyzer, "a", "catalog")
+}

@@ -1,0 +1,51 @@
+// Package a is the rawoffset fixture: an ordinary (non-layout-owning)
+// package poking at encoded record bytes.
+package a
+
+import "encoding/binary"
+
+// Field stands in for catalog.Field: the sanctioned access path.
+type Field struct {
+	Offset int
+}
+
+const objidOff = 8
+
+func bad(rec []byte) uint64 {
+	_ = rec[3]                              // want `raw byte offset 3`
+	_ = rec[8:16]                           // want `raw byte offset 8`
+	_ = rec[:24]                            // want `raw byte offset 24`
+	_ = rec[objidOff]                       // want `raw byte offset 8`
+	_ = binary.LittleEndian.Uint16(rec[2:]) // want `raw byte offset 2`
+	return binary.LittleEndian.Uint64(rec)  // want `implicit offset-0 Uint64`
+}
+
+type rr struct{ rec []byte }
+
+func (r *rr) objID() uint64 {
+	return binary.LittleEndian.Uint64(r.rec) // want `implicit offset-0 Uint64`
+}
+
+func put(hdr []byte, v uint32) {
+	binary.LittleEndian.PutUint32(hdr[12:], v) // want `raw byte offset 12`
+}
+
+// good accesses bytes the sanctioned ways: layout offsets, variable
+// positions, whole-buffer operations, and zero-bound slices.
+func good(rec []byte, f Field, keyOffset int) uint64 {
+	_ = rec[f.Offset]
+	_ = rec[f.Offset:]
+	_ = rec[keyOffset : keyOffset+8]
+	_ = rec[0:] // degenerate re-slice, not an offset read
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 1) // array re-slice, no offset
+	copy(buf[:], rec)
+	return binary.LittleEndian.Uint64(rec[f.Offset:])
+}
+
+// notBytes: constant indexing of non-byte slices is someone else's
+// business (vectors, argument lists).
+func notBytes(vals []float64, args []int) float64 {
+	_ = args[2]
+	return vals[0] + vals[1]
+}

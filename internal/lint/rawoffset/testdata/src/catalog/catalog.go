@@ -1,0 +1,13 @@
+// Package catalog is the rawoffset negative fixture: layout-owning
+// packages (import path containing a catalog or fits segment) define the
+// encodings, so literal offsets are their prerogative.
+package catalog
+
+import "encoding/binary"
+
+func decode(rec []byte) (uint64, uint16) {
+	id := binary.LittleEndian.Uint64(rec)
+	run := binary.LittleEndian.Uint16(rec[16:])
+	_ = rec[3]
+	return id, run
+}

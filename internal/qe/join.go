@@ -48,6 +48,7 @@ func (e *Engine) planJoin(cj *query.CompiledJoin, analyze bool) (Operator, error
 	switch cj.Kind {
 	case query.JoinInner:
 		// Build on the smaller estimated input, probe with the larger.
+		//lint:skylint-ignore nansafe cost estimates, not attribute values; either build side is correct
 		buildLeft := estL <= estR
 		side := "right"
 		if buildLeft {

@@ -259,7 +259,10 @@ type aggPartial struct {
 func (p *aggPartial) combine(q aggPartial) {
 	p.count += q.count
 	p.sum += q.sum
-	if q.any {
+	// The worker fold never records a NaN min/max, but guard anyway: a NaN
+	// would win or lose every comparison below depending on operand order,
+	// making the aggregate depend on shard arrival order.
+	if q.any && !math.IsNaN(q.min) && !math.IsNaN(q.max) {
 		if !p.any || q.min < p.min {
 			p.min = q.min
 		}
@@ -292,6 +295,13 @@ func (e *Engine) runAggregate(ctx context.Context, agg query.AggFunc, ins []<-ch
 					}
 					v := r.Values[len(r.Values)-1] // hidden agg operand
 					p.sum += v
+					if math.IsNaN(v) {
+						// Unmeasured magnitude: every comparison against it
+						// is false, so folding it into min/max would leave
+						// the result dependent on arrival order. SUM/AVG
+						// still absorb it (NaN poisons them uniformly).
+						continue
+					}
 					if !p.any || v < p.min {
 						p.min = v
 					}

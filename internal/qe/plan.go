@@ -207,6 +207,7 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	// Cost-based index-versus-scan crossover: when coverage admits most of
 	// the table anyway, the per-record fine filter costs more than the
 	// skipped containers save.
+	//lint:skylint-ignore nansafe planner cost heuristic on record counts; either branch yields a correct plan
 	if rangeSet != nil && candRecords >= indexCrossover*totalRecords {
 		rangeSet = nil
 		candidates, nCandidates, _ = collect(nil)
@@ -429,6 +430,7 @@ type limitOp struct {
 }
 
 func (e *Engine) newLimitOp(n int, in Operator, est, cost float64, analyze bool) *limitOp {
+	//lint:skylint-ignore nansafe row-count estimate clamp; a NaN estimate stays NaN and only affects costing
 	if est > float64(n) {
 		est = float64(n)
 	}

@@ -308,6 +308,10 @@ func (e *Engine) ExecutePlan(ctx context.Context, plan *ExecPlan, opts ExecOptio
 					select {
 					case final <- b:
 					case <-ctx.Done():
+						// The clipped batch is dropped: mark the stream so
+						// Err() surfaces the timeout instead of reporting a
+						// silently shortened result.
+						rows.interrupted.Store(true)
 						RecycleBatch(b)
 					}
 					drain()
@@ -318,6 +322,10 @@ func (e *Engine) ExecutePlan(ctx context.Context, plan *ExecPlan, opts ExecOptio
 			select {
 			case final <- b:
 			case <-ctx.Done():
+				// A produced batch is dropped here: without the mark,
+				// markTimeout would see an "uninterrupted" stream and the
+				// partial result would pass for complete.
+				rows.interrupted.Store(true)
 				RecycleBatch(b)
 				drain()
 				markTimeout()
@@ -398,6 +406,7 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *R
 			}
 			replay := make(chan Batch, len(all))
 			for _, b := range all {
+				//lint:skylint-ignore ctxcancel replay is buffered to len(all); every send completes without blocking
 				replay <- b
 			}
 			close(replay)

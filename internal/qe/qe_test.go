@@ -269,7 +269,8 @@ func TestRowsClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows.Close()
-	for range rows.C {
+	for b := range rows.C {
+		RecycleBatch(b)
 	}
 	// Err must not report the cancellation as a failure.
 	if err := rows.Err(); err != nil {
@@ -293,6 +294,7 @@ func TestASAPFirstResultBeatsBlocking(t *testing.T) {
 			if first == 0 && len(b) > 0 {
 				first = time.Since(start)
 			}
+			RecycleBatch(b)
 		}
 		if err := rows.Err(); err != nil {
 			t.Fatal(err)

@@ -207,6 +207,9 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 				select {
 				case out <- b:
 				case <-ctx.Done():
+					// The withheld batches are dropped: the consumer must
+					// learn the blocking-mode result is partial.
+					rows.interrupted.Store(true)
 					for _, rest := range blocked[i:] {
 						RecycleBatch(rest)
 					}

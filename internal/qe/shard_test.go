@@ -250,7 +250,8 @@ func TestRowsCloseRaceAcrossShardProducers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			n := 0
-			for range rows.C {
+			for b := range rows.C {
+				RecycleBatch(b)
 				if n++; n >= 2 {
 					break
 				}

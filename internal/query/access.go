@@ -1,7 +1,6 @@
 package query
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -116,10 +115,10 @@ func (r *RowReader) Reset(rec []byte) error {
 	return nil
 }
 
-// ObjID reads the record's object identifier (offset 0 in every table) as
-// the raw uint64 — not through float64, which would round IDs above 2⁵³.
+// ObjID reads the record's object identifier through the catalog's
+// sanctioned accessor (objid is the leading KindU64 field of every layout).
 func (r *RowReader) ObjID() catalog.ObjID {
-	return catalog.ObjID(binary.LittleEndian.Uint64(r.rec))
+	return catalog.RecordObjID(r.rec)
 }
 
 // Get reads one attribute of the current record.

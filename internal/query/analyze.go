@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"sdss/internal/catalog"
@@ -220,7 +221,7 @@ func analyzeCall(n *FuncCall, b binder) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		if args[2] <= 0 {
+		if math.IsNaN(args[2]) || args[2] <= 0 {
 			return nil, fmt.Errorf("query: CIRCLE radius must be positive, got %g", args[2])
 		}
 		return &SpatialPred{Kind: SpatialCircle, Args: args, Source: n}, nil
@@ -229,7 +230,7 @@ func analyzeCall(n *FuncCall, b binder) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		if args[2] >= args[3] {
+		if !(args[2] < args[3]) { // rejects NaN bounds along with inverted ones
 			return nil, fmt.Errorf("query: RECT needs decLo < decHi, got %g ≥ %g", args[2], args[3])
 		}
 		return &SpatialPred{Kind: SpatialRect, Args: args, Source: n}, nil
@@ -250,7 +251,7 @@ func analyzeCall(n *FuncCall, b binder) (Expr, error) {
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("query: LATBAND bounds must be constants")
 		}
-		if lo >= hi {
+		if !(lo < hi) { // rejects NaN bounds along with inverted ones
 			return nil, fmt.Errorf("query: LATBAND needs lo < hi, got %g ≥ %g", lo, hi)
 		}
 		return &SpatialPred{Kind: SpatialBand, Frame: frame, Args: []float64{lo, hi}, Source: n}, nil

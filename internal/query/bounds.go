@@ -26,6 +26,9 @@ func fullInterval() Interval {
 
 // EmptyReal reports whether no real (non-NaN) value lies in the interval.
 func (iv Interval) EmptyReal() bool {
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return true // a NaN endpoint admits no real value
+	}
 	if iv.Lo > iv.Hi {
 		return true
 	}
@@ -36,6 +39,16 @@ func (iv Interval) EmptyReal() bool {
 // of two constraints on the same attribute. NaN survives only if both sides
 // admit it.
 func (iv Interval) intersect(o Interval) Interval {
+	// Endpoints are never NaN (the interval builder rejects NaN literals),
+	// but one slipping through would lose every comparison below and
+	// silently corrupt the result; fall back to the clean side, which can
+	// only widen the interval (pruning stays sound).
+	if math.IsNaN(o.Lo) || math.IsNaN(o.Hi) {
+		return iv
+	}
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return o
+	}
 	out := iv
 	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
 		out.Lo, out.LoOpen = o.Lo, o.LoOpen
@@ -50,6 +63,13 @@ func (iv Interval) intersect(o Interval) Interval {
 // union widens the interval to the hull of both sides: the OR of two
 // constraints on the same attribute. NaN survives if either side admits it.
 func (iv Interval) union(o Interval) Interval {
+	// As in intersect: a NaN endpoint cannot be ordered, so widen to the
+	// full interval rather than compute a garbage hull.
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || math.IsNaN(o.Lo) || math.IsNaN(o.Hi) {
+		out := fullInterval()
+		out.AllowNaN = true
+		return out
+	}
 	out := iv
 	if o.Lo < out.Lo || (o.Lo == out.Lo && !o.LoOpen) {
 		out.Lo, out.LoOpen = o.Lo, o.LoOpen
@@ -67,6 +87,9 @@ func (iv Interval) union(o Interval) Interval {
 func (iv Interval) admits(zoneLo, zoneHi float64, hasNaN bool) bool {
 	if iv.AllowNaN && hasNaN {
 		return true
+	}
+	if math.IsNaN(zoneLo) || math.IsNaN(zoneHi) {
+		return true // corrupt zone stats prove nothing; keep the container
 	}
 	if zoneLo > zoneHi {
 		// No non-NaN values at all; only a NaN-admitting interval matches.
@@ -151,6 +174,9 @@ func (b *Bounds) AdmitZone(min, max []float64, hasNaN []bool) bool {
 func (iv Interval) fractionIn(zoneLo, zoneHi float64, hasNaN bool) float64 {
 	if !iv.admits(zoneLo, zoneHi, hasNaN) {
 		return 0
+	}
+	if math.IsNaN(zoneLo) || math.IsNaN(zoneHi) {
+		return 1 // corrupt zone stats: no basis for a selectivity estimate
 	}
 	if zoneLo > zoneHi {
 		return 1 // all-NaN container admitted via AllowNaN

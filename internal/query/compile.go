@@ -56,18 +56,28 @@ func CompileBool(e Expr, t Table) (BoolFn, error) {
 			if err != nil {
 				return nil, err
 			}
+			// These closures ARE the query language's comparison semantics:
+			// a NaN (unmeasured) attribute fails every positive comparison
+			// and passes !=, exactly what the bounds analyzer models, so the
+			// raw IEEE operators are the specification here.
 			switch n.Op {
 			case "<":
+				//lint:skylint-ignore nansafe IEEE NaN-compares-false is the query language's defined predicate semantics
 				return func(g Getter) bool { return l(g) < r(g) }, nil
 			case "<=":
+				//lint:skylint-ignore nansafe IEEE NaN-compares-false is the query language's defined predicate semantics
 				return func(g Getter) bool { return l(g) <= r(g) }, nil
 			case ">":
+				//lint:skylint-ignore nansafe IEEE NaN-compares-false is the query language's defined predicate semantics
 				return func(g Getter) bool { return l(g) > r(g) }, nil
 			case ">=":
+				//lint:skylint-ignore nansafe IEEE NaN-compares-false is the query language's defined predicate semantics
 				return func(g Getter) bool { return l(g) >= r(g) }, nil
 			case "=":
+				//lint:skylint-ignore nansafe IEEE NaN-compares-false is the query language's defined predicate semantics
 				return func(g Getter) bool { return l(g) == r(g) }, nil
 			default:
+				//lint:skylint-ignore nansafe IEEE NaN-compares-true for != mirrors the bounds analyzer's AllowNaN model
 				return func(g Getter) bool { return l(g) != r(g) }, nil
 			}
 		default:
@@ -117,6 +127,7 @@ func compileSpatial(sp *SpatialPred, t Table) (BoolFn, error) {
 		h := reg.Convexes[0].Halfspaces[0]
 		nx, ny, nz, off := h.Normal.X, h.Normal.Y, h.Normal.Z, h.Offset
 		return func(g Getter) bool {
+			//lint:skylint-ignore nansafe NaN coordinates make the dot product NaN and the test false: the record is excluded, which is the spatial predicate's contract
 			return g(cx)*nx+g(cy)*ny+g(cz)*nz >= off
 		}, nil
 	}

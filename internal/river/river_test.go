@@ -76,6 +76,7 @@ func TestExchangePartitions(t *testing.T) {
 	var wg = make(chan struct{}, 4)
 	for i, p := range parts {
 		go func(i int, p *Stream[int]) {
+			//lint:skylint-ignore ctxcancel wg is buffered to the partition count; the completion send never blocks
 			defer func() { wg <- struct{}{} }()
 			vals, err := Collect(p)
 			if err != nil {

@@ -11,9 +11,9 @@
 package sample
 
 import (
-	"encoding/binary"
 	"fmt"
 
+	"sdss/internal/catalog"
 	"sdss/internal/htm"
 	"sdss/internal/store"
 )
@@ -95,7 +95,7 @@ func (s *Sampler) Subset(src *store.Store) (*store.Store, error) {
 func (s *Sampler) subsetInto(src, dst recordStore) error {
 	var recs []store.Record
 	err := src.Scan(nil, false, func(rec []byte) error {
-		objID := binary.LittleEndian.Uint64(rec)
+		objID := uint64(catalog.RecordObjID(rec))
 		if !s.Keep(objID) {
 			return nil
 		}

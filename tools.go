@@ -1,0 +1,19 @@
+//go:build tools
+
+// Package tools is the conventional place to pin lint/build tool versions
+// by importing their main packages. This module is deliberately pure
+// stdlib — go.mod has no require block, so the archive builds in air-gapped
+// environments — which means the usual
+//
+//	import _ "honnef.co/go/tools/cmd/staticcheck"
+//
+// pinning would drag the whole tool dependency graph into go.sum for no
+// runtime benefit. The pins live in the Makefile instead
+// (STATICCHECK_VERSION / GOVULNCHECK_VERSION), and the tools run as
+// `go run tool@version`, which verifies the exact tagged release against
+// the module checksum database at fetch time. CI calls the same Makefile
+// targets, so local and CI tool versions cannot drift.
+//
+// skylint itself (cmd/skylint) needs no pinning: it is part of this module
+// and builds from the working tree.
+package tools
