@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION := v1.1.4
 
 BIN := bin
 
-.PHONY: build test race skylint skylint-test staticcheck govulncheck vet fmt-check lint check clean
+.PHONY: build test race bench-smoke skylint skylint-test staticcheck govulncheck vet fmt-check lint check clean
 
 build:
 	go build ./...
@@ -22,6 +22,13 @@ test:
 
 race:
 	go test -race ./...
+
+# The E18 scale sweep at a tiny scale (~1000 objects): proves the whole
+# bench harness — size sweep, sharded neighbor join, radius sweep, planner
+# introspection — end to end in seconds. CI runs this so a broken bench is
+# caught before anyone regenerates BENCH_*.json.
+bench-smoke:
+	go run ./cmd/skybench -run E18 -scale 3.4e-6
 
 # skylint is the project's own analyzer suite (cmd/skylint): batch
 # ownership, raw record offsets, NaN-safe comparisons, interrupted marks,

@@ -73,6 +73,46 @@ func TestV1ExplainPhysicalTree(t *testing.T) {
 	}
 }
 
+// TestV1ExplainNeighborJoin: a NEIGHBORS query explains as a neighbor-join
+// operator whose JSON carries the planner's chosen partition depth and a
+// non-trivial cardinality estimate — the knobs an operator reads to judge the
+// spatial plan.
+func TestV1ExplainNeighborJoin(t *testing.T) {
+	_, srv := newTestServer(t)
+	q := "SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 0.5) WHERE a.objid < b.objid"
+	code, body := get(t, srv, "/v1/explain?q="+url.QueryEscape(q))
+	if code != 200 {
+		t.Fatalf("explain = %d: %s", code, body)
+	}
+	var resp explainResp
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	phys := resp.Physical
+	if phys == nil || phys.Op != "neighbor-join" {
+		t.Fatalf("physical root = %+v", phys)
+	}
+	if phys.PartitionDepth <= 0 {
+		t.Errorf("neighbor-join explain has no partition_depth: %+v", phys)
+	}
+	if phys.BuildSide == "" {
+		t.Errorf("neighbor-join explain has no build side: %+v", phys)
+	}
+	if phys.EstRows <= 1 {
+		t.Errorf("neighbor-join est_rows = %g, want a real pair-density estimate", phys.EstRows)
+	}
+	// The raw JSON must spell the field partition_depth for API clients.
+	var raw struct {
+		Physical map[string]json.RawMessage `json:"physical"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.Physical["partition_depth"]; !ok {
+		t.Error("explain JSON lacks a partition_depth key on the join operator")
+	}
+}
+
 // TestV1ExplainAnalyze: ?analyze=1 executes and reports actual rows per
 // operator alongside the estimates.
 func TestV1ExplainAnalyze(t *testing.T) {

@@ -182,6 +182,7 @@ func All() []Experiment {
 		{"E15", "sharded scatter-gather", ShardScatterGather},
 		{"E16", "zone-map pruning + selective decode", ZoneMapPruning},
 		{"E17", "photo⋈spec join execution", PhotoSpecJoin},
+		{"E18", "scale sweep", ScaleSweep},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

@@ -11,7 +11,9 @@ package expt
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"time"
 
 	"sdss/internal/catalog"
 	"sdss/internal/core"
@@ -83,6 +85,28 @@ var (
 	harnessMu    sync.Mutex
 	harnessCache = map[Config]*Harness{}
 )
+
+// BenchBestOf is the repetition count of every timed measurement: each
+// query runs BenchBestOf+1 times, the first warms caches and pools, and the
+// best of the rest is reported. The JSON records carry the count so sub-ms
+// entries are read as best-of-N, not single-shot noise.
+const BenchBestOf = 4
+
+// bestOf times one measured function BenchBestOf+1 times (first run warms)
+// and returns the best post-warm duration.
+func bestOf(run func() error) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i <= BenchBestOf; i++ {
+		start := time.Now()
+		if err := run(); err != nil {
+			return 0, err
+		}
+		if t := time.Since(start); i > 0 && t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
 
 // HarnessChunks is the chunk count the harness survey is generated with.
 // Chunked generation seeds per (chunk, nChunks), so anything regenerating

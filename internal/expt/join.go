@@ -160,24 +160,20 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 
 	for _, q := range joinGrid() {
 		run := func(a *core.Archive) (time.Duration, int, error) {
-			best := time.Duration(math.MaxInt64)
 			var rows int
-			for i := 0; i < 4; i++ { // first iteration warms
-				start := time.Now()
+			best, err := bestOf(func() error {
 				rs, err := a.Query(ctx, q.Q)
 				if err != nil {
-					return 0, 0, err
+					return err
 				}
 				res, err := rs.Collect()
 				if err != nil {
-					return 0, 0, err
-				}
-				if t := time.Since(start); i > 0 && t < best {
-					best = t
+					return err
 				}
 				rows = len(res)
-			}
-			return best, rows, nil
+				return nil
+			})
+			return best, rows, err
 		}
 		nT, nRows, err := run(h.Archive)
 		if err != nil {
@@ -252,8 +248,9 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 			Objects int               `json:"objects"`
 			Spectra int               `json:"spectra"`
 			Shards  int               `json:"shards"`
+			BestOf  int               `json:"best_of"`
 			Grid    []JoinBenchResult `json:"grid"`
-		}{cfg.Objects(), len(h.Spec), nShards, grid}
+		}{cfg.Objects(), len(h.Spec), nShards, BenchBestOf, grid}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err
@@ -270,25 +267,23 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 // query: select the bright photo objects, select all spectra, and match
 // them by objid in application code.
 func clientMergeBaseline(ctx context.Context, a *core.Archive) (time.Duration, int, error) {
-	best := time.Duration(math.MaxInt64)
 	var matched int
-	for i := 0; i < 4; i++ {
-		start := time.Now()
+	best, err := bestOf(func() error {
 		photoRows, err := a.Query(ctx, "SELECT objid FROM photoobj WHERE r < 18")
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		photoRes, err := photoRows.Collect()
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		specRows, err := a.Query(ctx, "SELECT objid, redshift FROM specobj")
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		specRes, err := specRows.Collect()
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
 		bright := make(map[catalog.ObjID]bool, len(photoRes))
 		for _, r := range photoRes {
@@ -300,9 +295,7 @@ func clientMergeBaseline(ctx context.Context, a *core.Archive) (time.Duration, i
 				matched++
 			}
 		}
-		if t := time.Since(start); i > 0 && t < best {
-			best = t
-		}
-	}
-	return best, matched, nil
+		return nil
+	})
+	return best, matched, err
 }

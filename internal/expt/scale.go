@@ -1,0 +1,204 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"sdss/internal/core"
+	"sdss/internal/query"
+	"sdss/internal/stats"
+)
+
+// ScaleSizeResult is one row of BENCH_scale.json's size sweep: scan-machine
+// throughput and the flagship neighbor join, single-shard versus sharded,
+// at one dataset size.
+type ScaleSizeResult struct {
+	Objects int `json:"objects"`
+	// ScanRowsPerSecPerCore is full-scan throughput normalized by core
+	// count — the number that must stay flat as the dataset grows.
+	ScanRowsPerSecPerCore float64 `json:"scan_rows_per_sec_per_core"`
+	NeighborSingle        string  `json:"neighbor_single"`
+	NeighborSharded       string  `json:"neighbor_sharded"`
+	NeighborSpeedup       float64 `json:"neighbor_speedup"`
+	Pairs                 int     `json:"pairs"`
+}
+
+// ScaleRadiusResult is one row of the radius sweep at the top size: the
+// neighbor join against a widening pair radius, with the planner's chosen
+// partition depth and cardinality estimate alongside the actual pairs.
+type ScaleRadiusResult struct {
+	RadiusArcmin   float64 `json:"radius_arcmin"`
+	Time           string  `json:"time"`
+	Pairs          int     `json:"pairs"`
+	PartitionDepth int     `json:"partition_depth"`
+	EstRows        float64 `json:"est_rows"`
+}
+
+// scaleNeighborQuery is the flagship spatial self-join the sweep times.
+func scaleNeighborQuery(radiusArcmin float64) string {
+	return fmt.Sprintf("SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, %g) WHERE a.objid < b.objid", radiusArcmin)
+}
+
+// ScaleSweep is experiment E18: the scale regression pin. The configured
+// size is swept from 1/32 down to full, measuring scan rows/sec/core (flat
+// ⇒ the scan machine scales) and the 0.5′ neighbor self-join on 1 and N
+// shards; at the top size the join is additionally swept across pair radii.
+// When SKYBENCH_SCALE_JSON names a file, the rows are written there as
+// BENCH_scale.json.
+func ScaleSweep(cfg Config, w io.Writer) error {
+	nShards := cfg.shards()
+	cores := runtime.GOMAXPROCS(0)
+	top := cfg.Objects()
+	section(w, "E18", fmt.Sprintf("scale sweep to %d objects (%d cores, %d shards)", top, cores, nShards))
+
+	ctx := context.Background()
+	sizes := []int{top / 32, top / 8, top}
+	tbl := stats.NewTable("Objects", "Scan rows/s/core", "Neighbors 1 shard", fmt.Sprintf("%d shards", nShards), "Speedup", "Pairs")
+	var sizeRows []ScaleSizeResult
+	var lastHarness *Harness
+	for _, n := range sizes {
+		sub := cfg
+		sub.Scale = float64(n) / SurveyObjects
+		h, err := NewHarness(sub)
+		if err != nil {
+			return err
+		}
+		lastHarness = h
+		nObj := len(h.Photo)
+
+		// Scan machine throughput: a predicate no zone can prune forces a
+		// full scan of every tag record.
+		scanT, err := bestOf(func() error {
+			rs, err := h.Archive.Query(ctx, "SELECT COUNT(*) FROM tag WHERE r < 99")
+			if err != nil {
+				return err
+			}
+			_, err = rs.Collect()
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("expt: scan at %d objects: %w", nObj, err)
+		}
+		rowsPerSecPerCore := float64(nObj) / scanT.Seconds() / float64(cores)
+
+		wide, err := core.Create("", core.Options{Shards: nShards})
+		if err != nil {
+			return err
+		}
+		if _, err := wide.LoadObjects(h.Photo, h.Spec); err != nil {
+			return err
+		}
+		wide.Sort()
+
+		q := scaleNeighborQuery(0.5)
+		var pairs int
+		runJoin := func(a *core.Archive) (time.Duration, error) {
+			return bestOf(func() error {
+				rs, err := a.Query(ctx, q)
+				if err != nil {
+					return err
+				}
+				res, err := rs.Collect()
+				if err != nil {
+					return err
+				}
+				pairs = len(res)
+				return nil
+			})
+		}
+		nT, err := runJoin(h.Archive)
+		if err != nil {
+			return fmt.Errorf("expt: neighbors at %d objects on 1 shard: %w", nObj, err)
+		}
+		singlePairs := pairs
+		wT, err := runJoin(wide)
+		if err != nil {
+			return fmt.Errorf("expt: neighbors at %d objects on %d shards: %w", nObj, nShards, err)
+		}
+		if pairs != singlePairs {
+			return fmt.Errorf("expt: neighbors at %d objects diverged: %d pairs on 1 shard, %d on %d", nObj, singlePairs, pairs, nShards)
+		}
+		speedup := float64(nT) / float64(wT)
+		tbl.AddRow(nObj, fmt.Sprintf("%.3g", rowsPerSecPerCore), nT.Round(time.Microsecond),
+			wT.Round(time.Microsecond), fmt.Sprintf("%.2f×", speedup), pairs)
+		sizeRows = append(sizeRows, ScaleSizeResult{
+			Objects:               nObj,
+			ScanRowsPerSecPerCore: math.Round(rowsPerSecPerCore),
+			NeighborSingle:        nT.Round(time.Microsecond).String(),
+			NeighborSharded:       wT.Round(time.Microsecond).String(),
+			NeighborSpeedup:       math.Round(speedup*100) / 100,
+			Pairs:                 pairs,
+		})
+	}
+	fmt.Fprint(w, tbl)
+
+	// Radius sweep at the top size: join time versus pair radius, with the
+	// planner's partition depth and estimate against the actual pairs.
+	rtbl := stats.NewTable("Radius", "Time", "Pairs", "Depth", "Est rows")
+	var radiusRows []ScaleRadiusResult
+	for _, r := range []float64{0.25, 0.5, 1, 2} {
+		q := scaleNeighborQuery(r)
+		var pairs int
+		t, err := bestOf(func() error {
+			rs, err := lastHarness.Archive.Query(ctx, q)
+			if err != nil {
+				return err
+			}
+			res, err := rs.Collect()
+			if err != nil {
+				return err
+			}
+			pairs = len(res)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("expt: neighbors at %g': %w", r, err)
+		}
+		prep, err := query.PrepareString(q)
+		if err != nil {
+			return err
+		}
+		plan, err := lastHarness.Archive.Engine().Plan(prep)
+		if err != nil {
+			return err
+		}
+		jn := joinNode(plan.Describe())
+		row := ScaleRadiusResult{
+			RadiusArcmin: r,
+			Time:         t.Round(time.Microsecond).String(),
+			Pairs:        pairs,
+		}
+		if jn != nil {
+			row.PartitionDepth = jn.PartitionDepth
+			row.EstRows = math.Round(jn.EstRows)
+		}
+		rtbl.AddRow(fmt.Sprintf("%g'", r), t.Round(time.Microsecond), pairs, row.PartitionDepth, row.EstRows)
+		radiusRows = append(radiusRows, row)
+	}
+	fmt.Fprint(w, rtbl)
+
+	if path := os.Getenv("SKYBENCH_SCALE_JSON"); path != "" {
+		doc := struct {
+			Cores       int                 `json:"cores"`
+			Shards      int                 `json:"shards"`
+			BestOf      int                 `json:"best_of"`
+			Sizes       []ScaleSizeResult   `json:"sizes"`
+			RadiusSweep []ScaleRadiusResult `json:"radius_sweep"`
+		}{cores, nShards, BenchBestOf, sizeRows, radiusRows}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -77,28 +77,24 @@ func ShardScatterGather(cfg Config, w io.Writer) error {
 	var jsonRows []ShardBenchResult
 	for _, q := range shardGridQueries(center.RA, center.Dec) {
 		run := func(a *core.Archive) (time.Duration, int, float64, error) {
-			best := time.Duration(math.MaxInt64)
 			var rows int
 			var v0 float64
-			for i := 0; i < 4; i++ { // first iteration warms
-				start := time.Now()
+			best, err := bestOf(func() error {
 				rs, err := a.Query(ctx, q.Q)
 				if err != nil {
-					return 0, 0, 0, err
+					return err
 				}
 				res, err := rs.Collect()
 				if err != nil {
-					return 0, 0, 0, err
-				}
-				if t := time.Since(start); i > 0 && t < best {
-					best = t
+					return err
 				}
 				rows = len(res)
 				if rows > 0 && len(res[0].Values) > 0 {
 					v0 = res[0].Values[0]
 				}
-			}
-			return best, rows, v0, nil
+				return nil
+			})
+			return best, rows, v0, err
 		}
 		nT, nRows, nV, err := run(narrow)
 		if err != nil {
@@ -132,8 +128,9 @@ func ShardScatterGather(cfg Config, w io.Writer) error {
 		doc := struct {
 			Objects int                `json:"objects"`
 			Shards  int                `json:"shards"`
+			BestOf  int                `json:"best_of"`
 			Grid    []ShardBenchResult `json:"grid"`
-		}{cfg.Objects(), n, jsonRows}
+		}{cfg.Objects(), n, BenchBestOf, jsonRows}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

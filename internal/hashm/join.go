@@ -1,10 +1,19 @@
-// Generic spatial join on the hash machine's bucket scheme. The query
+// Generic spatial join on the hash machine's partition scheme. The query
 // engine's NEIGHBORS operator feeds arbitrary result rows through this
 // bridge: each row becomes an Item (identity + unit-sphere position + the
-// caller's row index), the right side is hashed into HTM-trixel buckets
-// with exact margin replication, and the left side probes its home bucket —
-// the same two-phase shape Hash/Pairs run over tag objects, generalized so
-// any pair of row streams can neighbor-join.
+// caller's row index), the build side is hashed into coarse HTM-trixel
+// partitions with exact margin replication at partition boundaries, and each
+// probe row searches only its home partition — "the spatial analogue of a
+// relational hash-join", exactly as the paper frames it.
+//
+// Within a partition, candidates are held sorted by their z coordinate
+// (sin declination): a probe binary-searches the declination band
+// [dec-r, dec+r] and distance-tests only the handful of rows inside it —
+// the Gray/Szalay zones algorithm, applied per partition. That replaces the
+// old flat single-depth bucket grid, whose per-item circle coverage at the
+// radius-matched depth was the NEIGHBORS hotspot: partitions sit at the
+// store's container depth, so the boundary margin is a tiny fraction of the
+// items and everything else is one trixel lookup plus a band scan.
 package hashm
 
 import (
@@ -22,10 +31,27 @@ import (
 
 // Item is one row entering a spatial join: its object identity, position on
 // the unit sphere, and the caller's row index (carried back in IndexPair).
+// Key, when nonzero, is the item's fine HTM trixel (any depth at or below
+// the partition depth's ancestor chain, e.g. the store's embedded depth-20
+// record key): the index then derives the home partition with a bit shift
+// instead of a root-to-leaf sphere walk — the dominant per-item cost at
+// container-depth partitions. A zero Key falls back to the walk.
 type Item struct {
 	ID  catalog.ObjID
+	Key htm.ID
 	Pos sphere.Vec3
 	Row int32
+}
+
+// homeTrixel returns the partition trixel owning an item: derived from the
+// embedded key when present, located on the sphere otherwise.
+func homeTrixel(key htm.ID, pos sphere.Vec3, depth int) (htm.ID, error) {
+	if key != 0 {
+		if home := key.AtDepth(depth); home != htm.Invalid {
+			return home, nil
+		}
+	}
+	return htm.Lookup(pos, depth)
 }
 
 // IndexPair is one emitted join pair: row indexes into the caller's left
@@ -35,168 +61,306 @@ type IndexPair struct {
 	Dist        float64
 }
 
-// JoinDepth picks a bucket depth for a pair radius: the deepest depth whose
-// trixels still comfortably exceed the radius (so margin replication stays
-// cheap), clamped to [5, 12]. Depth-d trixels are roughly 90°/2^d across.
-func JoinDepth(radius float64) int {
-	depth := 5
-	for depth < 12 {
-		trixel := (math.Pi / 2) / float64(uint(1)<<uint(depth+1))
-		if trixel < 4*radius {
-			break
-		}
-		depth++
+// PartitionDepth picks the spatial-join partition depth for a pair radius:
+// the store's container depth — so partitions align with the clustering
+// units the planner's coverage machinery already reasons about — coarsened
+// while partition trixels do not comfortably exceed the radius (margin
+// replication must stay a boundary effect, not the common case).
+func PartitionDepth(containerDepth int, radius float64) int {
+	depth := containerDepth
+	for depth > 0 && htm.TrixelAngle(depth) < 4*radius {
+		depth--
 	}
 	return depth
 }
 
-// bucketItems hashes items into trixel buckets at depth with exact margin
-// replication: every item lands in each bucket whose trixel lies within
-// radius — so probing any single bucket sees every item within radius of
-// any point inside that bucket's trixel. Items within one bucket are
-// deduplicated.
-func bucketItems(items []Item, depth int, radius float64) (map[htm.ID][]Item, error) {
-	buckets := make(map[htm.ID][]Item)
-	type bucketEdges struct{ n0, n1, n2 sphere.Vec3 }
-	edges := make(map[htm.ID]bucketEdges)
-	sinR := math.Sin(radius)
-	for i := range items {
-		it := items[i]
-		home, err := htm.Lookup(it.Pos, depth)
-		if err != nil {
-			return nil, fmt.Errorf("hashm: item %d: %w", it.ID, err)
-		}
-		buckets[home] = append(buckets[home], it)
-		eg, ok := edges[home]
-		if !ok {
-			tri, err := htm.Vertices(home)
-			if err != nil {
-				return nil, err
-			}
-			eg = bucketEdges{
-				n0: tri.V[0].Cross(tri.V[1]).Normalize(),
-				n1: tri.V[1].Cross(tri.V[2]).Normalize(),
-				n2: tri.V[2].Cross(tri.V[0]).Normalize(),
-			}
-			edges[home] = eg
-		}
-		// Interior items (further than radius from every bucket edge)
-		// cannot spill into a neighbor: skip the margin coverage.
-		if it.Pos.Dot(eg.n0) >= sinR && it.Pos.Dot(eg.n1) >= sinR && it.Pos.Dot(eg.n2) >= sinR {
-			continue
-		}
-		cov, err := region.Cover(region.Circle(it.Pos, radius), depth)
-		if err != nil {
-			return nil, err
-		}
-		seen := map[htm.ID]struct{}{home: {}}
-		addTrixels := func(trixels []htm.ID) {
-			for _, id := range trixels {
-				lo, hi := id.RangeAtDepth(depth)
-				if lo == htm.Invalid {
-					continue
-				}
-				for b := lo; b <= hi; b++ {
-					if _, dup := seen[b]; dup {
-						continue
-					}
-					seen[b] = struct{}{}
-					buckets[b] = append(buckets[b], it)
-				}
-			}
-		}
-		addTrixels(cov.Full)
-		addTrixels(cov.Partial)
-	}
-	return buckets, nil
+// partition is one trixel's slice of the build side, sorted by Pos.Z after
+// Finish so probes can binary-search the declination band.
+type partition struct {
+	items []Item
 }
 
-// JoinItems emits every (left, right) pair within radius radians, except
-// identity pairs (same ObjID on both sides, which a same-table join would
-// otherwise always produce at distance zero). The right side is bucketed
-// with margin replication; left items probe only their home bucket, so each
-// pair is discovered exactly once. Buckets are probed in parallel by
-// workers goroutines (0 = GOMAXPROCS); pairs return sorted by (left row,
-// right row), deterministic regardless of worker count.
-func JoinItems(left, right []Item, radius float64, workers int) ([]IndexPair, error) {
-	// The interior-item shortcut in bucketItems compares edge distances
-	// against sin(radius), which is only conservative up to π/2; the
-	// parser caps NEIGHBORS at 90°, this guards direct callers.
+// partEdges caches a partition trixel's edge-plane normals for the
+// interior-item shortcut.
+type partEdges struct{ n0, n1, n2 sphere.Vec3 }
+
+// SpatialIndex is the build side of the partitioned neighbor join: items
+// hashed into coarse trixel partitions with exact margin replication. Build
+// with Insert (single goroutine per index; build shards concurrently into
+// separate indexes and MergeOffset them), then Finish, then Probe freely
+// from any number of goroutines.
+type SpatialIndex struct {
+	depth    int
+	radius   float64
+	sinR     float64
+	cosMax   float64
+	parts    map[htm.ID]*partition
+	edges    map[htm.ID]partEdges
+	finished bool
+}
+
+// NewSpatialIndex returns an empty index over depth-d partitions. The
+// interior-item shortcut compares edge distances against sin(radius), which
+// is only conservative up to π/2; the parser caps NEIGHBORS at 90°, this
+// guards direct callers.
+func NewSpatialIndex(radius float64, depth int) (*SpatialIndex, error) {
 	if radius <= 0 || radius > math.Pi/2 {
 		return nil, fmt.Errorf("hashm: join radius must be in (0, π/2] radians, got %g", radius)
 	}
-	if len(left) == 0 || len(right) == 0 {
-		return nil, nil
+	if depth < 0 || depth > htm.MaxDepth {
+		return nil, fmt.Errorf("hashm: partition depth %d outside [0, %d]", depth, htm.MaxDepth)
 	}
-	depth := JoinDepth(radius)
-	buckets, err := bucketItems(right, depth, radius)
+	return &SpatialIndex{
+		depth:  depth,
+		radius: radius,
+		sinR:   math.Sin(radius),
+		cosMax: math.Cos(radius),
+		parts:  make(map[htm.ID]*partition),
+		edges:  make(map[htm.ID]partEdges),
+	}, nil
+}
+
+// Depth returns the partition depth.
+func (x *SpatialIndex) Depth() int { return x.depth }
+
+// Partitions returns the number of occupied partitions.
+func (x *SpatialIndex) Partitions() int { return len(x.parts) }
+
+// add appends an item to one partition.
+func (x *SpatialIndex) add(id htm.ID, it Item) {
+	p := x.parts[id]
+	if p == nil {
+		p = &partition{}
+		x.parts[id] = p
+	}
+	p.items = append(p.items, it)
+}
+
+// Insert hashes one item into its home partition and replicates it into
+// every other partition whose trixel lies within radius — so probing any
+// single partition sees every item within radius of any point inside that
+// partition's trixel. Interior items (further than radius from every
+// partition edge) skip the margin coverage entirely; at container-depth
+// partitions that is the overwhelming majority.
+func (x *SpatialIndex) Insert(it Item) error {
+	home, err := homeTrixel(it.Key, it.Pos, x.depth)
 	if err != nil {
-		return nil, err
+		return fmt.Errorf("hashm: item %d: %w", it.ID, err)
 	}
-
-	// Group left probes by home bucket so each bucket's entries are walked
-	// once per probe group, in parallel.
-	probes := make(map[htm.ID][]Item)
-	for i := range left {
-		home, err := htm.Lookup(left[i].Pos, depth)
+	x.add(home, it)
+	eg, ok := x.edges[home]
+	if !ok {
+		tri, err := htm.Vertices(home)
 		if err != nil {
-			return nil, fmt.Errorf("hashm: item %d: %w", left[i].ID, err)
+			return err
 		}
-		probes[home] = append(probes[home], left[i])
+		eg = partEdges{
+			n0: tri.V[0].Cross(tri.V[1]).Normalize(),
+			n1: tri.V[1].Cross(tri.V[2]).Normalize(),
+			n2: tri.V[2].Cross(tri.V[0]).Normalize(),
+		}
+		x.edges[home] = eg
 	}
-	ids := make([]htm.ID, 0, len(probes))
-	for id := range probes {
-		ids = append(ids, id)
+	if it.Pos.Dot(eg.n0) >= x.sinR && it.Pos.Dot(eg.n1) >= x.sinR && it.Pos.Dot(eg.n2) >= x.sinR {
+		return nil
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cov, err := region.Cover(region.Circle(it.Pos, x.radius), x.depth)
+	if err != nil {
+		return err
+	}
+	seen := map[htm.ID]struct{}{home: {}}
+	addTrixels := func(trixels []htm.ID) {
+		for _, id := range trixels {
+			lo, hi := id.RangeAtDepth(x.depth)
+			if lo == htm.Invalid {
+				continue
+			}
+			for b := lo; b <= hi; b++ {
+				if _, dup := seen[b]; dup {
+					continue
+				}
+				seen[b] = struct{}{}
+				x.add(b, it)
+			}
+		}
+	}
+	addTrixels(cov.Full)
+	addTrixels(cov.Partial)
+	return nil
+}
 
+// MergeOffset folds another index (same radius and depth) into this one,
+// shifting every merged item's Row by rowOffset — the merge step after
+// per-shard builders each indexed their own stream against a local row
+// slice. Call in shard order for deterministic partition contents.
+func (x *SpatialIndex) MergeOffset(other *SpatialIndex, rowOffset int32) {
+	for id, p := range other.parts {
+		dst := x.parts[id]
+		if dst == nil {
+			dst = &partition{items: make([]Item, 0, len(p.items))}
+			x.parts[id] = dst
+		}
+		for _, it := range p.items {
+			it.Row += rowOffset
+			dst.items = append(dst.items, it)
+		}
+	}
+}
+
+// Finish sorts every partition by z (sin declination), ties broken by row
+// index so the index is deterministic regardless of build concurrency.
+// Partitions sort in parallel across workers goroutines (0 = GOMAXPROCS).
+func (x *SpatialIndex) Finish(workers int) {
+	if x.finished {
+		return
+	}
+	x.finished = true
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	work := make(chan htm.ID, len(ids))
-	for _, id := range ids {
-		work <- id
+	work := make(chan *partition, len(x.parts))
+	for _, p := range x.parts {
+		work <- p
 	}
 	close(work)
-
-	cosMax := math.Cos(radius)
-	var mu sync.Mutex
-	var out []IndexPair
+	if workers > len(x.parts) {
+		workers = len(x.parts)
+	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var local []IndexPair
-			for id := range work {
-				cands := buckets[id]
-				if len(cands) == 0 {
-					continue
-				}
-				for _, l := range probes[id] {
-					for _, r := range cands {
-						if l.ID == r.ID {
-							continue // identity pair
-						}
-						if sphere.CosDist(l.Pos, r.Pos) < cosMax {
-							continue
-						}
-						local = append(local, IndexPair{
-							Left:  l.Row,
-							Right: r.Row,
-							Dist:  sphere.Dist(l.Pos, r.Pos),
-						})
+			for p := range work {
+				items := p.items
+				sort.Slice(items, func(i, j int) bool {
+					if items[i].Pos.Z != items[j].Pos.Z {
+						return items[i].Pos.Z < items[j].Pos.Z
 					}
-				}
-			}
-			if len(local) > 0 {
-				mu.Lock()
-				out = append(out, local...)
-				mu.Unlock()
+					return items[i].Row < items[j].Row
+				})
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// zBand returns the [zlo, zhi] range of z = sin(dec) that any point within
+// radius of pos can occupy: the declination band of the zones algorithm.
+// Poles and RA wraparound need no special casing — z is monotone in
+// declination and independent of RA.
+func (x *SpatialIndex) zBand(z float64) (zlo, zhi float64) {
+	if z > 1 {
+		z = 1
+	} else if z < -1 {
+		z = -1
+	}
+	dec := math.Asin(z)
+	lo, hi := dec-x.radius, dec+x.radius
+	if lo < -math.Pi/2 {
+		lo = -math.Pi / 2
+	}
+	if hi > math.Pi/2 {
+		hi = math.Pi / 2
+	}
+	return math.Sin(lo), math.Sin(hi)
+}
+
+// Probe emits every indexed item within radius of the probe item, identity
+// pairs (it.ID == probe.ID) excluded, by scanning the home partition's
+// declination band (probe.Row is not used). Margin replication on the build
+// side guarantees each qualifying item appears in the probe's home
+// partition exactly once. emit returning false stops the probe; Probe then
+// reports false. Safe for concurrent use after Finish.
+func (x *SpatialIndex) Probe(probe Item, emit func(it Item, dist float64) bool) (bool, error) {
+	home, err := homeTrixel(probe.Key, probe.Pos, x.depth)
+	if err != nil {
+		return true, fmt.Errorf("hashm: probe %d: %w", probe.ID, err)
+	}
+	p := x.parts[home]
+	if p == nil {
+		return true, nil
+	}
+	zlo, zhi := x.zBand(probe.Pos.Z)
+	items := p.items
+	i := sort.Search(len(items), func(k int) bool { return items[k].Pos.Z >= zlo })
+	for ; i < len(items) && items[i].Pos.Z <= zhi; i++ {
+		it := items[i]
+		if it.ID == probe.ID {
+			continue // identity pair
+		}
+		if sphere.CosDist(probe.Pos, it.Pos) < x.cosMax {
+			continue
+		}
+		if !emit(it, sphere.Dist(probe.Pos, it.Pos)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// JoinItems emits every (left, right) pair within radius radians, except
+// identity pairs (same ObjID on both sides, which a same-table join would
+// otherwise always produce at distance zero). The right side builds a
+// partitioned index with margin replication; left items probe only their
+// home partition, so each pair is discovered exactly once. Probes run in
+// parallel across workers goroutines (0 = GOMAXPROCS); pairs return sorted
+// by (left row, right row), deterministic regardless of worker count.
+func JoinItems(left, right []Item, radius float64, workers int) ([]IndexPair, error) {
+	idx, err := NewSpatialIndex(radius, PartitionDepth(5, radius))
+	if err != nil {
+		return nil, err
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	for i := range right {
+		if err := idx.Insert(right[i]); err != nil {
+			return nil, err
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx.Finish(workers)
+
+	chunk := (len(left) + workers - 1) / workers
+	outs := make([][]IndexPair, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo >= len(left) {
+			break
+		}
+		if hi > len(left) {
+			hi = len(left)
+		}
+		wg.Add(1)
+		go func(w int, probes []Item) {
+			defer wg.Done()
+			var local []IndexPair
+			for _, l := range probes {
+				_, err := idx.Probe(l, func(r Item, dist float64) bool {
+					local = append(local, IndexPair{Left: l.Row, Right: r.Row, Dist: dist})
+					return true
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			outs[w] = local
+		}(w, left[lo:hi])
+	}
+	wg.Wait()
+	var out []IndexPair
+	for w := range outs {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, outs[w]...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Left != out[j].Left {
 			return out[i].Left < out[j].Left

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sdss/internal/catalog"
+	"sdss/internal/htm"
 	"sdss/internal/sphere"
 )
 
@@ -102,18 +103,135 @@ func TestJoinItemsDeterministic(t *testing.T) {
 	}
 }
 
-// TestJoinDepthScalesWithRadius: tighter radii pick deeper buckets, and the
-// depth stays within HTM limits.
-func TestJoinDepthScalesWithRadius(t *testing.T) {
-	wide := JoinDepth(1 * sphere.Arcmin * 60) // 1 degree
-	tight := JoinDepth(10 * sphere.Arcsec)
-	if tight <= wide {
-		t.Errorf("JoinDepth(10\") = %d not deeper than JoinDepth(1°) = %d", tight, wide)
+// TestPartitionDepthCoarsensWithRadius: small radii keep the container
+// depth (partitions stay shard-aligned), huge radii coarsen until margin
+// replication is a boundary effect again, and the result never leaves
+// [0, containerDepth].
+func TestPartitionDepthCoarsensWithRadius(t *testing.T) {
+	if d := PartitionDepth(5, 0.5*sphere.Arcmin); d != 5 {
+		t.Errorf("PartitionDepth(5, 0.5') = %d, want 5 (container-aligned)", d)
 	}
-	for _, r := range []float64{1e-8, 1e-4, 0.01, 1} {
-		d := JoinDepth(r)
-		if d < 5 || d > 12 {
-			t.Errorf("JoinDepth(%g) = %d out of [5, 12]", r, d)
+	wide := PartitionDepth(5, 10*sphere.Deg)
+	if wide >= 5 {
+		t.Errorf("PartitionDepth(5, 10°) = %d, want coarser than 5", wide)
+	}
+	for _, r := range []float64{1e-8, 1e-4, 0.01, 1, math.Pi / 2} {
+		d := PartitionDepth(5, r)
+		if d < 0 || d > 5 {
+			t.Errorf("PartitionDepth(5, %g) = %d out of [0, 5]", r, d)
 		}
+		if htm.TrixelAngle(d) < 4*r && d > 0 {
+			t.Errorf("PartitionDepth(5, %g) = %d: trixel %g not ≥ 4r", r, d, htm.TrixelAngle(d))
+		}
+	}
+}
+
+// TestSpatialIndexMergeOffsets: per-shard builders index against local row
+// slices; MergeOffset must rebase rows so a merged index probes exactly
+// like one built in a single pass.
+func TestSpatialIndexMergeOffsets(t *testing.T) {
+	radius := 2 * sphere.Arcmin
+	all := randomItems(600, 5, 0)
+	one, err := NewSpatialIndex(radius, PartitionDepth(5, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range all {
+		if err := one.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one.Finish(4)
+
+	// Split into two shards with shard-local rows, then merge.
+	merged, err := NewSpatialIndex(radius, PartitionDepth(5, radius))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(all) / 2
+	for s, part := range [][]Item{all[:half], all[half:]} {
+		sub, err := NewSpatialIndex(radius, PartitionDepth(5, radius))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, it := range part {
+			it.Row = int32(i) // shard-local row index
+			if err := sub.Insert(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged.MergeOffset(sub, int32(s*half))
+	}
+	merged.Finish(4)
+
+	probes := randomItems(200, 6, 100000)
+	for _, p := range probes {
+		collect := func(x *SpatialIndex) map[int32]bool {
+			got := map[int32]bool{}
+			ok, err := x.Probe(p, func(it Item, _ float64) bool {
+				if got[it.Row] {
+					t.Fatalf("row %d emitted twice", it.Row)
+				}
+				got[it.Row] = true
+				return true
+			})
+			if err != nil || !ok {
+				t.Fatalf("probe: ok=%v err=%v", ok, err)
+			}
+			return got
+		}
+		a, b := collect(one), collect(merged)
+		if len(a) != len(b) {
+			t.Fatalf("single-pass index found %d rows, merged %d", len(a), len(b))
+		}
+		for r := range a {
+			if !b[r] {
+				t.Fatalf("merged index missing row %d", r)
+			}
+		}
+	}
+}
+
+// TestSpatialIndexPolesAndWraparound: the z-band probe must be exact at the
+// celestial poles and across the RA 0/360 seam, where naive grid schemes
+// break.
+func TestSpatialIndexPolesAndWraparound(t *testing.T) {
+	radius := 5 * sphere.Arcmin
+	items := []Item{
+		{ID: 1, Pos: sphere.FromRADec(10, 89.97), Row: 0},
+		{ID: 2, Pos: sphere.FromRADec(190, 89.98), Row: 1},  // across the pole from item 1
+		{ID: 3, Pos: sphere.FromRADec(359.99, 0.0), Row: 2}, // RA seam, east side
+		{ID: 4, Pos: sphere.FromRADec(0.01, 0.0), Row: 3},   // RA seam, west side
+		{ID: 5, Pos: sphere.FromRADec(359.99, -89.99), Row: 4},
+		{ID: 6, Pos: sphere.FromRADec(120, 45), Row: 5}, // far from everything
+	}
+	left := make([]Item, len(items))
+	copy(left, items)
+	for i := range left {
+		left[i].ID += 100 // distinct identities so no pair is identity-suppressed
+	}
+	got, err := JoinItems(left, items, radius, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ l, r int32 }
+	gotSet := map[pair]bool{}
+	for _, p := range got {
+		gotSet[pair{p.Left, p.Right}] = true
+	}
+	cosMax := math.Cos(radius)
+	for i := range left {
+		for j := range items {
+			want := sphere.CosDist(left[i].Pos, items[j].Pos) >= cosMax
+			if gotSet[pair{left[i].Row, items[j].Row}] != want {
+				t.Errorf("pair (%d,%d): got %v, want %v", i, j, !want, want)
+			}
+		}
+	}
+	if !gotSet[pair{0, 1}] {
+		t.Error("trans-polar pair (0,1) missed")
+	}
+	if !gotSet[pair{2, 3}] {
+		t.Error("RA-wraparound pair (2,3) missed")
 	}
 }

@@ -349,6 +349,20 @@ func NumTrixels(depth int) uint64 {
 	return 8 << (2 * uint(depth))
 }
 
+// TrixelAngle returns the approximate angular side of a depth-d trixel in
+// radians: the octahedron face edges span 90° and halve with every
+// subdivision. Consumers sizing spatial partitions or occupancy statistics
+// against a pair radius compare against this scale.
+func TrixelAngle(depth int) float64 {
+	return (math.Pi / 2) / float64(uint64(1)<<uint(depth))
+}
+
+// TrixelArea returns the mean solid angle of one depth-d trixel in
+// steradians: the sphere's 4π split over NumTrixels.
+func TrixelArea(depth int) float64 {
+	return 4 * math.Pi / float64(NumTrixels(depth))
+}
+
 // FirstAtDepth and LastAtDepth bound the contiguous ID space of a depth.
 func FirstAtDepth(depth int) ID { return ID(8) << (2 * uint(depth)) }
 

@@ -7,26 +7,39 @@
 //     general numeric keys hash their float64 values, with NaN keys dropped
 //     from both sides (NaN equals nothing, so they can never match).
 //
-//   - neighborJoinOp executes FROM NEIGHBORS(a, b, radius) on the hash
-//     machine's bucket scheme (package hashm): both inputs drain, the right
-//     side hashes into HTM-trixel buckets with exact margin replication,
-//     and each left row probes its home bucket — "the spatial analogue of a
-//     relational hash-join", exactly as the paper frames it.
+//   - neighborJoinOp executes FROM NEIGHBORS(a, b, radius) as an
+//     HTM-partitioned spatial hash join (package hashm): the build side
+//     (smaller estimate) hashes into coarse trixel partitions with exact
+//     margin replication, per shard stream and in parallel; the probe side
+//     then streams through the index shard by shard, pairs flowing out as
+//     probe batches arrive — "the spatial analogue of a relational
+//     hash-join", exactly as the paper frames it, without materializing the
+//     probe input.
 //
 // Both operators consume leaf scans that are already shard-aware: each side
-// scatters across its store's slices under the query-wide token pool and
-// arrives here as one merged stream.
+// scatters across its store's slices under the query-wide token pool; the
+// joins tap the per-shard streams directly so build and probe parallelism
+// follows the sharding.
 package qe
 
 import (
 	"context"
 	"math"
+	"sync"
 
 	"sdss/internal/catalog"
 	"sdss/internal/hashm"
+	"sdss/internal/htm"
 	"sdss/internal/query"
 	"sdss/internal/sphere"
+	"sdss/internal/store"
 )
+
+// partitionTargetRows is the build-side rows-per-partition level past which
+// the cost model subdivides neighbor-join partitions below the container
+// depth: the per-probe band scan is linear in partition density, so dense
+// partitions are worth the extra margin replication of a finer grid.
+const partitionTargetRows = 2048
 
 // planJoin plans a two-table leaf: both side scans (each with its own
 // cost-based access path), the join operator with its build side chosen by
@@ -70,19 +83,29 @@ func (e *Engine) planJoin(cj *query.CompiledJoin, analyze bool) (Operator, error
 		}
 		op = j
 	case query.JoinNeighbors:
-		// Expected pairs under uniform density: n·m × the cap fraction of
-		// the sphere a pair radius subtends.
-		capFrac := (1 - math.Cos(cj.Radius)) / 2
-		est := estL * estR * capFrac
-		j := &neighborJoinOp{e: e, cj: cj, left: left, right: right}
+		// Build the spatial index on the smaller estimated input, stream
+		// the larger through it.
+		//lint:skylint-ignore nansafe cost estimates, not attribute values; either build side is correct
+		buildLeft := estL <= estR
+		side := "right"
+		buildScan := right
+		if buildLeft {
+			side = "left"
+			buildScan = left
+		}
+		depth := e.partitionDepth(cj.Radius, buildScan, math.Min(estL, estR))
+		est := e.neighborEstRows(cj, left, right)
+		j := &neighborJoinOp{e: e, cj: cj, buildLeft: buildLeft, depth: depth, left: left, right: right}
 		j.opBase = opBase{
 			info: OpNode{
-				Op:           "neighbor-join",
-				On:           cj.On,
-				RadiusArcmin: cj.Radius / sphere.Arcmin,
-				Filter:       cj.ResidualStr,
-				EstRows:      est,
-				EstCost:      cost + estL + estR,
+				Op:             "neighbor-join",
+				On:             cj.On,
+				RadiusArcmin:   cj.Radius / sphere.Arcmin,
+				BuildSide:      side,
+				PartitionDepth: depth,
+				Filter:         cj.ResidualStr,
+				EstRows:        est,
+				EstCost:        cost + estL + estR + est,
 			},
 			stats:    newStats(analyze),
 			children: []Operator{left, right},
@@ -107,6 +130,100 @@ func (e *Engine) planJoin(cj *query.CompiledJoin, analyze bool) (Operator, error
 		op = e.newLimitOp(cj.Limit, op, est, est, analyze)
 	}
 	return op, nil
+}
+
+// partitionDepth chooses the neighbor join's partition depth: the store's
+// container depth (hashm coarsens it for wide radii so margin replication
+// stays a boundary effect), then subdivided while the build side would
+// average more than partitionTargetRows rows per partition and the finer
+// trixels still comfortably exceed the radius — the cost trade between band
+// scans (linear in partition density) and margin replication.
+func (e *Engine) partitionDepth(radius float64, buildScan *scanOp, buildEst float64) int {
+	cd := buildScan.st.ContainerDepth()
+	depth := hashm.PartitionDepth(cd, radius)
+	nCont := 0
+	for _, cids := range buildScan.shardContainers {
+		nCont += len(cids)
+	}
+	//lint:skylint-ignore nansafe geometric depth heuristic; radius is validated finite and TrixelAngle is a positive constant per depth
+	for depth < cd+3 && htm.TrixelAngle(depth+1) >= 4*radius {
+		parts := float64(nCont) * math.Pow(4, float64(depth-cd))
+		if !(parts > 0 && buildEst/parts > partitionTargetRows) {
+			break
+		}
+		depth++
+	}
+	return depth
+}
+
+// neighborEstRows estimates the neighbor join's output cardinality from
+// pair density over the covered area. For every container both sides keep,
+// the store's fine occupancy histograms (PairStats, Σ k² over cells no
+// smaller than the pair diameter) give the clustering-aware pair mass:
+//
+//	pairs ≈ √(Σk²_L · Σk²_R) · selL · selR · capArea / cellArea
+//
+// with capArea = 2π(1−cos r) the spherical cap a radius subtends and
+// selL/selR the sides' per-container predicate selectivities. A same-table
+// join subtracts the identity pairs (each shared object pairs with itself
+// at distance zero) before scaling, since the executor excludes them. When
+// histograms are unavailable (NoZone, absent containers) the contribution
+// falls back to uniform scatter within the container — still footprint-
+// aware, never a hard-coded constant. The exact-ID residual selectivity
+// (WHERE a.objid < b.objid keeps one orientation per pair) scales the total.
+func (e *Engine) neighborEstRows(cj *query.CompiledJoin, left, right *scanOp) float64 {
+	radius := cj.Radius
+	capArea := 2 * math.Pi * (1 - math.Cos(radius))
+	cd := left.st.ContainerDepth()
+	sameTable := cj.Left.Table == cj.Right.Table
+
+	// Relative histogram depth: the deepest recorded level whose cells are
+	// still at least a pair diameter across — finer cells would clip real
+	// pairs out of the density estimate.
+	rel := 0
+	//lint:skylint-ignore nansafe histogram-depth heuristic; radius is validated finite and TrixelAngle is a positive constant per depth
+	for rel < store.PairRelDepth && htm.TrixelAngle(cd+rel+1) >= 2*radius {
+		rel++
+	}
+
+	type contEst struct{ est, cnt float64 }
+	rightByCid := make(map[htm.ID]contEst)
+	for i, cids := range right.shardContainers {
+		for k, cid := range cids {
+			rightByCid[cid] = contEst{right.shardContEst[i][k], right.shardContCnt[i][k]}
+		}
+	}
+
+	var est float64
+	depthsMatch := right.st.ContainerDepth() == cd
+	for i, cids := range left.shardContainers {
+		for k, cid := range cids {
+			rc, ok := rightByCid[cid]
+			if !ok {
+				continue
+			}
+			le, lc := left.shardContEst[i][k], left.shardContCnt[i][k]
+			if lc <= 0 || rc.cnt <= 0 {
+				continue
+			}
+			if !e.NoZone && depthsMatch {
+				nL, qL, okL := left.st.PairStats(cid, rel)
+				nR, qR, okR := right.st.PairStats(cid, rel)
+				if okL && okR && nL > 0 && nR > 0 {
+					crossQ := math.Sqrt(qL * qR)
+					if sameTable {
+						crossQ -= math.Min(float64(nL), float64(nR))
+					}
+					if crossQ > 0 {
+						est += crossQ * (le / lc) * (rc.est / rc.cnt) * capArea / htm.TrixelArea(cd+rel)
+					}
+					continue
+				}
+			}
+			est += le * rc.est * capArea / htm.TrixelArea(cd)
+		}
+	}
+	return est * cj.IDPredSel
 }
 
 // pairEmitter assembles joined output rows into pooled batches: the shared
@@ -310,32 +427,52 @@ func (o *hashJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 	return o.instrument(out)
 }
 
-// neighborJoinOp executes the spatial join on hashm's bucket scheme.
+// neighborJoinOp executes the spatial join on hashm's partitioned index.
 type neighborJoinOp struct {
 	opBase
 	e           *Engine
 	cj          *query.CompiledJoin
+	buildLeft   bool
+	depth       int // partition depth, chosen by the cost model
 	left, right Operator
 }
 
-// items converts drained results into hash-machine items, reading the
-// Cartesian position from the side's projected columns. Rows without a
-// finite position (a spectrum whose trixel failed to resolve) are skipped —
-// they have no location to join on.
-func joinItems(res []Result, pos [3]int) []hashm.Item {
-	items := make([]hashm.Item, 0, len(res))
-	for i := range res {
-		v := sphere.Vec3{
-			X: res[i].Values[pos[0]],
-			Y: res[i].Values[pos[1]],
-			Z: res[i].Values[pos[2]],
-		}
-		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) {
-			continue
-		}
-		items = append(items, hashm.Item{ID: catalog.ObjID(res[i].ObjID), Pos: v, Row: int32(i)})
+// sideStreams taps an operator's per-shard streams when it is a leaf scan
+// (build and probe parallelism then follows the sharding) and falls back to
+// the single merged stream otherwise.
+func sideStreams(ctx context.Context, op Operator, rows *Rows) []<-chan Batch {
+	if sc, ok := op.(*scanOp); ok {
+		return sc.openShards(ctx, rows)
 	}
-	return items
+	return []<-chan Batch{op.open(ctx, rows)}
+}
+
+// drainRecycle empties streams, recycling every batch — the bail-out path
+// once the join has decided to stop consuming.
+func drainRecycle(chs ...<-chan Batch) {
+	var wg sync.WaitGroup
+	for _, ch := range chs {
+		wg.Add(1)
+		go func(ch <-chan Batch) {
+			defer wg.Done()
+			for b := range ch {
+				RecycleBatch(b)
+			}
+		}(ch)
+	}
+	wg.Wait()
+}
+
+// sidePos reads one row's Cartesian position from a side's projected
+// columns. Rows without a finite position (a spectrum whose trixel failed
+// to resolve) report ok=false and are skipped — they have no location to
+// join on.
+func sidePos(res *Result, pos [3]int) (sphere.Vec3, bool) {
+	v := sphere.Vec3{X: res.Values[pos[0]], Y: res.Values[pos[1]], Z: res.Values[pos[2]]}
+	if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) {
+		return v, false
+	}
+	return v, true
 }
 
 func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
@@ -343,43 +480,135 @@ func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 	go func() {
 		defer close(out)
 		cj := o.cj
-		// Both sides drain before the bucket phase — the neighbor join is
-		// a blocking node — but they drain concurrently, so the wall time
-		// is the slower scan, not the sum.
-		leftCh := o.left.open(ctx, rows)
-		rightCh := o.right.open(ctx, rows)
-		var rightRes []Result
-		var okR bool
-		rightDone := make(chan struct{})
-		go func() {
-			defer close(rightDone)
-			rightRes, okR = drainCollect(ctx, rightCh, rows)
-		}()
-		leftRes, okL := drainCollect(ctx, leftCh, rows)
-		<-rightDone
-		if !okL || !okR {
+		buildOp, probeOp := o.right, o.left
+		buildPos, probePos := cj.RightPos, cj.LeftPos
+		if o.buildLeft {
+			buildOp, probeOp = o.left, o.right
+			buildPos, probePos = cj.LeftPos, cj.RightPos
+		}
+
+		// Open the probe side up front — its scan workers fill their channel
+		// buffers while the build side materializes — then build per shard
+		// stream: each stream feeds its own local index against shard-local
+		// row numbering, merged in shard order below so the result is
+		// deterministic regardless of which stream finishes first.
+		probes := sideStreams(ctx, probeOp, rows)
+		builds := sideStreams(ctx, buildOp, rows)
+		type buildPart struct {
+			idx *hashm.SpatialIndex
+			res []Result
+			err error
+		}
+		parts := make([]buildPart, len(builds))
+		var bwg sync.WaitGroup
+		for i, ch := range builds {
+			bwg.Add(1)
+			go func(i int, ch <-chan Batch) {
+				defer bwg.Done()
+				idx, err := hashm.NewSpatialIndex(cj.Radius, o.depth)
+				if err != nil {
+					parts[i].err = err
+					drainRecycle(ch)
+					return
+				}
+				var res []Result
+				for b := range ch {
+					for k := range b {
+						v, ok := sidePos(&b[k], buildPos)
+						if !ok {
+							continue
+						}
+						it := hashm.Item{ID: catalog.ObjID(b[k].ObjID), Key: b[k].Key, Pos: v, Row: int32(len(res))}
+						if err := idx.Insert(it); err != nil {
+							parts[i].err = err
+							RecycleBatch(b)
+							drainRecycle(ch)
+							return
+						}
+						res = append(res, b[k])
+					}
+					RecycleBatch(b)
+				}
+				parts[i].idx, parts[i].res = idx, res
+			}(i, ch)
+		}
+		bwg.Wait()
+		if ctx.Err() != nil {
+			rows.interrupted.Store(true)
+			drainRecycle(probes...)
 			return
 		}
-		pairs, err := hashm.JoinItems(
-			joinItems(leftRes, cj.LeftPos),
-			joinItems(rightRes, cj.RightPos),
-			cj.Radius, o.e.workers())
+		for i := range parts {
+			if parts[i].err != nil {
+				rows.setErr(parts[i].err)
+				drainRecycle(probes...)
+				return
+			}
+		}
+		master, err := hashm.NewSpatialIndex(cj.Radius, o.depth)
 		if err != nil {
 			rows.setErr(err)
+			drainRecycle(probes...)
 			return
 		}
-		em := newPairEmitter(o.e, cj, rows, out)
-		defer em.close()
-		for _, p := range pairs {
-			if ctx.Err() != nil {
-				rows.interrupted.Store(true)
-				return
-			}
-			if !em.emit(ctx, &leftRes[p.Left], &rightRes[p.Right]) {
-				return
-			}
+		var built []Result
+		for i := range parts {
+			master.MergeOffset(parts[i].idx, int32(len(built)))
+			built = append(built, parts[i].res...)
 		}
-		em.flush(ctx)
+		master.Finish(o.e.workers())
+
+		// Probe phase: each shard stream probes the index concurrently with
+		// its own emitter, pairs flowing out as probe batches arrive — the
+		// probe side is never materialized.
+		var pwg sync.WaitGroup
+		for _, ch := range probes {
+			pwg.Add(1)
+			go func(ch <-chan Batch) {
+				defer pwg.Done()
+				em := newPairEmitter(o.e, cj, rows, out)
+				defer em.close()
+				for b := range ch {
+					if ctx.Err() != nil {
+						rows.interrupted.Store(true)
+						RecycleBatch(b)
+						drainRecycle(ch)
+						return
+					}
+					for k := range b {
+						v, ok := sidePos(&b[k], probePos)
+						if !ok {
+							continue
+						}
+						probeRow := &b[k]
+						pit := hashm.Item{ID: catalog.ObjID(b[k].ObjID), Key: b[k].Key, Pos: v}
+						cont, err := master.Probe(pit, func(it hashm.Item, _ float64) bool {
+							l, r := &built[it.Row], probeRow
+							if !o.buildLeft {
+								l, r = probeRow, &built[it.Row]
+							}
+							return em.emit(ctx, l, r)
+						})
+						if err != nil {
+							rows.setErr(err)
+							RecycleBatch(b)
+							drainRecycle(ch)
+							return
+						}
+						if !cont {
+							// The emitter stopped: the context fired and
+							// rows.interrupted is already marked.
+							RecycleBatch(b)
+							drainRecycle(ch)
+							return
+						}
+					}
+					RecycleBatch(b)
+				}
+				em.flush(ctx)
+			}(ch)
+		}
+		pwg.Wait()
 	}()
 	return o.instrument(out)
 }

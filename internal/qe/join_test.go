@@ -405,6 +405,162 @@ func TestNeighborJoinHugeObjIDsExact(t *testing.T) {
 	}
 }
 
+// TestNeighborJoinPropertyGrid is the partitioned-join property test: across
+// random datasets, radii from well inside a partition trixel to several times
+// the margin width, and 1-versus-8 shards, the HTM-partitioned join must
+// produce exactly the brute-force all-pairs set. Radii near and beyond the
+// margin width make boundary pairs (one object per partition) the common
+// case, so any replication gap shows up as a missing pair.
+func TestNeighborJoinPropertyGrid(t *testing.T) {
+	type pair struct{ a, b catalog.ObjID }
+	for seed := int64(21); seed <= 23; seed++ {
+		e1, photo, _ := joinArchive(t, 1500, seed, 1)
+		e8, _, _ := joinArchive(t, 1500, seed, 8)
+		for _, radiusArcmin := range []float64{0.5, 3, 12} {
+			radius := radiusArcmin * sphere.Arcmin
+			cosR := math.Cos(radius)
+			want := map[pair]bool{}
+			for i := range photo {
+				for j := i + 1; j < len(photo); j++ {
+					if sphere.CosDist(photo[i].Pos(), photo[j].Pos()) >= cosR {
+						a, b := photo[i].ObjID, photo[j].ObjID
+						if a > b {
+							a, b = b, a
+						}
+						want[pair{a, b}] = true
+					}
+				}
+			}
+			q := fmt.Sprintf(
+				"SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, %g) WHERE a.objid < b.objid",
+				radiusArcmin)
+			for shards, e := range map[int]*Engine{1: e1, 8: e8} {
+				got := mustCollect(t, e, q)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d radius %g' shards %d: join %d pairs, brute force %d",
+						seed, radiusArcmin, shards, len(got), len(want))
+				}
+				for _, r := range got {
+					p := pair{catalog.ObjID(r.Values[0]), catalog.ObjID(r.Values[1])}
+					if !want[p] {
+						t.Fatalf("seed %d radius %g' shards %d: unexpected pair %v",
+							seed, radiusArcmin, shards, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborJoinPolesAndWraparound runs the spatial join through the engine
+// on the sky's coordinate singularities: a tight triple around each celestial
+// pole (where RA degenerates) and a pair straddling the RA 0/360 seam, plus a
+// control object pairing with nothing. Cartesian geometry must see 7 pairs no
+// matter how the containers split them.
+func TestNeighborJoinPolesAndWraparound(t *testing.T) {
+	fixtures := []struct{ ra, dec float64 }{
+		{0, 89.99}, {120, 89.99}, {240, 89.99}, // north polar triple
+		{0, -89.99}, {120, -89.99}, {240, -89.99}, // south polar triple
+		{359.99, 0}, {0.01, 0}, // RA-wraparound pair
+		{180, 45}, // control: no neighbor within 2'
+	}
+	var photo []catalog.PhotoObj
+	for i, f := range fixtures {
+		var p catalog.PhotoObj
+		p.ObjID = catalog.ObjID(i + 1)
+		if err := p.SetPos(f.ra, f.dec); err != nil {
+			t.Fatal(err)
+		}
+		photo = append(photo, p)
+	}
+	const q = "SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 2) WHERE a.objid < b.objid"
+	for _, shards := range []int{1, 8} {
+		tgt, err := load.NewTarget("", 0, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tgt.LoadChunk(&skygen.Chunk{Photo: photo}); err != nil {
+			t.Fatal(err)
+		}
+		tgt.Sort()
+		e := &Engine{Photo: tgt.Photo, Tag: tgt.Tag, Spec: tgt.Spec}
+		got := mustCollect(t, e, q)
+		if len(got) != 7 {
+			t.Fatalf("shards %d: polar/wraparound join found %d pairs, want 7 (3+3 polar, 1 seam)",
+				shards, len(got))
+		}
+		for _, r := range got {
+			if r.Values[0] == 9 || r.Values[1] == 9 {
+				t.Fatalf("shards %d: control object paired: %v", shards, r.Values)
+			}
+		}
+	}
+}
+
+// TestNeighborJoinCancellation closes a spatial-join stream mid-production:
+// Close must return (no leaked probe or build goroutines — it blocks on the
+// tree), and the stream must be marked interrupted so a timeout wrapper can
+// tell a cut-short join from a completed one.
+func TestNeighborJoinCancellation(t *testing.T) {
+	e, _, _ := joinArchive(t, 2000, 16, 2)
+	// A tiny batch size forces many channel sends, so the join is still
+	// producing when the first batch arrives.
+	e.BatchSize = 4
+	prep, err := query.PrepareString(
+		"SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, 30) WHERE a.objid < b.objid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.Execute(context.Background(), prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := <-rows.C; ok {
+		RecycleBatch(b)
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatalf("cancelled join reported error: %v", err)
+	}
+	if !rows.interrupted.Load() {
+		t.Fatal("cancelled mid-stream but not marked interrupted")
+	}
+}
+
+// TestNeighborJoinEstimateAccuracy pins the pair-density estimator: the
+// planner's est_rows for the spatial self-join must land within 4× of the
+// actual pair count (the cost model only needs the right order of magnitude,
+// but the old constant-selectivity guess was off by 400×).
+func TestNeighborJoinEstimateAccuracy(t *testing.T) {
+	e, _, _ := joinArchive(t, 8000, 17, 1)
+	for _, radiusArcmin := range []float64{0.5, 2} {
+		q := fmt.Sprintf(
+			"SELECT a.objid, b.objid FROM NEIGHBORS(tag a, tag b, %g) WHERE a.objid < b.objid",
+			radiusArcmin)
+		prep, err := query.PrepareString(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := e.Plan(prep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := plan.Describe()
+		if node.Op != "neighbor-join" {
+			t.Fatalf("radius %g': root op = %q", radiusArcmin, node.Op)
+		}
+		actual := len(mustCollect(t, e, q))
+		if actual == 0 {
+			t.Fatalf("radius %g': degenerate dataset, no pairs", radiusArcmin)
+		}
+		ratio := node.EstRows / float64(actual)
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("radius %g': est_rows %g vs actual %d (ratio %.2f, want within 4×)",
+				radiusArcmin, node.EstRows, actual, ratio)
+		}
+	}
+}
+
 // TestJoinColumnsQualified pins the join result schema: qualified canonical
 // names, types flowing from each side's table, and the acceptance query's
 // "s.z" spelling resolving to the spec redshift.

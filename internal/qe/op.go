@@ -49,10 +49,14 @@ type OpNode struct {
 	On           string  `json:"on,omitempty"`
 	BuildSide    string  `json:"build_side,omitempty"`
 	RadiusArcmin float64 `json:"radius_arcmin,omitempty"`
-	Agg          string  `json:"agg,omitempty"`
-	OrderBy      string  `json:"order_by,omitempty"`
-	Desc         bool    `json:"desc,omitempty"`
-	Limit        int     `json:"limit,omitempty"`
+	// PartitionDepth is the HTM depth of the neighbor join's spatial
+	// partitions, chosen by the cost model (container depth, coarsened for
+	// wide radii, deepened for dense build sides).
+	PartitionDepth int    `json:"partition_depth,omitempty"`
+	Agg            string `json:"agg,omitempty"`
+	OrderBy        string `json:"order_by,omitempty"`
+	Desc           bool   `json:"desc,omitempty"`
+	Limit          int    `json:"limit,omitempty"`
 	// Shards is a scan's scatter width; Containers its candidate container
 	// count after coverage pruning, ZonePruned how many of those the zone
 	// maps excluded.
@@ -168,6 +172,9 @@ func renderOpNode(b *strings.Builder, n *OpNode, depth int) {
 	}
 	if n.BuildSide != "" {
 		fmt.Fprintf(b, " BUILD %s", n.BuildSide)
+	}
+	if n.PartitionDepth > 0 {
+		fmt.Fprintf(b, " DEPTH %d", n.PartitionDepth)
 	}
 	if n.Filter != "" {
 		fmt.Fprintf(b, " WHERE %s", n.Filter)

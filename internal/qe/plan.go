@@ -152,7 +152,12 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 		return nil, err
 	}
 	shards := st.Shards()
-	op := &scanOp{e: e, cs: cs, st: st, shardContainers: make([][]htm.ID, len(shards))}
+	op := &scanOp{
+		e: e, cs: cs, st: st,
+		shardContainers: make([][]htm.ID, len(shards)),
+		shardContEst:    make([][]float64, len(shards)),
+		shardContCnt:    make([][]float64, len(shards)),
+	}
 	op.opBase = opBase{
 		info: OpNode{
 			Op:     "scan",
@@ -223,6 +228,7 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	pruned := 0
 	for i, sh := range shards {
 		kept := candidates[i][:0]
+		var keptEst, keptCnt []float64
 		for _, cid := range candidates[i] {
 			covFrac := 1.0
 			if rangeSet != nil && !coverageContains(rangeSet, cid) {
@@ -234,6 +240,8 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 					count = float64(c.Count())
 				}
 				kept = append(kept, cid)
+				keptEst = append(keptEst, count*covFrac)
+				keptCnt = append(keptCnt, count)
 				estRows += count * covFrac
 				scanRecords += count
 				continue
@@ -257,10 +265,14 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 				continue
 			}
 			kept = append(kept, cid)
+			keptEst = append(keptEst, rows)
+			keptCnt = append(keptCnt, cost)
 			estRows += rows
 			scanRecords += cost
 		}
 		op.shardContainers[i] = kept
+		op.shardContEst[i] = keptEst
+		op.shardContCnt[i] = keptCnt
 	}
 
 	op.rangeSet = rangeSet
@@ -309,6 +321,11 @@ type scanOp struct {
 	st              *store.Sharded
 	rangeSet        *htm.RangeSet
 	shardContainers [][]htm.ID
+	// shardContEst/shardContCnt parallel shardContainers: the estimated
+	// output rows and raw record count of each kept container — the
+	// per-container geometry the neighbor-join estimator integrates.
+	shardContEst [][]float64
+	shardContCnt [][]float64
 }
 
 // openShards launches one scan per shard slice, sharing the query-wide

@@ -36,7 +36,11 @@ import (
 // Result is one element of a bag: the object pointer and, for leaf query
 // nodes, the projected attribute values.
 type Result struct {
-	ObjID  catalog.ObjID
+	ObjID catalog.ObjID
+	// Key is the record's embedded fine HTM trixel when the result came off
+	// a leaf scan (zero otherwise): the spatial join derives its partition
+	// from it with a bit shift instead of a root-to-leaf sphere walk.
+	Key    htm.ID
 	Values []float64
 }
 

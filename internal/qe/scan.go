@@ -169,7 +169,7 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 					if cs.Pred != nil && !cs.Pred(getter) {
 						return nil
 					}
-					res := Result{ObjID: acc.objID()}
+					res := Result{ObjID: acc.objID(), Key: st.KeyOf(rec)}
 					if width > 0 {
 						start := len(vals)
 						for _, col := range cs.Cols {

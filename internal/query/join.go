@@ -189,6 +189,12 @@ type CompiledJoin struct {
 	// such conjunct exists.
 	IDPred func(left, right uint64) bool
 
+	// IDPredSel is the estimated selectivity of IDPred over candidate pairs
+	// (1 when IDPred is nil): an inequality like "a.objid < b.objid" keeps
+	// half of each unordered pair's two orientations, so the planner must
+	// halve the neighbor-join cardinality rather than ignore the predicate.
+	IDPredSel float64
+
 	// LeftAttrIdx/RightAttrIdx map table-local attribute IDs to positions
 	// in the corresponding side's Cols (-1 when absent) — the executor's
 	// decode table for residual evaluation.
@@ -363,17 +369,19 @@ func encodeResidualSides(e Expr) {
 
 // objidComparison recognizes a residual conjunct of the exact shape
 // "<side0>.objid OP <side1>.objid" (either operand order) and compiles it
-// to an exact 64-bit comparison of the pair's object identifiers. Any
-// other shape returns nil and goes through the float64 expression path.
-func objidComparison(e Expr, refs [2]TableRef) func(left, right uint64) bool {
+// to an exact 64-bit comparison of the pair's object identifiers, with the
+// comparison's estimated selectivity over candidate pairs (inequalities keep
+// one orientation of each unordered pair → ½). Any other shape returns
+// (nil, 1) and goes through the float64 expression path.
+func objidComparison(e Expr, refs [2]TableRef) (func(left, right uint64) bool, float64) {
 	n, ok := e.(*BinaryOp)
 	if !ok {
-		return nil
+		return nil, 1
 	}
 	l, ok1 := n.Left.(*Ident)
 	r, ok2 := n.Right.(*Ident)
 	if !ok1 || !ok2 {
-		return nil
+		return nil, 1
 	}
 	isObjID := func(id *Ident) bool {
 		side := int(id.Side)
@@ -383,7 +391,7 @@ func objidComparison(e Expr, refs [2]TableRef) func(left, right uint64) bool {
 		return AttrName(refs[side].Table, id.Attr) == "objid"
 	}
 	if !isObjID(l) || !isObjID(r) || l.Side == r.Side {
-		return nil
+		return nil, 1
 	}
 	op := n.Op
 	if l.Side == 1 {
@@ -401,19 +409,20 @@ func objidComparison(e Expr, refs [2]TableRef) func(left, right uint64) bool {
 	}
 	switch op {
 	case "<":
-		return func(a, b uint64) bool { return a < b }
+		return func(a, b uint64) bool { return a < b }, 0.5
 	case "<=":
-		return func(a, b uint64) bool { return a <= b }
+		return func(a, b uint64) bool { return a <= b }, 0.5
 	case ">":
-		return func(a, b uint64) bool { return a > b }
+		return func(a, b uint64) bool { return a > b }, 0.5
 	case ">=":
-		return func(a, b uint64) bool { return a >= b }
+		return func(a, b uint64) bool { return a >= b }, 0.5
 	case "=":
-		return func(a, b uint64) bool { return a == b }
+		// Cross-table identity on distinct rows is almost never true.
+		return func(a, b uint64) bool { return a == b }, 0.01
 	case "!=":
-		return func(a, b uint64) bool { return a != b }
+		return func(a, b uint64) bool { return a != b }, 1
 	default:
-		return nil
+		return nil, 1
 	}
 }
 
@@ -580,11 +589,13 @@ func CompileJoin(sel *Select) (*CompiledJoin, error) {
 	// Residual predicate. Conjuncts comparing the two objids are peeled
 	// off into an exact u64 predicate first; the rest compile over the
 	// side-encoded attribute space.
+	cj.IDPredSel = 1
 	if len(residual) > 0 {
 		cj.ResidualStr = andAll(residual).String()
 		var rest []Expr
 		for _, c := range residual {
-			if idp := objidComparison(c, refs); idp != nil {
+			if idp, sel := objidComparison(c, refs); idp != nil {
+				cj.IDPredSel *= sel
 				prev := cj.IDPred
 				if prev == nil {
 					cj.IDPred = idp

@@ -311,6 +311,12 @@ func (s *Sharded) CheckZone(id htm.ID, admit func(min, max []float64, hasNaN []b
 	return s.shards[s.ShardFor(id)].CheckZone(id, admit)
 }
 
+// PairStats returns a container's pair-density statistic (record count and
+// Σ k² over depth-(containerDepth+rel) cells) from its owning slice.
+func (s *Sharded) PairStats(id htm.ID, rel int) (count int, sumSq float64, ok bool) {
+	return s.shards[s.ShardFor(id)].PairStats(id, rel)
+}
+
 // BuildZones ensures every slice's zone maps are fresh.
 func (s *Sharded) BuildZones() {
 	for _, sh := range s.shards {

@@ -20,9 +20,22 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"sdss/internal/htm"
 )
+
+// PairRelDepth is the finest relative subdivision depth of the per-container
+// occupancy histogram behind PairStats: container trixels split PairRelDepth
+// more levels, giving 4^PairRelDepth fine cells per container (a depth-5
+// container observed at depth 12, ~1.3 arcmin cells — below the angular
+// scale galaxy clustering concentrates pairs at). Relative cell indexes
+// occupy 2·PairRelDepth = 14 bits, so they pack into uint16 keys.
+const PairRelDepth = 7
+
+// pairRelMask extracts the relative fine-cell index from a container-deep
+// trixel ID.
+const pairRelMask = 1<<(2*PairRelDepth) - 1
 
 // zoneMap holds one container's per-attribute statistics, indexed by the
 // attribute IDs the store's ZoneValues extractor emits. min > max for an
@@ -33,6 +46,17 @@ type zoneMap struct {
 	// count is the number of records folded in; a mismatch against the
 	// container's record count marks the zone stale.
 	count int
+
+	// fineKeys/fineCounts are the container's occupancy histogram over its
+	// depth-(containerDepth+PairRelDepth) fine trixels: sorted relative
+	// cell indexes with their record counts — the pair-density statistic
+	// the neighbor-join estimator integrates against a pair radius.
+	// fineCount is the number of records histogrammed; a mismatch against
+	// the container's record count marks the histogram stale (appends do
+	// not maintain it incrementally; it rebuilds on demand).
+	fineKeys   []uint16
+	fineCounts []uint32
+	fineCount  int
 }
 
 func newZoneMap(attrs int) *zoneMap {
@@ -67,7 +91,8 @@ func (z *zoneMap) fold(vals []float64) {
 
 // zoneBytes is the in-memory footprint of one zone map.
 func (z *zoneMap) bytes() int64 {
-	return int64(len(z.min)*8 + len(z.max)*8 + len(z.hasNaN) + 24)
+	return int64(len(z.min)*8 + len(z.max)*8 + len(z.hasNaN) + 24 +
+		len(z.fineKeys)*2 + len(z.fineCounts)*4)
 }
 
 // zoneEnabled reports whether this store maintains zone maps.
@@ -96,12 +121,16 @@ func (s *Store) zoneFold(c *Container, recs []Record, scratch []float64) {
 }
 
 // ensureZone rebuilds a container's zone from its records when missing or
-// stale. Callers hold the write lock.
+// stale, carrying the fine occupancy histogram over (its freshness is
+// tracked separately by fineCount). Callers hold the write lock.
 func (s *Store) ensureZone(c *Container) {
 	if !s.zoneEnabled() || (c.zone != nil && c.zone.count == c.count) {
 		return
 	}
 	z := newZoneMap(s.opts.ZoneAttrs)
+	if prev := c.zone; prev != nil {
+		z.fineKeys, z.fineCounts, z.fineCount = prev.fineKeys, prev.fineCounts, prev.fineCount
+	}
 	rs := s.opts.RecordSize
 	scratch := make([]float64, s.opts.ZoneAttrs)
 	for i := 0; i < c.count; i++ {
@@ -109,6 +138,97 @@ func (s *Store) ensureZone(c *Container) {
 		z.fold(scratch)
 	}
 	c.zone = z
+}
+
+// ensureFine rebuilds a container's fine occupancy histogram from its
+// record keys when missing or stale. Callers hold the write lock.
+func (s *Store) ensureFine(c *Container) {
+	if c.zone != nil && c.zone.fineCount == c.count && c.zone.fineKeys != nil {
+		return
+	}
+	if c.zone == nil {
+		// The attribute zones stay stale (count 0) and rebuild on their
+		// own freshness check; only the histogram is built here.
+		c.zone = newZoneMap(s.opts.ZoneAttrs)
+	}
+	fineDepth := s.opts.ContainerDepth + PairRelDepth
+	rs := s.opts.RecordSize
+	rels := make([]uint16, 0, c.count)
+	for i := 0; i < c.count; i++ {
+		deep := s.key(c.data[i*rs : (i+1)*rs]).AtDepth(fineDepth)
+		if deep>>(2*PairRelDepth) != c.ID {
+			// A record whose key does not descend from the container
+			// trixel (corrupt or synthetic); lump it into cell 0 so the
+			// counts still sum to the record count.
+			rels = append(rels, 0)
+			continue
+		}
+		rels = append(rels, uint16(deep&pairRelMask))
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+	z := c.zone
+	z.fineKeys = z.fineKeys[:0]
+	z.fineCounts = z.fineCounts[:0]
+	for i := 0; i < len(rels); {
+		j := i
+		for j < len(rels) && rels[j] == rels[i] {
+			j++
+		}
+		z.fineKeys = append(z.fineKeys, rels[i])
+		z.fineCounts = append(z.fineCounts, uint32(j-i))
+		i = j
+	}
+	z.fineCount = c.count
+}
+
+// PairStats folds a container's occupancy histogram at relative subdivision
+// depth rel ∈ [0, PairRelDepth] into the pair-density statistic Σ k² (k =
+// records per depth-(containerDepth+rel) trixel) — the quantity that, scaled
+// by a pair radius' cap area over the cell area, estimates how many within-
+// radius pairs the container contributes. It returns the record count, the
+// sum of squared cell occupancies, and whether the statistic is available
+// (false for an absent container; histograms build on demand like zones).
+func (s *Store) PairStats(id htm.ID, rel int) (count int, sumSq float64, ok bool) {
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > PairRelDepth {
+		rel = PairRelDepth
+	}
+	fold := func(z *zoneMap) float64 {
+		shift := 2 * uint(PairRelDepth-rel)
+		var total float64
+		for i := 0; i < len(z.fineKeys); {
+			group := z.fineKeys[i] >> shift
+			var k uint64
+			for i < len(z.fineKeys) && z.fineKeys[i]>>shift == group {
+				k += uint64(z.fineCounts[i])
+				i++
+			}
+			total += float64(k) * float64(k)
+		}
+		return total
+	}
+	s.mu.RLock()
+	c := s.containers[id]
+	if c == nil {
+		s.mu.RUnlock()
+		return 0, 0, false
+	}
+	if z := c.zone; z != nil && z.fineCount == c.count && z.fineKeys != nil {
+		count, sumSq = c.count, fold(z)
+		s.mu.RUnlock()
+		return count, sumSq, true
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c = s.containers[id]
+	if c == nil {
+		return 0, 0, false
+	}
+	s.ensureFine(c)
+	return c.count, fold(c.zone), true
 }
 
 // CheckZone evaluates admit against a container's zone statistics, building
@@ -182,8 +302,9 @@ func (s *Store) ZoneStats(id htm.ID, fn func(count int, min, max []float64, hasN
 	}
 }
 
-// BuildZones ensures every container has a fresh zone map (Sort and Flush
-// call it; it is also the warm-up a benchmark times).
+// BuildZones ensures every container has a fresh zone map and occupancy
+// histogram (Sort and Flush call it; it is also the warm-up a benchmark
+// times).
 func (s *Store) BuildZones() {
 	if !s.zoneEnabled() {
 		return
@@ -192,6 +313,7 @@ func (s *Store) BuildZones() {
 	defer s.mu.Unlock()
 	for _, c := range s.containers {
 		s.ensureZone(c)
+		s.ensureFine(c)
 	}
 }
 
@@ -206,6 +328,7 @@ func (s *Store) RebuildZones() {
 	for _, c := range s.containers {
 		c.zone = nil
 		s.ensureZone(c)
+		s.ensureFine(c)
 	}
 }
 
@@ -227,10 +350,13 @@ func (s *Store) ZoneBytes() int64 {
 // The header records a format version and the attribute count; a mismatch on
 // either (or a per-container record-count mismatch against the loaded
 // container) makes the affected zones rebuild transparently from the data.
+// Version 2 appends each container's fine occupancy histogram (the
+// PairStats source) after its attribute statistics; version-1 files simply
+// rebuild everything on first use.
 const (
 	zoneFileName    = "ZONES"
 	zoneFileMagic   = "SDSSZONE"
-	zoneFileVersion = 1
+	zoneFileVersion = 2
 )
 
 // flushZones writes the ZONES file. Callers hold the write lock and have
@@ -292,6 +418,28 @@ func (s *Store) flushZones() error {
 				nan = 1
 			}
 			if err := w.WriteByte(nan); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		// The fine occupancy histogram; stale histograms persist empty and
+		// rebuild on demand after reopen (fineCount is set from the
+		// container count only when entries exist).
+		keys, counts := z.fineKeys, z.fineCounts
+		if z.fineCount != c.count {
+			keys, counts = nil, nil
+		}
+		var n4 [4]byte
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(keys)))
+		if _, err := w.Write(n4[:]); err != nil {
+			f.Close()
+			return err
+		}
+		for i := range keys {
+			var ent [6]byte
+			binary.LittleEndian.PutUint16(ent[:2], keys[i])
+			binary.LittleEndian.PutUint32(ent[2:], counts[i])
+			if _, err := w.Write(ent[:]); err != nil {
 				f.Close()
 				return err
 			}
@@ -365,6 +513,25 @@ func (s *Store) loadZones() {
 			z.min[i] = math.Float64frombits(minBits)
 			z.max[i] = math.Float64frombits(maxBits)
 			z.hasNaN[i] = nan != 0
+		}
+		var n4 [4]byte
+		if _, err := io.ReadFull(r, n4[:]); err != nil {
+			return
+		}
+		nFine := int(binary.LittleEndian.Uint32(n4[:]))
+		var total int
+		for i := 0; i < nFine; i++ {
+			var ent [6]byte
+			if _, err := io.ReadFull(r, ent[:]); err != nil {
+				return
+			}
+			z.fineKeys = append(z.fineKeys, binary.LittleEndian.Uint16(ent[:2]))
+			cnt := binary.LittleEndian.Uint32(ent[2:])
+			z.fineCounts = append(z.fineCounts, cnt)
+			total += int(cnt)
+		}
+		if nFine > 0 && total == z.count {
+			z.fineCount = z.count
 		}
 		c := s.containers[htm.ID(idBits)]
 		if c != nil && c.count == z.count {

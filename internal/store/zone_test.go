@@ -258,6 +258,128 @@ func TestShardedZoneForwarding(t *testing.T) {
 	}
 }
 
+// pairTrixels returns depth-20 trixel IDs inside one container, spread so
+// that consecutive indexes land in distinct depth-(container+PairRelDepth)
+// fine cells.
+func pairTrixels(t testing.TB, n int) []htm.ID {
+	t.Helper()
+	base := htm.FirstAtDepth(20)
+	step := htm.ID(1) << (2 * (20 - DefaultContainerDepth - PairRelDepth))
+	out := make([]htm.ID, n)
+	for i := range out {
+		out[i] = base + htm.ID(i)*step
+	}
+	return out
+}
+
+func TestPairStatsHistogram(t *testing.T) {
+	s, err := Open(zoneTestOptions(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three fine cells with occupancies 3, 2, 1.
+	fine := pairTrixels(t, 3)
+	var recs []Record
+	for i, id := range fine {
+		for j := 0; j <= 2-i; j++ {
+			recs = append(recs, zoneTestRecord(id, float64(j)))
+		}
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	cid := fine[0].AtDepth(s.ContainerDepth())
+	count, sumSq, ok := s.PairStats(cid, PairRelDepth)
+	if !ok || count != 6 || sumSq != 9+4+1 {
+		t.Fatalf("PairStats(rel=%d) = (%d, %g, %v), want (6, 14, true)", PairRelDepth, count, sumSq, ok)
+	}
+	// At rel 0 the whole container is one cell: Σk² = count².
+	count, sumSq, ok = s.PairStats(cid, 0)
+	if !ok || count != 6 || sumSq != 36 {
+		t.Fatalf("PairStats(rel=0) = (%d, %g, %v), want (6, 36, true)", count, sumSq, ok)
+	}
+	// Coarsening only grows Σk² (cells merge).
+	prev := 0.0
+	for rel := PairRelDepth; rel >= 0; rel-- {
+		_, sq, ok := s.PairStats(cid, rel)
+		if !ok || sq < prev {
+			t.Fatalf("PairStats(rel=%d) = %g not monotone above %g", rel, sq, prev)
+		}
+		prev = sq
+	}
+	// Absent container.
+	if _, _, ok := s.PairStats(cid+1, PairRelDepth); ok {
+		t.Error("absent container must report ok=false")
+	}
+}
+
+func TestPairStatsPersistenceAndStaleness(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := pairTrixels(t, 4)
+	var recs []Record
+	for _, id := range fine {
+		recs = append(recs, zoneTestRecord(id, 1), zoneTestRecord(id, 2))
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	s.BuildZones()
+	cid := fine[0].AtDepth(s.ContainerDepth())
+	_, wantSq, ok := s.PairStats(cid, PairRelDepth)
+	if !ok || wantSq != 4*4 { // four cells of 2 → Σk² = 16
+		t.Fatalf("PairStats before flush = (%g, %v), want (16, true)", wantSq, ok)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the histogram must come back from the v2 ZONES file.
+	s2, err := Open(zoneTestOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, sumSq, ok := s2.PairStats(cid, PairRelDepth)
+	if !ok || count != 8 || sumSq != wantSq {
+		t.Fatalf("PairStats after reload = (%d, %g, %v), want (8, %g, true)", count, sumSq, ok, wantSq)
+	}
+
+	// Appending records stales the histogram; PairStats must rebuild and
+	// reflect the new occupancies.
+	if err := s2.BulkLoad([]Record{zoneTestRecord(fine[0], 3)}); err != nil {
+		t.Fatal(err)
+	}
+	count, sumSq, ok = s2.PairStats(cid, PairRelDepth)
+	if !ok || count != 9 || sumSq != 9+4+4+4 { // cell 0 now holds 3
+		t.Fatalf("PairStats after append = (%d, %g, %v), want (9, 21, true)", count, sumSq, ok)
+	}
+}
+
+func TestShardedPairStatsForwarding(t *testing.T) {
+	s, err := OpenSharded(zoneTestOptions(""), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := zoneTrixels(t, 8)
+	var recs []Record
+	for i, id := range ids {
+		recs = append(recs, zoneTestRecord(id, float64(i)))
+	}
+	if err := s.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		cid := id.AtDepth(s.ContainerDepth())
+		count, sumSq, ok := s.PairStats(cid, PairRelDepth)
+		if !ok || count != 1 || sumSq != 1 {
+			t.Fatalf("sharded PairStats(%v) = (%d, %g, %v), want (1, 1, true)", cid, count, sumSq, ok)
+		}
+	}
+}
+
 // BenchmarkZoneBuild measures the from-scratch zone build over a populated
 // store — the cost a pre-zone archive pays once on first use.
 func BenchmarkZoneBuild(b *testing.B) {
