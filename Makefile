@@ -29,6 +29,7 @@ race:
 # caught before anyone regenerates BENCH_*.json.
 bench-smoke:
 	go run ./cmd/skybench -run E18 -scale 3.4e-6
+	go run ./cmd/skybench -run E19 -scale 3.4e-6
 
 # skylint is the project's own analyzer suite (cmd/skylint): batch
 # ownership, raw record offsets, NaN-safe comparisons, interrupted marks,

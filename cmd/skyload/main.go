@@ -65,4 +65,10 @@ func main() {
 		stats.ByteSize(float64(sum.ZoneMapBytes)),
 		stats.ByteSize(float64(totalBytes)),
 		time.Since(start).Round(time.Millisecond))
+	if sum.ColBlkRawBytes > 0 {
+		fmt.Printf("column blocks: %s compressed over %s of raw columns (%.0f%%)\n",
+			stats.ByteSize(float64(sum.ColBlkEncodedBytes)),
+			stats.ByteSize(float64(sum.ColBlkRawBytes)),
+			100*float64(sum.ColBlkEncodedBytes)/float64(sum.ColBlkRawBytes))
+	}
 }

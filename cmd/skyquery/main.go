@@ -41,6 +41,7 @@ func main() {
 		analyze = flag.Bool("analyze", false, "with -explain: execute the query and report actual rows and timing per operator")
 		timeout = flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 		noZone  = flag.Bool("nozone", false, "disable zone-map container pruning")
+		noKern  = flag.Bool("nokernel", false, "disable vectorized filter kernels over compressed column blocks")
 		fullDec = flag.Bool("fulldecode", false, "decode full record structs instead of selective column reads")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 	a.Engine().NoZone = *noZone
+	a.Engine().NoKernel = *noKern
 	a.Engine().FullDecode = *fullDec
 
 	if *explain {

@@ -1,0 +1,70 @@
+package archive
+
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestV1StatusReportsColBlkBytes: the status page surfaces the compressed
+// column-block footprint against the raw columns it covers, so operators
+// can see the archive's effective compression.
+func TestV1StatusReportsColBlkBytes(t *testing.T) {
+	www, srv := newTestServer(t)
+	www.Engine.Photo.BuildColBlks()
+	www.Engine.Tag.BuildColBlks()
+	www.Engine.Spec.BuildColBlks()
+	code, body := get(t, srv, "/v1/status")
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var st struct {
+		Encoded int64 `json:"colblk_encoded_bytes"`
+		Raw     int64 `json:"colblk_raw_bytes"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Encoded <= 0 || st.Raw <= 0 {
+		t.Errorf("colblk bytes = %d/%d, want both > 0", st.Encoded, st.Raw)
+	}
+}
+
+// TestV1ExplainReportsKernel: the physical plan names the scan's kernel
+// path, and EXPLAIN ANALYZE adds the measured block skips and decoded
+// bytes next to the estimates.
+func TestV1ExplainReportsKernel(t *testing.T) {
+	_, srv := newTestServer(t)
+	q := "SELECT objid, r FROM tag WHERE r < 18"
+	code, body := get(t, srv, "/v1/explain?q="+url.QueryEscape(q)+"&analyze=1")
+	if code != 200 {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	var out struct {
+		Physical struct {
+			Op     string `json:"op"`
+			Kernel string `json:"kernel"`
+			Actual *struct {
+				RowsIn       int64 `json:"rows_in"`
+				BytesDecoded int64 `json:"bytes_decoded"`
+			} `json:"actual"`
+		} `json:"physical"`
+		Phystext string `json:"physical_text"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Physical.Op != "scan" || out.Physical.Kernel != "vector" {
+		t.Errorf("physical = op %q kernel %q, want a vector scan", out.Physical.Op, out.Physical.Kernel)
+	}
+	if out.Physical.Actual == nil {
+		t.Fatal("analyze=1 plan has no actuals")
+	}
+	if out.Physical.Actual.RowsIn > 0 && out.Physical.Actual.BytesDecoded <= 0 {
+		t.Errorf("scan examined %d records but decoded 0 bytes", out.Physical.Actual.RowsIn)
+	}
+	if !strings.Contains(out.Phystext, "KERNEL vector") {
+		t.Errorf("physical text lacks kernel: %q", out.Phystext)
+	}
+}

@@ -114,9 +114,14 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		// ZoneMapBytes is the in-memory footprint of the per-container
 		// min/max statistics across every store and slice.
 		ZoneMapBytes int64 `json:"zone_map_bytes"`
-		JobsQueued   int   `json:"jobs_queued"`
-		JobsRunning  int   `json:"jobs_running"`
-		JobsFinished int   `json:"jobs_finished"`
+		// ColBlkEncodedBytes / ColBlkRawBytes compare the compressed
+		// column-block footprint against the raw footprint of the columns
+		// the resident slabs cover, summed across every store and slice.
+		ColBlkEncodedBytes int64 `json:"colblk_encoded_bytes"`
+		ColBlkRawBytes     int64 `json:"colblk_raw_bytes"`
+		JobsQueued         int   `json:"jobs_queued"`
+		JobsRunning        int   `json:"jobs_running"`
+		JobsFinished       int   `json:"jobs_finished"`
 	}
 	st := status{Version: "v1", Uptime: time.Since(w.Started).Round(time.Second).String()}
 	st.Shards = w.Engine.NumShards()
@@ -126,14 +131,23 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		st.NumContainers = w.Engine.Photo.NumContainers()
 		st.ShardRecords = w.Engine.Photo.ShardRecords()
 		st.ZoneMapBytes += w.Engine.Photo.ZoneBytes()
+		enc, raw := w.Engine.Photo.ColBlkBytes()
+		st.ColBlkEncodedBytes += enc
+		st.ColBlkRawBytes += raw
 	}
 	if w.Engine.Tag != nil {
 		st.TagRecords = w.Engine.Tag.NumRecords()
 		st.ZoneMapBytes += w.Engine.Tag.ZoneBytes()
+		enc, raw := w.Engine.Tag.ColBlkBytes()
+		st.ColBlkEncodedBytes += enc
+		st.ColBlkRawBytes += raw
 	}
 	if w.Engine.Spec != nil {
 		st.SpecRecords = w.Engine.Spec.NumRecords()
 		st.ZoneMapBytes += w.Engine.Spec.ZoneBytes()
+		enc, raw := w.Engine.Spec.ColBlkBytes()
+		st.ColBlkEncodedBytes += enc
+		st.ColBlkRawBytes += raw
 	}
 	st.JobsQueued, st.JobsRunning, st.JobsFinished = w.Jobs.Counts()
 	writeJSON(rw, http.StatusOK, st)

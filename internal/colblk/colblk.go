@@ -1,0 +1,333 @@
+// Package colblk implements the compressed column-block codec behind the
+// store's COLBLK sidecars: a per-container columnar representation of every
+// addressable record attribute, encoded per column with the lightweight
+// schemes column stores use for scan-heavy workloads —
+//
+//   - delta + zig-zag bit-packing for monotone identifier columns
+//     (objid, the embedded HTM key);
+//   - frame-of-reference bit-packing over an order-preserving integer
+//     transform of the float bits for positions and magnitudes (container
+//     clustering makes per-container value ranges narrow);
+//   - scaled-decimal frame-of-reference where every value round-trips
+//     losslessly through a power-of-ten integer;
+//   - dictionary encoding for low-cardinality columns (class, flags);
+//   - predictive encoding for functionally dependent columns (the Cartesian
+//     triplet re-derived from ra/dec, per-band errors vs. the first band),
+//     storing only the per-record residual in key space;
+//   - raw fixed-width keys as the universal fallback.
+//
+// Every encoding is lossless by construction: decode reproduces the exact
+// stored bit pattern of every value, including NaN payloads and signed
+// zeros. Compare kernels never materialize floats at all — all encodings
+// decode to the column's key space, an unsigned-integer total order that
+// agrees with the IEEE ordering on non-NaN values (see key64), so predicate
+// intervals translate to single unsigned range tests.
+//
+// Like package catalog and package fits, colblk is a sanctioned raw-byte
+// layer: it reads record bytes at fixed offsets (skylint's rawoffset
+// analyzer exempts it) so the rest of the tree never has to.
+package colblk
+
+import (
+	"fmt"
+	"math"
+
+	"sdss/internal/sphere"
+)
+
+// Kind is the wire encoding of one fixed-offset column, mirroring the
+// catalog's field kinds. KNone marks an attribute with no stored bytes (a
+// derived attribute); it occupies a column slot so slab indexes can stay
+// aligned with attribute IDs, but encodes to nothing.
+type Kind uint8
+
+const (
+	KNone Kind = iota
+	KU8
+	KU16
+	KU64
+	KF32
+	KF64
+)
+
+// Size returns the stored width of the kind in bytes (0 for KNone).
+func (k Kind) Size() int {
+	switch k {
+	case KU8:
+		return 1
+	case KU16:
+		return 2
+	case KF32:
+		return 4
+	case KU64, KF64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Float reports whether the kind stores IEEE float bits.
+func (k Kind) Float() bool { return k == KF32 || k == KF64 }
+
+// Predictor names a cross-column prediction scheme. A predicted column
+// stores per-record residuals in key space instead of values; the encoder
+// uses it only when the residuals pack tighter than direct encoding, so a
+// predictor that turns out wrong costs nothing but the attempt.
+type Predictor uint8
+
+const (
+	// PredNone encodes the column directly.
+	PredNone Predictor = iota
+	// PredCol predicts each record's value as the value of another column
+	// of the same kind (Arg[0]): the encoding for replicated or strongly
+	// correlated columns.
+	PredCol
+	// PredVec predicts a float64 column as one component (Aux: 0=x, 1=y,
+	// 2=z) of the unit vector sphere.FromRADec(Arg[0], Arg[1]) — the
+	// functional dependency catalog.SetPos establishes between the stored
+	// Cartesian triplet and ra/dec.
+	PredVec
+)
+
+// Column describes one fixed-offset column of a record layout, plus its
+// optional predictor. Columns are identified by their index in the Spec;
+// predictors reference other columns by that index.
+type Column struct {
+	Name   string
+	Offset int
+	Kind   Kind
+	Pred   Predictor
+	Arg    [2]int
+	Aux    uint8
+}
+
+// Spec is a validated, immutable column layout shared by every slab of a
+// store: the contract between encoder, decoder, and the COLBLK file format.
+type Spec struct {
+	cols []Column
+}
+
+// NewSpec validates a column layout: predictor arguments must reference
+// in-range, kind-compatible columns, and the prediction graph must be
+// acyclic (decode resolves predictor inputs recursively).
+func NewSpec(cols []Column) (*Spec, error) {
+	for i, c := range cols {
+		switch c.Pred {
+		case PredNone:
+		case PredCol:
+			a := c.Arg[0]
+			if a < 0 || a >= len(cols) || a == i {
+				return nil, fmt.Errorf("colblk: column %d (%s): PredCol argument %d out of range", i, c.Name, a)
+			}
+			if cols[a].Kind != c.Kind {
+				return nil, fmt.Errorf("colblk: column %d (%s): PredCol source kind mismatch", i, c.Name)
+			}
+		case PredVec:
+			if c.Kind != KF64 || c.Aux > 2 {
+				return nil, fmt.Errorf("colblk: column %d (%s): PredVec needs a KF64 column and component 0..2", i, c.Name)
+			}
+			for _, a := range c.Arg {
+				if a < 0 || a >= len(cols) || a == i || cols[a].Kind != KF64 {
+					return nil, fmt.Errorf("colblk: column %d (%s): PredVec argument %d invalid", i, c.Name, a)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("colblk: column %d (%s): unknown predictor %d", i, c.Name, c.Pred)
+		}
+	}
+	s := &Spec{cols: append([]Column(nil), cols...)}
+	// Reject prediction cycles: resolve every column's dependency chain.
+	state := make([]uint8, len(cols)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int) error
+	visit = func(i int) error {
+		if state[i] == 2 {
+			return nil
+		}
+		if state[i] == 1 {
+			return fmt.Errorf("colblk: prediction cycle through column %d (%s)", i, cols[i].Name)
+		}
+		state[i] = 1
+		for _, a := range s.predArgs(i) {
+			if err := visit(a); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range cols {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSpec is NewSpec for statically known layouts.
+func MustSpec(cols []Column) *Spec {
+	s, err := NewSpec(cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// predArgs returns the column indexes a column's predictor reads.
+func (s *Spec) predArgs(i int) []int {
+	switch s.cols[i].Pred {
+	case PredCol:
+		return s.cols[i].Arg[:1]
+	case PredVec:
+		return s.cols[i].Arg[:2]
+	default:
+		return nil
+	}
+}
+
+// NumCols returns the number of column slots (including KNone placeholders).
+func (s *Spec) NumCols() int { return len(s.cols) }
+
+// Col returns one column description.
+func (s *Spec) Col(i int) Column { return s.cols[i] }
+
+// CoveredBytes returns the raw per-record footprint of the covered columns:
+// the denominator of the compressed-versus-raw ratio.
+func (s *Spec) CoveredBytes() int {
+	n := 0
+	for _, c := range s.cols {
+		n += c.Kind.Size()
+	}
+	return n
+}
+
+// Fingerprint hashes the layout-relevant parts of the spec (offsets, kinds,
+// predictors — not names). A persisted COLBLK file records it; a mismatch on
+// reload means the schema or the codec's prediction wiring changed and the
+// sidecar must rebuild.
+func (s *Spec) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(s.cols)))
+	for _, c := range s.cols {
+		mix(uint64(c.Offset))
+		mix(uint64(c.Kind)<<16 | uint64(c.Pred)<<8 | uint64(c.Aux))
+		mix(uint64(int64(c.Arg[0]))<<32 | uint64(uint32(int64(c.Arg[1]))))
+	}
+	return h
+}
+
+// key64 maps float64 bit patterns to an unsigned total order that agrees
+// with IEEE ordering on non-NaN values: negative floats (sign bit set) map
+// below positives by complementing, positives set the top bit. -0 orders
+// immediately below +0, -Inf above every negative NaN, +Inf below every
+// positive NaN — so a [keyLo, keyHi] range test over real bounds excludes
+// NaN automatically, matching IEEE comparison semantics.
+func key64(bits uint64) uint64 {
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// unkey64 inverts key64.
+func unkey64(k uint64) uint64 {
+	if k&(1<<63) != 0 {
+		return k ^ (1 << 63)
+	}
+	return ^k
+}
+
+// key64f/key32f are key64/key32 over values instead of bit patterns.
+func key64f(v float64) uint64 { return key64(math.Float64bits(v)) }
+
+func key32f(v float32) uint32 { return key32(math.Float32bits(v)) }
+
+// key32/unkey32 are the float32 analogues of key64/unkey64.
+func key32(bits uint32) uint32 {
+	if bits&(1<<31) != 0 {
+		return ^bits
+	}
+	return bits | 1<<31
+}
+
+func unkey32(k uint32) uint32 {
+	if k&(1<<31) != 0 {
+		return k ^ (1 << 31)
+	}
+	return ^k
+}
+
+// Value converts a key back to the engine's universal float64 value type,
+// exactly as catalog.Field.Read renders the underlying bytes.
+func (k Kind) Value(key uint64) float64 {
+	switch k {
+	case KF32:
+		return float64(math.Float32frombits(unkey32(uint32(key))))
+	case KF64:
+		return math.Float64frombits(unkey64(key))
+	default:
+		return float64(key)
+	}
+}
+
+// InfKeys returns the keys of -Inf and +Inf for a float kind: keys outside
+// [negInf, posInf] are NaN bit patterns. ok is false for integer kinds,
+// which store no NaNs.
+func (k Kind) InfKeys() (negInf, posInf uint64, ok bool) {
+	switch k {
+	case KF32:
+		return uint64(key32(math.Float32bits(float32(math.Inf(-1))))),
+			uint64(key32(math.Float32bits(float32(math.Inf(1))))), true
+	case KF64:
+		return key64(math.Float64bits(math.Inf(-1))),
+			key64(math.Float64bits(math.Inf(1))), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// predict computes the predicted key vector for column ci from the already
+// materialized keys of its predictor inputs. Both the encoder and the
+// decoder call it — with identical inputs, by construction — so residuals
+// cancel exactly.
+func (s *Spec) predict(ci int, n int, keysOf func(int) []uint64, dst []uint64) []uint64 {
+	dst = growU64(dst, n)
+	c := s.cols[ci]
+	switch c.Pred {
+	case PredCol:
+		copy(dst, keysOf(c.Arg[0])[:n])
+	case PredVec:
+		ra := keysOf(c.Arg[0])
+		dec := keysOf(c.Arg[1])
+		for i := 0; i < n; i++ {
+			v := sphere.FromRADec(KF64.Value(ra[i]), KF64.Value(dec[i]))
+			comp := v.X
+			switch c.Aux {
+			case 1:
+				comp = v.Y
+			case 2:
+				comp = v.Z
+			}
+			dst[i] = key64(math.Float64bits(comp))
+		}
+	}
+	return dst
+}
+
+// growU64 returns a slice of length n, reusing buf's storage when possible.
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]uint64, n)
+}

@@ -1,0 +1,401 @@
+package colblk
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testSpec builds a small record layout exercising every kind and both
+// predictors: u64 id, f64 ra/dec, f64 x predicted from ra/dec, f32 mag,
+// f32 err predicted from mag's column, u16 plate, u8 class, plus a KNone
+// placeholder.
+func testSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := NewSpec([]Column{
+		{Name: "id", Offset: 0, Kind: KU64},
+		{Name: "ra", Offset: 8, Kind: KF64},
+		{Name: "dec", Offset: 16, Kind: KF64},
+		{Name: "x", Offset: 24, Kind: KF64, Pred: PredVec, Arg: [2]int{1, 2}, Aux: 0},
+		{Name: "mag", Offset: 32, Kind: KF32},
+		{Name: "err", Offset: 36, Kind: KF32, Pred: PredCol, Arg: [2]int{4}},
+		{Name: "plate", Offset: 40, Kind: KU16},
+		{Name: "class", Offset: 42, Kind: KU8},
+		{Name: "derived", Kind: KNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const testRecSize = 43
+
+// makeRecords synthesizes n records matching testSpec with container-like
+// locality (narrow ra/dec window, monotone ids, few classes); mutate lets
+// tests inject NaN and edge values.
+func makeRecords(t *testing.T, n int, seed int64, mutate func(i int, rec []byte)) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n*testRecSize)
+	id := uint64(rng.Int63())
+	for i := 0; i < n; i++ {
+		rec := data[i*testRecSize:]
+		id += uint64(rng.Intn(1 << 20))
+		binary.LittleEndian.PutUint64(rec[0:], id)
+		ra := 180.0 + 3.0*rng.Float64()
+		dec := 30.0 + 2.5*rng.Float64()
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(ra))
+		binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(dec))
+		x := math.Cos(dec*math.Pi/180) * math.Cos(ra*math.Pi/180)
+		binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(x))
+		mag := float32(14 + 9*rng.Float64())
+		binary.LittleEndian.PutUint32(rec[32:], math.Float32bits(mag))
+		binary.LittleEndian.PutUint32(rec[36:], math.Float32bits(mag))
+		binary.LittleEndian.PutUint16(rec[40:], uint16(rng.Intn(800)))
+		rec[42] = byte(rng.Intn(3))
+		if mutate != nil {
+			mutate(i, rec)
+		}
+	}
+	return data
+}
+
+func checkSlab(t *testing.T, spec *Spec, data []byte, n int, slab *Slab) {
+	t.Helper()
+	if err := slab.Check(data, n, testRecSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	spec := testSpec(t)
+	for _, n := range []int{0, 1, 7, 500} {
+		for seed := int64(1); seed <= 3; seed++ {
+			data := makeRecords(t, n, seed, nil)
+			slab := spec.Encode(data, n, testRecSize, false)
+			checkSlab(t, spec, data, n, slab)
+			raw := spec.Encode(data, n, testRecSize, true)
+			checkSlab(t, spec, data, n, raw)
+		}
+	}
+}
+
+func TestEncodeSpecialValues(t *testing.T) {
+	spec := testSpec(t)
+	n := 64
+	data := makeRecords(t, n, 42, func(i int, rec []byte) {
+		switch i % 8 {
+		case 0: // NaN in f64 and f32 columns
+			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(math.NaN()))
+			binary.LittleEndian.PutUint32(rec[32:], math.Float32bits(float32(math.NaN())))
+		case 1: // negative NaN payload
+			binary.LittleEndian.PutUint64(rec[16:], 0xfff8000000000123)
+		case 2: // infinities
+			binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(math.Inf(1)))
+			binary.LittleEndian.PutUint32(rec[36:], math.Float32bits(float32(math.Inf(-1))))
+		case 3: // signed zeros
+			binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(math.Copysign(0, -1)))
+			binary.LittleEndian.PutUint32(rec[32:], math.Float32bits(float32(math.Copysign(0, -1))))
+		case 4: // subnormals
+			binary.LittleEndian.PutUint64(rec[16:], 1)
+		}
+	})
+	slab := spec.Encode(data, n, testRecSize, false)
+	checkSlab(t, spec, data, n, slab)
+}
+
+func TestEncodingSelection(t *testing.T) {
+	spec := testSpec(t)
+	n := 512
+
+	// Constant column → EncConst.
+	data := makeRecords(t, n, 7, func(i int, rec []byte) { rec[42] = 2 })
+	slab := spec.Encode(data, n, testRecSize, false)
+	if got := slab.Blocks[7].Enc; got != EncConst {
+		t.Errorf("constant class column encoded as %v, want const", got)
+	}
+
+	// Monotone id → delta beats raw by a wide margin.
+	data = makeRecords(t, n, 7, nil)
+	slab = spec.Encode(data, n, testRecSize, false)
+	if got := slab.Blocks[0].Enc; got != EncDelta && got != EncFOR {
+		t.Errorf("monotone id column encoded as %v, want delta or for", got)
+	}
+	if b := &slab.Blocks[0]; b.EncodedBytes() >= n*8 {
+		t.Errorf("id column did not compress: %d bytes vs %d raw", b.EncodedBytes(), n*8)
+	}
+
+	// err == mag exactly → PredCol residuals are all zero.
+	if got := slab.Blocks[5].Enc; got != EncPred {
+		t.Errorf("replicated err column encoded as %v, want pred", got)
+	}
+	if w := slab.Blocks[5].Width; w != 0 {
+		t.Errorf("zero-residual pred block has width %d", w)
+	}
+
+	// class (3 small distinct values) → 2-bit FOR; dict would spend 24
+	// bytes re-stating the values FOR's base+width already imply.
+	if got := slab.Blocks[7].Enc; got != EncFOR {
+		t.Errorf("class column encoded as %v, want for", got)
+	}
+
+	// Dictionary wins when the few distinct values span a huge range:
+	// flag-style bitmasks re-planted in the id column.
+	data = makeRecords(t, n, 8, func(i int, rec []byte) {
+		flags := []uint64{0, 1 << 40, 1 << 62, 1<<40 | 1<<13}
+		binary.LittleEndian.PutUint64(rec[0:], flags[i%len(flags)])
+	})
+	slab = spec.Encode(data, n, testRecSize, false)
+	checkSlab(t, spec, data, n, slab)
+	if got := slab.Blocks[0].Enc; got != EncDict {
+		t.Errorf("sparse bitmask column encoded as %v, want dict", got)
+	}
+
+	// Scaled decimals: overwrite mag with 2-decimal values.
+	data = makeRecords(t, n, 9, func(i int, rec []byte) {
+		v := float32(math.Round(float64(14+i%900)*1.0)/100 + 14)
+		binary.LittleEndian.PutUint32(rec[32:], math.Float32bits(v))
+	})
+	slab = spec.Encode(data, n, testRecSize, false)
+	checkSlab(t, spec, data, n, slab)
+	if got := slab.Blocks[4].Enc; got != EncScaled && got != EncDict && got != EncFOR {
+		t.Errorf("decimal mag column encoded as %v", got)
+	}
+
+	// Forced raw: every stored column EncRaw.
+	slab = spec.Encode(data, n, testRecSize, true)
+	for ci := 0; ci < spec.NumCols(); ci++ {
+		want := EncRaw
+		if spec.Col(ci).Kind == KNone {
+			want = EncNone
+		}
+		if got := slab.Blocks[ci].Enc; got != want {
+			t.Errorf("forced-raw column %d encoded as %v", ci, got)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	spec := testSpec(t)
+	for _, n := range []int{0, 1, 33, 500} {
+		data := makeRecords(t, n, int64(n)+1, func(i int, rec []byte) {
+			if i%5 == 0 {
+				binary.LittleEndian.PutUint32(rec[32:], math.Float32bits(float32(math.NaN())))
+			}
+		})
+		slab := spec.Encode(data, n, testRecSize, false)
+		buf := slab.AppendTo(nil)
+		got, consumed, err := DecodeSlab(spec, n, buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if consumed != len(buf) {
+			t.Fatalf("n=%d: consumed %d of %d bytes", n, consumed, len(buf))
+		}
+		checkSlab(t, spec, data, n, got)
+
+		// Truncation at any prefix must error, not panic or misread.
+		for _, cut := range []int{0, 3, len(buf) / 2, len(buf) - 1} {
+			if cut >= len(buf) {
+				continue
+			}
+			if _, _, err := DecodeSlab(spec, n, buf[:cut]); err == nil {
+				t.Fatalf("n=%d: decode of %d-byte prefix succeeded", n, cut)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptHeader(t *testing.T) {
+	spec := testSpec(t)
+	n := 16
+	data := makeRecords(t, n, 3, nil)
+	buf := spec.Encode(data, n, testRecSize, false).AppendTo(nil)
+	for _, mut := range []struct {
+		name string
+		off  int
+		b    byte
+	}{
+		{"bad encoding", 0, 0xff},
+		{"bad width", 1, 80},
+		{"bad exponent", 2, 99},
+	} {
+		c := append([]byte(nil), buf...)
+		c[mut.off] = mut.b
+		if _, _, err := DecodeSlab(spec, n, c); err == nil {
+			t.Errorf("%s: decode succeeded", mut.name)
+		}
+	}
+}
+
+func TestKeyRangeMatchesFloatSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f64Vals := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1e10, -18.25, -1, -5e-324,
+		math.Copysign(0, -1), 0, 5e-324, 0.5, 1, 17.999999, 18, 18.000001,
+		255, 256, 1e10, math.MaxFloat64, math.Inf(1), math.NaN(), -math.Log(-1),
+	}
+	bounds := []float64{math.Inf(-1), -18.25, -1, 0, 5e-324, 1, 18, 18.000001, 255.5, 1e10, math.Inf(1)}
+	for i := 0; i < 200; i++ {
+		b := rng.NormFloat64() * 100
+		bounds = append(bounds, b)
+		f64Vals = append(f64Vals, b, b+rng.NormFloat64())
+	}
+	for _, kind := range []Kind{KF64, KF32, KU8, KU16, KU64} {
+		for _, lo := range bounds {
+			for _, hi := range bounds {
+				for _, open := range []struct{ lo, hi bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+					kLo, kHi, ok := kind.KeyRange(lo, hi, open.lo, open.hi)
+					for _, f := range f64Vals {
+						key, v, storable := storedKey(kind, f)
+						if !storable {
+							continue
+						}
+						want := cmpIn(v, lo, hi, open.lo, open.hi)
+						got := ok && key >= kLo && key <= kHi
+						if got != want {
+							t.Fatalf("%v KeyRange(%v,%v,%v,%v): value %v (key %#x): got %v want %v",
+								kind, lo, hi, open.lo, open.hi, v, key, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// storedKey maps a float64 test value into the kind's domain, returning the
+// stored key and the float64 reading a scan would compare.
+func storedKey(kind Kind, f float64) (key uint64, v float64, ok bool) {
+	switch kind {
+	case KF64:
+		return key64f(f), f, true
+	case KF32:
+		f32 := float32(f)
+		return uint64(key32f(f32)), float64(f32), true
+	case KU8, KU16, KU64:
+		maxV := uint64(math.MaxUint64)
+		if kind == KU8 {
+			maxV = math.MaxUint8
+		} else if kind == KU16 {
+			maxV = math.MaxUint16
+		}
+		if math.IsNaN(f) || f < 0 || f >= float64(maxV) {
+			return 0, 0, false
+		}
+		u := uint64(f)
+		return u, float64(u), true
+	}
+	return 0, 0, false
+}
+
+func cmpIn(v, lo, hi float64, loOpen, hiOpen bool) bool {
+	okLo := v > lo || (!loOpen && v >= lo)
+	okHi := v < hi || (!hiOpen && v <= hi)
+	return okLo && okHi
+}
+
+func TestInfKeysBracketNaN(t *testing.T) {
+	for _, kind := range []Kind{KF32, KF64} {
+		negInf, posInf, ok := kind.InfKeys()
+		if !ok {
+			t.Fatalf("%v: no inf keys", kind)
+		}
+		nanKey, _, _ := storedKey(kind, math.NaN())
+		negNaN := key64(0xfff8000000000001)
+		if kind == KF32 {
+			negNaN = uint64(key32(0xffc00001))
+		}
+		if nanKey >= negInf && nanKey <= posInf {
+			t.Errorf("%v: positive NaN key inside [-Inf,+Inf] key range", kind)
+		}
+		if negNaN >= negInf && negNaN <= posInf {
+			t.Errorf("%v: negative NaN key inside [-Inf,+Inf] key range", kind)
+		}
+		lo, hi, ok := kind.KeyRange(math.Inf(-1), math.Inf(1), false, false)
+		if !ok || lo != negInf || hi != posInf {
+			t.Errorf("%v: KeyRange(-Inf,+Inf) = [%#x,%#x] ok=%v, want [%#x,%#x]", kind, lo, hi, ok, negInf, posInf)
+		}
+	}
+}
+
+func TestReaderLazyDecode(t *testing.T) {
+	spec := testSpec(t)
+	n := 128
+	data := makeRecords(t, n, 5, nil)
+	slab := spec.Encode(data, n, testRecSize, false)
+	r := NewReader()
+	r.Reset(slab)
+	if r.BytesDecoded() != 0 {
+		t.Fatal("bytes decoded before any column access")
+	}
+	_ = r.Keys(7)
+	afterOne := r.BytesDecoded()
+	if afterOne <= 0 {
+		t.Fatal("decoding a column did not count bytes")
+	}
+	_ = r.Keys(7)
+	if r.BytesDecoded() != afterOne {
+		t.Fatal("re-reading a decoded column counted bytes again")
+	}
+	// A predicted column decodes its inputs too.
+	_ = r.Keys(3)
+	if r.BytesDecoded() <= afterOne {
+		t.Fatal("predicted column decode counted nothing")
+	}
+	// Values match the raw reads.
+	for i := 0; i < n; i++ {
+		want := math.Float64frombits(binary.LittleEndian.Uint64(data[i*testRecSize+24:]))
+		if got := r.Value(3, i); got != want {
+			t.Fatalf("record %d: predicted column decode %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := NewSpec([]Column{
+		{Name: "a", Kind: KF32, Pred: PredCol, Arg: [2]int{1}},
+		{Name: "b", Kind: KF32, Pred: PredCol, Arg: [2]int{0}},
+	}); err == nil {
+		t.Error("prediction cycle accepted")
+	}
+	if _, err := NewSpec([]Column{
+		{Name: "a", Kind: KF32, Pred: PredCol, Arg: [2]int{5}},
+	}); err == nil {
+		t.Error("out-of-range predictor accepted")
+	}
+	if _, err := NewSpec([]Column{
+		{Name: "a", Kind: KF64},
+		{Name: "b", Kind: KF32, Pred: PredCol, Arg: [2]int{0}},
+	}); err == nil {
+		t.Error("kind-mismatched PredCol accepted")
+	}
+	if _, err := NewSpec([]Column{
+		{Name: "a", Kind: KF32, Pred: PredVec, Arg: [2]int{0, 0}},
+	}); err == nil {
+		t.Error("PredVec on f32 accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := testSpec(t).Fingerprint()
+	s2, err := NewSpec([]Column{
+		{Name: "id", Offset: 0, Kind: KU64},
+		{Name: "ra", Offset: 8, Kind: KF64},
+		{Name: "dec", Offset: 16, Kind: KF64},
+		{Name: "x", Offset: 24, Kind: KF64, Pred: PredVec, Arg: [2]int{1, 2}, Aux: 1}, // Aux changed
+		{Name: "mag", Offset: 32, Kind: KF32},
+		{Name: "err", Offset: 36, Kind: KF32, Pred: PredCol, Arg: [2]int{4}},
+		{Name: "plate", Offset: 40, Kind: KU16},
+		{Name: "class", Offset: 42, Kind: KU8},
+		{Name: "derived", Kind: KNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fingerprint() == base {
+		t.Error("fingerprint ignores predictor component")
+	}
+}

@@ -1,0 +1,179 @@
+package colblk
+
+import (
+	"fmt"
+)
+
+// Reader materializes slab columns into key vectors on demand, reusing its
+// scratch buffers across containers: a scan worker keeps one Reader and
+// Resets it per slab, decoding only the columns the query touches.
+// Predictor inputs decode recursively (the spec's acyclicity guarantee
+// bounds the recursion).
+type Reader struct {
+	slab    *Slab
+	keys    [][]uint64
+	done    []bool
+	pred    []uint64
+	decoded int64
+}
+
+// NewReader returns an empty reader; call Reset before Keys.
+func NewReader() *Reader { return &Reader{} }
+
+// Reset points the reader at a slab, invalidating previously decoded
+// columns but keeping their buffers.
+func (r *Reader) Reset(s *Slab) {
+	r.slab = s
+	if cap(r.keys) < s.Spec.NumCols() {
+		r.keys = make([][]uint64, s.Spec.NumCols())
+		r.done = make([]bool, s.Spec.NumCols())
+	}
+	r.keys = r.keys[:s.Spec.NumCols()]
+	r.done = r.done[:s.Spec.NumCols()]
+	for i := range r.done {
+		r.done[i] = false
+	}
+}
+
+// BytesDecoded returns the cumulative encoded bytes materialized since the
+// reader was created — the scan path's bytes_decoded counter. Dictionary
+// probes that skip a block entirely never add to it.
+func (r *Reader) BytesDecoded() int64 { return r.decoded }
+
+// Keys returns column ci's key vector, decoding it (and any predictor
+// inputs) on first use. The returned slice is valid until the next Reset.
+func (r *Reader) Keys(ci int) []uint64 {
+	if r.done[ci] {
+		return r.keys[ci]
+	}
+	b := &r.slab.Blocks[ci]
+	n := r.slab.N
+	dst := growU64(r.keys[ci], n)
+	switch b.Enc {
+	case EncNone:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case EncConst:
+		for i := range dst {
+			dst[i] = b.Base
+		}
+	case EncRaw, EncFOR:
+		unpackBits(b.Payload, n, b.Base, int(b.Width), dst)
+	case EncDelta:
+		if n > 0 {
+			unpackBits(b.Payload, n-1, 0, int(b.Width), dst[1:])
+			prev := b.Base
+			dst[0] = prev
+			for i := 1; i < n; i++ {
+				prev += uint64(unzigzag(dst[i]))
+				dst[i] = prev
+			}
+		}
+	case EncDict:
+		unpackBits(b.Payload, n, 0, int(b.Width), dst)
+		for i, c := range dst {
+			dst[i] = b.Dict[c]
+		}
+	case EncScaled:
+		unpackBits(b.Payload, n, b.Base, int(b.Width), dst)
+		kind := r.slab.Spec.Col(ci).Kind
+		m := pow10[b.Ext]
+		for i, u := range dst {
+			dst[i] = scaledKey(int64(u), m, kind)
+		}
+	case EncPred:
+		r.pred = r.slab.Spec.predict(ci, n, r.Keys, r.pred)
+		unpackBits(b.Payload, n, 0, int(b.Width), dst)
+		for i, z := range dst {
+			dst[i] = r.pred[i] + uint64(unzigzag(z))
+		}
+	}
+	r.keys[ci] = dst
+	r.done[ci] = true
+	r.decoded += int64(b.EncodedBytes())
+	return dst
+}
+
+// Value returns record i's column ci as a float64, decoding the column on
+// first use.
+func (r *Reader) Value(ci, i int) float64 {
+	return r.slab.Spec.Col(ci).Kind.Value(r.Keys(ci)[i])
+}
+
+// KeyBounds returns conservative bounds on every key the block can decode
+// to, computed from the block header alone — no codes are unpacked. The
+// scan path probes them (and, for dictionaries, the sorted key set itself)
+// to dismiss whole blocks whose key range cannot intersect a predicate.
+// ok=false means the encoding carries no cheap bounds (delta and predicted
+// blocks would need a decode to know their extremes).
+func (b *Block) KeyBounds(kind Kind) (lo, hi uint64, ok bool) {
+	switch b.Enc {
+	case EncNone:
+		return 0, 0, true
+	case EncConst:
+		return b.Base, b.Base, true
+	case EncRaw, EncFOR:
+		if b.Width >= 64 {
+			return 0, 0, false
+		}
+		return b.Base, b.Base + (uint64(1)<<b.Width - 1), true
+	case EncDict:
+		if len(b.Dict) == 0 {
+			return 0, 0, false
+		}
+		return b.Dict[0], b.Dict[len(b.Dict)-1], true
+	case EncScaled:
+		if b.Width >= 64 {
+			return 0, 0, false
+		}
+		// Keys are monotone in the packed scaled integer (s/m is monotone
+		// in s, and the key transform is monotone over non-NaN values), so
+		// the packed extremes bound the key range.
+		m := pow10[b.Ext]
+		sLo := int64(b.Base)
+		sHi := sLo + int64(uint64(1)<<b.Width-1)
+		return scaledKey(sLo, m, kind), scaledKey(sHi, m, kind), true
+	default:
+		return 0, 0, false
+	}
+}
+
+// scaledKey rebuilds the key of the scaled integer s/m at the kind's
+// precision — the exact inverse of encodeScaled's round-trip check.
+func scaledKey(s int64, m float64, kind Kind) uint64 {
+	v := float64(s) / m
+	if kind == KF32 {
+		return uint64(key32f(float32(v)))
+	}
+	return key64f(v)
+}
+
+// Check verifies a slab against the raw records it claims to encode: every
+// column must decode to exactly the keys extracted from the record bytes.
+// It is the COLBLK analogue of store.CheckZone's invariant sweep.
+func (s *Slab) Check(data []byte, n, recSize int) error {
+	if n != s.N {
+		return fmt.Errorf("colblk: slab covers %d records, container holds %d", s.N, n)
+	}
+	if len(s.Blocks) != s.Spec.NumCols() {
+		return fmt.Errorf("colblk: slab has %d blocks for %d columns", len(s.Blocks), s.Spec.NumCols())
+	}
+	r := NewReader()
+	r.Reset(s)
+	var want []uint64
+	for ci := 0; ci < s.Spec.NumCols(); ci++ {
+		if s.Spec.Col(ci).Kind == KNone {
+			continue
+		}
+		got := r.Keys(ci)
+		want = s.Spec.extractKeys(data, n, recSize, ci, want)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				return fmt.Errorf("colblk: column %d (%s) record %d: decoded key %#x, raw key %#x",
+					ci, s.Spec.Col(ci).Name, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,422 @@
+package colblk
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Encoding identifies how one column block packs its keys.
+type Encoding uint8
+
+const (
+	// EncNone is the block of a KNone column: no stored bytes.
+	EncNone Encoding = iota
+	// EncConst: every key equals Base; no payload.
+	EncConst
+	// EncRaw: keys at the kind's fixed width, little-endian.
+	EncRaw
+	// EncFOR: frame of reference — Width-bit offsets from Base (the
+	// minimum key).
+	EncFOR
+	// EncDelta: Base is the first key; the payload packs zig-zag deltas
+	// between consecutive keys at Width bits.
+	EncDelta
+	// EncDict: Dict holds the sorted distinct keys; the payload packs
+	// dictionary codes at Width bits.
+	EncDict
+	// EncScaled: every value equals an integer divided by 10^Ext; the
+	// payload packs Width-bit offsets of that integer from Base
+	// (interpreted as the minimum integer, two's complement).
+	EncScaled
+	// EncPred: the payload packs zig-zag residuals between each key and
+	// the predictor's key at Width bits.
+	EncPred
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncNone:
+		return "none"
+	case EncConst:
+		return "const"
+	case EncRaw:
+		return "raw"
+	case EncFOR:
+		return "for"
+	case EncDelta:
+		return "delta"
+	case EncDict:
+		return "dict"
+	case EncScaled:
+		return "scaled"
+	case EncPred:
+		return "pred"
+	default:
+		return "invalid"
+	}
+}
+
+// maxPackWidth bounds packed widths so every unpack is a single unaligned
+// 64-bit load: a Width-bit value shifted by at most 7 bits must fit in 64.
+const maxPackWidth = 56
+
+// maxDictSize caps dictionary encoding at byte-wide codes.
+const maxDictSize = 256
+
+// blockPad is appended to every packed payload so unpack may always read a
+// full 8-byte word at the last value's byte offset.
+const blockPad = 8
+
+// Block is one encoded column of one container slab.
+type Block struct {
+	Enc     Encoding
+	Width   uint8
+	Ext     uint8 // EncScaled: the power-of-ten exponent
+	Base    uint64
+	Dict    []uint64 // EncDict only: sorted distinct keys
+	Payload []byte
+}
+
+// EncodedBytes returns the block's serialized footprint (header + dict +
+// payload): the numerator of the compressed-versus-raw ratio.
+func (b *Block) EncodedBytes() int {
+	return blockHeaderSize + 8*len(b.Dict) + len(b.Payload)
+}
+
+// Slab is the column-block form of one container's records: one block per
+// spec column, all of length N.
+type Slab struct {
+	Spec   *Spec
+	N      int
+	Blocks []Block
+}
+
+// EncodedBytes sums the serialized footprint of every block.
+func (s *Slab) EncodedBytes() int {
+	n := 0
+	for i := range s.Blocks {
+		n += s.Blocks[i].EncodedBytes()
+	}
+	return n
+}
+
+// RawBytes is the uncompressed footprint of the covered columns for the
+// slab's record count.
+func (s *Slab) RawBytes() int { return s.N * s.Spec.CoveredBytes() }
+
+// extractKeys gathers column ci's keys from n records of recSize bytes.
+func (s *Spec) extractKeys(data []byte, n, recSize, ci int, dst []uint64) []uint64 {
+	dst = growU64(dst, n)
+	c := s.cols[ci]
+	off := c.Offset
+	switch c.Kind {
+	case KU8:
+		for i := 0; i < n; i++ {
+			dst[i] = uint64(data[i*recSize+off])
+		}
+	case KU16:
+		for i := 0; i < n; i++ {
+			dst[i] = uint64(binary.LittleEndian.Uint16(data[i*recSize+off:]))
+		}
+	case KU64:
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint64(data[i*recSize+off:])
+		}
+	case KF32:
+		for i := 0; i < n; i++ {
+			dst[i] = uint64(key32(binary.LittleEndian.Uint32(data[i*recSize+off:])))
+		}
+	case KF64:
+		for i := 0; i < n; i++ {
+			dst[i] = key64(binary.LittleEndian.Uint64(data[i*recSize+off:]))
+		}
+	}
+	return dst
+}
+
+// Encode builds the column-block slab for n records. raw forces EncRaw for
+// every stored column — the compression-off arm of the kernel ablation,
+// which keeps the kernel scan path identical while isolating the codec's
+// contribution.
+func (s *Spec) Encode(data []byte, n, recSize int, raw bool) *Slab {
+	slab := &Slab{Spec: s, N: n, Blocks: make([]Block, len(s.cols))}
+	keys := make([][]uint64, len(s.cols))
+	keysOf := func(ci int) []uint64 { return keys[ci] }
+	var pred []uint64
+	for ci, c := range s.cols {
+		if c.Kind == KNone {
+			slab.Blocks[ci] = Block{Enc: EncNone}
+			continue
+		}
+		keys[ci] = s.extractKeys(data, n, recSize, ci, nil)
+		if raw {
+			slab.Blocks[ci] = encodeRaw(keys[ci], c.Kind)
+			continue
+		}
+		pred = pred[:0]
+		if c.Pred != PredNone {
+			pred = s.predict(ci, n, keysOf, pred)
+		}
+		slab.Blocks[ci] = encodeKeys(keys[ci], c.Kind, pred)
+	}
+	return slab
+}
+
+// encodeKeys picks the cheapest applicable encoding for one key vector.
+// Candidates are tried in decode-cost order so byte ties go to the faster
+// scheme.
+func encodeKeys(keys []uint64, kind Kind, pred []uint64) Block {
+	n := len(keys)
+	if n == 0 {
+		return Block{Enc: EncConst}
+	}
+	minK, maxK := keys[0], keys[0]
+	constant := true
+	ascending := true
+	for i, k := range keys {
+		if k < minK {
+			minK = k
+		}
+		if k > maxK {
+			maxK = k
+		}
+		if k != keys[0] {
+			constant = false
+		}
+		if i > 0 && k < keys[i-1] {
+			ascending = false
+		}
+	}
+	if constant {
+		return Block{Enc: EncConst, Base: keys[0]}
+	}
+
+	best := encodeRaw(keys, kind)
+	bestCost := best.EncodedBytes()
+	consider := func(b Block, ok bool) {
+		if ok {
+			if c := b.EncodedBytes(); c < bestCost {
+				best, bestCost = b, c
+			}
+		}
+	}
+
+	// Frame of reference over [minK, maxK].
+	if w := bits.Len64(maxK - minK); w <= maxPackWidth {
+		consider(Block{Enc: EncFOR, Width: uint8(w), Base: minK,
+			Payload: packBits(keys, minK, w)}, true)
+	}
+
+	// Sequential deltas: only profitable (and only attempted) on sorted
+	// keys, where zig-zag deltas are small positives.
+	if ascending {
+		consider(encodeDelta(keys))
+	}
+
+	// Dictionary of distinct keys.
+	consider(encodeDict(keys))
+
+	// Scaled decimal for float kinds.
+	if kind.Float() {
+		consider(encodeScaled(keys, kind))
+	}
+
+	// Predictor residuals.
+	if len(pred) == n {
+		consider(encodePred(keys, pred))
+	}
+	return best
+}
+
+// encodeRaw packs keys at the kind's natural width.
+func encodeRaw(keys []uint64, kind Kind) Block {
+	w := kind.Size() * 8
+	return Block{Enc: EncRaw, Width: uint8(w), Payload: packBits(keys, 0, w)}
+}
+
+func encodeDelta(keys []uint64) (Block, bool) {
+	var maxZZ uint64
+	for i := 1; i < len(keys); i++ {
+		if z := zigzag(int64(keys[i] - keys[i-1])); z > maxZZ {
+			maxZZ = z
+		}
+	}
+	w := bits.Len64(maxZZ)
+	if w > maxPackWidth {
+		return Block{}, false
+	}
+	deltas := make([]uint64, len(keys)-1)
+	for i := 1; i < len(keys); i++ {
+		deltas[i-1] = zigzag(int64(keys[i] - keys[i-1]))
+	}
+	return Block{Enc: EncDelta, Width: uint8(w), Base: keys[0],
+		Payload: packBits(deltas, 0, w)}, true
+}
+
+func encodeDict(keys []uint64) (Block, bool) {
+	// Distinct keys via a fixed open-addressed probe table instead of a
+	// map: encodeDict runs as a trial for every column of every container,
+	// and per-trial map allocations dominated whole-store build cost.
+	const tableSize = 512 // power of two, > 2*maxDictSize for short probes
+	var table [tableSize]uint64
+	var used [tableSize]bool
+	distinct := 0
+	for _, k := range keys {
+		h := (k * 0x9E3779B97F4A7C15) >> (64 - 9)
+		for used[h] && table[h] != k {
+			h = (h + 1) & (tableSize - 1)
+		}
+		if !used[h] {
+			used[h] = true
+			table[h] = k
+			if distinct++; distinct > maxDictSize {
+				return Block{}, false
+			}
+		}
+	}
+	dict := make([]uint64, 0, distinct)
+	for i, u := range used {
+		if u {
+			dict = append(dict, table[i])
+		}
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	w := bits.Len64(uint64(len(dict) - 1))
+	codes := make([]uint64, len(keys))
+	for i, k := range keys {
+		codes[i] = uint64(sort.Search(len(dict), func(j int) bool { return dict[j] >= k }))
+	}
+	return Block{Enc: EncDict, Width: uint8(w), Dict: dict,
+		Payload: packBits(codes, 0, w)}, true
+}
+
+// pow10 holds the exact powers of ten scaled-decimal encoding may use:
+// beyond 10^7 the integer range stops paying against plain FOR.
+var pow10 = [8]float64{1, 10, 100, 1000, 10000, 100000, 1000000, 10000000}
+
+func encodeScaled(keys []uint64, kind Kind) (Block, bool) {
+	// Find the smallest exponent under which every value is exactly a
+	// scaled integer and division reproduces the stored bits.
+	ints := make([]int64, len(keys))
+exp:
+	for e := 0; e < len(pow10); e++ {
+		m := pow10[e]
+		for i, k := range keys {
+			v := kind.Value(k)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Block{}, false
+			}
+			s := math.Round(v * m)
+			if math.Abs(s) >= 1<<53 {
+				return Block{}, false
+			}
+			if !scaledRoundTrips(s, m, k, kind) {
+				continue exp
+			}
+			ints[i] = int64(s)
+		}
+		minI, maxI := ints[0], ints[0]
+		for _, v := range ints {
+			if v < minI {
+				minI = v
+			}
+			if v > maxI {
+				maxI = v
+			}
+		}
+		w := bits.Len64(uint64(maxI - minI))
+		if w > maxPackWidth {
+			return Block{}, false
+		}
+		us := make([]uint64, len(ints))
+		for i, v := range ints {
+			us[i] = uint64(v - minI)
+		}
+		return Block{Enc: EncScaled, Width: uint8(w), Ext: uint8(e),
+			Base: uint64(minI), Payload: packBits(us, 0, w)}, true
+	}
+	return Block{}, false
+}
+
+// scaledRoundTrips verifies that s/m reproduces the key's exact bit
+// pattern under the kind's precision.
+func scaledRoundTrips(s, m float64, key uint64, kind Kind) bool {
+	if kind == KF32 {
+		return key32(math.Float32bits(float32(s/m))) == uint32(key)
+	}
+	return key64(math.Float64bits(s/m)) == key
+}
+
+func encodePred(keys, pred []uint64) (Block, bool) {
+	var maxZZ uint64
+	for i, k := range keys {
+		if z := zigzag(int64(k - pred[i])); z > maxZZ {
+			maxZZ = z
+		}
+	}
+	w := bits.Len64(maxZZ)
+	if w > maxPackWidth {
+		return Block{}, false
+	}
+	res := make([]uint64, len(keys))
+	for i, k := range keys {
+		res[i] = zigzag(int64(k - pred[i]))
+	}
+	return Block{Enc: EncPred, Width: uint8(w), Payload: packBits(res, 0, w)}, true
+}
+
+// zigzag folds signed deltas into small unsigned values.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }
+
+// packBits writes (v - base) for each value at w bits, little-endian bit
+// order, with blockPad trailing zero bytes so unpackBits can always load a
+// whole word. w must be ≤ maxPackWidth or a multiple of 8 up to 64 (the
+// EncRaw widths), and every v-base must fit in w bits.
+func packBits(vals []uint64, base uint64, w int) []byte {
+	out := make([]byte, (len(vals)*w+7)/8+blockPad)
+	if w == 0 {
+		return out
+	}
+	if w == 64 {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[i*8:], v-base)
+		}
+		return out
+	}
+	bit := 0
+	for _, v := range vals {
+		off := bit >> 3
+		cur := binary.LittleEndian.Uint64(out[off:])
+		binary.LittleEndian.PutUint64(out[off:], cur|(v-base)<<uint(bit&7))
+		bit += w
+	}
+	return out
+}
+
+// unpackBits reads n w-bit values into dst, adding base. Payload must carry
+// blockPad slack past the packed bits.
+func unpackBits(payload []byte, n int, base uint64, w int, dst []uint64) {
+	if w == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = base
+		}
+		return
+	}
+	if w == 64 {
+		for i := 0; i < n; i++ {
+			dst[i] = base + binary.LittleEndian.Uint64(payload[i*8:])
+		}
+		return
+	}
+	mask := uint64(1)<<uint(w) - 1
+	bit := 0
+	for i := 0; i < n; i++ {
+		word := binary.LittleEndian.Uint64(payload[bit>>3:])
+		dst[i] = base + (word>>uint(bit&7))&mask
+		bit += w
+	}
+}

@@ -1,0 +1,111 @@
+package colblk
+
+import (
+	"encoding/binary"
+)
+
+// COLBLK sidecar file format. The store persists one sidecar per slice
+// directory: a fixed prologue (magic, format version, column-spec
+// fingerprint, container count) followed by one entry per container —
+// trixel ID, record count, slab length, FNV-1a checksum, then the slab
+// bytes from Slab.AppendTo. The byte layout lives here, next to the slab
+// codec it frames, so the store addresses the format only through these
+// helpers.
+
+const (
+	// FileMagic opens every COLBLK sidecar.
+	FileMagic = "SDSSCBLK"
+	// FileVersion is the current sidecar format version; readers reject
+	// any other value and let slabs rebuild from the records.
+	FileVersion = 1
+
+	fileHdrLen   = 8 + 4 + 8 + 4
+	fileEntryLen = 8 + 8 + 4 + 8
+)
+
+// FileEntry is one container's parsed sidecar entry.
+type FileEntry struct {
+	ID      uint64 // trixel ID the slab belongs to
+	Records int    // record count the slab was built over
+	Slab    []byte // encoded slab bytes (aliases the parsed buffer)
+}
+
+// AppendFileHeader appends the sidecar prologue for a store holding
+// containers many containers under the given column-spec fingerprint.
+func AppendFileHeader(dst []byte, fingerprint uint64, containers int) []byte {
+	var hdr [fileHdrLen]byte
+	copy(hdr[:8], FileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], FileVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], fingerprint)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(containers))
+	return append(dst, hdr[:]...)
+}
+
+// ParseFileHeader validates the prologue against the expected fingerprint.
+// It returns the container count and the prologue length. ok is false on
+// any mismatch — magic, version, fingerprint, or truncation — in which
+// case the whole file is ignored and slabs rebuild from the records.
+func ParseFileHeader(b []byte, fingerprint uint64) (count, n int, ok bool) {
+	if len(b) < fileHdrLen || string(b[:8]) != FileMagic {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != FileVersion {
+		return 0, 0, false
+	}
+	if binary.LittleEndian.Uint64(b[12:]) != fingerprint {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(b[20:])), fileHdrLen, true
+}
+
+// AppendFileEntry appends one container entry: the fixed header, the
+// checksum over header and slab, then the slab bytes.
+func AppendFileEntry(dst []byte, id uint64, records int, slab []byte) []byte {
+	var ent [fileEntryLen]byte
+	binary.LittleEndian.PutUint64(ent[:], id)
+	binary.LittleEndian.PutUint64(ent[8:], uint64(records))
+	binary.LittleEndian.PutUint32(ent[16:], uint32(len(slab)))
+	binary.LittleEndian.PutUint64(ent[20:], fileSum(ent[:20], slab))
+	dst = append(dst, ent[:]...)
+	return append(dst, slab...)
+}
+
+// ParseFileEntry reads the entry starting at b. It returns the entry and
+// the total bytes consumed. ok is false on truncation or checksum
+// mismatch; the checksum catches bit flips that would otherwise decode to
+// plausible-but-wrong keys and silently corrupt query results.
+func ParseFileEntry(b []byte) (ent FileEntry, n int, ok bool) {
+	if len(b) < fileEntryLen {
+		return FileEntry{}, 0, false
+	}
+	hdr := b[:fileEntryLen]
+	slabLen := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if len(b) < fileEntryLen+slabLen {
+		return FileEntry{}, 0, false
+	}
+	slab := b[fileEntryLen : fileEntryLen+slabLen]
+	if fileSum(hdr[:20], slab) != binary.LittleEndian.Uint64(hdr[20:]) {
+		return FileEntry{}, 0, false
+	}
+	return FileEntry{
+		ID:      binary.LittleEndian.Uint64(hdr),
+		Records: int(binary.LittleEndian.Uint64(hdr[8:])),
+		Slab:    slab,
+	}, fileEntryLen + slabLen, true
+}
+
+// fileSum is FNV-1a over an entry header and its slab bytes.
+func fileSum(hdr, slab []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range [2][]byte{hdr, slab} {
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -1,0 +1,238 @@
+package colblk
+
+import "math"
+
+// KeyRange translates a predicate interval on a column — float64 bounds
+// with open/closed endpoints, exactly as the bounds analyzer produces them —
+// into the column's key domain: k is in [kLo, kHi] if and only if the
+// stored value v it decodes to satisfies the interval under float64
+// comparison (`lo <(=) float64(v) <(=) hi`). ok=false means no storable
+// value satisfies the interval, so the block matches nothing.
+//
+// NaN values always fall outside the returned range (their keys sit outside
+// [key(-Inf), key(+Inf)]), matching IEEE comparisons returning false — the
+// nansafe convention the row path gets for free from Go's < operator.
+//
+// Because stored kinds are narrower than the float64 bound (float32
+// rounding, integer plateaus above 2^53), the mapping computes the exact
+// preimage: the least representable value whose float64 reading satisfies
+// the lower test, and the greatest satisfying the upper. Signed zeros fall
+// out of the same numeric walk (-0 >= 0 holds, so a lower bound of 0
+// admits -0's key).
+func (k Kind) KeyRange(lo, hi float64, loOpen, hiOpen bool) (kLo, kHi uint64, ok bool) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, 0, false
+	}
+	switch k {
+	case KF64:
+		kLo, ok = f64KeyCeil(lo, loOpen)
+		if !ok {
+			return 0, 0, false
+		}
+		kHi, ok = f64KeyFloor(hi, hiOpen)
+	case KF32:
+		kLo, ok = f32KeyCeil(lo, loOpen)
+		if !ok {
+			return 0, 0, false
+		}
+		kHi, ok = f32KeyFloor(hi, hiOpen)
+	case KU8, KU16, KU64:
+		maxV := uint64(math.MaxUint64)
+		switch k {
+		case KU8:
+			maxV = math.MaxUint8
+		case KU16:
+			maxV = math.MaxUint16
+		}
+		kLo, ok = intKeyCeil(lo, loOpen, maxV)
+		if !ok {
+			return 0, 0, false
+		}
+		kHi, ok = intKeyFloor(hi, hiOpen, maxV)
+	default:
+		return 0, 0, false
+	}
+	if !ok || kLo > kHi {
+		return 0, 0, false
+	}
+	return kLo, kHi, true
+}
+
+// f64KeyCeil returns the smallest float64 key whose value satisfies
+// `v > lo` (open) or `v >= lo` (closed); ok=false if none does.
+func f64KeyCeil(lo float64, open bool) (uint64, bool) {
+	sat := func(k uint64) bool {
+		v := math.Float64frombits(unkey64(k))
+		if open {
+			return v > lo
+		}
+		return v >= lo
+	}
+	minKey := key64f(math.Inf(-1))
+	maxKey := key64f(math.Inf(1))
+	k := key64f(lo)
+	if math.IsInf(lo, -1) {
+		k = minKey
+	} else if math.IsInf(lo, 1) {
+		k = maxKey
+	}
+	// key64f(lo) is an exact representation of lo, so at most the signed
+	// zeros or an open endpoint separate it from the boundary.
+	for k > minKey && sat(k-1) {
+		k--
+	}
+	for !sat(k) {
+		if k == maxKey {
+			return 0, false
+		}
+		k++
+	}
+	return k, true
+}
+
+// f64KeyFloor mirrors f64KeyCeil for `v < hi` / `v <= hi`.
+func f64KeyFloor(hi float64, open bool) (uint64, bool) {
+	sat := func(k uint64) bool {
+		v := math.Float64frombits(unkey64(k))
+		if open {
+			return v < hi
+		}
+		return v <= hi
+	}
+	minKey := key64f(math.Inf(-1))
+	maxKey := key64f(math.Inf(1))
+	k := key64f(hi)
+	if math.IsInf(hi, -1) {
+		k = minKey
+	} else if math.IsInf(hi, 1) {
+		k = maxKey
+	}
+	for k < maxKey && sat(k+1) {
+		k++
+	}
+	for !sat(k) {
+		if k == minKey {
+			return 0, false
+		}
+		k--
+	}
+	return k, true
+}
+
+// f32KeyCeil finds the smallest float32 key whose float64 reading satisfies
+// the lower test. float32(lo) rounds to nearest, so the walk moves at most
+// a couple of ulps.
+func f32KeyCeil(lo float64, open bool) (uint64, bool) {
+	sat := func(k uint32) bool {
+		v := float64(math.Float32frombits(unkey32(k)))
+		if open {
+			return v > lo
+		}
+		return v >= lo
+	}
+	minKey := key32f(float32(math.Inf(-1)))
+	maxKey := key32f(float32(math.Inf(1)))
+	k := key32f(float32(lo)) // ±Inf for out-of-range lo, which the walk corrects
+	if k < minKey {
+		k = minKey
+	} else if k > maxKey {
+		k = maxKey
+	}
+	for k > minKey && sat(k-1) {
+		k--
+	}
+	for !sat(k) {
+		if k == maxKey {
+			return 0, false
+		}
+		k++
+	}
+	return uint64(k), true
+}
+
+// f32KeyFloor mirrors f32KeyCeil for the upper test.
+func f32KeyFloor(hi float64, open bool) (uint64, bool) {
+	sat := func(k uint32) bool {
+		v := float64(math.Float32frombits(unkey32(k)))
+		if open {
+			return v < hi
+		}
+		return v <= hi
+	}
+	minKey := key32f(float32(math.Inf(-1)))
+	maxKey := key32f(float32(math.Inf(1)))
+	k := key32f(float32(hi))
+	if k < minKey {
+		k = minKey
+	} else if k > maxKey {
+		k = maxKey
+	}
+	for k < maxKey && sat(k+1) {
+		k++
+	}
+	for !sat(k) {
+		if k == minKey {
+			return 0, false
+		}
+		k--
+	}
+	return uint64(k), true
+}
+
+// intKeyCeil returns the smallest v in [0, maxV] with float64(v) > lo
+// (open) or >= lo (closed). Above 2^53 several integers share one float64
+// reading, so the boundary walks the rounding plateau (at most 2^11 steps
+// for uint64 — plan-time cost only).
+func intKeyCeil(lo float64, open bool, maxV uint64) (uint64, bool) {
+	sat := func(v uint64) bool {
+		if open {
+			return float64(v) > lo
+		}
+		return float64(v) >= lo
+	}
+	v := intApprox(lo, maxV)
+	for v > 0 && sat(v-1) {
+		v--
+	}
+	for !sat(v) {
+		if v == maxV {
+			return 0, false
+		}
+		v++
+	}
+	return v, true
+}
+
+// intKeyFloor mirrors intKeyCeil for the upper test.
+func intKeyFloor(hi float64, open bool, maxV uint64) (uint64, bool) {
+	sat := func(v uint64) bool {
+		if open {
+			return float64(v) < hi
+		}
+		return float64(v) <= hi
+	}
+	v := intApprox(hi, maxV)
+	for v < maxV && sat(v+1) {
+		v++
+	}
+	for !sat(v) {
+		if v == 0 {
+			return 0, false
+		}
+		v--
+	}
+	return v, true
+}
+
+// intApprox converts a float64 to a nearby uint64 in [0, maxV], clamping
+// instead of relying on Go's implementation-defined out-of-range
+// conversion.
+func intApprox(f float64, maxV uint64) uint64 {
+	if !(f > 0) { // also catches NaN, excluded by KeyRange
+		return 0
+	}
+	if f >= float64(maxV) {
+		return maxV
+	}
+	return uint64(f)
+}

@@ -1,0 +1,130 @@
+package colblk
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// blockHeaderSize is the fixed serialized prefix of one block: encoding,
+// width, exponent, reserved byte, dict length, payload length, base.
+const blockHeaderSize = 1 + 1 + 1 + 1 + 4 + 4 + 8
+
+// AppendTo serializes the slab's blocks (the spec itself is not stored —
+// the container file records the spec fingerprint once).
+func (s *Slab) AppendTo(buf []byte) []byte {
+	var hdr [blockHeaderSize]byte
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		hdr[0] = byte(b.Enc)
+		hdr[1] = b.Width
+		hdr[2] = b.Ext
+		hdr[3] = 0
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Dict)))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.Payload)))
+		binary.LittleEndian.PutUint64(hdr[12:], b.Base)
+		buf = append(buf, hdr[:]...)
+		for _, d := range b.Dict {
+			var w [8]byte
+			binary.LittleEndian.PutUint64(w[:], d)
+			buf = append(buf, w[:]...)
+		}
+		buf = append(buf, b.Payload...)
+	}
+	return buf
+}
+
+// DecodeSlab parses one slab of n records for the given spec, returning the
+// slab and the number of bytes consumed. It validates structure (encoding
+// tags, widths, payload sizes) but not content — Check compares decoded
+// keys against raw records when the caller wants the full invariant.
+func DecodeSlab(spec *Spec, n int, buf []byte) (*Slab, int, error) {
+	s := &Slab{Spec: spec, N: n, Blocks: make([]Block, spec.NumCols())}
+	off := 0
+	for ci := 0; ci < spec.NumCols(); ci++ {
+		if off+blockHeaderSize > len(buf) {
+			return nil, 0, fmt.Errorf("colblk: truncated block header for column %d", ci)
+		}
+		h := buf[off:]
+		b := Block{
+			Enc:   Encoding(h[0]),
+			Width: h[1],
+			Ext:   h[2],
+			Base:  binary.LittleEndian.Uint64(h[12:]),
+		}
+		dictLen := int(binary.LittleEndian.Uint32(h[4:]))
+		payLen := int(binary.LittleEndian.Uint32(h[8:]))
+		off += blockHeaderSize
+		if b.Enc > EncPred {
+			return nil, 0, fmt.Errorf("colblk: column %d: unknown encoding %d", ci, b.Enc)
+		}
+		if b.Width > 64 || (b.Enc != EncRaw && b.Width > maxPackWidth) {
+			return nil, 0, fmt.Errorf("colblk: column %d: width %d out of range", ci, b.Width)
+		}
+		if dictLen > maxDictSize || (dictLen > 0 && b.Enc != EncDict) {
+			return nil, 0, fmt.Errorf("colblk: column %d: unexpected dictionary (%d entries)", ci, dictLen)
+		}
+		if int(b.Ext) >= len(pow10) {
+			return nil, 0, fmt.Errorf("colblk: column %d: scale exponent %d out of range", ci, b.Ext)
+		}
+		if off+8*dictLen+payLen > len(buf) {
+			return nil, 0, fmt.Errorf("colblk: truncated block body for column %d", ci)
+		}
+		if dictLen > 0 {
+			b.Dict = make([]uint64, dictLen)
+			for i := range b.Dict {
+				b.Dict[i] = binary.LittleEndian.Uint64(buf[off:])
+				off += 8
+			}
+		}
+		if err := checkPayload(&b, spec.Col(ci).Kind, n, payLen); err != nil {
+			return nil, 0, fmt.Errorf("colblk: column %d: %w", ci, err)
+		}
+		b.Payload = append([]byte(nil), buf[off:off+payLen]...)
+		off += payLen
+		s.Blocks[ci] = b
+	}
+	return s, off, nil
+}
+
+// checkPayload verifies the payload length an encoding implies for n
+// records, so decode never reads out of bounds.
+func checkPayload(b *Block, kind Kind, n, payLen int) error {
+	var vals int
+	switch b.Enc {
+	case EncNone, EncConst:
+		if payLen != 0 {
+			return fmt.Errorf("%s block carries %d payload bytes", b.Enc, payLen)
+		}
+		if b.Enc == EncNone && kind != KNone {
+			return fmt.Errorf("none block for stored column")
+		}
+		return nil
+	case EncDelta:
+		vals = max(n-1, 0)
+	case EncDict:
+		if len(b.Dict) == 0 && n > 0 {
+			return fmt.Errorf("dict block with empty dictionary")
+		}
+		for i := 1; i < len(b.Dict); i++ {
+			if b.Dict[i] <= b.Dict[i-1] {
+				return fmt.Errorf("dictionary not strictly sorted")
+			}
+		}
+		vals = n
+	case EncRaw:
+		if int(b.Width) != kind.Size()*8 {
+			return fmt.Errorf("raw width %d for %d-byte kind", b.Width, kind.Size())
+		}
+		vals = n
+	default:
+		vals = n
+	}
+	want := (vals*int(b.Width)+7)/8 + blockPad
+	if vals == 0 || b.Width == 0 {
+		want = blockPad
+	}
+	if payLen != want {
+		return fmt.Errorf("%s block payload %d bytes, want %d", b.Enc, payLen, want)
+	}
+	return nil
+}

@@ -357,19 +357,33 @@ type Summary struct {
 	// ZoneMapBytes is the resident footprint of the per-container
 	// min/max attribute statistics across all stores and slices.
 	ZoneMapBytes int64
+	// ColBlkEncodedBytes is the compressed column-block footprint across
+	// all stores and slices; ColBlkRawBytes is the raw footprint of the
+	// columns the resident slabs cover. Their ratio is the archive's
+	// effective columnar compression.
+	ColBlkEncodedBytes int64
+	ColBlkRawBytes     int64
 }
 
 // Stats summarizes the archive.
 func (a *Archive) Stats() Summary {
+	var enc, raw int64
+	for _, st := range []*store.Sharded{a.target.Photo, a.target.Tag, a.target.Spec} {
+		e, r := st.ColBlkBytes()
+		enc += e
+		raw += r
+	}
 	return Summary{
-		Shards:       a.target.Photo.NumShards(),
-		PhotoObjects: a.target.Photo.NumRecords(),
-		TagObjects:   a.target.Tag.NumRecords(),
-		Spectra:      a.target.Spec.NumRecords(),
-		Containers:   a.target.Photo.NumContainers(),
-		PhotoBytes:   a.target.Photo.Bytes(),
-		TagBytes:     a.target.Tag.Bytes(),
-		SpecBytes:    a.target.Spec.Bytes(),
-		ZoneMapBytes: a.target.Photo.ZoneBytes() + a.target.Tag.ZoneBytes() + a.target.Spec.ZoneBytes(),
+		Shards:             a.target.Photo.NumShards(),
+		PhotoObjects:       a.target.Photo.NumRecords(),
+		TagObjects:         a.target.Tag.NumRecords(),
+		Spectra:            a.target.Spec.NumRecords(),
+		Containers:         a.target.Photo.NumContainers(),
+		PhotoBytes:         a.target.Photo.Bytes(),
+		TagBytes:           a.target.Tag.Bytes(),
+		SpecBytes:          a.target.Spec.Bytes(),
+		ZoneMapBytes:       a.target.Photo.ZoneBytes() + a.target.Tag.ZoneBytes() + a.target.Spec.ZoneBytes(),
+		ColBlkEncodedBytes: enc,
+		ColBlkRawBytes:     raw,
 	}
 }

@@ -183,6 +183,7 @@ func All() []Experiment {
 		{"E16", "zone-map pruning + selective decode", ZoneMapPruning},
 		{"E17", "photo⋈spec join execution", PhotoSpecJoin},
 		{"E18", "scale sweep", ScaleSweep},
+		{"E19", "columnar blocks + filter kernels", FilterKernels},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

@@ -1,0 +1,257 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"sdss/internal/catalog"
+	"sdss/internal/core"
+	"sdss/internal/qe"
+	"sdss/internal/query"
+	"sdss/internal/stats"
+	"sdss/internal/store"
+)
+
+// kernelGridQueries is the E19 measurement grid: the selective scans the
+// compare kernels exist for. The r<18 photo cut is the acceptance query;
+// the rest cover the kernel shapes (exact key-range, dictionary equality,
+// prefilter+residual arithmetic) on both vertical partitions.
+var kernelGridQueries = []struct{ Name, Q string }{
+	{"photo r<18", "SELECT objid, r FROM photoobj WHERE r < 18"},
+	{"photo conj", "SELECT objid FROM photoobj WHERE r < 19 AND class = 'GALAXY'"},
+	{"photo color cut", "SELECT objid FROM photoobj WHERE u - g > 1 AND r < 20"},
+	{"tag r<18", "SELECT objid, r FROM tag WHERE r < 18"},
+	{"tag class QSO", "SELECT objid FROM tag WHERE class = 'QSO'"},
+	{"tag count r<21", "SELECT COUNT(*) FROM tag WHERE r < 21"},
+}
+
+// KernelQueryResult is one query row of BENCH_kernels.json: the legacy row
+// loop against the vectorized kernel path, with compression on and off.
+type KernelQueryResult struct {
+	Query         string  `json:"query"`
+	Rows          int     `json:"rows"`
+	RowPath       string  `json:"row_path"`             // kernels off (NoKernel)
+	Kernel        string  `json:"kernel"`               // kernels + compressed blocks
+	KernelRaw     string  `json:"kernel_raw"`           // kernels + forced-raw blocks
+	Speedup       float64 `json:"speedup"`              // row_path / kernel
+	RowNsPerRec   float64 `json:"row_ns_per_rec"`       // over records examined
+	KernNsPerRec  float64 `json:"kern_ns_per_rec"`      //
+	RowBytes      int64   `json:"row_bytes_scanned"`    // examined × record size
+	KernelBytes   int64   `json:"kernel_bytes_decoded"` // encoded bytes touched
+	KernRawBytes  int64   `json:"kernel_raw_bytes_decoded"`
+	KernelName    string  `json:"kernel_name"` // "vector" or "vector+pred"
+	BlocksSkipped int64   `json:"blocks_skipped"`
+}
+
+// KernelFootprint is the compressed-versus-raw container footprint of the
+// benchmark archive, per store.
+type KernelFootprint struct {
+	PhotoEncoded int64   `json:"photo_encoded_bytes"`
+	PhotoRaw     int64   `json:"photo_raw_bytes"`
+	TagEncoded   int64   `json:"tag_encoded_bytes"`
+	TagRaw       int64   `json:"tag_raw_bytes"`
+	SpecEncoded  int64   `json:"spec_encoded_bytes"`
+	SpecRaw      int64   `json:"spec_raw_bytes"`
+	Ratio        float64 `json:"ratio"` // total encoded / total raw
+}
+
+// kernelArm times one query on one engine configuration: best of
+// BenchBestOf instrumented runs (the first warms), returning the best
+// latency plus the scan node's actuals from the final run.
+func kernelArm(ctx context.Context, e *qe.Engine, q string) (best time.Duration, rows int, scan *qe.OpNode, err error) {
+	prep, err := query.PrepareString(q)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	best = time.Duration(math.MaxInt64)
+	for i := 0; i <= BenchBestOf; i++ {
+		plan, err := e.PlanAnalyze(prep, true)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		start := time.Now()
+		rs, err := e.ExecutePlan(ctx, plan, qe.ExecOptions{})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		res, err := rs.Collect()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if t := time.Since(start); i > 0 && t < best {
+			best = t
+		}
+		rows = len(res)
+		scan = findScan(plan.Describe())
+	}
+	if scan == nil {
+		return 0, 0, nil, fmt.Errorf("expt: %q: no scan node in plan", q)
+	}
+	return best, rows, scan, nil
+}
+
+// recordSizeFor maps a grid query to its table's record size — the cost of
+// one row-path record visit in bytes.
+func recordSizeFor(q string) int64 {
+	switch {
+	case strings.Contains(q, "FROM photoobj"):
+		return catalog.PhotoObjSize
+	case strings.Contains(q, "FROM tag"):
+		return catalog.TagSize
+	default:
+		return catalog.SpecObjSize
+	}
+}
+
+// findScan returns the first scan operator in the plan tree.
+func findScan(n *qe.OpNode) *qe.OpNode {
+	if n == nil {
+		return nil
+	}
+	if n.Op == "scan" {
+		return n
+	}
+	for _, c := range n.Children {
+		if s := findScan(c); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// FilterKernels is experiment E19: the scan path with and without the
+// vectorized compare kernels, and the kernel path with and without block
+// compression — isolating the kernel's instruction savings from the
+// codec's byte savings. Zone pruning and selective decode stay on in every
+// arm, so the deltas are the kernels' alone. When SKYBENCH_KERNELS_JSON
+// names a file, the grid and the container footprint are written there as
+// BENCH_kernels.json.
+func FilterKernels(cfg Config, w io.Writer) error {
+	h, err := NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	section(w, "E19", "compressed columnar blocks + vectorized filter kernels")
+	h.Archive.Sort()
+
+	eng := h.Archive.Engine()
+	kernelE := *eng
+	rowE := *eng
+	rowE.NoKernel = true
+	ctx := context.Background()
+
+	setRaw := func(a *core.Archive, raw bool) {
+		for _, st := range []*store.Sharded{a.PhotoStore(), a.TagStore(), a.SpecStore()} {
+			st.SetColBlkRaw(raw)
+			st.RebuildColBlks()
+		}
+	}
+
+	// Footprint under real encodings, before any raw-mode flips. Slabs
+	// build lazily, so force them all resident first.
+	var fp KernelFootprint
+	for _, st := range []*store.Sharded{eng.Photo, eng.Tag, eng.Spec} {
+		st.BuildColBlks()
+	}
+	fp.PhotoEncoded, fp.PhotoRaw = eng.Photo.ColBlkBytes()
+	fp.TagEncoded, fp.TagRaw = eng.Tag.ColBlkBytes()
+	fp.SpecEncoded, fp.SpecRaw = eng.Spec.ColBlkBytes()
+	if raw := fp.PhotoRaw + fp.TagRaw + fp.SpecRaw; raw > 0 {
+		fp.Ratio = float64(fp.PhotoEncoded+fp.TagEncoded+fp.SpecEncoded) / float64(raw)
+	}
+
+	type armOut struct {
+		t    time.Duration
+		rows int
+		scan *qe.OpNode
+	}
+	grid := make([]KernelQueryResult, 0, len(kernelGridQueries))
+	rowArm := make([]armOut, len(kernelGridQueries))
+	kernArm := make([]armOut, len(kernelGridQueries))
+	rawArm := make([]armOut, len(kernelGridQueries))
+	for i, q := range kernelGridQueries {
+		t, rows, scan, err := kernelArm(ctx, &rowE, q.Q)
+		if err != nil {
+			return fmt.Errorf("expt: %s (row path): %w", q.Name, err)
+		}
+		rowArm[i] = armOut{t, rows, scan}
+		t, rows, scan, err = kernelArm(ctx, &kernelE, q.Q)
+		if err != nil {
+			return fmt.Errorf("expt: %s (kernel): %w", q.Name, err)
+		}
+		kernArm[i] = armOut{t, rows, scan}
+	}
+	setRaw(h.Archive, true)
+	for i, q := range kernelGridQueries {
+		t, rows, scan, err := kernelArm(ctx, &kernelE, q.Q)
+		if err != nil {
+			return fmt.Errorf("expt: %s (kernel raw): %w", q.Name, err)
+		}
+		rawArm[i] = armOut{t, rows, scan}
+	}
+	setRaw(h.Archive, false)
+
+	tbl := stats.NewTable("Query", "Rows", "Row path", "Kernel", "Kernel raw", "Speedup", "Bytes row→kern", "Kernel")
+	for i, q := range kernelGridQueries {
+		ro, ke, ra := rowArm[i], kernArm[i], rawArm[i]
+		if ro.rows != ke.rows || ro.rows != ra.rows {
+			return fmt.Errorf("expt: %s row count diverged: row %d, kernel %d, raw %d",
+				q.Name, ro.rows, ke.rows, ra.rows)
+		}
+		examined := ro.scan.Actual.RowsIn
+		rowBytes := examined * recordSizeFor(q.Q)
+		speedup := float64(ro.t) / float64(ke.t)
+		res := KernelQueryResult{
+			Query:         q.Q,
+			Rows:          ke.rows,
+			RowPath:       ro.t.Round(time.Microsecond).String(),
+			Kernel:        ke.t.Round(time.Microsecond).String(),
+			KernelRaw:     ra.t.Round(time.Microsecond).String(),
+			Speedup:       math.Round(speedup*100) / 100,
+			RowBytes:      rowBytes,
+			KernelBytes:   ke.scan.Actual.BytesDecoded,
+			KernRawBytes:  ra.scan.Actual.BytesDecoded,
+			KernelName:    ke.scan.Kernel,
+			BlocksSkipped: ke.scan.Actual.BlocksSkipped,
+		}
+		if examined > 0 {
+			res.RowNsPerRec = math.Round(float64(ro.t.Nanoseconds())/float64(examined)*10) / 10
+			res.KernNsPerRec = math.Round(float64(ke.t.Nanoseconds())/float64(examined)*10) / 10
+		}
+		grid = append(grid, res)
+		tbl.AddRow(q.Name, ke.rows,
+			ro.t.Round(time.Microsecond), ke.t.Round(time.Microsecond), ra.t.Round(time.Microsecond),
+			fmt.Sprintf("%.2f×", speedup),
+			fmt.Sprintf("%s→%s", stats.ByteSize(float64(rowBytes)), stats.ByteSize(float64(res.KernelBytes))),
+			ke.scan.Kernel)
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintf(w, "container footprint: photo %s/%s, tag %s/%s, spec %s/%s encoded/raw — ratio %.2f\n",
+		stats.ByteSize(float64(fp.PhotoEncoded)), stats.ByteSize(float64(fp.PhotoRaw)),
+		stats.ByteSize(float64(fp.TagEncoded)), stats.ByteSize(float64(fp.TagRaw)),
+		stats.ByteSize(float64(fp.SpecEncoded)), stats.ByteSize(float64(fp.SpecRaw)), fp.Ratio)
+
+	if path := os.Getenv("SKYBENCH_KERNELS_JSON"); path != "" {
+		doc := struct {
+			Objects   int                 `json:"objects"`
+			BestOf    int                 `json:"best_of"`
+			Grid      []KernelQueryResult `json:"grid"`
+			Footprint KernelFootprint     `json:"footprint"`
+		}{cfg.Objects(), BenchBestOf, grid, fp}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -49,12 +49,15 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 	}
 	// Every store maintains zone maps over the query schema's attributes
 	// (indexed by query.AttrID), so scans can prune containers on any
-	// predicate bound, not just spatial coverage.
+	// predicate bound, not just spatial coverage — and compressed column
+	// blocks over the same attribute layout, so scans that survive pruning
+	// can run the vectorized filter kernels instead of the row loop.
 	photo, err := store.OpenSharded(store.Options{
 		Dir: sub("photo"), ContainerDepth: containerDepth,
 		RecordSize: catalog.PhotoObjSize, KeyOffset: 8,
 		ZoneAttrs:  query.NumAttrs(query.TablePhoto),
 		ZoneValues: query.ZoneValues(query.TablePhoto),
+		Columns:    query.ColumnSpecs(query.TablePhoto),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening photo store: %w", err)
@@ -64,6 +67,7 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 		RecordSize: catalog.TagSize, KeyOffset: 8,
 		ZoneAttrs:  query.NumAttrs(query.TableTag),
 		ZoneValues: query.ZoneValues(query.TableTag),
+		Columns:    query.ColumnSpecs(query.TableTag),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening tag store: %w", err)
@@ -73,6 +77,7 @@ func NewTarget(dir string, containerDepth, shards int) (*Target, error) {
 		RecordSize: catalog.SpecObjSize, KeyOffset: 8,
 		ZoneAttrs:  query.NumAttrs(query.TableSpec),
 		ZoneValues: query.ZoneValues(query.TableSpec),
+		Columns:    query.ColumnSpecs(query.TableSpec),
 	}, shards)
 	if err != nil {
 		return nil, fmt.Errorf("load: opening spec store: %w", err)

@@ -30,6 +30,14 @@ type OpActual struct {
 	// ElapsedMs is the wall time from the operator opening to its output
 	// stream closing (operators run concurrently, so times overlap).
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// BlocksSkipped counts containers a scan's kernel dismissed from block
+	// headers alone (constant/dictionary/frame-of-reference key bounds that
+	// cannot intersect the predicate) — no codes unpacked, no records read.
+	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
+	// BytesDecoded is the encoded column-block bytes the kernel actually
+	// materialized into key vectors — the measured side of the planner's
+	// bytes-scanned cost estimate.
+	BytesDecoded int64 `json:"bytes_decoded,omitempty"`
 }
 
 // OpNode is one node of the physical plan: the operator, its chosen access
@@ -63,8 +71,13 @@ type OpNode struct {
 	Shards     int `json:"shards,omitempty"`
 	Containers int `json:"containers,omitempty"`
 	ZonePruned int `json:"zone_pruned,omitempty"`
+	// Kernel names a scan's record-evaluation path: "vector" (key-range
+	// kernels are the whole predicate), "vector+pred" (kernels prefilter,
+	// the row predicate re-checks survivors), or "row" (the legacy loop).
+	Kernel string `json:"kernel,omitempty"`
 	// EstRows is the optimizer's output-cardinality estimate; EstCost its
-	// cost estimate in records touched.
+	// cost estimate in bytes scanned (encoded column-block bytes for kernel
+	// scans, raw record bytes for row scans).
 	EstRows float64 `json:"est_rows"`
 	EstCost float64 `json:"est_cost"`
 	// Actual carries the measured counters after EXPLAIN ANALYZE.
@@ -74,10 +87,12 @@ type OpNode struct {
 
 // opStats is the live counter block behind OpActual.
 type opStats struct {
-	rowsIn  atomic.Int64
-	rowsOut atomic.Int64
-	startNs atomic.Int64
-	endNs   atomic.Int64
+	rowsIn        atomic.Int64
+	rowsOut       atomic.Int64
+	blocksSkipped atomic.Int64
+	bytesDecoded  atomic.Int64
+	startNs       atomic.Int64
+	endNs         atomic.Int64
 }
 
 // markStart stamps the operator's open time (first caller wins — a scan
@@ -124,8 +139,10 @@ func (b *opBase) describe() *OpNode {
 	}
 	if b.stats != nil && b.stats.startNs.Load() > 0 {
 		act := &OpActual{
-			RowsIn:  b.stats.rowsIn.Load(),
-			RowsOut: b.stats.rowsOut.Load(),
+			RowsIn:        b.stats.rowsIn.Load(),
+			RowsOut:       b.stats.rowsOut.Load(),
+			BlocksSkipped: b.stats.blocksSkipped.Load(),
+			BytesDecoded:  b.stats.bytesDecoded.Load(),
 		}
 		if act.RowsIn == 0 {
 			act.RowsIn = childOut
@@ -194,10 +211,17 @@ func renderOpNode(b *strings.Builder, n *OpNode, depth int) {
 	if n.Shards > 0 {
 		fmt.Fprintf(b, " [shards=%d containers=%d zone_pruned=%d]", n.Shards, n.Containers, n.ZonePruned)
 	}
+	if n.Kernel != "" {
+		fmt.Fprintf(b, " KERNEL %s", n.Kernel)
+	}
 	fmt.Fprintf(b, " (est_rows=%.0f est_cost=%.0f", n.EstRows, n.EstCost)
 	if n.Actual != nil {
 		fmt.Fprintf(b, " actual_rows=%d rows_in=%d elapsed=%.2fms",
 			n.Actual.RowsOut, n.Actual.RowsIn, n.Actual.ElapsedMs)
+		if n.Actual.BlocksSkipped > 0 || n.Actual.BytesDecoded > 0 {
+			fmt.Fprintf(b, " blocks_skipped=%d bytes_decoded=%d",
+				n.Actual.BlocksSkipped, n.Actual.BytesDecoded)
+		}
 	}
 	b.WriteString(")\n")
 	for _, c := range n.Children {

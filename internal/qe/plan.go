@@ -10,8 +10,14 @@
 //     applies whenever the predicate yields attribute bounds; otherwise a
 //     full scan.
 //   - Cardinality estimates from store statistics: per-container record
-//     counts and zone min/max spans (query.Bounds.EstimateFraction), with a
-//     partial-coverage discount for containers the region only clips.
+//     counts and zone min/max spans (query.ZoneFilter, the flattened form
+//     of the predicate's Bounds, batched over each shard's candidates via
+//     store.ZoneStatsAll), with a partial-coverage discount for containers
+//     the region only clips.
+//   - Scan cost in bytes scanned: kernel scans charge encoded column-block
+//     bytes (raw record bytes × the store's measured compression ratio),
+//     row scans charge raw record bytes — so EXPLAIN's est_cost is
+//     comparable to the bytes_decoded actual.
 //   - Join sides by estimated cardinality: the hash join builds on the
 //     smaller input and probes with the larger.
 //
@@ -154,6 +160,7 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	shards := st.Shards()
 	op := &scanOp{
 		e: e, cs: cs, st: st,
+		plan:            e.newScanPlan(cs, st),
 		shardContainers: make([][]htm.ID, len(shards)),
 		shardContEst:    make([][]float64, len(shards)),
 		shardContCnt:    make([][]float64, len(shards)),
@@ -163,6 +170,7 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 			Op:     "scan",
 			Table:  cs.Table.String(),
 			Shards: len(shards),
+			Kernel: op.plan.kernel.name(),
 		},
 		stats: newStats(analyze),
 	}
@@ -194,15 +202,21 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	collect := func(rs *htm.RangeSet) (cands [][]htm.ID, n int, records float64) {
 		cands = make([][]htm.ID, len(shards))
 		for i, sh := range shards {
-			for _, cid := range sh.Containers() {
+			all := sh.Containers()
+			cands[i] = make([]htm.ID, 0, len(all))
+			for _, cid := range all {
 				if rs != nil && !rs.OverlapsTrixel(cid) {
 					continue
 				}
 				cands[i] = append(cands[i], cid)
 				n++
-				if c := sh.Container(cid); c != nil {
-					records += float64(c.Count())
-				}
+			}
+			// records only feeds the index-versus-scan crossover, which is
+			// moot without coverage pruning — skip the stats pass then.
+			if rs != nil {
+				sh.ZoneStatsAll(cands[i], false, func(_, count int, _, _ []float64, _ []bool) {
+					records += float64(count)
+				})
 			}
 		}
 		return cands, n, records
@@ -227,49 +241,35 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	var estRows, scanRecords float64
 	pruned := 0
 	for i, sh := range shards {
-		kept := candidates[i][:0]
-		var keptEst, keptCnt []float64
-		for _, cid := range candidates[i] {
-			covFrac := 1.0
+		cands := candidates[i]
+		// kept shares cands's backing array: the callback arrives in order,
+		// so position j is rewritten only after position j was consumed.
+		kept := cands[:0]
+		keptEst := make([]float64, 0, len(cands))
+		keptCnt := make([]float64, 0, len(cands))
+		sh.ZoneStatsAll(cands, zoneCheck != nil, func(ci, count int, min, max []float64, hasNaN []bool) {
+			cid := cands[ci]
+			frac := 1.0
 			if rangeSet != nil && !coverageContains(rangeSet, cid) {
-				covFrac = partialCoverFraction
+				frac = partialCoverFraction
 			}
-			if zoneCheck == nil {
-				var count float64
-				if c := sh.Container(cid); c != nil {
-					count = float64(c.Count())
-				}
-				kept = append(kept, cid)
-				keptEst = append(keptEst, count*covFrac)
-				keptCnt = append(keptCnt, count)
-				estRows += count * covFrac
-				scanRecords += count
-				continue
-			}
-			admitted := true
-			var rows, cost float64
-			sh.ZoneStats(cid, func(count int, min, max []float64, hasNaN []bool) {
-				cost = float64(count)
-				if min != nil && !zoneCheck(min, max, hasNaN) {
-					admitted = false
+			if zoneCheck != nil && min != nil {
+				// Fraction is 0 exactly when Admit would reject (fractionIn
+				// floors admitted attributes at 0.01), so one interval walk
+				// serves both the prune decision and the estimate.
+				zf := zoneCheck.Fraction(min, max, hasNaN)
+				if zf == 0 {
+					pruned++
 					return
 				}
-				frac := covFrac
-				if min != nil {
-					frac *= cs.Bounds.EstimateFraction(min, max, hasNaN)
-				}
-				rows = float64(count) * frac
-			})
-			if !admitted {
-				pruned++
-				continue
+				frac *= zf
 			}
 			kept = append(kept, cid)
-			keptEst = append(keptEst, rows)
-			keptCnt = append(keptCnt, cost)
-			estRows += rows
-			scanRecords += cost
-		}
+			keptEst = append(keptEst, float64(count)*frac)
+			keptCnt = append(keptCnt, float64(count))
+			estRows += float64(count) * frac
+			scanRecords += float64(count)
+		})
 		op.shardContainers[i] = kept
 		op.shardContEst[i] = keptEst
 		op.shardContCnt[i] = keptCnt
@@ -279,7 +279,18 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	op.info.Containers = nCandidates
 	op.info.ZonePruned = pruned
 	op.info.EstRows = estRows
-	op.info.EstCost = scanRecords
+	// Cost is estimated in bytes scanned: the kernel path streams the
+	// encoded bytes of just the columns it references (discounted by the
+	// store's measured compression ratio), the row path the full record.
+	if kp := op.plan.kernel; kp != nil {
+		perRec := float64(kp.perRecBytes)
+		if enc, raw := st.ColBlkBytes(); raw > 0 {
+			perRec *= float64(enc) / float64(raw)
+		}
+		op.info.EstCost = scanRecords * perRec
+	} else {
+		op.info.EstCost = scanRecords * float64(query.RecordSize(cs.Table))
+	}
 	switch {
 	case rangeSet != nil && zoneCheck != nil:
 		op.info.Access = "htm-index+zone"
@@ -316,9 +327,13 @@ func coverageContains(rs *htm.RangeSet, cid htm.ID) bool {
 // access path baked in.
 type scanOp struct {
 	opBase
-	e               *Engine
-	cs              *query.CompiledSelect
-	st              *store.Sharded
+	e  *Engine
+	cs *query.CompiledSelect
+	st *store.Sharded
+	// plan is the shared per-query scan state (hidden columns, result
+	// width, compiled kernel), hoisted to plan time so the scatter does not
+	// recompute it per shard slice.
+	plan            *scanPlan
 	rangeSet        *htm.RangeSet
 	shardContainers [][]htm.ID
 	// shardContEst/shardContCnt parallel shardContainers: the estimated
@@ -328,16 +343,40 @@ type scanOp struct {
 	shardContCnt [][]float64
 }
 
+// closedBatch is the shared pre-closed stream empty scatter slices return:
+// no goroutine, no per-query channel allocation.
+var closedBatch = func() chan Batch {
+	ch := make(chan Batch)
+	close(ch)
+	return ch
+}()
+
 // openShards launches one scan per shard slice, sharing the query-wide
 // token pool, and returns the per-shard streams (order-sensitive consumers
-// like the k-way merge want them unmixed).
+// like the k-way merge want them unmixed). Slices the planner left no
+// candidate containers on contribute a pre-closed stream instead of
+// spawning workers, and the per-slice worker budget divides among the
+// slices that actually scan.
 func (o *scanOp) openShards(ctx context.Context, rows *Rows) []<-chan Batch {
 	shards := o.st.Shards()
-	perShard := (o.e.workers() + len(shards) - 1) / len(shards)
+	nonEmpty := 0
+	for _, c := range o.shardContainers {
+		if len(c) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		nonEmpty = 1
+	}
+	perShard := (o.e.workers() + nonEmpty - 1) / nonEmpty
 	tokens := make(chan struct{}, o.e.workers())
 	outs := make([]<-chan Batch, len(shards))
 	for i, sh := range shards {
-		outs[i] = o.instrument(o.e.runScan(ctx, sh, o.cs, o.rangeSet, o.shardContainers[i], perShard, tokens, rows, o.stats))
+		if len(o.shardContainers[i]) == 0 {
+			outs[i] = o.instrument(closedBatch)
+			continue
+		}
+		outs[i] = o.instrument(o.e.runScan(ctx, sh, o.cs, o.plan, o.rangeSet, o.shardContainers[i], perShard, tokens, rows, o.stats))
 	}
 	return outs
 }

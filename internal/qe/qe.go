@@ -81,6 +81,11 @@ type Engine struct {
 	// coverage candidate regardless of predicate bounds. It exists for the
 	// zone-map experiment (E16) and as an escape hatch.
 	NoZone bool
+	// NoKernel disables the vectorized filter kernels over compressed
+	// column blocks, forcing every scan onto the legacy row loop. It exists
+	// for the kernel experiment (E19) and as an escape hatch mirroring
+	// NoZone.
+	NoKernel bool
 	// FullDecode replaces the selective offset-based attribute reads with
 	// the legacy full-struct decode of every record. It exists as the
 	// measured baseline of experiment E16.
@@ -652,7 +657,7 @@ func (e *Engine) fanoutSelect(cs *query.CompiledSelect) ([]ShardFanout, error) {
 			}
 			fo.ContainersPerShard[i]++
 			fo.ContainersTotal++
-			if zoneCheck != nil && !sh.CheckZone(cid, zoneCheck) {
+			if zoneCheck != nil && !sh.CheckZone(cid, zoneCheck.Admit) {
 				fo.ZonePruned++
 			} else {
 				fo.ContainersScanned++

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sdss/internal/catalog"
+	"sdss/internal/colblk"
 	"sdss/internal/htm"
 	"sdss/internal/query"
 	"sdss/internal/store"
@@ -41,31 +42,234 @@ func (e *Engine) newAccessor(t query.Table) (rowAccessor, error) {
 	return selectiveRow{rr: rr}, nil
 }
 
-// runScan executes a leaf query node against one shard slice. The physical
-// planner has already chosen the access path: containers is the slice's
-// candidate list after coverage and zone-map pruning, and rangeSet is
-// non-nil only when the planner judged per-record fine filtering worth its
-// cost (the index-versus-scan crossover). Surviving containers are decoded
-// selectively: the compiled getter reads only the attributes the predicate
-// and projection reference, at fixed byte offsets, instead of decoding
-// whole structs. nWorkers process containers in parallel and result batches
-// stream out as soon as they fill — the data-pump end of the ASAP push.
-// tokens is the query-wide pool bounding how many workers across all slices
-// process containers at once. Under EXPLAIN ANALYZE, stats counts the
-// records examined (rows in).
-func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, rangeSet *htm.RangeSet, containers []htm.ID, nWorkers int, tokens chan struct{}, rows *Rows, stats *opStats) <-chan Batch {
-	out := make(chan Batch, 4)
+// scanWorker is one scan goroutine's working state: the row accessor, the
+// column reader with its selection scratch, and the current output batch
+// carved from the pool.
+type scanWorker struct {
+	cs       *query.CompiledSelect
+	sp       *scanPlan
+	st       *store.Store
+	rangeSet *htm.RangeSet
+	stats    *opStats
 
-	// Hidden values appended after the projection: the sort key and/or
-	// aggregate operand the upper nodes need.
-	hidden := make([]query.AttrID, 0, 2)
-	if cs.Order != query.AttrInvalid {
-		hidden = append(hidden, cs.Order)
+	acc    rowAccessor
+	getter query.Getter
+
+	// Kernel-path scratch, reused across containers: the column reader's
+	// decode buffers, the selection vector, and the per-output key slices.
+	reader  *colblk.Reader
+	sel     []int32
+	outKeys [][]uint64
+
+	bs      int
+	flushAt int // ramps 32→bs so the first results ship ASAP
+	batch   Batch
+	vals    []float64
+	emit    func(Batch) bool
+	err     error
+}
+
+// initialFlushAt is the first-batch size of the emit ramp: the first batch
+// ships as soon as a handful of results exist (time-to-first-row is the
+// whole point of the ASAP push), then the threshold doubles up to the full
+// batch size so the steady state keeps its amortization.
+const initialFlushAt = 32
+
+// flush delivers the current batch (transferring ownership) and replaces
+// the buffer and its carved value array.
+func (w *scanWorker) flush() bool {
+	if len(w.batch) == 0 {
+		return true
 	}
-	if cs.Agg != query.AggNone && cs.Agg != query.AggCount {
-		hidden = append(hidden, cs.AggCol)
+	if !w.emit(w.batch) {
+		return false
 	}
-	width := len(cs.Cols) + len(hidden)
+	if w.flushAt < w.bs {
+		w.flushAt *= 2
+		if w.flushAt > w.bs {
+			w.flushAt = w.bs
+		}
+	}
+	w.batch = getBatch(w.bs)
+	if w.sp.width > 0 {
+		w.vals = make([]float64, 0, w.bs*w.sp.width)
+	}
+	return true
+}
+
+// scanContainer processes one container, taking the kernel path when a
+// fresh column slab exists and falling back to the row loop otherwise
+// (legacy archives without COLBLK sidecars run entirely on the fallback).
+// It returns the number of records examined and whether the worker should
+// continue; on false, w.err carries the failure (context.Canceled for an
+// interrupted emit).
+func (w *scanWorker) scanContainer(cid htm.ID) (int, bool) {
+	if w.sp.kernel != nil {
+		if data, count, slab := w.st.ColumnData(cid); slab != nil {
+			return w.scanKernel(data, count, slab)
+		}
+	}
+	return w.scanRows(cid)
+}
+
+// scanRows is the legacy row loop: reset the accessor on every record, run
+// the compiled predicate, project through the getter.
+func (w *scanWorker) scanRows(cid htm.ID) (int, bool) {
+	examined := 0
+	err := w.st.ForEachInContainer(cid, func(rec []byte) error {
+		examined++
+		// Cheap prefilter on the embedded key before paying for attribute
+		// reads: skip records whose fine trixel falls outside the coverage.
+		if w.rangeSet != nil && !w.rangeSet.Contains(w.st.KeyOf(rec)) {
+			return nil
+		}
+		if err := w.acc.reset(rec); err != nil {
+			return err
+		}
+		if w.cs.Pred != nil && !w.cs.Pred(w.getter) {
+			return nil
+		}
+		res := Result{ObjID: w.acc.objID(), Key: w.st.KeyOf(rec)}
+		if w.sp.width > 0 {
+			start := len(w.vals)
+			for _, col := range w.cs.Cols {
+				w.vals = append(w.vals, w.getter(col))
+			}
+			for _, col := range w.sp.hidden {
+				w.vals = append(w.vals, w.getter(col))
+			}
+			res.Values = w.vals[start:len(w.vals):len(w.vals)]
+		}
+		w.batch = append(w.batch, res)
+		if len(w.batch) >= w.flushAt && !w.flush() {
+			return context.Canceled
+		}
+		return nil
+	})
+	if err != nil {
+		w.err = err
+		return examined, false
+	}
+	return examined, true
+}
+
+// scanKernel runs the vectorized path over one container's column slab:
+// block-level probes first (a constant or dictionary block whose keys
+// cannot match dismisses the container without unpacking a code), then the
+// branch-free range filters build a selection vector over decoded key
+// columns, and only survivors materialize — from keys for stored
+// attributes, through the row accessor for derived ones and any residual
+// predicate.
+func (w *scanWorker) scanKernel(data []byte, count int, slab *colblk.Slab) (int, bool) {
+	kp := w.sp.kernel
+	if count == 0 {
+		return 0, true
+	}
+	if kp.never {
+		if w.stats != nil {
+			w.stats.blocksSkipped.Add(1)
+		}
+		return 0, true
+	}
+	for i := range kp.preds {
+		if !kp.preds[i].probe(&slab.Blocks[kp.preds[i].col]) {
+			if w.stats != nil {
+				w.stats.blocksSkipped.Add(1)
+			}
+			return 0, true
+		}
+	}
+	w.reader.Reset(slab)
+	if cap(w.sel) < count {
+		w.sel = make([]int32, count)
+	}
+	sel := w.sel[:count]
+	n := -1
+	for i := range kp.preds {
+		p := &kp.preds[i]
+		n = p.filter(w.reader.Keys(p.col), sel, n)
+		if n == 0 {
+			return count, true
+		}
+	}
+	htmKeys := w.reader.Keys(kp.htmCol)
+	if n < 0 {
+		// No range predicates (an exact unfiltered scan): select all.
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		n = count
+	}
+	if w.rangeSet != nil {
+		m := 0
+		for _, si := range sel[:n] {
+			if w.rangeSet.Contains(htm.ID(htmKeys[si])) {
+				sel[m] = si
+				m++
+			}
+		}
+		if n = m; n == 0 {
+			return count, true
+		}
+	}
+	objKeys := w.reader.Keys(kp.objCol)
+	outKeys := w.outKeys[:0]
+	for _, oc := range kp.outs {
+		if oc.stored {
+			outKeys = append(outKeys, w.reader.Keys(int(oc.attr)))
+		} else {
+			outKeys = append(outKeys, nil)
+		}
+	}
+	w.outKeys = outKeys
+	recSize := w.st.Options().RecordSize
+	for _, si := range sel[:n] {
+		i := int(si)
+		if kp.needRow {
+			if err := w.acc.reset(data[i*recSize : (i+1)*recSize]); err != nil {
+				w.err = err
+				return count, false
+			}
+			if !kp.exact && w.cs.Pred != nil && !w.cs.Pred(w.getter) {
+				continue
+			}
+		}
+		res := Result{ObjID: catalog.ObjID(objKeys[i]), Key: htm.ID(htmKeys[i])}
+		if w.sp.width > 0 {
+			start := len(w.vals)
+			for oi, oc := range kp.outs {
+				if oc.stored {
+					w.vals = append(w.vals, oc.kind.Value(outKeys[oi][i]))
+				} else {
+					w.vals = append(w.vals, w.getter(oc.attr))
+				}
+			}
+			res.Values = w.vals[start:len(w.vals):len(w.vals)]
+		}
+		w.batch = append(w.batch, res)
+		if len(w.batch) >= w.flushAt && !w.flush() {
+			w.err = context.Canceled
+			return count, false
+		}
+	}
+	return count, true
+}
+
+// runScan executes a leaf query node against one shard slice. The physical
+// planner has already chosen the access path and compiled the shared scan
+// plan (sp): containers is the slice's candidate list after coverage and
+// zone-map pruning, and rangeSet is non-nil only when the planner judged
+// per-record fine filtering worth its cost (the index-versus-scan
+// crossover). Surviving containers run the kernel path over their column
+// slabs when sp carries a compiled kernel (falling back per container to
+// the selective row loop when no slab exists). nWorkers process containers
+// in parallel and result batches stream out as soon as they fill — the
+// data-pump end of the ASAP push. tokens is the query-wide pool bounding
+// how many workers across all slices process containers at once. Under
+// EXPLAIN ANALYZE, stats counts records examined, bytes decoded, and
+// blocks skipped.
+func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, sp *scanPlan, rangeSet *htm.RangeSet, containers []htm.ID, nWorkers int, tokens chan struct{}, rows *Rows, stats *opStats) <-chan Batch {
+	out := make(chan Batch, 4)
 
 	if nWorkers > len(containers) {
 		nWorkers = len(containers)
@@ -105,7 +309,7 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 
 	bs := e.batchSize()
 	wg.Add(nWorkers)
-	for w := 0; w < nWorkers; w++ {
+	for i := 0; i < nWorkers; i++ {
 		go func() {
 			defer wg.Done()
 			acc, err := e.newAccessor(cs.Table)
@@ -113,7 +317,6 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 				rows.setErr(err)
 				return
 			}
-			getter := acc.getter()
 			// The batch buffer comes from the pool; Values of all its
 			// results are carved out of one backing array sized for a full
 			// batch, so the per-record path allocates nothing. Every
@@ -121,25 +324,23 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 			// the buffer, so whatever the worker still holds on any exit
 			// path (cancellation, scan error, the empty post-flush buffer)
 			// is the worker's to recycle.
-			batch := getBatch(bs)
-			defer func() { RecycleBatch(batch) }()
-			var vals []float64
-			if width > 0 {
-				vals = make([]float64, 0, bs*width)
+			w := &scanWorker{
+				cs: cs, sp: sp, st: st, rangeSet: rangeSet, stats: stats,
+				acc: acc, getter: acc.getter(),
+				bs: bs, flushAt: min(initialFlushAt, bs), batch: getBatch(bs), emit: emitFn,
 			}
-			flush := func() bool {
-				if len(batch) == 0 {
-					return true
-				}
-				if !emitFn(batch) {
-					return false
-				}
-				batch = getBatch(bs)
-				if width > 0 {
-					vals = make([]float64, 0, bs*width)
-				}
-				return true
+			if sp.kernel != nil {
+				w.reader = colblk.NewReader()
 			}
+			if sp.width > 0 {
+				w.vals = make([]float64, 0, bs*sp.width)
+			}
+			defer func() {
+				RecycleBatch(w.batch)
+				if w.reader != nil && stats != nil {
+					stats.bytesDecoded.Add(w.reader.BytesDecoded())
+				}
+			}()
 			for cid := range work {
 				// One token per container in flight: across all shard
 				// slices at most e.workers() of these sections run at once.
@@ -154,50 +355,21 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 					rows.interrupted.Store(true)
 					return
 				}
-				examined := 0
-				err := st.ForEachInContainer(cid, func(rec []byte) error {
-					examined++
-					// Cheap prefilter on the embedded key before paying
-					// for attribute reads: skip records whose fine trixel
-					// falls outside the coverage.
-					if rangeSet != nil && !rangeSet.Contains(st.KeyOf(rec)) {
-						return nil
-					}
-					if err := acc.reset(rec); err != nil {
-						return err
-					}
-					if cs.Pred != nil && !cs.Pred(getter) {
-						return nil
-					}
-					res := Result{ObjID: acc.objID(), Key: st.KeyOf(rec)}
-					if width > 0 {
-						start := len(vals)
-						for _, col := range cs.Cols {
-							vals = append(vals, getter(col))
-						}
-						for _, col := range hidden {
-							vals = append(vals, getter(col))
-						}
-						res.Values = vals[start:len(vals):len(vals)]
-					}
-					batch = append(batch, res)
-					if len(batch) >= bs {
-						if !flush() {
-							return context.Canceled
-						}
-					}
-					return nil
-				})
+				examined, ok := w.scanContainer(cid)
 				<-tokens
 				if stats != nil {
 					stats.rowsIn.Add(int64(examined))
 				}
-				if err != nil && err != context.Canceled {
-					rows.setErr(err)
+				if !ok {
+					if w.err == context.Canceled {
+						rows.interrupted.Store(true)
+					} else {
+						rows.setErr(w.err)
+					}
 					return
 				}
 			}
-			flush()
+			w.flush()
 		}()
 	}
 	go func() {
@@ -223,11 +395,11 @@ func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.Compile
 	return out
 }
 
-// zoneAdmit returns the zone-map admission check for a select, or nil when
+// zoneAdmit returns the compiled zone-map filter for a select, or nil when
 // zone pruning cannot apply (no bounds, or disabled via NoZone).
-func (e *Engine) zoneAdmit(cs *query.CompiledSelect) func(min, max []float64, hasNaN []bool) bool {
-	if e.NoZone || !cs.Bounds.Constrained() {
+func (e *Engine) zoneAdmit(cs *query.CompiledSelect) *query.ZoneFilter {
+	if e.NoZone {
 		return nil
 	}
-	return cs.Bounds.AdmitZone
+	return cs.Bounds.CompileZone()
 }

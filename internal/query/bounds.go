@@ -190,7 +190,10 @@ func (iv Interval) fractionIn(zoneLo, zoneHi float64, hasNaN bool) float64 {
 	lo := math.Max(iv.Lo, zoneLo)
 	hi := math.Min(iv.Hi, zoneHi)
 	if hi < lo {
-		return 0
+		// The admit test passed with a disjoint real range, so only the
+		// zone's NaN records can satisfy (AllowNaN): a sliver, not nothing
+		// — 0 is reserved for "the zone proves nothing survives".
+		return 0.01
 	}
 	if iv.Lo == iv.Hi {
 		// Point predicates (attr = c): a uniform model gives measure zero;
@@ -231,6 +234,71 @@ func (b *Bounds) EstimateFraction(min, max []float64, hasNaN []bool) float64 {
 		}
 	}
 	return f
+}
+
+// ZoneFilter is a Bounds compiled for the planner's per-container loop: the
+// constrained intervals flattened out of the attribute map once per query,
+// so the admit and selectivity checks that run for every candidate
+// container iterate a short slice instead of re-walking a map thousands of
+// times per plan.
+type ZoneFilter struct {
+	never bool
+	preds []zoneInterval
+}
+
+type zoneInterval struct {
+	attr int
+	iv   Interval
+}
+
+// CompileZone flattens the bounds into a ZoneFilter, or nil when nothing is
+// constrained (callers skip zone checks entirely).
+func (b *Bounds) CompileZone() *ZoneFilter {
+	if !b.Constrained() {
+		return nil
+	}
+	f := &ZoneFilter{never: b.Never}
+	for attr, iv := range b.ByAttr {
+		f.preds = append(f.preds, zoneInterval{attr: int(attr), iv: iv})
+	}
+	sort.Slice(f.preds, func(i, j int) bool { return f.preds[i].attr < f.preds[j].attr })
+	return f
+}
+
+// Admit is Bounds.AdmitZone over the flattened intervals.
+func (f *ZoneFilter) Admit(min, max []float64, hasNaN []bool) bool {
+	if f.never {
+		return false
+	}
+	for i := range f.preds {
+		p := &f.preds[i]
+		if p.attr >= len(min) {
+			continue
+		}
+		if !p.iv.admits(min[p.attr], max[p.attr], hasNaN[p.attr]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fraction is Bounds.EstimateFraction over the flattened intervals.
+func (f *ZoneFilter) Fraction(min, max []float64, hasNaN []bool) float64 {
+	if f.never {
+		return 0
+	}
+	est := 1.0
+	for i := range f.preds {
+		p := &f.preds[i]
+		if p.attr >= len(min) {
+			continue
+		}
+		est *= p.iv.fractionIn(min[p.attr], max[p.attr], hasNaN[p.attr])
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
 }
 
 // Strings renders the bounds as "attr ∈ interval" lines, sorted by

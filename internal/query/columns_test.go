@@ -1,0 +1,81 @@
+package query
+
+import (
+	"testing"
+
+	"sdss/internal/colblk"
+)
+
+func TestColumnSpecsAlignWithSchema(t *testing.T) {
+	for _, tbl := range []Table{TablePhoto, TableTag, TableSpec} {
+		spec := ColumnSpecs(tbl)
+		if spec == nil {
+			t.Fatalf("%v: no column spec", tbl)
+		}
+		if spec.NumCols() != NumAttrs(tbl) {
+			t.Fatalf("%v: %d columns for %d attributes", tbl, spec.NumCols(), NumAttrs(tbl))
+		}
+		refs := fieldRefs(tbl)
+		for id := 0; id < spec.NumCols(); id++ {
+			c := spec.Col(id)
+			if refs[id].stored {
+				if c.Kind == colblk.KNone {
+					t.Errorf("%v.%s: stored attribute has KNone column", tbl, c.Name)
+				}
+				if c.Offset != refs[id].field.Offset {
+					t.Errorf("%v.%s: column offset %d, field offset %d", tbl, c.Name, c.Offset, refs[id].field.Offset)
+				}
+				if c.Kind.Size() != refs[id].field.Kind.Size() {
+					t.Errorf("%v.%s: column width %d, field width %d", tbl, c.Name, c.Kind.Size(), refs[id].field.Kind.Size())
+				}
+			} else if c.Kind != colblk.KNone {
+				t.Errorf("%v.%s: derived attribute has stored column kind", tbl, c.Name)
+			}
+		}
+	}
+	// The photo triplet must predict from ra/dec — the SetPos dependency.
+	for i, id := range []AttrID{PhotoCX, PhotoCY, PhotoCZ} {
+		c := ColumnSpecs(TablePhoto).Col(int(id))
+		if c.Pred != colblk.PredVec || c.Aux != uint8(i) {
+			t.Errorf("photo %s: predictor %d aux %d, want PredVec aux %d", c.Name, c.Pred, c.Aux, i)
+		}
+	}
+}
+
+func TestKernelExact(t *testing.T) {
+	cases := []struct {
+		table Table
+		where string
+		want  bool
+	}{
+		{TableTag, "r < 18", true},
+		{TableTag, "r < 18 AND g > 12.5", true},
+		{TableTag, "18 > r", true},
+		{TableTag, "r = 17.25", true},
+		{TableTag, "NOT (r >= 18)", true},
+		{TableTag, "NOT (r < 18 OR g < 12)", true}, // De Morgan: AND of negations
+		{TableTag, "r < 17 + 1", true},             // constant-foldable literal
+		{TablePhoto, "class = 1 AND run >= 200", true},
+		{TablePhoto, "flags = 0", true},
+
+		{TableTag, "r != 18", false},          // punctured line
+		{TableTag, "r < 18 OR g < 12", false}, // OR hull over-admits
+		{TableTag, "u - g > 1", false},        // arithmetic over attributes
+		{TableTag, "r < u", false},            // attr vs attr
+		{TableTag, "ra < 180", false},         // derived attribute (tag RA)
+		{TableSpec, "cx > 0", false},          // derived attribute (spec position)
+		{TableSpec, "redshift > 0.1", true},
+	}
+	for _, c := range cases {
+		stmt, err := Parse("SELECT objid FROM " + c.table.String() + " WHERE " + c.where)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.where, err)
+		}
+		if err := Analyze(stmt); err != nil {
+			t.Fatalf("analyze %q: %v", c.where, err)
+		}
+		if got := KernelExact(c.table, stmt.Select.Where); got != c.want {
+			t.Errorf("KernelExact(%v, %q) = %v, want %v", c.table, c.where, got, c.want)
+		}
+	}
+}

@@ -51,6 +51,15 @@ func (s *Store) Flush() error {
 			return err
 		}
 	}
+	// Likewise the column-block sidecar.
+	if s.colBlkEnabled() {
+		for _, c := range s.containers {
+			s.ensureColBlk(c)
+		}
+		if err := s.flushColBlks(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -105,9 +114,11 @@ func (s *Store) loadDir() error {
 			return err
 		}
 	}
-	// Attach persisted zone maps; anything missing or stale (including a
-	// whole pre-zone archive) rebuilds transparently on first use.
+	// Attach persisted zone maps and column slabs; anything missing or
+	// stale (including whole pre-zone or pre-COLBLK archives) rebuilds
+	// transparently on first use.
 	s.loadZones()
+	s.loadColBlks()
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"sdss/internal/colblk"
 	"sdss/internal/htm"
 )
 
@@ -52,6 +53,10 @@ type Options struct {
 	// ZoneAttrs). It must be safe for concurrent use: shard slices fold
 	// zones in parallel during bulk loads.
 	ZoneValues func(rec []byte, out []float64)
+	// Columns describes the records' column layout for compressed
+	// column-block sidecars (nil disables them). Column indexes align with
+	// the same attribute IDs ZoneValues emits.
+	Columns *colblk.Spec
 }
 
 // Record is one object headed for the store.
@@ -72,6 +77,10 @@ type Container struct {
 	// zone holds the container's per-attribute min/max statistics; nil or
 	// stale (zone.count != count) until built.
 	zone *zoneMap
+	// slab holds the container's compressed column blocks; nil or stale
+	// (slab.N != count) until built. Sorting drops it — a slab encodes a
+	// specific record order.
+	slab *colblk.Slab
 }
 
 // Count returns the number of records in the container.
@@ -91,6 +100,14 @@ type Store struct {
 	orderOK    bool
 	touches    int64
 	records    int64
+	// colRaw forces raw column-block encodings (the compression-off arm of
+	// the kernel ablation).
+	colRaw bool
+	// colEncBytes/colRawBytes aggregate the encoded and raw footprints of
+	// every attached slab, maintained by setSlab so that ColBlkBytes is
+	// O(1) — the planner consults the ratio on every kernel-scan estimate.
+	colEncBytes int64
+	colRawBytes int64
 }
 
 // Open creates or opens a store. If opts.Dir is non-empty and contains
@@ -193,6 +210,21 @@ func (s *Store) ensureSorted(c *Container) {
 		return
 	}
 	rs := s.opts.RecordSize
+	// Reloaded containers arrive with sorted unknown (false); most were
+	// flushed sorted. Confirming order with one linear pass avoids an
+	// unstable re-sort, which could permute equal keys and desync a
+	// persisted column slab from the record order it encoded.
+	ordered := true
+	for i := 1; i < c.count; i++ {
+		if s.key(c.data[i*rs:]) < s.key(c.data[(i-1)*rs:]) {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		c.sorted = true
+		return
+	}
 	idx := make([]int, c.count)
 	for i := range idx {
 		idx[i] = i
@@ -207,6 +239,8 @@ func (s *Store) ensureSorted(c *Container) {
 	c.data = sorted
 	c.sorted = true
 	c.dirty = true
+	// The permutation invalidated any column slab built over the old order.
+	s.setSlab(c, nil)
 }
 
 // Sort ensures every container's records are ordered by fine HTM ID, and

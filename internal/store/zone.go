@@ -302,6 +302,57 @@ func (s *Store) ZoneStats(id htm.ID, fn func(count int, min, max []float64, hasN
 	}
 }
 
+// ZoneStatsAll streams the record counts and zone statistics of the listed
+// containers through fn under a single lock acquisition — the planner
+// consults thousands of candidates per query, and per-container ZoneStats
+// calls spend more time in lock atomics than in the statistics themselves.
+// Callbacks arrive in ids order; absent containers are skipped. When build
+// is true, missing or stale zones are rebuilt first (one write-lock pass,
+// as on a pre-zone archive); when false the callback sees nil zone slices
+// for them instead — the planner's no-bounds path must not pay on-demand
+// zone builds just to count records. fn must not retain the slices.
+func (s *Store) ZoneStatsAll(ids []htm.ID, build bool, fn func(i, count int, min, max []float64, hasNaN []bool)) {
+	build = build && s.zoneEnabled()
+	s.mu.RLock()
+	if build {
+		for _, id := range ids {
+			if c := s.containers[id]; c != nil {
+				if z := c.zone; z == nil || z.count != c.count {
+					// A stale zone: redo the whole pass under the write lock.
+					s.mu.RUnlock()
+					s.mu.Lock()
+					defer s.mu.Unlock()
+					for i, id := range ids {
+						c := s.containers[id]
+						if c == nil {
+							continue
+						}
+						s.ensureZone(c)
+						if z := c.zone; z != nil {
+							fn(i, c.count, z.min, z.max, z.hasNaN)
+						} else {
+							fn(i, c.count, nil, nil, nil)
+						}
+					}
+					return
+				}
+			}
+		}
+	}
+	defer s.mu.RUnlock()
+	for i, id := range ids {
+		c := s.containers[id]
+		if c == nil {
+			continue
+		}
+		if z := c.zone; z != nil && z.count == c.count {
+			fn(i, c.count, z.min, z.max, z.hasNaN)
+		} else {
+			fn(i, c.count, nil, nil, nil)
+		}
+	}
+}
+
 // BuildZones ensures every container has a fresh zone map and occupancy
 // histogram (Sort and Flush call it; it is also the warm-up a benchmark
 // times).
