@@ -26,10 +26,12 @@ race:
 # The E18 scale sweep at a tiny scale (~1000 objects): proves the whole
 # bench harness — size sweep, sharded neighbor join, radius sweep, planner
 # introspection — end to end in seconds. CI runs this so a broken bench is
-# caught before anyone regenerates BENCH_*.json.
+# caught before anyone regenerates BENCH_*.json. E20 exercises the morsel
+# scheduler sweep (workers × gomaxprocs × shards) the same way.
 bench-smoke:
 	go run ./cmd/skybench -run E18 -scale 3.4e-6
 	go run ./cmd/skybench -run E19 -scale 3.4e-6
+	go run ./cmd/skybench -run E20 -scale 3.4e-6
 
 # skylint is the project's own analyzer suite (cmd/skylint): batch
 # ownership, raw record offsets, NaN-safe comparisons, interrupted marks,

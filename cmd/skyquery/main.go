@@ -35,7 +35,8 @@ func main() {
 		dir     = flag.String("archive", "archive", "archive directory")
 		limit   = flag.Int("max", 0, "stop after this many rows (0 = all)")
 		timing  = flag.Bool("t", false, "print timing summary to stderr")
-		workers = flag.Int("workers", 0, "scan parallelism (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "morsel pool size (0 = GOMAXPROCS)")
+		morsels = flag.Int("morselrows", 0, "target records per scan morsel (0 = default 4096)")
 		format  = flag.String("format", "tsv", "output format: tsv, csv, or ndjson")
 		explain = flag.Bool("explain", false, "print the logical and physical plans (with zone-map fanout) instead of executing")
 		analyze = flag.Bool("analyze", false, "with -explain: execute the query and report actual rows and timing per operator")
@@ -50,7 +51,7 @@ func main() {
 		log.Fatal(`no query given; usage: skyquery -archive DIR "SELECT ..."`)
 	}
 
-	a, err := core.Create(*dir, core.Options{Workers: *workers})
+	a, err := core.Create(*dir, core.Options{Workers: *workers, MorselRows: *morsels})
 	if err != nil {
 		log.Fatal(err)
 	}

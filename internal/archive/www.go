@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -111,6 +112,11 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		// record counts, in shard order — the partition-balance view.
 		Shards       int     `json:"shards"`
 		ShardRecords []int64 `json:"shard_records,omitempty"`
+		// Workers is the engine's morsel-pool slot count; GoMaxProcs the
+		// runtime's scheduler width — together the parallel capacity behind
+		// every /v1/query scatter.
+		Workers    int `json:"workers"`
+		GoMaxProcs int `json:"gomaxprocs"`
 		// ZoneMapBytes is the in-memory footprint of the per-container
 		// min/max statistics across every store and slice.
 		ZoneMapBytes int64 `json:"zone_map_bytes"`
@@ -125,6 +131,8 @@ func (w *WWW) handleStatus(rw http.ResponseWriter, req *http.Request) {
 	}
 	st := status{Version: "v1", Uptime: time.Since(w.Started).Round(time.Second).String()}
 	st.Shards = w.Engine.NumShards()
+	st.Workers = w.Engine.PoolSize()
+	st.GoMaxProcs = runtime.GOMAXPROCS(0)
 	if w.Engine.Photo != nil {
 		st.PhotoRecords = w.Engine.Photo.NumRecords()
 		st.PhotoBytes = w.Engine.Photo.Bytes()

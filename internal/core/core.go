@@ -41,8 +41,11 @@ type Options struct {
 	ContainerDepth int
 	// CoverDepth is the HTM depth for query coverage (default 10).
 	CoverDepth int
-	// Workers is the per-query scan parallelism (default GOMAXPROCS).
+	// Workers sizes the engine-wide morsel worker pool (default GOMAXPROCS).
 	Workers int
+	// MorselRows is the target record count per scan morsel — the
+	// work-stealing granularity (default 4096).
+	MorselRows int
 	// Shards splits every store into that many slices (default 1), each
 	// independently persistable; queries scatter across all slices and
 	// gather merged streams. A persisted archive remembers its shard count,
@@ -72,6 +75,7 @@ func Create(dir string, opts Options) (*Archive, error) {
 			Spec:       tgt.Spec,
 			CoverDepth: opts.CoverDepth,
 			Workers:    opts.Workers,
+			MorselRows: opts.MorselRows,
 		},
 		dir: dir,
 	}, nil
@@ -301,6 +305,7 @@ func (a *Archive) Sample(frac float64) (*Archive, error) {
 			Spec:       spec,
 			CoverDepth: a.engine.CoverDepth,
 			Workers:    a.engine.Workers,
+			MorselRows: a.engine.MorselRows,
 		},
 	}, nil
 }

@@ -184,6 +184,7 @@ func All() []Experiment {
 		{"E17", "photo⋈spec join execution", PhotoSpecJoin},
 		{"E18", "scale sweep", ScaleSweep},
 		{"E19", "columnar blocks + filter kernels", FilterKernels},
+		{"E20", "morsel scheduler sweep", ParallelMorsels},
 		{"A1", "ablation: container depth", AblationContainerDepth},
 		{"A2", "ablation: coverage ranges", AblationCoverageRanges},
 		{"A3", "ablation: coverage depth", AblationCoverDepth},

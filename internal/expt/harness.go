@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -91,6 +92,25 @@ var (
 // best of the rest is reported. The JSON records carry the count so sub-ms
 // entries are read as best-of-N, not single-shot noise.
 const BenchBestOf = 4
+
+// BenchEnv records the machine context a benchmark ran under — without it
+// a committed BENCH_*.json number is unreproducible: a 4-worker speedup on
+// a 1-core container legitimately reads ~1.0×.
+type BenchEnv struct {
+	// GoMaxProcs is the runtime's scheduler width at measurement time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Workers is the engine morsel-pool size the run used (0 = engine
+	// default, which is GoMaxProcs).
+	Workers int `json:"workers"`
+	// BestOf is the repetition count behind every timing (BenchBestOf).
+	BestOf int `json:"best_of"`
+}
+
+// Env captures the current benchmark environment with the given engine
+// worker setting.
+func Env(workers int) BenchEnv {
+	return BenchEnv{GoMaxProcs: runtime.GOMAXPROCS(0), Workers: workers, BestOf: BenchBestOf}
+}
 
 // bestOf times one measured function BenchBestOf+1 times (first run warms)
 // and returns the best post-warm duration.

@@ -249,8 +249,9 @@ func PhotoSpecJoin(cfg Config, w io.Writer) error {
 			Spectra int               `json:"spectra"`
 			Shards  int               `json:"shards"`
 			BestOf  int               `json:"best_of"`
+			Env     BenchEnv          `json:"env"`
 			Grid    []JoinBenchResult `json:"grid"`
-		}{cfg.Objects(), len(h.Spec), nShards, BenchBestOf, grid}
+		}{cfg.Objects(), len(h.Spec), nShards, BenchBestOf, Env(0), grid}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

@@ -141,8 +141,8 @@ func FilterKernels(cfg Config, w io.Writer) error {
 	h.Archive.Sort()
 
 	eng := h.Archive.Engine()
-	kernelE := *eng
-	rowE := *eng
+	kernelE := eng.Clone()
+	rowE := eng.Clone()
 	rowE.NoKernel = true
 	ctx := context.Background()
 
@@ -176,12 +176,12 @@ func FilterKernels(cfg Config, w io.Writer) error {
 	kernArm := make([]armOut, len(kernelGridQueries))
 	rawArm := make([]armOut, len(kernelGridQueries))
 	for i, q := range kernelGridQueries {
-		t, rows, scan, err := kernelArm(ctx, &rowE, q.Q)
+		t, rows, scan, err := kernelArm(ctx, rowE, q.Q)
 		if err != nil {
 			return fmt.Errorf("expt: %s (row path): %w", q.Name, err)
 		}
 		rowArm[i] = armOut{t, rows, scan}
-		t, rows, scan, err = kernelArm(ctx, &kernelE, q.Q)
+		t, rows, scan, err = kernelArm(ctx, kernelE, q.Q)
 		if err != nil {
 			return fmt.Errorf("expt: %s (kernel): %w", q.Name, err)
 		}
@@ -189,7 +189,7 @@ func FilterKernels(cfg Config, w io.Writer) error {
 	}
 	setRaw(h.Archive, true)
 	for i, q := range kernelGridQueries {
-		t, rows, scan, err := kernelArm(ctx, &kernelE, q.Q)
+		t, rows, scan, err := kernelArm(ctx, kernelE, q.Q)
 		if err != nil {
 			return fmt.Errorf("expt: %s (kernel raw): %w", q.Name, err)
 		}
@@ -241,9 +241,10 @@ func FilterKernels(cfg Config, w io.Writer) error {
 		doc := struct {
 			Objects   int                 `json:"objects"`
 			BestOf    int                 `json:"best_of"`
+			Env       BenchEnv            `json:"env"`
 			Grid      []KernelQueryResult `json:"grid"`
 			Footprint KernelFootprint     `json:"footprint"`
-		}{cfg.Objects(), BenchBestOf, grid, fp}
+		}{cfg.Objects(), BenchBestOf, Env(0), grid, fp}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

@@ -1,0 +1,193 @@
+package expt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"sdss/internal/core"
+	"sdss/internal/qe"
+	"sdss/internal/query"
+	"sdss/internal/stats"
+)
+
+// ParallelBenchResult is one row of BENCH_parallel.json: a query timed at
+// one (gomaxprocs, shards, workers) point of the sweep, with the scheduler
+// counters from an instrumented run at the same point.
+type ParallelBenchResult struct {
+	Query      string `json:"query"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Shards     int    `json:"shards"`
+	Workers    int    `json:"workers"`
+	Rows       int    `json:"rows"`
+	Elapsed    string `json:"elapsed"`
+	// Speedup is elapsed relative to workers=1 at the same (gomaxprocs,
+	// shards, query) point.
+	Speedup float64 `json:"speedup"`
+	// Morsels/Steals/PoolWorkers are the leaf scans' scheduler counters
+	// (summed over scan nodes) from one EXPLAIN ANALYZE run: how many work
+	// units the scans split into, how many a worker stole from another
+	// worker's queue, and how many pool workers touched the query.
+	Morsels     int64 `json:"morsels"`
+	Steals      int64 `json:"steals"`
+	PoolWorkers int64 `json:"pool_workers"`
+}
+
+// parallelQueries is the E20 sweep grid: a uniform filter whose morsels
+// spread evenly over the sky, and a cone whose candidate containers
+// concentrate in a few trixels — with mod-N shard placement that skew
+// lands most morsels on few shards, the case work stealing exists for.
+func parallelQueries(ra, dec float64) []struct{ Name, Q string } {
+	return []struct{ Name, Q string }{
+		{"uniform", "SELECT objid, r FROM tag WHERE r < 21"},
+		{"skewed-cone", fmt.Sprintf("SELECT objid, ra, dec, r FROM tag WHERE CIRCLE(%v, %v, 30)", ra, dec)},
+	}
+}
+
+// scanCounters walks an analyzed plan tree and sums the scheduler counters
+// of its scan leaves.
+func scanCounters(n *qe.OpNode) (morsels, steals, workers int64) {
+	if n.Actual != nil && n.Op == "scan" {
+		morsels += n.Actual.Morsels
+		steals += n.Actual.Steals
+		workers += n.Actual.Workers
+	}
+	for _, c := range n.Children {
+		m, s, w := scanCounters(c)
+		morsels, steals, workers = morsels+m, steals+s, workers+w
+	}
+	return
+}
+
+// ParallelMorsels measures the morsel scheduler: the sweep grid runs at
+// every worker count in {1,2,4,8} on the 1-shard and N-shard archives,
+// under each distinct GOMAXPROCS in {1, NumCPU}, reporting elapsed time,
+// speedup over workers=1, and the scheduler's morsel/steal counters. On a
+// single-core host the speedups legitimately read ~1.0× — the committed
+// JSON carries gomaxprocs so the numbers are read in context. When the
+// SKYBENCH_PARALLEL_JSON environment variable names a file, the rows are
+// also written there as the BENCH_parallel.json record.
+func ParallelMorsels(cfg Config, w io.Writer) error {
+	h, err := NewHarness(cfg)
+	if err != nil {
+		return err
+	}
+	n := cfg.shards()
+	section(w, "E20", fmt.Sprintf("morsel scheduler sweep (workers × gomaxprocs, 1 and %d shards)", n))
+
+	wide, err := core.Create("", core.Options{Shards: n})
+	if err != nil {
+		return err
+	}
+	if _, err := wide.LoadObjects(h.Photo, h.Spec); err != nil {
+		return err
+	}
+	wide.Sort()
+	archives := []struct {
+		shards int
+		a      *core.Archive
+	}{{1, h.Archive}, {n, wide}}
+
+	gmps := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		gmps = append(gmps, ncpu)
+	}
+	workerSweep := []int{1, 2, 4, 8}
+
+	ctx := context.Background()
+	center := h.Photo[0]
+	prevGMP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevGMP)
+
+	tbl := stats.NewTable("Query", "GMP", "Shards", "Workers", "Rows", "Elapsed", "Speedup", "Morsels", "Steals")
+	var jsonRows []ParallelBenchResult
+	for _, gmp := range gmps {
+		runtime.GOMAXPROCS(gmp)
+		for _, q := range parallelQueries(center.RA, center.Dec) {
+			for _, arch := range archives {
+				var base time.Duration
+				for _, workers := range workerSweep {
+					// A fresh engine per point: the morsel pool sizes itself
+					// at its first dispatch, so Workers must be set before
+					// any query runs on the engine.
+					eng := &qe.Engine{
+						Photo: arch.a.PhotoStore(), Tag: arch.a.TagStore(),
+						Spec: arch.a.SpecStore(), Workers: workers,
+					}
+					var rowCount int
+					best, err := bestOf(func() error {
+						rs, err := eng.ExecuteString(ctx, q.Q)
+						if err != nil {
+							return err
+						}
+						res, err := rs.Collect()
+						if err != nil {
+							return err
+						}
+						rowCount = len(res)
+						return nil
+					})
+					if err != nil {
+						return fmt.Errorf("expt: %s W=%d shards=%d: %w", q.Name, workers, arch.shards, err)
+					}
+					// One instrumented run for the scheduler counters.
+					prep, err := query.PrepareString(q.Q)
+					if err != nil {
+						return err
+					}
+					plan, err := eng.PlanAnalyze(prep, true)
+					if err != nil {
+						return err
+					}
+					rs, err := eng.ExecutePlan(ctx, plan, qe.ExecOptions{Analyze: true})
+					if err != nil {
+						return err
+					}
+					if _, err := rs.Collect(); err != nil {
+						return err
+					}
+					morsels, steals, poolW := scanCounters(plan.Describe())
+					if workers == 1 {
+						base = best
+					}
+					speedup := float64(base) / float64(best)
+					tbl.AddRow(q.Name, gmp, arch.shards, workers, rowCount,
+						best.Round(time.Microsecond), fmt.Sprintf("%.2f×", speedup),
+						morsels, steals)
+					jsonRows = append(jsonRows, ParallelBenchResult{
+						Query: q.Q, GoMaxProcs: gmp, Shards: arch.shards,
+						Workers: workers, Rows: rowCount,
+						Elapsed: best.Round(time.Microsecond).String(),
+						Speedup: math.Round(speedup*100) / 100,
+						Morsels: morsels, Steals: steals, PoolWorkers: poolW,
+					})
+				}
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prevGMP)
+	fmt.Fprint(w, tbl)
+	if path := os.Getenv("SKYBENCH_PARALLEL_JSON"); path != "" {
+		doc := struct {
+			Objects int                   `json:"objects"`
+			Shards  int                   `json:"shards"`
+			BestOf  int                   `json:"best_of"`
+			Env     BenchEnv              `json:"env"`
+			Grid    []ParallelBenchResult `json:"grid"`
+		}{cfg.Objects(), n, BenchBestOf, Env(0), jsonRows}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}

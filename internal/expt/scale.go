@@ -188,9 +188,10 @@ func ScaleSweep(cfg Config, w io.Writer) error {
 			Cores       int                 `json:"cores"`
 			Shards      int                 `json:"shards"`
 			BestOf      int                 `json:"best_of"`
+			Env         BenchEnv            `json:"env"`
 			Sizes       []ScaleSizeResult   `json:"sizes"`
 			RadiusSweep []ScaleRadiusResult `json:"radius_sweep"`
-		}{cores, nShards, BenchBestOf, sizeRows, radiusRows}
+		}{cores, nShards, BenchBestOf, Env(0), sizeRows, radiusRows}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

@@ -129,8 +129,9 @@ func ShardScatterGather(cfg Config, w io.Writer) error {
 			Objects int                `json:"objects"`
 			Shards  int                `json:"shards"`
 			BestOf  int                `json:"best_of"`
+			Env     BenchEnv           `json:"env"`
 			Grid    []ShardBenchResult `json:"grid"`
-		}{cfg.Objects(), n, BenchBestOf, jsonRows}
+		}{cfg.Objects(), n, BenchBestOf, Env(0), jsonRows}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

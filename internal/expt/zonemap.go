@@ -170,10 +170,11 @@ func ZoneMapPruning(cfg Config, w io.Writer) error {
 		doc := struct {
 			Objects int               `json:"objects"`
 			Shards  int               `json:"shards"`
+			Env     BenchEnv          `json:"env"`
 			Grid    []ZoneQueryResult `json:"grid"`
 			Decode  ZoneDecodeBench   `json:"decode_bench"`
 			Build   ZoneBuildBench    `json:"zone_build"`
-		}{cfg.Objects(), nShards, grid, decode, build}
+		}{cfg.Objects(), nShards, Env(0), grid, decode, build}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err

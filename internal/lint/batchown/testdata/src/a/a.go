@@ -113,3 +113,30 @@ func emitAndReplace(ctx context.Context, out chan<- Batch, b Batch) Batch {
 		return nil
 	}
 }
+
+// doubleSend ships the same buffer to two consumers: after the first send
+// the receiver owns (and may recycle) it, so the second is a use of a
+// batch that is no longer this goroutine's.
+func doubleSend(a, b chan<- Batch, bt Batch) {
+	a <- bt
+	b <- bt // want `use of batch bt after sending it`
+}
+
+// tryThenGuardedSend is the morsel worker's emit: a non-blocking fast path
+// whose failure leaves ownership here, then a guarded retry. Only one send
+// can succeed, so no finding — the comm clauses are separate statement
+// lists and the default branch retains the buffer.
+func tryThenGuardedSend(ctx context.Context, out chan<- Batch, bt Batch) bool {
+	select {
+	case out <- bt:
+		return true
+	default:
+	}
+	select {
+	case out <- bt:
+		return true
+	case <-ctx.Done():
+		RecycleBatch(bt)
+		return false
+	}
+}

@@ -68,3 +68,40 @@ func suppressedReplay(all []batch) <-chan batch {
 	}()
 	return replay
 }
+
+// morsel mirrors the scheduler's work unit: a slice element, not a channel
+// receive — ranging over a slice grants no close-to-unblock guarantee.
+type morsel struct{ cids []uint64 }
+
+// badMorselScatter pushes a slice of queued units into a stream with no
+// cancellation case: the worker-pool shape done wrong. Unlike goodForward's
+// channel range (bounded by an upstream close), a slice range never ends
+// early, so a departed consumer wedges the goroutine forever.
+func badMorselScatter(units []morsel, out chan<- batch) {
+	go func() {
+		for _, u := range units {
+			out <- batch(u.cids) // want `unguarded channel send in a spawned goroutine`
+		}
+	}()
+}
+
+// goodFastPathEmit is the scheduler's emit idiom: a non-blocking fast path
+// first, then a guarded retry — both sends are select cases, so a departed
+// consumer loses to cancellation, never wedges the worker.
+func goodFastPathEmit(ctx context.Context, units []morsel, out chan<- batch) {
+	go func() {
+		for _, u := range units {
+			b := batch(u.cids)
+			select {
+			case out <- b:
+				continue
+			default:
+			}
+			select {
+			case out <- b:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

@@ -348,6 +348,79 @@ func floatKey(v float64) (uint64, bool) {
 	return math.Float64bits(v), true
 }
 
+// parallelBuildRows is the build-side row count below which the hash table
+// builds single-threaded: partitioning smaller inputs costs more than the
+// parallel map builds recover.
+const parallelBuildRows = 8192
+
+// mix64 is the splitmix64 finalizer: the partition selector over join
+// keys, so partitions stay balanced even for sequential object IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashTable is the hash join's build result: build-row indices keyed by
+// join key, split into hash partitions built in parallel on the pool.
+type hashTable struct {
+	mask  uint64
+	parts []map[uint64][]int32
+}
+
+func (t *hashTable) lookup(key uint64) []int32 {
+	return t.parts[mix64(key)&t.mask][key]
+}
+
+// buildHashTable builds the join table from the drained build side. Large
+// inputs are partitioned by mixed key hash in one sequential pass, then
+// each partition's map builds as a pool unit; the per-key match lists keep
+// ascending build-row order either way, so probe output is identical to
+// the single-map build. NaN keys are dropped (never matched).
+func (e *Engine) buildHashTable(ctx context.Context, built []Result, key func(int) (uint64, bool)) *hashTable {
+	nparts := 1
+	if len(built) >= parallelBuildRows {
+		for w := min(e.getPool().size, 16); nparts < w; {
+			nparts <<= 1
+		}
+	}
+	t := &hashTable{mask: uint64(nparts - 1), parts: make([]map[uint64][]int32, nparts)}
+	if nparts == 1 {
+		m := make(map[uint64][]int32, len(built))
+		for i := range built {
+			k, usable := key(i)
+			if !usable {
+				continue
+			}
+			m[k] = append(m[k], int32(i))
+		}
+		t.parts[0] = m
+		return t
+	}
+	keys := make([]uint64, len(built))
+	lists := make([][]int32, nparts)
+	for i := range built {
+		k, usable := key(i)
+		if !usable {
+			continue
+		}
+		keys[i] = k
+		p := mix64(k) & t.mask
+		lists[p] = append(lists[p], int32(i))
+	}
+	e.runParallel(ctx, nparts, func(p int) {
+		m := make(map[uint64][]int32, len(lists[p]))
+		for _, i := range lists[p] {
+			m[keys[i]] = append(m[keys[i]], i)
+		}
+		t.parts[p] = m
+	})
+	return t
+}
+
 func (o *hashJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
@@ -360,34 +433,32 @@ func (o *hashJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 			buildKey, probeKey = cj.LeftKey, cj.RightKey
 		}
 
-		// Open both sides up front — the probe side's scan workers fill
-		// their channel buffers while the build side drains — then block
-		// on the build child, exactly like the paper's sort and
-		// intersection nodes block on theirs.
-		probe := probeOp.open(ctx, rows)
+		// Drain the build child first — the node blocks on it exactly like
+		// the paper's sort and intersection nodes block on theirs. The
+		// probe side stays unopened until the table exists: its morsels
+		// would otherwise hold shared-pool workers blocked on a stream
+		// nothing consumes yet.
 		built, ok := drainCollect(ctx, buildOp.open(ctx, rows), rows)
 		if !ok {
-			for b := range probe {
-				RecycleBatch(b)
-			}
 			return
 		}
-		ht := make(map[uint64][]int32, len(built))
-		for i := range built {
-			var key uint64
+		buildKeyOf := func(i int) (uint64, bool) {
 			if cj.KeyObjID {
-				key = uint64(built[i].ObjID)
-			} else {
-				k, usable := floatKey(built[i].Values[buildKey])
-				if !usable {
-					continue // NaN keys are dropped, never matched
-				}
-				key = k
+				return uint64(built[i].ObjID), true
 			}
-			ht[key] = append(ht[key], int32(i))
+			return floatKey(built[i].Values[buildKey])
+		}
+		ht := o.e.buildHashTable(ctx, built, buildKeyOf)
+		if ctx.Err() != nil {
+			rows.interrupted.Store(true)
+			return
+		}
+		if o.stats != nil {
+			o.stats.workers.Store(int64(len(ht.parts)))
 		}
 
 		// Probe phase: stream the probe side through the table.
+		probe := probeOp.open(ctx, rows)
 		em := newPairEmitter(o.e, cj, rows, out)
 		defer em.close()
 		for b := range probe {
@@ -402,7 +473,7 @@ func (o *hashJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 					}
 					key = k
 				}
-				matches := ht[key]
+				matches := ht.lookup(key)
 				if len(matches) == 0 {
 					continue
 				}
@@ -487,12 +558,12 @@ func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 			buildPos, probePos = cj.LeftPos, cj.RightPos
 		}
 
-		// Open the probe side up front — its scan workers fill their channel
-		// buffers while the build side materializes — then build per shard
-		// stream: each stream feeds its own local index against shard-local
-		// row numbering, merged in shard order below so the result is
-		// deterministic regardless of which stream finishes first.
-		probes := sideStreams(ctx, probeOp, rows)
+		// Build first, per shard stream: each stream feeds its own local
+		// index against shard-local row numbering, merged in shard order
+		// below so the result is deterministic regardless of which stream
+		// finishes first. The probe side stays unopened until the master
+		// index exists — its morsels would otherwise hold shared-pool
+		// workers blocked on streams nothing consumes yet.
 		builds := sideStreams(ctx, buildOp, rows)
 		type buildPart struct {
 			idx *hashm.SpatialIndex
@@ -535,20 +606,17 @@ func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 		bwg.Wait()
 		if ctx.Err() != nil {
 			rows.interrupted.Store(true)
-			drainRecycle(probes...)
 			return
 		}
 		for i := range parts {
 			if parts[i].err != nil {
 				rows.setErr(parts[i].err)
-				drainRecycle(probes...)
 				return
 			}
 		}
 		master, err := hashm.NewSpatialIndex(cj.Radius, o.depth)
 		if err != nil {
 			rows.setErr(err)
-			drainRecycle(probes...)
 			return
 		}
 		var built []Result
@@ -561,6 +629,7 @@ func (o *neighborJoinOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 		// Probe phase: each shard stream probes the index concurrently with
 		// its own emitter, pairs flowing out as probe batches arrive — the
 		// probe side is never materialized.
+		probes := sideStreams(ctx, probeOp, rows)
 		var pwg sync.WaitGroup
 		for _, ch := range probes {
 			pwg.Add(1)

@@ -15,9 +15,9 @@ import (
 // scan runs the legacy row loop. Zone pruning stays on: the property under
 // test is the kernel path alone.
 func rowEngine(e *Engine) *Engine {
-	r := *e
+	r := e.Clone()
 	r.NoKernel = true
-	return &r
+	return r
 }
 
 // kernelPropertyQueries covers every kernel shape: exact key-range kernels

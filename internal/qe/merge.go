@@ -1,17 +1,18 @@
 // Shard-aware gather stages of the scatter-gather executor. A leaf scan
-// operator fans out across every slice of a sharded store (scanOp in
-// plan.go); the stages here merge the per-shard streams back into one:
+// operator fans out across the morsel pool (scanOp in plan.go); unordered
+// consumers gather through the scan's own MPSC stream, so the only gather
+// stages left here are the order- and aggregate-sensitive ones:
 //
-//   - runInterleave forwards batches from all shards as they arrive — the
-//     ASAP push, order-free.
 //   - runSortShard + runMergeOrdered implement distributed ORDER BY: each
 //     shard sorts its own results by (key, objid), then an ordered k-way
 //     merge produces one globally sorted stream. The (key, objid) total
 //     order makes the merged output deterministic and identical to a
 //     single-shard sort of the same rows; exact duplicates are taken from
 //     the lowest shard index first (merge stability).
-//   - runAggregate computes a partial aggregate per shard and combines
-//     them: COUNT/SUM/MIN/MAX compose directly, AVG composes via sum+count.
+//   - runAggregate folds a single (join) stream into the one-row result;
+//     leaf scans push the same fold onto the pool per container instead
+//     (scanFold in morsel.go) and combine partials in container order:
+//     COUNT/SUM/MIN/MAX compose directly, AVG composes via sum+count.
 
 package qe
 
@@ -19,45 +20,9 @@ import (
 	"context"
 	"math"
 	"sort"
-	"sync"
 
 	"sdss/internal/query"
 )
-
-// runInterleave fans the shard streams into one channel in arrival order.
-func (e *Engine) runInterleave(ctx context.Context, ins []<-chan Batch, rows *Rows) <-chan Batch {
-	if len(ins) == 1 {
-		return ins[0]
-	}
-	out := make(chan Batch, 4)
-	var wg sync.WaitGroup
-	wg.Add(len(ins))
-	for _, in := range ins {
-		go func(in <-chan Batch) {
-			defer wg.Done()
-			for b := range in {
-				select {
-				case out <- b:
-				case <-ctx.Done():
-					// A batch is being dropped: the stream was cut off
-					// mid-production (a lapsed deadline here is a timeout).
-					rows.interrupted.Store(true)
-					RecycleBatch(b)
-					// Producers watch the same context; just drain.
-					for b := range in {
-						RecycleBatch(b)
-					}
-					return
-				}
-			}
-		}(in)
-	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
-	return out
-}
 
 // keyCompare is a three-way comparison of sort keys that is total even for
 // NaN: NaN orders before every number and equal to itself, so per-shard
@@ -273,72 +238,67 @@ func (p *aggPartial) combine(q aggPartial) {
 	}
 }
 
-// runAggregate computes one partial aggregate per input stream concurrently
-// and combines them (in shard order, so the result is deterministic given
-// deterministic shard partials) into the single result row. The non-count
-// aggregate operand is the hidden last value of each row. Aggregation is
-// inherently blocking: every input must finish before the row exists.
-func (e *Engine) runAggregate(ctx context.Context, agg query.AggFunc, ins []<-chan Batch, rows *Rows) <-chan Batch {
-	out := make(chan Batch, 1)
-	partials := make([]aggPartial, len(ins))
-	var wg sync.WaitGroup
-	wg.Add(len(ins))
-	for i, in := range ins {
-		go func(i int, in <-chan Batch) {
-			defer wg.Done()
-			var p aggPartial
-			for b := range in {
-				for _, r := range b {
-					p.count++
-					if agg == query.AggCount {
-						continue
-					}
-					v := r.Values[len(r.Values)-1] // hidden agg operand
-					p.sum += v
-					if math.IsNaN(v) {
-						// Unmeasured magnitude: every comparison against it
-						// is false, so folding it into min/max would leave
-						// the result dependent on arrival order. SUM/AVG
-						// still absorb it (NaN poisons them uniformly).
-						continue
-					}
-					if !p.any || v < p.min {
-						p.min = v
-					}
-					if !p.any || v > p.max {
-						p.max = v
-					}
-					p.any = true
-				}
-				RecycleBatch(b)
-			}
-			partials[i] = p
-		}(i, in)
+// fold absorbs one result row. The non-count aggregate operand is the
+// hidden last value of the row.
+func (p *aggPartial) fold(agg query.AggFunc, r *Result) {
+	p.count++
+	if agg == query.AggCount {
+		return
 	}
+	v := r.Values[len(r.Values)-1] // hidden agg operand
+	p.sum += v
+	if math.IsNaN(v) {
+		// Unmeasured magnitude: every comparison against it is false, so
+		// folding it into min/max would leave the result dependent on
+		// arrival order. SUM/AVG still absorb it (NaN poisons them
+		// uniformly).
+		return
+	}
+	if !p.any || v < p.min {
+		p.min = v
+	}
+	if !p.any || v > p.max {
+		p.max = v
+	}
+	p.any = true
+}
+
+// final extracts the aggregate's answer from a (combined) partial.
+func (p *aggPartial) final(agg query.AggFunc) float64 {
+	switch agg {
+	case query.AggCount:
+		return float64(p.count)
+	case query.AggSum:
+		return p.sum
+	case query.AggAvg:
+		if p.count > 0 {
+			return p.sum / float64(p.count)
+		}
+		return 0
+	case query.AggMin:
+		return p.min
+	case query.AggMax:
+		return p.max
+	}
+	return 0
+}
+
+// runAggregate folds one input stream into the single result row — the
+// non-leaf aggregate path (a join input). Aggregation is inherently
+// blocking: the input must finish before the row exists.
+func (e *Engine) runAggregate(ctx context.Context, agg query.AggFunc, in <-chan Batch, rows *Rows) <-chan Batch {
+	out := make(chan Batch, 1)
 	go func() {
 		defer close(out)
-		wg.Wait()
-		var total aggPartial
-		for _, p := range partials {
-			total.combine(p)
-		}
-		var v float64
-		switch agg {
-		case query.AggCount:
-			v = float64(total.count)
-		case query.AggSum:
-			v = total.sum
-		case query.AggAvg:
-			if total.count > 0 {
-				v = total.sum / float64(total.count)
+		var p aggPartial
+		for b := range in {
+			for i := range b {
+				p.fold(agg, &b[i])
 			}
-		case query.AggMin:
-			v = total.min
-		case query.AggMax:
-			v = total.max
+			RecycleBatch(b)
 		}
 		select {
-		case out <- Batch{{Values: []float64{v}}}:
+		case out <- Batch{{Values: []float64{p.final(agg)}}}:
 		case <-ctx.Done():
 			rows.interrupted.Store(true)
 		}

@@ -38,6 +38,14 @@ type OpActual struct {
 	// materialized into key vectors — the measured side of the planner's
 	// bytes-scanned cost estimate.
 	BytesDecoded int64 `json:"bytes_decoded,omitempty"`
+	// Workers counts the pool workers that touched this operator: scan
+	// workers for a leaf, build partitions for a parallel hash build.
+	Workers int64 `json:"workers,omitempty"`
+	// Morsels is the number of (shard, container-run) work units a leaf
+	// scan was chunked into; Steals counts how many of them a pool worker
+	// took from another worker's queue.
+	Morsels int64 `json:"morsels,omitempty"`
+	Steals  int64 `json:"steals,omitempty"`
 }
 
 // OpNode is one node of the physical plan: the operator, its chosen access
@@ -91,6 +99,9 @@ type opStats struct {
 	rowsOut       atomic.Int64
 	blocksSkipped atomic.Int64
 	bytesDecoded  atomic.Int64
+	workers       atomic.Int64
+	morsels       atomic.Int64
+	steals        atomic.Int64
 	startNs       atomic.Int64
 	endNs         atomic.Int64
 }
@@ -143,6 +154,9 @@ func (b *opBase) describe() *OpNode {
 			RowsOut:       b.stats.rowsOut.Load(),
 			BlocksSkipped: b.stats.blocksSkipped.Load(),
 			BytesDecoded:  b.stats.bytesDecoded.Load(),
+			Workers:       b.stats.workers.Load(),
+			Morsels:       b.stats.morsels.Load(),
+			Steals:        b.stats.steals.Load(),
 		}
 		if act.RowsIn == 0 {
 			act.RowsIn = childOut
@@ -221,6 +235,12 @@ func renderOpNode(b *strings.Builder, n *OpNode, depth int) {
 		if n.Actual.BlocksSkipped > 0 || n.Actual.BytesDecoded > 0 {
 			fmt.Fprintf(b, " blocks_skipped=%d bytes_decoded=%d",
 				n.Actual.BlocksSkipped, n.Actual.BytesDecoded)
+		}
+		if n.Actual.Morsels > 0 {
+			fmt.Fprintf(b, " workers=%d morsels=%d steals=%d",
+				n.Actual.Workers, n.Actual.Morsels, n.Actual.Steals)
+		} else if n.Actual.Workers > 0 {
+			fmt.Fprintf(b, " workers=%d", n.Actual.Workers)
 		}
 	}
 	b.WriteString(")\n")

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"sdss/internal/htm"
 	"sdss/internal/query"
@@ -276,6 +277,7 @@ func (e *Engine) planLeaf(cs *query.CompiledSelect, analyze bool) (*scanOp, erro
 	}
 
 	op.rangeSet = rangeSet
+	op.buildMorsels(e.morselRows())
 	op.info.Containers = nCandidates
 	op.info.ZonePruned = pruned
 	op.info.EstRows = estRows
@@ -341,6 +343,31 @@ type scanOp struct {
 	// per-container geometry the neighbor-join estimator integrates.
 	shardContEst [][]float64
 	shardContCnt [][]float64
+	// morsels is the scan chunked into (shard, container-run) scheduler
+	// units of ~morselRows records each, computed once at plan time.
+	morsels []morsel
+}
+
+// buildMorsels chunks each shard's kept containers into runs of roughly
+// target records, using the plan-time per-container record counts. Morsels
+// never span shards, so per-shard streams stay exact.
+func (o *scanOp) buildMorsels(target int) {
+	for s, cids := range o.shardContainers {
+		cnts := o.shardContCnt[s]
+		start, acc := 0, 0
+		for k := range cids {
+			// Container record counts are whole numbers stored as float64;
+			// integer accumulation keeps the comparison NaN-free.
+			acc += int(cnts[k])
+			if acc >= target {
+				o.morsels = append(o.morsels, morsel{shard: s, cids: cids[start : k+1]})
+				start, acc = k+1, 0
+			}
+		}
+		if start < len(cids) {
+			o.morsels = append(o.morsels, morsel{shard: s, cids: cids[start:]})
+		}
+	}
 }
 
 // closedBatch is the shared pre-closed stream empty scatter slices return:
@@ -351,38 +378,56 @@ var closedBatch = func() chan Batch {
 	return ch
 }()
 
-// openShards launches one scan per shard slice, sharing the query-wide
-// token pool, and returns the per-shard streams (order-sensitive consumers
-// like the k-way merge want them unmixed). Slices the planner left no
-// candidate containers on contribute a pre-closed stream instead of
-// spawning workers, and the per-slice worker budget divides among the
-// slices that actually scan.
+// openShards dispatches the scan to the engine-wide morsel pool and
+// returns per-shard streams (order-sensitive consumers like the k-way
+// merge want them unmixed). Each shard's stream closes when its last
+// morsel completes; slices the planner left no candidate containers on
+// contribute a pre-closed stream without touching the scheduler.
 func (o *scanOp) openShards(ctx context.Context, rows *Rows) []<-chan Batch {
 	shards := o.st.Shards()
-	nonEmpty := 0
-	for _, c := range o.shardContainers {
-		if len(c) > 0 {
-			nonEmpty++
-		}
+	perShard := make([]int, len(shards))
+	for _, m := range o.morsels {
+		perShard[m.shard]++
 	}
-	if nonEmpty == 0 {
-		nonEmpty = 1
-	}
-	perShard := (o.e.workers() + nonEmpty - 1) / nonEmpty
-	tokens := make(chan struct{}, o.e.workers())
+	j := o.newJob(ctx, rows, scanPerShard)
+	j.outs = make([]chan Batch, len(shards))
+	j.shardLeft = make([]atomic.Int32, len(shards))
 	outs := make([]<-chan Batch, len(shards))
-	for i, sh := range shards {
-		if len(o.shardContainers[i]) == 0 {
+	for i := range shards {
+		if perShard[i] == 0 {
 			outs[i] = o.instrument(closedBatch)
 			continue
 		}
-		outs[i] = o.instrument(o.e.runScan(ctx, sh, o.cs, o.plan, o.rangeSet, o.shardContainers[i], perShard, tokens, rows, o.stats))
+		j.shardLeft[i].Store(int32(perShard[i]))
+		j.outs[i] = make(chan Batch, 4)
+		outs[i] = o.instrument(j.outs[i])
 	}
+	j.dispatch()
 	return outs
 }
 
+// open gathers the whole scan through one bounded MPSC stream — the
+// order-free ASAP path: every pool worker pushes into the same channel, no
+// per-shard interleave stage.
 func (o *scanOp) open(ctx context.Context, rows *Rows) <-chan Batch {
-	return o.e.runInterleave(ctx, o.openShards(ctx, rows), rows)
+	if len(o.morsels) == 0 {
+		return o.instrument(closedBatch)
+	}
+	j := o.newJob(ctx, rows, scanStream)
+	j.out = make(chan Batch, 2+2*o.e.getPool().size)
+	j.dispatch()
+	return o.instrument(j.out)
+}
+
+// openFold is the aggregate pushdown: the pool folds each container into
+// an aggregate partial and combines them in container-ID order, so the
+// result is bit-identical across worker and shard counts.
+func (o *scanOp) openFold(ctx context.Context, rows *Rows, agg query.AggFunc) <-chan Batch {
+	j := o.newJob(ctx, rows, scanFold)
+	j.agg = agg
+	j.out = make(chan Batch, 1)
+	j.dispatch()
+	return j.out
 }
 
 // setOp executes one set operation over its children's streams.
@@ -393,17 +438,20 @@ type setOp struct {
 	left, right Operator
 }
 
+// open starts the set operation. The deferred child (INTERSECT's right,
+// MINUS's left) is opened lazily by the run stage once the drained child
+// completed: an opened scan's morsels queue on the shared pool
+// immediately, and units blocked emitting into an unconsumed stream would
+// occupy the workers the draining side needs.
 func (o *setOp) open(ctx context.Context, rows *Rows) <-chan Batch {
-	left := o.left.open(ctx, rows)
-	right := o.right.open(ctx, rows)
 	var out <-chan Batch
 	switch o.op {
 	case query.OpUnion:
-		out = o.e.runUnion(ctx, left, right, rows)
+		out = o.e.runUnion(ctx, o.left.open(ctx, rows), o.right.open(ctx, rows), rows)
 	case query.OpIntersect:
-		out = o.e.runIntersect(ctx, left, right, rows)
+		out = o.e.runIntersect(ctx, o.left.open(ctx, rows), func() <-chan Batch { return o.right.open(ctx, rows) }, rows)
 	case query.OpMinus:
-		out = o.e.runMinus(ctx, left, right, rows)
+		out = o.e.runMinus(ctx, func() <-chan Batch { return o.left.open(ctx, rows) }, o.right.open(ctx, rows), rows)
 	default:
 		ch := make(chan Batch)
 		close(ch)
@@ -448,8 +496,9 @@ func (o *sortOp) open(ctx context.Context, rows *Rows) <-chan Batch {
 	return o.instrument(o.e.runMergeOrdered(ctx, o.keyIdx, o.desc, sorted, rows))
 }
 
-// aggOp combines per-shard partial aggregates (over a scan) or folds a
-// single stream (over a join) into the one-row result.
+// aggOp combines per-container partial aggregates (over a scan, pushed
+// onto the morsel pool) or folds a single stream (over a join) into the
+// one-row result.
 type aggOp struct {
 	opBase
 	e   *Engine
@@ -468,13 +517,12 @@ func (e *Engine) newAggOp(agg query.AggFunc, in Operator, cost float64, analyze 
 }
 
 func (o *aggOp) open(ctx context.Context, rows *Rows) <-chan Batch {
-	var ins []<-chan Batch
 	if sc, ok := o.in.(*scanOp); ok {
-		ins = sc.openShards(ctx, rows)
-	} else {
-		ins = []<-chan Batch{o.in.open(ctx, rows)}
+		// Aggregate pushdown: the pool folds per container and combines in
+		// container order — no per-shard streams to gather at all.
+		return o.instrument(sc.openFold(ctx, rows, o.agg))
 	}
-	return o.instrument(o.e.runAggregate(ctx, o.agg, ins, rows))
+	return o.instrument(o.e.runAggregate(ctx, o.agg, o.in.open(ctx, rows), rows))
 }
 
 // limitOp caps the stream at n rows.

@@ -55,10 +55,11 @@ const DefaultCoverDepth = 10
 // Engine executes prepared statements against the archive's stores: the
 // physical planner (plan.go) compiles each statement into an operator tree
 // with cost-chosen access paths, and ExecutePlan runs it. Each store may be
-// split into shard slices (store.Sharded); leaf scans fan out across every
-// slice concurrently and the streams are merged shard-aware: ordered k-way
-// merge under ORDER BY, partial-aggregate combine for aggregates, plain
-// interleave otherwise.
+// split into shard slices (store.Sharded); leaf scans are chunked into
+// (shard, container-run) morsels executed by an engine-wide work-stealing
+// pool (morsel.go) and gathered shard-aware: ordered k-way merge under
+// ORDER BY, per-container partial-aggregate combine for aggregates, one
+// shared MPSC stream otherwise.
 type Engine struct {
 	Photo *store.Sharded // PhotoObj records
 	Tag   *store.Sharded // Tag records (may be nil if no tag partition)
@@ -66,8 +67,14 @@ type Engine struct {
 
 	// CoverDepth is the HTM coverage depth for spatial pruning.
 	CoverDepth int
-	// Workers is the scan parallelism per query node.
+	// Workers sizes the engine-wide morsel pool: at most this many scan
+	// morsels run at once across every concurrent query (default
+	// GOMAXPROCS). Read at the pool's first dispatch.
 	Workers int
+	// MorselRows is the target record count per scheduler morsel (default
+	// 4096). Smaller morsels steal and rebalance more aggressively at
+	// higher dispatch overhead.
+	MorselRows int
 	// BatchSize is the number of results per batch.
 	BatchSize int
 	// Blocking disables the ASAP push: every node drains its children
@@ -90,6 +97,24 @@ type Engine struct {
 	// the legacy full-struct decode of every record. It exists as the
 	// measured baseline of experiment E16.
 	FullDecode bool
+
+	// The engine-wide morsel scheduler (morsel.go), created on first
+	// dispatch and shared by every query on this engine.
+	poolOnce sync.Once
+	pl       *pool
+}
+
+// Clone returns a new engine over the same stores with the same
+// configuration but its own (lazily created) morsel pool. Engines embed
+// scheduler synchronization state and must not be copied by value; clone
+// one to vary a knob (NoKernel, Workers, ...) for an A/B measurement.
+func (e *Engine) Clone() *Engine {
+	return &Engine{
+		Photo: e.Photo, Tag: e.Tag, Spec: e.Spec,
+		CoverDepth: e.CoverDepth, Workers: e.Workers, MorselRows: e.MorselRows,
+		BatchSize: e.BatchSize, Blocking: e.Blocking, NoIndex: e.NoIndex,
+		NoZone: e.NoZone, NoKernel: e.NoKernel, FullDecode: e.FullDecode,
+	}
 }
 
 func (e *Engine) coverDepth() int {
@@ -104,6 +129,13 @@ func (e *Engine) workers() int {
 		return e.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// PoolSize reports the morsel pool's worker slot count. Creating the pool
+// is free (workers spawn on demand), so this is safe to call on an idle
+// engine and always matches what dispatches will use.
+func (e *Engine) PoolSize() int {
+	return e.getPool().size
 }
 
 func (e *Engine) batchSize() int {
@@ -432,9 +464,11 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *R
 }
 
 // runIntersect drains the left child into a hash set (one child must be
-// complete before results can be sent further up the tree), then streams
-// the right child through it.
-func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, rows *Rows) <-chan Batch {
+// complete before results can be sent further up the tree), then opens and
+// streams the right child through it. The right child stays unopened until
+// the left completed: its morsels would otherwise hold shared-pool workers
+// blocked on an unconsumed stream.
+func (e *Engine) runIntersect(ctx context.Context, left <-chan Batch, openRight func() <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -445,6 +479,11 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, row
 			}
 			RecycleBatch(b)
 		}
+		if ctx.Err() != nil {
+			rows.interrupted.Store(true)
+			return
+		}
+		right := openRight()
 		emitted := make(map[catalog.ObjID]struct{})
 		for b := range right {
 			keep := b[:0]
@@ -478,8 +517,9 @@ func (e *Engine) runIntersect(ctx context.Context, left, right <-chan Batch, row
 }
 
 // runMinus drains the right child (the subtrahend must be complete), then
-// streams the left child filtered against it.
-func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *Rows) <-chan Batch {
+// opens and streams the left child filtered against it. The left child is
+// deferred for the same shared-pool reason as runIntersect's right.
+func (e *Engine) runMinus(ctx context.Context, openLeft func() <-chan Batch, right <-chan Batch, rows *Rows) <-chan Batch {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
@@ -490,6 +530,11 @@ func (e *Engine) runMinus(ctx context.Context, left, right <-chan Batch, rows *R
 			}
 			RecycleBatch(b)
 		}
+		if ctx.Err() != nil {
+			rows.interrupted.Store(true)
+			return
+		}
+		left := openLeft()
 		emitted := make(map[catalog.ObjID]struct{})
 		for b := range left {
 			keep := b[:0]

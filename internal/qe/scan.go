@@ -2,7 +2,6 @@ package qe
 
 import (
 	"context"
-	"sync"
 
 	"sdss/internal/catalog"
 	"sdss/internal/colblk"
@@ -255,144 +254,33 @@ func (w *scanWorker) scanKernel(data []byte, count int, slab *colblk.Slab) (int,
 	return count, true
 }
 
-// runScan executes a leaf query node against one shard slice. The physical
-// planner has already chosen the access path and compiled the shared scan
-// plan (sp): containers is the slice's candidate list after coverage and
-// zone-map pruning, and rangeSet is non-nil only when the planner judged
-// per-record fine filtering worth its cost (the index-versus-scan
-// crossover). Surviving containers run the kernel path over their column
-// slabs when sp carries a compiled kernel (falling back per container to
-// the selective row loop when no slab exists). nWorkers process containers
-// in parallel and result batches stream out as soon as they fill — the
-// data-pump end of the ASAP push. tokens is the query-wide pool bounding
-// how many workers across all slices process containers at once. Under
-// EXPLAIN ANALYZE, stats counts records examined, bytes decoded, and
-// blocks skipped.
-func (e *Engine) runScan(ctx context.Context, st *store.Store, cs *query.CompiledSelect, sp *scanPlan, rangeSet *htm.RangeSet, containers []htm.ID, nWorkers int, tokens chan struct{}, rows *Rows, stats *opStats) <-chan Batch {
-	out := make(chan Batch, 4)
-
-	if nWorkers > len(containers) {
-		nWorkers = len(containers)
+// newScanWorker builds one pooled scan worker for a leaf scan job: the row
+// accessor, the kernel reader when the plan compiled one, and the first
+// batch buffer. The batch buffer comes from the pool; Values of all its
+// results are carved out of one backing array sized for a full batch, so
+// the per-record path allocates nothing. Every successful emit transfers
+// ownership and immediately replaces the buffer, so whatever the worker
+// still holds on any exit path (cancellation, scan error, the empty
+// post-flush buffer) is the job's to recycle at finish. The worker's shard
+// store (w.st) and emit are bound per morsel by the scheduler.
+func newScanWorker(e *Engine, o *scanOp) (*scanWorker, error) {
+	acc, err := e.newAccessor(o.cs.Table)
+	if err != nil {
+		return nil, err
 	}
-	if nWorkers < 1 {
-		nWorkers = 1
-	}
-	work := make(chan htm.ID, len(containers))
-	for _, id := range containers {
-		work <- id
-	}
-	close(work)
-
-	var wg sync.WaitGroup
-	// emitFn delivers one batch, transferring ownership; in blocking
-	// comparison mode (E13) batches accumulate in memory and only flow
-	// after the scan completes.
-	var blockMu sync.Mutex
-	var blocked []Batch
-	emitFn := func(b Batch) bool {
-		select {
-		case out <- b:
-			return true
-		case <-ctx.Done():
-			rows.interrupted.Store(true)
-			return false
-		}
-	}
-	if e.Blocking {
-		emitFn = func(b Batch) bool {
-			blockMu.Lock()
-			blocked = append(blocked, b)
-			blockMu.Unlock()
-			return true
-		}
-	}
-
 	bs := e.batchSize()
-	wg.Add(nWorkers)
-	for i := 0; i < nWorkers; i++ {
-		go func() {
-			defer wg.Done()
-			acc, err := e.newAccessor(cs.Table)
-			if err != nil {
-				rows.setErr(err)
-				return
-			}
-			// The batch buffer comes from the pool; Values of all its
-			// results are carved out of one backing array sized for a full
-			// batch, so the per-record path allocates nothing. Every
-			// successful emit transfers ownership and immediately replaces
-			// the buffer, so whatever the worker still holds on any exit
-			// path (cancellation, scan error, the empty post-flush buffer)
-			// is the worker's to recycle.
-			w := &scanWorker{
-				cs: cs, sp: sp, st: st, rangeSet: rangeSet, stats: stats,
-				acc: acc, getter: acc.getter(),
-				bs: bs, flushAt: min(initialFlushAt, bs), batch: getBatch(bs), emit: emitFn,
-			}
-			if sp.kernel != nil {
-				w.reader = colblk.NewReader()
-			}
-			if sp.width > 0 {
-				w.vals = make([]float64, 0, bs*sp.width)
-			}
-			defer func() {
-				RecycleBatch(w.batch)
-				if w.reader != nil && stats != nil {
-					stats.bytesDecoded.Add(w.reader.BytesDecoded())
-				}
-			}()
-			for cid := range work {
-				// One token per container in flight: across all shard
-				// slices at most e.workers() of these sections run at once.
-				select {
-				case tokens <- struct{}{}:
-				case <-ctx.Done():
-					rows.interrupted.Store(true)
-					return
-				}
-				if ctx.Err() != nil {
-					<-tokens
-					rows.interrupted.Store(true)
-					return
-				}
-				examined, ok := w.scanContainer(cid)
-				<-tokens
-				if stats != nil {
-					stats.rowsIn.Add(int64(examined))
-				}
-				if !ok {
-					if w.err == context.Canceled {
-						rows.interrupted.Store(true)
-					} else {
-						rows.setErr(w.err)
-					}
-					return
-				}
-			}
-			w.flush()
-		}()
+	w := &scanWorker{
+		cs: o.cs, sp: o.plan, rangeSet: o.rangeSet, stats: o.stats,
+		acc: acc, getter: acc.getter(),
+		bs: bs, flushAt: min(initialFlushAt, bs), batch: getBatch(bs),
 	}
-	go func() {
-		wg.Wait()
-		if e.Blocking {
-			for i, b := range blocked {
-				select {
-				case out <- b:
-				case <-ctx.Done():
-					// The withheld batches are dropped: the consumer must
-					// learn the blocking-mode result is partial.
-					rows.interrupted.Store(true)
-					for _, rest := range blocked[i:] {
-						RecycleBatch(rest)
-					}
-					close(out)
-					return
-				}
-			}
-		}
-		close(out)
-	}()
-	return out
+	if o.plan.kernel != nil {
+		w.reader = colblk.NewReader()
+	}
+	if o.plan.width > 0 {
+		w.vals = make([]float64, 0, bs*o.plan.width)
+	}
+	return w, nil
 }
 
 // zoneAdmit returns the compiled zone-map filter for a select, or nil when

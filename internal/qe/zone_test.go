@@ -16,11 +16,11 @@ import (
 // HTM pruning, no zone pruning, full-struct decode. Its results are the
 // ground truth zone-pruned scans must reproduce exactly.
 func baselineEngine(e *Engine) *Engine {
-	b := *e
+	b := e.Clone()
 	b.NoIndex = true
 	b.NoZone = true
 	b.FullDecode = true
-	return &b
+	return b
 }
 
 // sameResultsExact compares two result sets bit-exactly (NaN == NaN).
@@ -230,7 +230,7 @@ func TestFanoutZonePruning(t *testing.T) {
 		t.Errorf("mjd < 0 pruned %d of %d", fo[0].ZonePruned, fo[0].ContainersTotal)
 	}
 	// NoZone restores the full scan.
-	ez := *e
+	ez := e.Clone()
 	ez.NoZone = true
 	fo, err = ez.Fanout(prep)
 	if err != nil {
