@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION := v1.1.4
 
 BIN := bin
 
-.PHONY: build test race bench-smoke skylint skylint-test staticcheck govulncheck vet fmt-check lint check clean
+.PHONY: build test race bench-smoke skylint skylint-test skylint-violations annotate staticcheck govulncheck vet fmt-check lint check clean
 
 build:
 	go build ./...
@@ -35,9 +35,15 @@ bench-smoke:
 
 # skylint is the project's own analyzer suite (cmd/skylint): batch
 # ownership, raw record offsets, NaN-safe comparisons, interrupted marks,
-# cancellable fan-out. Run through `go vet -vettool` so findings carry the
-# same package scoping and exit behavior as the rest of vet.
+# cancellable fan-out, and the morsel-pool concurrency invariants
+# (slotheld, lockheld, enginecopy). Both drivers run: the standalone
+# loader, which reads/writes function-summary artifacts under
+# $(BIN)/lintsum so partial re-runs stay interprocedural, and
+# `go vet -vettool`, whose findings carry the same package scoping and
+# exit behavior as the rest of vet (summaries ride the .vetx facts files
+# there).
 skylint: $(BIN)/skylint
+	$(BIN)/skylint -sumdir $(BIN)/lintsum ./...
 	go vet -vettool=$(BIN)/skylint ./...
 
 $(BIN)/skylint: FORCE
@@ -48,6 +54,31 @@ FORCE:
 # The analyzers' own fixture tests (analysistest-style).
 skylint-test:
 	go test ./internal/lint/...
+
+# Deliberate-violation guard: each analyzer must exit 1 on its seeded-bug
+# fixture, proving the suite still detects what it claims to. The fixture
+# trees are GOPATH-shaped (testdata/src/a may import a sibling package b),
+# so the standalone driver runs in GOPATH mode rooted at each testdata
+# dir — which also exercises cross-package summary import through the real
+# binary for the fixtures that split across a and b.
+skylint-violations: $(BIN)/skylint
+	@for spec in batchown:a ctxcancel:a dropmark:qe nansafe:qe rawoffset:a \
+			slotheld:a lockheld:a enginecopy:a; do \
+		name=$${spec%%:*}; pkg=$${spec##*:}; \
+		t=$(CURDIR)/internal/lint/$$name/testdata; \
+		if GO111MODULE=off GOPATH=$$t GOFLAGS= $(BIN)/skylint -C $$t/src $$pkg >/dev/null 2>&1; then \
+			echo "skylint-violations: $$name fixture raised no findings (expected exit 1)"; exit 1; \
+		fi; \
+		echo "skylint-violations: $$name flags its seeded bugs (exit 1)"; \
+	done
+
+# GitHub annotations: write NDJSON findings to a file first (this shell
+# has no pipefail, so a straight pipe would swallow skylint's exit), then
+# ghannotate re-emits each finding as an ::error workflow command and
+# exits 1 if any exist — so lint failures land on the PR diff.
+annotate: $(BIN)/skylint
+	@$(BIN)/skylint -json -sumdir $(BIN)/lintsum ./... > $(BIN)/skylint.ndjson; \
+	go run ./internal/lint/ghannotate < $(BIN)/skylint.ndjson
 
 # staticcheck and govulncheck need network access to fetch the pinned
 # release on first run; they are separate targets so `make lint` degrades
@@ -68,7 +99,7 @@ fmt-check:
 
 lint: skylint staticcheck govulncheck
 
-check: fmt-check vet build skylint-test skylint test
+check: fmt-check vet build skylint-test skylint skylint-violations test
 
 clean:
 	rm -rf $(BIN)

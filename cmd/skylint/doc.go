@@ -1,0 +1,55 @@
+// Command skylint is the archive's project-specific static-analysis suite:
+// eight analyzers that mechanically enforce the engine's convention-only
+// invariants, from batch ownership to the morsel pool's deadlock
+// discipline.
+//
+// # Analyzers
+//
+//	batchown    batch buffers are forwarded, returned, or recycled exactly
+//	            once and never used afterwards; call verdicts come from the
+//	            function-summary layer (a callee that keeps the batch
+//	            transfers ownership, an inspect-only one does not).
+//	rawoffset   record field access goes through the layout tables, never
+//	            hand-computed byte offsets.
+//	nansafe     attribute/sort-key float comparisons use the NaN-aware
+//	            comparators; test entry points are exempt, shared test
+//	            helpers are not.
+//	dropmark    mid-production drop points set rows.interrupted before
+//	            abandoning the stream, recognizing recycling helpers
+//	            through their summaries.
+//	ctxcancel   goroutine fan-out sends select on a cancellation signal;
+//	            named-function spawns and calls inside spawned literals are
+//	            judged by their summaries, and sends provably buffered to
+//	            the fan-out width are exempt.
+//	slotheld    no blocking operation while holding a morsel-pool slot —
+//	            the pool's release-before-blocking discipline (morsel.go's
+//	            blockingSend) as a checked property.
+//	lockheld    no blocking operation or inconsistently-ordered second
+//	            acquisition while holding a mutex; lock-order inversions
+//	            report both witness sites.
+//	enginecopy  structs transitively embedding sync primitives (qe.Engine
+//	            foremost) are never copied by value; Engine.Clone is the
+//	            sanctioned derivation path.
+//
+// # Function summaries
+//
+// The interprocedural layer computes per-function facts (may-block,
+// unguarded-send, batch-parameter ownership, recycles) bottom-up over the
+// call graph and carries them across package boundaries: the standalone
+// driver processes packages in import order (optionally persisting
+// artifacts with -sumdir so later runs and CI caches can reuse them), and
+// the vettool driver serializes summaries through go vet's per-package
+// .vetx facts files.
+//
+// # Usage
+//
+// It runs two ways, producing identical findings:
+//
+//	skylint ./...                            # standalone, from the module root
+//	go vet -vettool=$(which skylint) ./...   # inside go vet
+//
+// Both exit nonzero when any finding survives the //lint:skylint-ignore
+// suppressions. `skylint -list` documents the analyzers; `skylint -json`
+// emits findings as NDJSON ({"file","line","col","analyzer","message"})
+// for machine consumers such as the CI annotation step.
+package main

@@ -1,18 +1,7 @@
-// Command skylint is the archive's project-specific static-analysis suite:
-// five analyzers that mechanically enforce the engine's convention-only
-// invariants (batch ownership, layout-mediated record access, NaN-safe
-// comparisons, interrupted-marking at drop points, cancellable fan-out).
-//
-// It runs two ways, producing identical findings:
-//
-//	skylint ./...                      # standalone, from the module root
-//	go vet -vettool=$(which skylint) ./...   # inside go vet
-//
-// Both exit nonzero when any finding survives the //lint:skylint-ignore
-// suppressions. `skylint -list` documents the analyzers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +11,11 @@ import (
 	"sdss/internal/lint/batchown"
 	"sdss/internal/lint/ctxcancel"
 	"sdss/internal/lint/dropmark"
+	"sdss/internal/lint/enginecopy"
+	"sdss/internal/lint/lockheld"
 	"sdss/internal/lint/nansafe"
 	"sdss/internal/lint/rawoffset"
+	"sdss/internal/lint/slotheld"
 )
 
 // analyzers is the skylint suite, in documentation order.
@@ -33,6 +25,18 @@ var analyzers = []*analysis.Analyzer{
 	nansafe.Analyzer,
 	dropmark.Analyzer,
 	ctxcancel.Analyzer,
+	slotheld.Analyzer,
+	lockheld.Analyzer,
+	enginecopy.Analyzer,
+}
+
+// finding is the NDJSON record -json emits, one per line.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -44,8 +48,10 @@ func main() {
 
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	dir := flag.String("C", "", "change to this directory (module root) before loading packages")
+	sumdir := flag.String("sumdir", "", "directory for per-package function-summary artifacts (read and written)")
+	asJSON := flag.Bool("json", false, "emit findings as NDJSON instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: skylint [-list] [-C dir] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: skylint [-list] [-json] [-C dir] [-sumdir dir] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,11 +68,12 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(*dir, patterns)
+	pkgs, err := analysis.Load(*dir, *sumdir, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skylint:", err)
 		os.Exit(1)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	findings := 0
 	for _, pkg := range pkgs {
 		diags, err := pkg.Run(analyzers)
@@ -75,7 +82,21 @@ func main() {
 			os.Exit(1)
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			if *asJSON {
+				if err := enc.Encode(finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "skylint:", err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+			}
 			findings++
 		}
 	}

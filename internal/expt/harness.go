@@ -138,10 +138,16 @@ const HarnessChunks = 4
 // pays generation once.
 func NewHarness(cfg Config) (*Harness, error) {
 	harnessMu.Lock()
-	defer harnessMu.Unlock()
 	if h, ok := harnessCache[cfg]; ok {
+		harnessMu.Unlock()
 		return h, nil
 	}
+	harnessMu.Unlock()
+
+	// Build outside the lock: generation and loading block on the archive's
+	// worker channels, and holding harnessMu across them would stall every
+	// concurrent experiment on one build. Two racing builders at most waste
+	// one generation; the re-check below keeps the cache single-valued.
 	chunks, err := skygen.Generate(skygen.Default(cfg.Seed+1, cfg.Objects()), HarnessChunks)
 	if err != nil {
 		return nil, err
@@ -161,6 +167,11 @@ func NewHarness(cfg Config) (*Harness, error) {
 	}
 	a.Sort()
 	h := &Harness{Cfg: cfg, Archive: a, Chunks: chunks, Photo: photo, Spec: spec}
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	if cached, ok := harnessCache[cfg]; ok {
+		return cached, nil // a racing builder won; keep the cache single-valued
+	}
 	harnessCache[cfg] = h
 	return h, nil
 }

@@ -94,9 +94,9 @@ func ZoneMapPruning(cfg Config, w io.Writer) error {
 		a      *core.Archive
 		shards int
 	}{{h.Archive, 1}, {wide, nShards}} {
-		fast := *arch.a.Engine()
+		fast := arch.a.Engine().Clone()
 		fast.NoZone, fast.FullDecode = false, false
-		slow := *arch.a.Engine()
+		slow := arch.a.Engine().Clone()
 		slow.NoZone, slow.FullDecode = true, true
 
 		for _, q := range zoneGridQueries(run) {
@@ -120,11 +120,11 @@ func ZoneMapPruning(cfg Config, w io.Writer) error {
 				}
 				return best, rows, nil
 			}
-			slowT, slowRows, err := time4(&slow)
+			slowT, slowRows, err := time4(slow)
 			if err != nil {
 				return fmt.Errorf("expt: %s (full decode): %w", q.Name, err)
 			}
-			fastT, fastRows, err := time4(&fast)
+			fastT, fastRows, err := time4(fast)
 			if err != nil {
 				return fmt.Errorf("expt: %s (zonemap): %w", q.Name, err)
 			}

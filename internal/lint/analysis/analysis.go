@@ -44,6 +44,11 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's results for every expression.
 	TypesInfo *types.Info
+	// Summaries exposes the interprocedural function facts for this package
+	// and everything it imports (see summary.go). Drivers that cannot
+	// compute summaries may leave it nil; analyzers must tolerate that and
+	// degrade to their intraprocedural answer.
+	Summaries *Summaries
 	// Report delivers one finding. The driver applies suppression filtering.
 	Report func(Diagnostic)
 }
@@ -53,10 +58,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Analyzer is stamped by the driver; printers
+// and the -json encoder use it rather than a prefix baked into Message.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Analyzer string
+	Message  string
 }
 
 // TypeOf returns the type of an expression, or nil.
@@ -133,7 +140,7 @@ func RunAnalyzers(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 					return
 				}
 			}
-			d.Message = a.Name + ": " + d.Message
+			d.Analyzer = a.Name
 			diags = append(diags, d)
 		}
 		if err := a.Run(&p); err != nil {
@@ -147,13 +154,13 @@ func RunAnalyzers(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, s := range sups {
 		switch {
 		case !known[s.analyzer]:
-			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+			diags = append(diags, Diagnostic{Pos: s.pos, Analyzer: "skylint", Message: fmt.Sprintf(
 				"skylint-ignore names unknown analyzer %q", s.analyzer)})
 		case s.reason == "":
-			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+			diags = append(diags, Diagnostic{Pos: s.pos, Analyzer: "skylint", Message: fmt.Sprintf(
 				"skylint-ignore %s has no reason; suppressions must say why", s.analyzer)})
 		case !s.used:
-			diags = append(diags, Diagnostic{Pos: s.pos, Message: fmt.Sprintf(
+			diags = append(diags, Diagnostic{Pos: s.pos, Analyzer: "skylint", Message: fmt.Sprintf(
 				"skylint-ignore %s suppresses nothing here; remove it", s.analyzer)})
 		}
 	}

@@ -71,7 +71,7 @@ func TestSuppressionHygiene(t *testing.T) {
 
 	var got []string
 	for _, d := range diags {
-		got = append(got, fset.Position(d.Pos).String()+": "+d.Message)
+		got = append(got, fset.Position(d.Pos).String()+": "+d.Analyzer+": "+d.Message)
 	}
 
 	want := []struct{ line, substr string }{

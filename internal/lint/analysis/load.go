@@ -10,8 +10,10 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // LoadedPackage is one package ready for analysis.
@@ -21,6 +23,8 @@ type LoadedPackage struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+	// Summaries layers this package's function facts over its imports'.
+	Summaries *Summaries
 }
 
 // listedPackage is the slice of `go list -json` output the loader reads.
@@ -32,14 +36,26 @@ type listedPackage struct {
 	// separate package_test external test package.
 	TestGoFiles  []string
 	XTestGoFiles []string
+	// Import edges, needed to process packages bottom-up so every unit sees
+	// its dependencies' function summaries. TestImports covers the
+	// in-package test files (checked together with GoFiles, as go vet
+	// does); XTestImports the external test package.
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 }
 
 // Load enumerates packages matching the patterns with `go list`, parses and
-// type-checks each from source, and returns them ready for RunAnalyzers.
-// In-package test files are checked together with the package (as go vet
-// does); external _test packages are loaded as their own unit. dir is the
-// module directory to run in ("" = current).
-func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+// type-checks each from source in dependency order, computes function
+// summaries bottom-up, and returns them ready for RunAnalyzers. In-package
+// test files are checked together with the package; external _test packages
+// are loaded as their own unit after their base package. dir is the module
+// directory to run in ("" = current). sumdir, when non-empty, is a summary
+// artifact directory: dependencies outside the pattern set are read from it
+// when present, and every analyzed package's summary is written back, so
+// partial invocations (`skylint ./internal/qe`) still see cross-package
+// facts from an earlier full run.
+func Load(dir, sumdir string, patterns []string) ([]*LoadedPackage, error) {
 	cmd := exec.Command("go", append([]string{"list", "-json"}, patterns...)...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -59,20 +75,24 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 		}
 		listed = append(listed, p)
 	}
+	listed = topoOrder(listed)
 
 	// One file set and one source importer shared across every package, so
 	// common dependencies (stdlib, sibling internal packages) type-check
 	// once, not per root.
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
+	computed := map[string]*Summaries{}
 	var pkgs []*LoadedPackage
 	for _, p := range listed {
 		units := []struct {
-			path  string
-			files []string
+			path    string
+			files   []string
+			imports []string
 		}{
-			{p.ImportPath, append(append([]string{}, p.GoFiles...), p.TestGoFiles...)},
-			{p.ImportPath + "_test", p.XTestGoFiles},
+			{p.ImportPath, append(append([]string{}, p.GoFiles...), p.TestGoFiles...),
+				append(append([]string{}, p.Imports...), p.TestImports...)},
+			{p.ImportPath + "_test", p.XTestGoFiles, p.XTestImports},
 		}
 		for _, u := range units {
 			if len(u.files) == 0 {
@@ -86,10 +106,102 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 			if err != nil {
 				return nil, err
 			}
+			deps := depSummaries(u.imports, computed, sumdir)
+			lp.Summaries = ComputeSummaries(fset, lp.Files, lp.Info, deps)
 			pkgs = append(pkgs, lp)
+			if u.path == p.ImportPath {
+				computed[p.ImportPath] = lp.Summaries
+				if sumdir != "" {
+					if err := writeSummaryFile(sumdir, p.ImportPath, lp.Summaries); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 	}
 	return pkgs, nil
+}
+
+// topoOrder sorts the listed packages so every package comes after the
+// listed packages it (or its in-package tests) imports. Unlisted imports
+// (stdlib, out-of-pattern deps) are ignored; a cycle — impossible for
+// compilable base units — degrades to input order for the tail.
+func topoOrder(listed []listedPackage) []listedPackage {
+	byPath := make(map[string]int, len(listed))
+	for i, p := range listed {
+		byPath[p.ImportPath] = i
+	}
+	ordered := make([]listedPackage, 0, len(listed))
+	state := make([]int, len(listed)) // 0 unvisited, 1 on stack, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		for _, imp := range append(append([]string{}, listed[i].Imports...), listed[i].TestImports...) {
+			if j, ok := byPath[imp]; ok && state[j] == 0 {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		ordered = append(ordered, listed[i])
+	}
+	for i := range listed {
+		visit(i)
+	}
+	return ordered
+}
+
+// depSummaries merges the summary views for a unit's imports: packages
+// analyzed earlier in this invocation first, then sumdir artifacts from a
+// prior run, silently skipping anything unknown (builtin facts still apply).
+func depSummaries(imports []string, computed map[string]*Summaries, sumdir string) *Summaries {
+	merged := NewSummaries()
+	for _, path := range imports {
+		if v, ok := computed[path]; ok {
+			mergeInto(merged, v)
+			continue
+		}
+		if sumdir == "" {
+			continue
+		}
+		data, err := os.ReadFile(summaryFile(sumdir, path))
+		if err != nil {
+			continue
+		}
+		if v, err := DecodeSummaries(data, nil); err == nil {
+			mergeInto(merged, v)
+		}
+	}
+	return merged
+}
+
+// mergeInto flattens src's whole chain into dst, newest layer winning.
+func mergeInto(dst *Summaries, src *Summaries) {
+	for cur := src; cur != nil; cur = cur.deps {
+		for k, f := range cur.fns {
+			if _, ok := dst.fns[k]; !ok {
+				dst.fns[k] = f
+			}
+		}
+	}
+}
+
+// summaryFile maps an import path to its artifact filename.
+func summaryFile(sumdir, importPath string) string {
+	return filepath.Join(sumdir, strings.ReplaceAll(importPath, "/", "__")+".json")
+}
+
+func writeSummaryFile(sumdir, importPath string, s *Summaries) error {
+	if err := os.MkdirAll(sumdir, 0o777); err != nil {
+		return err
+	}
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(summaryFile(sumdir, importPath), data, 0o666)
 }
 
 // CheckFiles parses the named files (or src overrides, keyed by filename)
@@ -133,6 +245,7 @@ func (lp *LoadedPackage) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 		Files:     lp.Files,
 		Pkg:       lp.Pkg,
 		TypesInfo: lp.Info,
+		Summaries: lp.Summaries,
 	}
 	return RunAnalyzers(pass, analyzers)
 }

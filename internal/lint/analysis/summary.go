@@ -1,0 +1,743 @@
+package analysis
+
+// The function-summary layer: per-function facts computed bottom-up over the
+// call graph, so analyzers can follow a property through a call instead of
+// stopping (or worse, guessing) at the call site. Facts are computed for
+// every declared function in a package after type-checking, with callee
+// facts drawn from (a) the same package (iterated to a fixed point, so
+// mutual recursion converges), (b) already-summarized dependency packages —
+// the standalone loader processes packages in import order, and the vettool
+// driver serializes summaries into go vet's per-package .vetx facts files —
+// and (c) a small built-in table for the handful of known-blocking stdlib
+// calls (sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep).
+//
+// Summaries are deliberately optimistic about what they cannot see: a call
+// through a function value or interface method contributes no blocking or
+// send facts (flow tracking for function values is out of scope), and a
+// function literal's body is not folded into its enclosing function (the
+// closure may run on a different goroutine entirely). Analyzers that need
+// the pessimistic direction — batch ownership, where an untracked callee
+// must be assumed to take the batch — get it through the UnknownBatch mask,
+// which separates "definitely consumes" from "escapes into code we cannot
+// summarize".
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// FuncFacts is the summary one function exports to its callers.
+type FuncFacts struct {
+	// MayBlock: some path through the function parks the goroutine on a
+	// channel operation, a no-default select, sync.Cond.Wait,
+	// sync.WaitGroup.Wait, or time.Sleep — directly or through a callee.
+	// Plain mutex acquisition is deliberately NOT MayBlock: bounded leaf
+	// critical sections are the lockheld analyzer's domain.
+	MayBlock bool   `json:"may_block,omitempty"`
+	BlockWhy string `json:"block_why,omitempty"`
+
+	// UnguardedSend: some reachable channel send is neither a select comm
+	// case, nor a forward inside a range-over-channel loop, nor provably
+	// buffered (the make(chan T, len(xs)) / one-send-per-range-xs shape).
+	// Spawning a goroutine that (transitively) has this fact violates the
+	// engine's cancellable fan-out invariant.
+	UnguardedSend bool   `json:"unguarded_send,omitempty"`
+	SendWhy       string `json:"send_why,omitempty"`
+
+	// Recycles: the function (transitively) calls RecycleBatch.
+	Recycles bool `json:"recycles,omitempty"`
+
+	// BatchParams marks parameters of Batch type (bit i = param i).
+	// ConsumesBatch marks batch params whose ownership the function takes:
+	// recycled, sent, stored, appended, returned, or passed to a callee
+	// that consumes. UnknownBatch marks batch params handed to code the
+	// summary layer cannot see (function values, unsummarized packages):
+	// "maybe consumed" — drop-checks must assume yes, use-after-checks no.
+	BatchParams   uint64 `json:"batch_params,omitempty"`
+	ConsumesBatch uint64 `json:"consumes_batch,omitempty"`
+	UnknownBatch  uint64 `json:"unknown_batch,omitempty"`
+}
+
+func (f *FuncFacts) equal(g *FuncFacts) bool {
+	return f.MayBlock == g.MayBlock && f.UnguardedSend == g.UnguardedSend &&
+		f.Recycles == g.Recycles && f.BatchParams == g.BatchParams &&
+		f.ConsumesBatch == g.ConsumesBatch && f.UnknownBatch == g.UnknownBatch &&
+		f.BlockWhy == g.BlockWhy && f.SendWhy == g.SendWhy
+}
+
+// builtinFacts covers the stdlib calls whose blocking behavior the layer
+// must know without source: export data carries no bodies to summarize.
+var builtinFacts = map[string]*FuncFacts{
+	"sync.WaitGroup.Wait": {MayBlock: true, BlockWhy: "sync.WaitGroup.Wait"},
+	"sync.Cond.Wait":      {MayBlock: true, BlockWhy: "sync.Cond.Wait"},
+	"time.Sleep":          {MayBlock: true, BlockWhy: "time.Sleep"},
+}
+
+// FuncKey is the canonical cross-package name facts are keyed by:
+// pkgpath.Func for package functions, pkgpath.Type.Method for methods
+// (pointer and value receivers collapse — ownership of the fact set is the
+// declaration, not the method set).
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed && fn.Pkg() != nil {
+			return fn.Pkg().Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name() // interface method expr on unnamed type; never summarized
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// Summaries is a lookup view over function facts: a package's own functions
+// layered over its dependencies' imported summaries and the builtin table.
+type Summaries struct {
+	fns  map[string]*FuncFacts
+	deps *Summaries
+}
+
+// NewSummaries returns an empty fact set (lookups fall through to builtins).
+func NewSummaries() *Summaries { return &Summaries{fns: map[string]*FuncFacts{}} }
+
+// Lookup returns the facts for fn, or nil when nothing is known.
+func (s *Summaries) Lookup(fn *types.Func) *FuncFacts {
+	if fn == nil {
+		return nil
+	}
+	return s.lookupKey(FuncKey(fn))
+}
+
+// LookupKey returns the facts stored under a canonical function key (see
+// FuncKey), or nil when nothing is known.
+func (s *Summaries) LookupKey(key string) *FuncFacts {
+	if s == nil {
+		return builtinFacts[key]
+	}
+	return s.lookupKey(key)
+}
+
+func (s *Summaries) lookupKey(key string) *FuncFacts {
+	for cur := s; cur != nil; cur = cur.deps {
+		if f, ok := cur.fns[key]; ok {
+			return f
+		}
+	}
+	return builtinFacts[key]
+}
+
+// Callee resolves a call expression to its static callee and facts. A nil
+// *types.Func means the call goes through a function value or a conversion;
+// a nil *FuncFacts with a non-nil callee means no summary is known
+// (interface method, or a package outside the summarized set).
+func (s *Summaries) Callee(info *types.Info, call *ast.CallExpr) (*types.Func, *FuncFacts) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if s == nil {
+		return fn, builtinFacts[FuncKey(fn)]
+	}
+	return fn, s.lookupKey(FuncKey(fn))
+}
+
+// CalleeFunc resolves the static callee of a call, or nil for calls through
+// function values and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Encode serializes the view's own layer (not deps) for the vetx facts file
+// and the standalone summary artifact, deterministically.
+func (s *Summaries) Encode() ([]byte, error) {
+	keys := make([]string, 0, len(s.fns))
+	for k := range s.fns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]*FuncFacts, len(keys))
+	for _, k := range keys {
+		ordered[k] = s.fns[k]
+	}
+	return json.MarshalIndent(ordered, "", "\t")
+}
+
+// DecodeSummaries parses a serialized fact layer on top of deps. Empty or
+// nil data decodes to an empty layer: pre-summary vetx files stay readable.
+func DecodeSummaries(data []byte, deps *Summaries) (*Summaries, error) {
+	s := &Summaries{fns: map[string]*FuncFacts{}, deps: deps}
+	if len(data) == 0 {
+		return s, nil
+	}
+	if err := json.Unmarshal(data, &s.fns); err != nil {
+		return nil, fmt.Errorf("decoding function summaries: %w", err)
+	}
+	return s, nil
+}
+
+// MergeSummaries flattens the given views into one layer, earlier views
+// winning on key collisions (which only happen when two views share a
+// dependency, where the facts are identical anyway).
+func MergeSummaries(views ...*Summaries) *Summaries {
+	m := NewSummaries()
+	for _, v := range views {
+		mergeInto(m, v)
+	}
+	return m
+}
+
+// ComputeSummaries derives facts for every function declared in the
+// package's files and returns a view layering them over deps. Facts over
+// the intra-package call graph iterate to a fixed point, so recursion and
+// declaration order do not matter.
+func ComputeSummaries(fset *token.FileSet, files []*ast.File, info *types.Info, deps *Summaries) *Summaries {
+	own := &Summaries{fns: map[string]*FuncFacts{}, deps: deps}
+	type declFn struct {
+		key  string
+		decl *ast.FuncDecl
+	}
+	var decls []declFn
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, declFn{FuncKey(fn), fd})
+		}
+	}
+	for iter := 0; iter < 32; iter++ {
+		changed := false
+		for _, d := range decls {
+			w := &factWalker{fset: fset, info: info, sums: own, body: d.decl.Body}
+			w.bindParams(d.decl)
+			w.walk(d.decl.Body, false)
+			prev := own.fns[d.key]
+			if prev == nil || !prev.equal(&w.facts) {
+				f := w.facts
+				own.fns[d.key] = &f
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return own
+}
+
+// isBatchType reports whether t is a defined slice type named Batch —
+// qe.Batch on the real tree, structural doubles in fixtures.
+func isBatchType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Batch" {
+		return false
+	}
+	_, isSlice := named.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// factWalker computes one function's facts in one pass over its body.
+type factWalker struct {
+	fset   *token.FileSet
+	info   *types.Info
+	sums   *Summaries
+	body   *ast.BlockStmt
+	params map[types.Object]int
+	facts  FuncFacts
+}
+
+func (w *factWalker) bindParams(fd *ast.FuncDecl) {
+	w.params = map[types.Object]int{}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := w.info.Defs[name]; obj != nil && isBatchType(obj.Type()) {
+				w.params[obj] = idx
+				w.facts.BatchParams |= 1 << uint(idx)
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+}
+
+func (w *factWalker) posStr(pos token.Pos) string {
+	p := w.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (w *factWalker) blocking(pos token.Pos, why string) {
+	if !w.facts.MayBlock {
+		w.facts.MayBlock = true
+		w.facts.BlockWhy = why + " at " + w.posStr(pos)
+	}
+}
+
+func (w *factWalker) unguarded(pos token.Pos) {
+	if !w.facts.UnguardedSend {
+		w.facts.UnguardedSend = true
+		w.facts.SendWhy = "channel send at " + w.posStr(pos)
+	}
+}
+
+func (w *factWalker) unguardedVia(pos token.Pos, key, why string) {
+	if !w.facts.UnguardedSend {
+		w.facts.UnguardedSend = true
+		w.facts.SendWhy = "call to " + key + " at " + w.posStr(pos) + " (" + why + ")"
+	}
+}
+
+const (
+	consumeDefinite = iota
+	consumeUnknown
+)
+
+// consumeIdent records a batch parameter leaving the function's ownership.
+// Re-slices are unwrapped: b[:0] is the same backing buffer as b.
+func (w *factWalker) consumeIdent(e ast.Expr, kind int) {
+	for {
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			e = sl.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	idx, isParam := w.params[obj]
+	if !isParam {
+		return
+	}
+	if kind == consumeDefinite {
+		w.facts.ConsumesBatch |= 1 << uint(idx)
+	} else {
+		w.facts.UnknownBatch |= 1 << uint(idx)
+	}
+}
+
+// walk visits one node. fwd marks range-over-channel bodies, where a send
+// forwards a stream whose producer already honors cancellation.
+func (w *factWalker) walk(n ast.Node, fwd bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return // runs in its own context; not folded into the encloser
+	case *ast.GoStmt:
+		return // a different goroutine's facts
+	case *ast.DeferStmt:
+		// Deferred work runs on this goroutine before the function returns.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			for _, st := range lit.Body.List {
+				w.walk(st, false)
+			}
+			for _, arg := range n.Call.Args {
+				w.walk(arg, fwd)
+			}
+			return
+		}
+		w.walk(n.Call, fwd)
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range n.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking(n.Select, "select with no default case")
+		}
+		for _, cl := range n.Body.List {
+			cc := cl.(*ast.CommClause)
+			w.walkComm(cc.Comm, fwd)
+			for _, st := range cc.Body {
+				w.walk(st, fwd)
+			}
+		}
+		return
+	case *ast.SendStmt:
+		if w.provenBuffered(n) {
+			w.walk(n.Value, fwd)
+			return
+		}
+		w.blocking(n.Arrow, "channel send")
+		if !fwd {
+			w.unguarded(n.Arrow)
+		}
+		w.consumeIdent(n.Value, consumeDefinite)
+		w.walk(n.Value, fwd)
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			w.blocking(n.OpPos, "channel receive")
+		}
+		w.walk(n.X, fwd)
+		return
+	case *ast.RangeStmt:
+		inner := fwd
+		if t := w.info.TypeOf(n.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.blocking(n.For, "range over channel")
+				inner = true
+			}
+		}
+		w.walk(n.X, fwd)
+		w.walk(n.Body, inner)
+		return
+	case *ast.CallExpr:
+		w.walkCall(n, fwd)
+		return
+	case *ast.AssignStmt:
+		// A batch parameter stored anywhere escapes this function's
+		// ownership (the store's holder decides its fate).
+		for _, rhs := range n.Rhs {
+			w.consumeIdent(rhs, consumeDefinite)
+			w.walk(rhs, fwd)
+		}
+		for _, lhs := range n.Lhs {
+			w.walk(lhs, fwd)
+		}
+		return
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			w.consumeIdent(res, consumeDefinite)
+			w.walk(res, fwd)
+		}
+		return
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.consumeIdent(kv.Value, consumeDefinite)
+			} else {
+				w.consumeIdent(el, consumeDefinite)
+			}
+			w.walk(el, fwd)
+		}
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		w.walk(c, fwd)
+		return false
+	})
+}
+
+// walkComm visits a select comm statement: the select guards the operation
+// itself, so neither a comm send nor a comm receive is blocking or
+// unguarded, but their operand expressions still carry events.
+func (w *factWalker) walkComm(comm ast.Stmt, fwd bool) {
+	switch s := comm.(type) {
+	case nil:
+	case *ast.SendStmt:
+		w.consumeIdent(s.Value, consumeDefinite)
+		w.walk(s.Value, fwd)
+		w.walk(s.Chan, fwd)
+	case *ast.ExprStmt:
+		if ue, ok := s.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			w.walk(ue.X, fwd)
+			return
+		}
+		w.walk(s.X, fwd)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				w.walk(ue.X, fwd)
+				continue
+			}
+			w.walk(rhs, fwd)
+		}
+	}
+}
+
+// walkCall folds a call's events into the facts: builtin consumption
+// (append, RecycleBatch), callee summaries, and the unknown-escape rule for
+// batch arguments.
+func (w *factWalker) walkCall(call *ast.CallExpr, fwd bool) {
+	defer func() {
+		for _, arg := range call.Args {
+			w.walk(arg, fwd)
+		}
+		w.walk(call.Fun, fwd)
+	}()
+
+	if name := builtinName(w.info, call); name != "" {
+		switch name {
+		case "len", "cap", "close", "new", "delete", "print", "println", "panic", "min", "max":
+			return // inspects or terminates; never consumes a batch
+		case "append", "copy":
+			for _, arg := range call.Args {
+				w.consumeIdent(arg, consumeDefinite)
+			}
+			return
+		default:
+			return
+		}
+	}
+	if isRecycleCall(call) {
+		w.facts.Recycles = true
+		for _, arg := range call.Args {
+			w.consumeIdent(arg, consumeDefinite)
+		}
+		return
+	}
+	fn, facts := w.sums.Callee(w.info, call)
+	if fn == nil {
+		// Function value or conversion: batch args escape into untracked code.
+		for _, arg := range call.Args {
+			w.consumeIdent(arg, consumeUnknown)
+		}
+		return
+	}
+	if facts == nil {
+		// Known callee, no summary (interface method / unsummarized package):
+		// optimistic on blocking, pessimistic on batch ownership.
+		for _, arg := range call.Args {
+			w.consumeIdent(arg, consumeUnknown)
+		}
+		return
+	}
+	key := FuncKey(fn)
+	if facts.MayBlock {
+		w.blocking(call.Lparen, "call to "+key+" ("+facts.BlockWhy+")")
+	}
+	if facts.UnguardedSend && !fwd {
+		w.unguardedVia(call.Lparen, key, facts.SendWhy)
+	}
+	if facts.Recycles {
+		w.facts.Recycles = true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		pi := i
+		if sig != nil && sig.Variadic() && pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		bit := uint64(1) << uint(pi)
+		switch {
+		case facts.BatchParams&bit == 0:
+			// The callee does not see this position as a batch (interface
+			// param, re-typed): treat as an unknown escape if it is one.
+			w.consumeIdent(arg, consumeUnknown)
+		case facts.ConsumesBatch&bit != 0:
+			w.consumeIdent(arg, consumeDefinite)
+		case facts.UnknownBatch&bit != 0:
+			w.consumeIdent(arg, consumeUnknown)
+		}
+	}
+}
+
+// builtinName returns the name of a Go builtin call, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+		return id.Name
+	}
+	return ""
+}
+
+// isRecycleCall matches RecycleBatch by terminal name, as batchown does:
+// the real qe.RecycleBatch and fixture doubles alike.
+func isRecycleCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "RecycleBatch"
+	case *ast.SelectorExpr:
+		return fn.Sel.Name == "RecycleBatch"
+	}
+	return false
+}
+
+// provenBuffered reports whether a send can be statically shown never to
+// block: its channel is a local made once with make(chan T, len(xs)), this
+// is the only send site to that channel, and the send executes at most once
+// per iteration of a single `range xs` loop — the "completion send buffered
+// to the fan-out width" idiom (qe's Blocking replay, the river exchange
+// tests). Function literals crossed on the way up must be immediately
+// invoked (go/defer/call), so they run at most once per crossing.
+func (w *factWalker) provenBuffered(send *ast.SendStmt) bool {
+	return ProvenBuffered(w.info, w.body, send)
+}
+
+// ProvenBuffered is the shared buffered-send proof; body is the declared
+// function body enclosing the send. See provenBuffered for the shape.
+func ProvenBuffered(info *types.Info, body *ast.BlockStmt, send *ast.SendStmt) bool {
+	chID, ok := send.Chan.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	chObj := info.Uses[chID]
+	if chObj == nil {
+		return false
+	}
+	// One definition: ch := make(chan T, len(xs)); no other assignment.
+	var capArg ast.Expr
+	defs := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if info.Defs[id] != chObj && info.Uses[id] != chObj {
+				continue
+			}
+			defs++
+			if i < len(as.Rhs) {
+				if mk, ok := as.Rhs[i].(*ast.CallExpr); ok && builtinCallNamed(info, mk, "make") && len(mk.Args) == 2 {
+					capArg = mk.Args[1]
+				}
+			}
+		}
+		return true
+	})
+	if defs != 1 || capArg == nil {
+		return false
+	}
+	lenCall, ok := capArg.(*ast.CallExpr)
+	if !ok || !builtinCallNamed(info, lenCall, "len") || len(lenCall.Args) != 1 {
+		return false
+	}
+	xsBase, xsField, ok := widthOperand(info, lenCall.Args[0])
+	if !ok {
+		return false
+	}
+	// This must be the only send site to the channel.
+	sends := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if id, ok := s.Chan.(*ast.Ident); ok && info.Uses[id] == chObj {
+				sends++
+			}
+		}
+		return true
+	})
+	if sends != 1 {
+		return false
+	}
+	// Climb from the send to the body: exactly one loop, a `range xs`, and
+	// any function literal crossed is immediately invoked.
+	parents := buildParents(body)
+	var loops []ast.Node
+	for n := ast.Node(send); n != nil && n != body; n = parents[n] {
+		switch p := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, p)
+		case *ast.RangeStmt:
+			loops = append(loops, p)
+		case *ast.FuncLit:
+			par := parents[p]
+			ok := false
+			switch pp := par.(type) {
+			case *ast.GoStmt:
+				ok = pp.Call.Fun == p
+			case *ast.DeferStmt:
+				ok = pp.Call.Fun == p
+			case *ast.CallExpr:
+				ok = pp.Fun == p
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	if len(loops) != 1 {
+		return false
+	}
+	rs, ok := loops[0].(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	rBase, rField, ok := widthOperand(info, rs.X)
+	return ok && rBase == xsBase && rField == xsField
+}
+
+// widthOperand resolves a fan-out-width expression — the len() argument or
+// the range operand — to a comparable (base, field) object pair: a plain
+// identifier (xs) or a field selection rooted at one (x.parts, the method
+// shape). Anything deeper stays unproven.
+func widthOperand(info *types.Info, e ast.Expr) (base, field types.Object, ok bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		return obj, nil, obj != nil
+	case *ast.SelectorExpr:
+		id, isID := e.X.(*ast.Ident)
+		if !isID {
+			return nil, nil, false
+		}
+		b, f := info.Uses[id], info.Uses[e.Sel]
+		return b, f, b != nil && f != nil
+	}
+	return nil, nil, false
+}
+
+func builtinCallNamed(info *types.Info, call *ast.CallExpr, name string) bool {
+	return builtinName(info, call) == name
+}
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 )
 
 // This file speaks the `go vet -vettool=...` driver protocol, mirroring
@@ -83,18 +85,34 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "skylint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command requires the facts file to exist afterwards even
-	// though skylint exports no facts.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+	// The vetx facts file carries this unit's function summaries to every
+	// dependent unit's invocation (go vet hands them back through
+	// PackageVetx). It must exist even when empty — the go command checks.
+	writeVetx := func(sums *Summaries) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var data []byte
+		if sums != nil {
+			if enc, err := sums.Encode(); err == nil {
+				data = enc
 			}
 		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: facts only, no diagnostics wanted.
-		writeVetx()
+
+	// Standard-library units contribute no computed summaries. Walking the
+	// runtime would conclude that every allocation "may block" (GC start
+	// parks on a channel), drowning the engine-level invariants in noise.
+	// The standalone loader never walks the stdlib either: the curated
+	// builtinFacts (sync.Cond.Wait, sync.WaitGroup.Wait, time.Sleep, ...)
+	// are the only stdlib knowledge, identically in both drivers. The cfg's
+	// Standard map only marks a unit's *imports*, so stdlib units are
+	// recognized by their source living under GOROOT.
+	if isStdUnit(cfg) {
+		writeVetx(nil)
 		return 0
 	}
 
@@ -116,24 +134,70 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	imp := importer.ForCompiler(fset, compiler, lookup)
 	lp, err := CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, nil, imp)
 	if err != nil {
-		writeVetx()
-		if cfg.SucceedOnTypecheckFailure {
+		// A dependency pass (VetxOnly) covers packages skylint never
+		// analyzes for diagnostics — including ones (cgo, assembly-backed
+		// stdlib internals) the source checker cannot handle. Summaries for
+		// those degrade to empty rather than failing the whole vet run.
+		writeVetx(nil)
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "skylint: %v\n", err)
 		return 1
 	}
+	deps := readDepSummaries(cfg)
+	lp.Summaries = ComputeSummaries(fset, lp.Files, lp.Info, deps)
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, no diagnostics wanted.
+		writeVetx(lp.Summaries)
+		return 0
+	}
 	diags, err := lp.Run(analyzers)
-	writeVetx()
+	writeVetx(lp.Summaries)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skylint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// isStdUnit reports whether the vet unit is a standard-library package: its
+// directory resolves under GOROOT/src. GOROOT comes from the environment the
+// go command launched us with, falling back to the toolchain's build-time
+// root.
+func isStdUnit(cfg vetConfig) bool {
+	goroot := os.Getenv("GOROOT")
+	if goroot == "" {
+		goroot = runtime.GOROOT()
+	}
+	if goroot == "" || cfg.Dir == "" {
+		return false
+	}
+	rel, err := filepath.Rel(filepath.Join(goroot, "src"), cfg.Dir)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) && !filepath.IsAbs(rel)
+}
+
+// readDepSummaries merges the function summaries of every dependency unit
+// from the vetx files the go command recorded in PackageVetx. Unreadable or
+// pre-summary (empty) files contribute nothing.
+func readDepSummaries(cfg vetConfig) *Summaries {
+	merged := NewSummaries()
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		v, err := DecodeSummaries(data, nil)
+		if err != nil {
+			continue
+		}
+		mergeInto(merged, v)
+	}
+	return merged
 }

@@ -10,21 +10,28 @@
 //     is a use-after-recycle (reassigning b starts a new ownership);
 //   - recycling b twice in one list without a reassignment between is a
 //     double recycle;
-//   - after a direct send `ch <- b`, later uses of b in the same list are
-//     uses after ownership transfer;
+//   - after a direct send `ch <- b` — or a call to a function whose
+//     summary says it takes the batch (recycles, stores, forwards it) —
+//     later uses of b in the same list are uses after ownership transfer;
 //   - a `for b := range ch` loop over a Batch channel whose body never
-//     consumes b (recycle, send, append, call, assignment, or return) drops
-//     the buffer on the floor — a pool leak.
+//     consumes b (recycle, send, append, assignment, return, or a call
+//     that may take it) drops the buffer on the floor — a pool leak.
 //
-// Batches recycled or sent inside a nested block almost always `continue`
-// or `return` immediately, so only same-list ordering is judged: the check
-// stays conservative and false positives carry //lint:skylint-ignore
+// Call verdicts come from the function-summary layer: a callee whose
+// summary marks a batch parameter consumed transfers ownership at the call
+// site, one that marks it inspect-only (len-style helpers) does NOT count
+// as consumption in the drop check, and an unsummarizable callee (function
+// value, interface method) is assumed to take the batch. Batches recycled
+// or sent inside a nested block almost always `continue` or `return`
+// immediately, so only same-list ordering is judged: the check stays
+// conservative and residual false positives carry //lint:skylint-ignore
 // annotations with the reason.
 package batchown
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"sdss/internal/lint/analysis"
 )
@@ -132,6 +139,8 @@ func checkList(pass *analysis.Pass, list []ast.Stmt) {
 					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
 						gone[obj] = "RecycleBatch"
 					}
+				} else {
+					recordCallTransfers(pass, call, gone)
 				}
 			}
 		case *ast.SendStmt:
@@ -142,6 +151,39 @@ func checkList(pass *analysis.Pass, list []ast.Stmt) {
 			}
 		}
 	}
+}
+
+// recordCallTransfers consults the callee's summary and marks batch
+// arguments it consumes as gone: the interprocedural leg of the ownership
+// rule. Inspect-only and unknown callees leave ownership here — flagging a
+// use after a MAYBE-consuming call would be guessing.
+func recordCallTransfers(pass *analysis.Pass, call *ast.CallExpr, gone map[types.Object]string) {
+	fn, facts := pass.Summaries.Callee(pass.TypesInfo, call)
+	if fn == nil || facts == nil || facts.ConsumesBatch == 0 {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || !isBatchType(pass.TypeOf(id)) {
+			continue
+		}
+		if facts.ConsumesBatch&paramBit(sig, i) == 0 {
+			continue
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			gone[obj] = "taken by " + analysis.FuncKey(fn)
+		}
+	}
+}
+
+// paramBit maps argument position i to the callee's parameter bitmask slot,
+// folding variadic overflow onto the last parameter.
+func paramBit(sig *types.Signature, i int) uint64 {
+	if sig != nil && sig.Variadic() && i >= sig.Params().Len() {
+		i = sig.Params().Len() - 1
+	}
+	return uint64(1) << uint(i)
 }
 
 // reportUses flags identifiers in stmt whose objects were already given up.
@@ -169,11 +211,14 @@ func reportUses(pass *analysis.Pass, stmt ast.Stmt, gone map[types.Object]string
 			if id := recycleArg(pass.TypesInfo, call); id != nil {
 				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
 					if why, dead := gone[obj]; dead {
-						verb := "double RecycleBatch of %s"
-						if why == "send" {
-							verb = "RecycleBatch of %s after it was sent (receiver owns it)"
+						switch {
+						case why == "send":
+							pass.Reportf(id.Pos(), "RecycleBatch of %s after it was sent (receiver owns it)", id.Name)
+						case strings.HasPrefix(why, "taken by "):
+							pass.Reportf(id.Pos(), "RecycleBatch of %s after it was %s (the callee owns it)", id.Name, why)
+						default:
+							pass.Reportf(id.Pos(), "double RecycleBatch of %s", id.Name)
 						}
-						pass.Reportf(id.Pos(), verb, id.Name)
 					}
 				}
 				return false // the recycle call's own mention is not a use
@@ -188,9 +233,12 @@ func reportUses(pass *analysis.Pass, stmt ast.Stmt, gone map[types.Object]string
 			return true
 		}
 		if why, dead := gone[obj]; dead {
-			if why == "send" {
+			switch {
+			case why == "send":
 				pass.Reportf(id.Pos(), "use of batch %s after sending it (ownership moved to the receiver)", id.Name)
-			} else {
+			case strings.HasPrefix(why, "taken by "):
+				pass.Reportf(id.Pos(), "use of batch %s after it was %s (ownership moved to the callee)", id.Name, why)
+			default:
 				pass.Reportf(id.Pos(), "use of batch %s after RecycleBatch (buffer may already be reused)", id.Name)
 			}
 			delete(gone, obj) // one report per lost variable is enough
@@ -221,16 +269,10 @@ func checkRangeDrop(pass *analysis.Pass, loop *ast.RangeStmt) {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			// len/cap inspect without consuming; every other call (incl.
-			// RecycleBatch and append) takes the batch.
-			if fn, ok := n.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
-				return true
+			if mentions(pass, n, obj) {
+				consumed = true
 			}
-			for _, arg := range n.Args {
-				if mentions(pass, arg, obj) {
-					consumed = true
-				}
-			}
+			return false // mentions judged the whole call subtree
 		case *ast.SendStmt:
 			if mentions(pass, n.Value, obj) {
 				consumed = true
@@ -256,14 +298,45 @@ func checkRangeDrop(pass *analysis.Pass, loop *ast.RangeStmt) {
 }
 
 // mentions reports whether expr references obj in a consuming position.
-// References inside len/cap calls only inspect the batch and do not count.
+// References inside len/cap calls only inspect the batch, and — through the
+// summary layer — so do references passed to a callee whose summary marks
+// that batch parameter neither consumed nor unknown. A callee the layer
+// cannot see keeps the pessimistic reading: the mention counts.
 func mentions(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
 	found := false
 	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
 		if call, ok := n.(*ast.CallExpr); ok {
 			if fn, ok := call.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
 				return false
 			}
+			if recycleArg(pass.TypesInfo, call) != nil {
+				// RecycleBatch IS the consumption the drop check wants.
+				return true
+			}
+			fn, facts := pass.Summaries.Callee(pass.TypesInfo, call)
+			if fn != nil && facts != nil {
+				sig, _ := fn.Type().(*types.Signature)
+				for i, arg := range call.Args {
+					bit := paramBit(sig, i)
+					inspectOnly := facts.BatchParams&bit != 0 &&
+						facts.ConsumesBatch&bit == 0 && facts.UnknownBatch&bit == 0
+					if inspectOnly {
+						continue
+					}
+					if mentions(pass, arg, obj) {
+						found = true
+						break
+					}
+				}
+				if !found && mentions(pass, call.Fun, obj) {
+					found = true // a method receiver mention stays consuming
+				}
+				return false
+			}
+			return true // unsummarized callee: fall through, mentions count
 		}
 		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
 			found = true

@@ -1,9 +1,14 @@
 // Package a is the batchown fixture: a structural double of the query
 // engine's batch pool (internal/qe/pool.go) with positive findings marked
 // by want comments and the engine's sanctioned idioms left unmarked.
+// Interprocedural cases route ownership through same-package helpers and —
+// via serialized summaries — through the imported package b.
 package a
 
-import "context"
+import (
+	"b"
+	"context"
+)
 
 type Result struct {
 	ObjID  uint64
@@ -120,6 +125,71 @@ func emitAndReplace(ctx context.Context, out chan<- Batch, b Batch) Batch {
 func doubleSend(a, b chan<- Batch, bt Batch) {
 	a <- bt
 	b <- bt // want `use of batch bt after sending it`
+}
+
+// Interprocedural shapes: the summary layer follows ownership through
+// calls that the flow-insensitive check alone had to guess about.
+
+var stored []Batch
+
+// stash takes ownership: the batch escapes into the package-level store.
+func stash(b Batch) { stored = append(stored, b) }
+
+// inspectLen only reads: its summary marks the batch param inspect-only.
+func inspectLen(b Batch) int { return len(b) }
+
+// useAfterHelperTransfer hands the buffer to a helper whose summary says it
+// keeps it, then touches it — invisible before the summary layer.
+func useAfterHelperTransfer(b Batch) {
+	stash(b)
+	observe(len(b)) // want `use of batch b after it was taken by a.stash`
+}
+
+// recycleAfterHelperTransfer returns a buffer the helper already owns.
+func recycleAfterHelperTransfer(b Batch) {
+	stash(b)
+	RecycleBatch(b) // want `RecycleBatch of b after it was taken by a.stash`
+}
+
+// leakThroughInspector drains a stream through an inspect-only helper: the
+// helper's summary proves nothing consumed the buffers, so the pool leaks.
+func leakThroughInspector(in <-chan Batch) int {
+	n := 0
+	for b := range in { // want `batch b is consumed but never recycled`
+		n += inspectLen(b)
+	}
+	return n
+}
+
+// drainThroughHelper recycles through a consuming helper: clean.
+func drainThroughHelper(in <-chan Batch) {
+	for b := range in {
+		stash(b)
+	}
+}
+
+// useAfterCrossKeep transfers across the package boundary: b.Keep's
+// consuming summary arrives serialized, the way the vettool ships facts.
+func useAfterCrossKeep(bt b.Batch, n *int) {
+	b.Keep(bt)
+	*n = len(bt) // want `use of batch bt after it was taken by b.Keep`
+}
+
+// leakThroughCrossPeek: b.Peek's summary says inspect-only, so this stream
+// still leaks even though every batch visits a call.
+func leakThroughCrossPeek(in <-chan b.Batch) int {
+	n := 0
+	for bt := range in { // want `batch bt is consumed but never recycled`
+		n += b.Peek(bt)
+	}
+	return n
+}
+
+// drainThroughCrossKeep consumes across the boundary: clean.
+func drainThroughCrossKeep(in <-chan b.Batch) {
+	for bt := range in {
+		b.Keep(bt)
+	}
 }
 
 // tryThenGuardedSend is the morsel worker's emit: a non-blocking fast path

@@ -1,0 +1,17 @@
+// Package b is the dependency side of the batchown multi-package fixture:
+// Keep's consuming summary and Peek's inspect-only summary cross the
+// package boundary serialized.
+package b
+
+type Item struct{ V float64 }
+
+// Batch mirrors qe.Batch structurally: a defined slice type named Batch.
+type Batch []Item
+
+var stash []Batch
+
+// Keep takes ownership: the batch escapes into the package store.
+func Keep(bt Batch) { stash = append(stash, bt) }
+
+// Peek only inspects the batch.
+func Peek(bt Batch) int { return len(bt) }

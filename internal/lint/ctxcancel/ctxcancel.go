@@ -5,17 +5,21 @@
 // and the worker leaks, exactly the failure mode Rows.Close's contract
 // ("a closed Rows never leaks scan workers") forbids.
 //
-// The analyzer flags channel sends inside `go func(...)`-launched function
-// literals unless the send is:
+// The analyzer flags, inside spawned code, any channel send that is not:
 //
 //   - a select case (the engine's `case out <- b: / case <-ctx.Done():`
-//     idiom), or
+//     idiom), nor
 //   - inside a `for ... range ch` loop over a channel (pure forwarding:
 //     the loop is bounded by the upstream stream, whose producer honors
-//     cancellation and whose consumer drains on cancel).
+//     cancellation and whose consumer drains on cancel), nor
+//   - provably buffered: the make(chan T, len(xs)) one-send-per-range-xs
+//     completion idiom never blocks, so it needs no escape hatch.
 //
-// Sends that are provably non-blocking (a channel pre-sized to the exact
-// element count) carry //lint:skylint-ignore ctxcancel <reason>.
+// Spawned code means `go func() {...}` literals and — through the
+// function-summary layer — named functions launched with `go f(...)` or
+// called from inside a spawned literal, in this package or any summarized
+// dependency: a callee whose summary records an unguarded send is reported
+// at the spawn or call site.
 package ctxcancel
 
 import (
@@ -34,26 +38,41 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			gs, ok := n.(*ast.GoStmt)
-			if !ok {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutine(pass, lit.Body, fd.Body)
+					return true
+				}
+				// A named-function spawn: the callee's summary says whether
+				// some path performs a send with no cancellation escape.
+				fn, facts := pass.Summaries.Callee(pass.TypesInfo, gs.Call)
+				if fn != nil && facts != nil && facts.UnguardedSend {
+					pass.Reportf(gs.Go,
+						"goroutine runs %s, which performs an unguarded channel send (%s); select on a cancellation signal (ctx.Done()) so the fan-out can be torn down",
+						analysis.FuncKey(fn), facts.SendWhy)
+				}
 				return true
-			}
-			lit, ok := gs.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true // named functions are checked where they are defined
-			}
-			checkGoroutine(pass, lit.Body)
-			return true
-		})
+			})
+		}
 	}
 	return nil
 }
 
 // checkGoroutine walks one spawned body looking for unguarded sends,
 // tracking whether the current path is inside a channel-range forwarding
-// loop. Nested go statements are visited by the outer Inspect.
-func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt) {
+// loop. declBody is the declared function enclosing the spawn, where a
+// provably-buffered channel's make site lives. Nested go statements are
+// visited by the outer Inspect.
+func checkGoroutine(pass *analysis.Pass, body, declBody *ast.BlockStmt) {
 	var walk func(n ast.Node, forwarding bool)
 	walk = func(n ast.Node, forwarding bool) {
 		switch n := n.(type) {
@@ -81,11 +100,24 @@ func checkGoroutine(pass *analysis.Pass, body *ast.BlockStmt) {
 			walk(n.Body, inner)
 			return
 		case *ast.SendStmt:
-			if !forwarding {
-				pass.Reportf(n.Arrow,
-					"unguarded channel send in a spawned goroutine; select on a cancellation signal (ctx.Done()) so the fan-out can be torn down")
+			if forwarding {
+				return
 			}
+			if analysis.ProvenBuffered(pass.TypesInfo, declBody, n) {
+				return // completion send buffered to the fan-out width
+			}
+			pass.Reportf(n.Arrow,
+				"unguarded channel send in a spawned goroutine; select on a cancellation signal (ctx.Done()) so the fan-out can be torn down")
 			return
+		case *ast.CallExpr:
+			if !forwarding {
+				if fn, facts := pass.Summaries.Callee(pass.TypesInfo, n); fn != nil && facts != nil && facts.UnguardedSend {
+					pass.Reportf(n.Lparen,
+						"call to %s in a spawned goroutine performs an unguarded channel send (%s); select on a cancellation signal (ctx.Done()) so the fan-out can be torn down",
+						analysis.FuncKey(fn), facts.SendWhy)
+				}
+			}
+			// Fall through: arguments may nest literals or further calls.
 		}
 		// Generic traversal one level down.
 		ast.Inspect(n, func(child ast.Node) bool {

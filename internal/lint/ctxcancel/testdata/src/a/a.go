@@ -1,8 +1,12 @@
 // Package a is the ctxcancel fixture: spawned goroutines that send with
-// and without a cancellation path.
+// and without a cancellation path, including named-function spawns whose
+// sends are only visible through the function-summary layer.
 package a
 
-import "context"
+import (
+	"b"
+	"context"
+)
 
 type batch []uint64
 
@@ -56,17 +60,104 @@ func closeThenSignal(done chan<- struct{}, out chan int) {
 	}()
 }
 
-// suppressedReplay fills a channel pre-sized to the element count.
-func suppressedReplay(all []batch) <-chan batch {
+// goodBufferedReplay fills a channel pre-sized to the element count: the
+// buffered-send proof sees the make(chan T, len(all)) / one-send-per-range
+// shape, so no suppression is needed.
+func goodBufferedReplay(all []batch) <-chan batch {
 	replay := make(chan batch, len(all))
 	go func() {
 		for _, b := range all {
-			//lint:skylint-ignore ctxcancel replay is buffered to len(all); the send can never block
 			replay <- b
 		}
 		close(replay)
 	}()
 	return replay
+}
+
+// goodBufferedCompletion is the exchange-test idiom: per-part workers signal
+// completion on a channel buffered to the partition count.
+func goodBufferedCompletion(parts []batch) int {
+	total := 0
+	wg := make(chan struct{}, len(parts))
+	for _, p := range parts {
+		go func(b batch) {
+			total += len(b)
+			wg <- struct{}{}
+		}(p)
+	}
+	for range parts {
+		<-wg
+	}
+	return total
+}
+
+// fanIndex mirrors hashm.SpatialIndex: the fan-out width lives in a struct
+// field, so the buffered-send proof must match len(x.parts) against a field
+// selection, not just a plain identifier.
+type fanIndex struct{ parts []batch }
+
+// finish distributes partitions to sort workers over a channel buffered to
+// the partition count; the sends are proven buffered through the field.
+func (x *fanIndex) finish() {
+	work := make(chan batch, len(x.parts))
+	for _, p := range x.parts {
+		work <- p
+	}
+	close(work)
+}
+
+// goodFieldBufferedSpawn spawns the method: its summary must NOT carry an
+// unguarded send, or every build-phase goroutine calling it gets flagged.
+func goodFieldBufferedSpawn(x *fanIndex) {
+	go func() {
+		x.finish()
+	}()
+}
+
+// pump sends with no escape hatch; harmless when called synchronously, but
+// its summary records the unguarded send for spawn sites.
+func pump(vals []int, out chan<- int) {
+	for _, v := range vals {
+		out <- v
+	}
+}
+
+// guardedPump loses every send to cancellation: its summary is clean.
+func guardedPump(ctx context.Context, vals []int, out chan<- int) {
+	for _, v := range vals {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// badNamedSpawn launches a named function whose summary says it sends
+// unguarded — the shape that previously escaped the literal-only check.
+func badNamedSpawn(vals []int, out chan<- int) {
+	go pump(vals, out) // want `goroutine runs a.pump, which performs an unguarded channel send`
+}
+
+func goodNamedSpawn(ctx context.Context, vals []int, out chan<- int) {
+	go guardedPump(ctx, vals, out)
+}
+
+// badCallInLit hides the send one call deep inside the spawned literal.
+func badCallInLit(vals []int, out chan<- int) {
+	go func() {
+		pump(vals, out) // want `call to a.pump in a spawned goroutine performs an unguarded channel send`
+	}()
+}
+
+// badCrossPackageSpawn spawns an imported function: the verdict rides in on
+// package b's serialized summaries.
+func badCrossPackageSpawn(out chan int) {
+	go b.Pump(out) // want `goroutine runs b.Pump, which performs an unguarded channel send`
+}
+
+func goodCrossPackageSpawn(done <-chan struct{}, out chan int) {
+	go b.GuardedPump(done, out)
 }
 
 // morsel mirrors the scheduler's work unit: a slice element, not a channel

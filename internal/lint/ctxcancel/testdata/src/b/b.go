@@ -1,0 +1,22 @@
+// Package b is the dependency side of the ctxcancel multi-package fixture:
+// its summaries (Pump sends unguarded, GuardedPump does not) cross the
+// package boundary serialized, the way the vettool driver ships them.
+package b
+
+// Pump sends with no cancellation escape.
+func Pump(out chan int) {
+	for i := 0; i < 8; i++ {
+		out <- i
+	}
+}
+
+// GuardedPump can always lose a send to the done signal.
+func GuardedPump(done <-chan struct{}, out chan int) {
+	for i := 0; i < 8; i++ {
+		select {
+		case out <- i:
+		case <-done:
+			return
+		}
+	}
+}

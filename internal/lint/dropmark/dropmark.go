@@ -15,6 +15,10 @@
 //     function that produces batches (sends on a channel or recycles) must
 //     call interrupted.Store(true) before returning.
 //
+// Recycling is recognized transitively: a drop point that releases its
+// buffers through a helper is judged by the helper's Recycles summary fact,
+// not just by a literal RecycleBatch call in the clause.
+//
 // Drops that are genuinely post-completion (limit reached, everything
 // delivered) carry //lint:skylint-ignore dropmark <reason>.
 package dropmark
@@ -110,29 +114,6 @@ func isNil(e ast.Expr) bool {
 	return ok && id.Name == "nil"
 }
 
-// containsCallNamed reports whether the subtree calls a function with the
-// given terminal name (RecycleBatch, Store, ...).
-func containsCallNamed(n ast.Node, name string) bool {
-	found := false
-	ast.Inspect(n, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fn := call.Fun.(type) {
-		case *ast.Ident:
-			found = found || fn.Name == name
-		case *ast.SelectorExpr:
-			found = found || fn.Sel.Name == name
-		}
-		return true
-	})
-	return found
-}
-
 // marksInterrupted reports whether the subtree contains
 // <x>.interrupted.Store(true).
 func marksInterrupted(n ast.Node) bool {
@@ -165,7 +146,7 @@ func marksInterrupted(n ast.Node) bool {
 
 // producesBatches reports whether the function body sends on a channel or
 // recycles batches — i.e. participates in the streaming tree.
-func producesBatches(body *ast.BlockStmt) bool {
+func producesBatches(pass *analysis.Pass, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -175,7 +156,41 @@ func producesBatches(body *ast.BlockStmt) bool {
 		case *ast.SendStmt:
 			found = true
 		case *ast.CallExpr:
-			found = found || containsCallNamed(n, "RecycleBatch")
+			found = found || recyclesBatch(pass, n)
+		}
+		return true
+	})
+	return found
+}
+
+// recyclesBatch reports whether the subtree recycles a batch — by a direct
+// RecycleBatch call, or through a callee whose summary carries the
+// transitive Recycles fact.
+func recyclesBatch(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "RecycleBatch" {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if fn.Sel.Name == "RecycleBatch" {
+				found = true
+				return false
+			}
+		}
+		if _, facts := pass.Summaries.Callee(pass.TypesInfo, call); facts != nil && facts.Recycles {
+			found = true
+			return false
 		}
 		return true
 	})
@@ -214,7 +229,7 @@ func funcBody(n ast.Node) *ast.BlockStmt {
 // points would be double-reported here, so literals are skipped in this
 // walk.
 func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
-	produces := producesBatches(body)
+	produces := producesBatches(pass, body)
 	for _, stmt := range body.List {
 		ast.Inspect(stmt, func(n ast.Node) bool {
 			if _, ok := n.(*ast.FuncLit); ok {
@@ -226,7 +241,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 					return true
 				}
 				clause := &ast.BlockStmt{List: n.Body}
-				if containsCallNamed(clause, "RecycleBatch") && !marksInterrupted(clause) {
+				if recyclesBatch(pass, clause) && !marksInterrupted(clause) {
 					pass.Reportf(n.Pos(),
 						"cancellation drop point recycles a batch without rows.interrupted.Store(true); the timeout will not surface")
 				}

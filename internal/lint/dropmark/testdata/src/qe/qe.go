@@ -78,6 +78,34 @@ func doneWithoutBatch(ctx context.Context, tick <-chan int) {
 	}
 }
 
+// releaseOwned recycles through a helper: its summary carries the
+// transitive Recycles fact to every drop point that calls it.
+func releaseOwned(bs []Batch) {
+	for _, b := range bs {
+		RecycleBatch(b)
+	}
+}
+
+// badDoneDropViaHelper drops owned work through releaseOwned without
+// marking: only the Recycles summary fact exposes it.
+func badDoneDropViaHelper(ctx context.Context, out chan<- Batch, bs []Batch, rows *Rows) {
+	select {
+	case out <- bs[0]:
+	case <-ctx.Done(): // want `without rows.interrupted.Store`
+		releaseOwned(bs)
+	}
+}
+
+// goodDoneDropViaHelper marks before releasing through the helper.
+func goodDoneDropViaHelper(ctx context.Context, out chan<- Batch, bs []Batch, rows *Rows) {
+	select {
+	case out <- bs[0]:
+	case <-ctx.Done():
+		rows.interrupted.Store(true)
+		releaseOwned(bs)
+	}
+}
+
 // suppressedDrop documents a deliberate post-completion drop.
 func suppressedDrop(ctx context.Context, out chan<- Batch, b Batch, rows *Rows) {
 	select {

@@ -1,0 +1,259 @@
+// Package enginecopy is the project's copylocks: any struct that
+// transitively embeds a sync primitive by value — qe.Engine foremost, which
+// carries the morsel pool behind a sync.Once — must never be copied. A
+// copied Engine forks the Once, so the copy lazily builds a second pool and
+// the "one engine-wide scheduler" sizing invariant silently becomes N
+// pools; a copied mutex is two locks that both believe they guard the same
+// state. Engine.Clone (a pointer-receiver method building a fresh value
+// field by field) is the sanctioned way to derive configured variants.
+//
+// Flagged copies of lock-bearing types:
+//
+//   - value receivers, parameters, and results in function signatures;
+//   - assignments and variable initializations whose right-hand side reads
+//     an existing value (identifier, field, index, or dereference —
+//     composite literals and call results are fresh values, not copies);
+//   - range statements whose value variable copies an element;
+//   - call arguments and channel sends passing a value.
+//
+// The bodies of pointer-receiver Clone methods on lock-bearing types are
+// exempt: that is where the sanctioned copy semantics live.
+package enginecopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdss/internal/lint/analysis"
+)
+
+// Analyzer is the enginecopy pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "enginecopy",
+	Doc:  "structs embedding sync primitives (qe.Engine) must not be copied by value",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, memo: map[types.Type]string{}}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.checkSignature(n.Type, n.Recv)
+				if n.Body != nil && c.isSanctionedClone(n) {
+					return false // the sanctioned copy path
+				}
+			case *ast.FuncLit:
+				c.checkSignature(n.Type, nil)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.GenDecl:
+				c.checkVarDecl(n)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.CallExpr:
+				c.checkCallArgs(n)
+			case *ast.SendStmt:
+				c.checkCopy(n.Value, "channel send")
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					c.checkCopy(res, "return")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// memo caches lockPath per type; "" = no sync primitive inside,
+	// non-empty = the first one found (e.g. "sync.Once").
+	memo map[types.Type]string
+}
+
+// lockPath reports the first sync primitive a type transitively contains
+// by value, or "".
+func (c *checker) lockPath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := c.memo[t]; ok {
+		return p
+	}
+	c.memo[t] = "" // breaks cycles; overwritten below
+	path := ""
+	switch u := t.(type) {
+	case *types.Named:
+		if prim := syncPrimitive(u); prim != "" {
+			path = prim
+		} else {
+			path = c.lockPath(u.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := c.lockPath(u.Field(i).Type()); p != "" {
+				path = p
+				break
+			}
+		}
+	case *types.Array:
+		path = c.lockPath(u.Elem())
+	}
+	c.memo[t] = path
+	return path
+}
+
+// syncPrimitive matches the uncopyable sync and sync/atomic types.
+func syncPrimitive(n *types.Named) string {
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "sync":
+		switch n.Obj().Name() {
+		case "Mutex", "RWMutex", "Once", "Cond", "WaitGroup", "Pool", "Map":
+			return "sync." + n.Obj().Name()
+		}
+	case "sync/atomic":
+		// Every named type in sync/atomic embeds noCopy semantics.
+		return "sync/atomic." + n.Obj().Name()
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// isCopySource reports whether e reads an existing value (so assigning or
+// passing it copies). Composite literals, call results, and conversions
+// produce fresh values; &x takes an address.
+func isCopySource(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isCopySource(e.X)
+	}
+	return false
+}
+
+// checkCopy flags e when it is a copy source of lock-bearing type.
+func (c *checker) checkCopy(e ast.Expr, what string) {
+	if e == nil || !isCopySource(e) {
+		return
+	}
+	t := c.pass.TypeOf(e)
+	prim := c.lockPath(t)
+	if prim == "" {
+		return
+	}
+	c.pass.Reportf(e.Pos(),
+		"%s copies lock-bearing type %s (contains %s); pass a pointer, or derive values through its Clone method",
+		what, typeName(t), prim)
+}
+
+// checkSignature flags by-value receivers, params, and results of
+// lock-bearing type.
+func (c *checker) checkSignature(ft *ast.FuncType, recv *ast.FieldList) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := c.pass.TypeOf(f.Type)
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			prim := c.lockPath(t)
+			if prim == "" {
+				continue
+			}
+			c.pass.Reportf(f.Type.Pos(),
+				"%s of lock-bearing type %s (contains %s) is passed by value; use a pointer",
+				what, typeName(t), prim)
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// isSanctionedClone matches a pointer-receiver method named Clone on a
+// lock-bearing type: the one place copy-shaped code is the point.
+func (c *checker) isSanctionedClone(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Clone" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := c.pass.TypeOf(fd.Recv.List[0].Type)
+	p, isPtr := t.(*types.Pointer)
+	return isPtr && c.lockPath(p.Elem()) != ""
+}
+
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	// `_ = v` evaluates without materializing a second value.
+	allBlank := true
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			allBlank = false
+			break
+		}
+	}
+	if allBlank {
+		return
+	}
+	for _, rhs := range n.Rhs {
+		c.checkCopy(rhs, "assignment")
+	}
+}
+
+func (c *checker) checkVarDecl(n *ast.GenDecl) {
+	for _, spec := range n.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			c.checkCopy(v, "variable initialization")
+		}
+	}
+}
+
+func (c *checker) checkRange(n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	if id, ok := n.Value.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	t := c.pass.TypeOf(n.Value)
+	prim := c.lockPath(t)
+	if prim == "" {
+		return
+	}
+	c.pass.Reportf(n.Value.Pos(),
+		"range value copies lock-bearing type %s (contains %s) per iteration; range over indices or pointers",
+		typeName(t), prim)
+}
+
+func (c *checker) checkCallArgs(n *ast.CallExpr) {
+	// A conversion T(x) re-types the same value; vet treats it as a copy
+	// only for concrete lock types — keep it simple and skip conversions.
+	if c.pass.TypesInfo != nil {
+		if tv, ok := c.pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+			return
+		}
+	}
+	if id, ok := n.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return // len/cap/new(&T{}) etc. do not copy the value
+		}
+	}
+	for _, arg := range n.Args {
+		c.checkCopy(arg, "call argument")
+	}
+}

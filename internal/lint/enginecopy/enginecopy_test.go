@@ -1,0 +1,12 @@
+package enginecopy_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/enginecopy"
+	"sdss/internal/lint/linttest"
+)
+
+func TestEngineCopy(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), enginecopy.Analyzer, "a")
+}

@@ -1,0 +1,140 @@
+// Package a is the enginecopy fixture: an Engine lookalike whose sync.Once
+// must never be forked by a value copy, plus the sanctioned Clone path and
+// the fresh-value shapes that are not copies.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Engine mirrors qe.Engine: the Once guards lazy construction of shared
+// machinery, so a value copy silently forks that machinery.
+type Engine struct {
+	once sync.Once
+	size int
+}
+
+// Clone is the sanctioned derivation path: pointer receiver, fresh value
+// out. Its body is exempt — the copy in here is the point.
+func (e *Engine) Clone() *Engine {
+	cp := *e
+	cp.once = sync.Once{}
+	return &cp
+}
+
+// wrapper is lock-bearing transitively: it embeds Engine by value.
+type wrapper struct {
+	name string
+	eng  Engine
+}
+
+// counter is lock-bearing through sync/atomic: every named atomic type
+// carries noCopy semantics.
+type counter struct {
+	hits atomic.Int64
+}
+
+func (e Engine) badSize() int { // want `receiver of lock-bearing type a.Engine \(contains sync.Once\) is passed by value`
+	return e.size
+}
+
+func badParam(e Engine, n int) int { // want `parameter of lock-bearing type a.Engine \(contains sync.Once\) is passed by value`
+	return e.size + n
+}
+
+func badResult() (Engine, error) { // want `result of lock-bearing type a.Engine \(contains sync.Once\) is passed by value`
+	return Engine{}, nil
+}
+
+var badLit = func(w wrapper) string { // want `parameter of lock-bearing type a.wrapper \(contains sync.Once\) is passed by value`
+	return w.name
+}
+
+func badAssign(e *Engine) {
+	cp := *e // want `assignment copies lock-bearing type a.Engine \(contains sync.Once\)`
+	cp.size++
+}
+
+func badAssignField(w *wrapper) {
+	eng := w.eng // want `assignment copies lock-bearing type a.Engine \(contains sync.Once\)`
+	eng.size++
+}
+
+func badVarInit(c *counter) {
+	var snapshot = *c // want `variable initialization copies lock-bearing type a.counter \(contains sync/atomic.Int64\)`
+	snapshot.hits.Add(1)
+}
+
+func badRange(ws []wrapper) int {
+	total := 0
+	for _, w := range ws { // want `range value copies lock-bearing type a.wrapper \(contains sync.Once\) per iteration`
+		total += len(w.name)
+	}
+	return total
+}
+
+func sink(v any) { _ = v }
+
+func badCallArg(e *Engine) {
+	sink(*e) // want `call argument copies lock-bearing type a.Engine \(contains sync.Once\)`
+}
+
+func badSend(ch chan Engine, e *Engine) {
+	ch <- *e // want `channel send copies lock-bearing type a.Engine \(contains sync.Once\)`
+}
+
+func badReturn(e *Engine) Engine { // want `result of lock-bearing type a.Engine \(contains sync.Once\) is passed by value`
+	return *e // want `return copies lock-bearing type a.Engine \(contains sync.Once\)`
+}
+
+// --- negatives ---
+
+// Pointers move freely: no value is duplicated.
+func goodPointer(e *Engine) *Engine {
+	return e
+}
+
+func (w *wrapper) title() string {
+	return w.name
+}
+
+// Composite literals and & are fresh values and addresses, not copies.
+func goodFresh() {
+	e := Engine{size: 4}
+	p := &e
+	q := &Engine{}
+	_ = p
+	_ = q
+}
+
+// A blank assignment evaluates without materializing a second value.
+func goodBlank(e *Engine) {
+	_ = *e
+}
+
+// Ranging by index never copies the element.
+func goodIndexRange(ws []wrapper) int {
+	total := 0
+	for i := range ws {
+		total += ws[i].eng.size
+	}
+	return total
+}
+
+// view shares Engine's underlying struct; conversions re-type rather than
+// pass, and the analyzer deliberately leaves them to the Clone discipline.
+type view Engine
+
+func goodConversion(e *Engine) int {
+	v := view(*e)
+	return v.size
+}
+
+// Lock-free structs copy freely.
+type plain struct{ a, b int }
+
+func goodPlain(p plain) plain {
+	cp := p
+	return cp
+}

@@ -1,0 +1,67 @@
+// Command ghannotate converts skylint -json NDJSON findings (read from
+// stdin) into GitHub Actions workflow commands —
+//
+//	::error file=...,line=...,col=...,title=skylint/<analyzer>::<message>
+//
+// — so findings surface as inline annotations on the pull request. It
+// exits 1 when any finding was present, preserving the failing verdict for
+// the CI step that pipes into it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// escapeData applies the workflow-command escaping rules for the message
+// part; escapeProp additionally escapes the property delimiters.
+func escapeData(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(s)
+}
+
+func escapeProp(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C").Replace(s)
+}
+
+func annotate(f finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=skylint/%s::%s",
+		escapeProp(f.File), f.Line, f.Col, escapeProp(f.Analyzer), escapeData(f.Message))
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	count := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			fmt.Fprintf(os.Stderr, "ghannotate: skipping malformed line: %v\n", err)
+			continue
+		}
+		fmt.Println(annotate(f))
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ghannotate:", err)
+		os.Exit(1)
+	}
+	if count > 0 {
+		fmt.Fprintf(os.Stderr, "ghannotate: %d finding(s)\n", count)
+		os.Exit(1)
+	}
+}

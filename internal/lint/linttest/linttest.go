@@ -8,14 +8,22 @@
 //
 // Each `// want` comment carries one or more backquoted or double-quoted
 // regular expressions; every expectation must be matched by a diagnostic on
-// that line, and every diagnostic must be expected. Fixtures may import only
-// the standard library, so they type-check hermetically from source.
+// that line, and every diagnostic must be expected.
+//
+// Fixtures may import the standard library and sibling fixture packages:
+// an import of "b" from testdata/src/a resolves to testdata/src/b, whose
+// function summaries are computed first and round-tripped through the JSON
+// codec before the analyzed package sees them — every multi-package fixture
+// therefore exercises the same summary export/import path the vettool
+// driver uses. Only the named package's files carry // want expectations;
+// dependency fixtures are support code.
 package linttest
 
 import (
 	"fmt"
 	"go/importer"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -41,16 +49,85 @@ type expectation struct {
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		pkgDir := filepath.Join(dir, "testdata", "src", pkg)
-		runPackage(t, pkgDir, pkg, a)
+		runPackage(t, filepath.Join(dir, "testdata", "src"), pkg, a)
 	}
 }
 
-func runPackage(t *testing.T, pkgDir, importPath string, a *analysis.Analyzer) {
-	t.Helper()
+// fixtureImporter resolves fixture-sibling imports under root, falling back
+// to a source importer for the standard library. Each fixture dependency is
+// loaded once; its summaries are kept in serialized form so the analyzed
+// package imports them exactly as the real drivers do.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	pkgs     map[string]*types.Package
+	sums     map[string][]byte
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fi.root, path)
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return fi.fallback.Import(path)
+	}
+	lp, err := fi.load(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	return lp.Pkg, nil
+}
+
+// load type-checks one fixture package (dependencies first, through Import)
+// and computes + serializes its function summaries.
+func (fi *fixtureImporter) load(importPath, dir string) (*analysis.LoadedPackage, error) {
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := analysis.CheckFiles(fi.fset, importPath, files, nil, fi)
+	if err != nil {
+		return nil, fmt.Errorf("loading fixture %s: %v", importPath, err)
+	}
+	deps, err := fi.depView()
+	if err != nil {
+		return nil, err
+	}
+	lp.Summaries = analysis.ComputeSummaries(fi.fset, lp.Files, lp.Info, deps)
+	fi.pkgs[importPath] = lp.Pkg
+	enc, err := lp.Summaries.Encode()
+	if err != nil {
+		return nil, err
+	}
+	fi.sums[importPath] = enc
+	return lp, nil
+}
+
+// depView decodes every already-loaded fixture package's serialized
+// summaries into one dependency view — the JSON round trip is the point.
+func (fi *fixtureImporter) depView() (*analysis.Summaries, error) {
+	paths := make([]string, 0, len(fi.sums))
+	for p := range fi.sums {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	views := make([]*analysis.Summaries, 0, len(paths))
+	for _, p := range paths {
+		v, err := analysis.DecodeSummaries(fi.sums[p], nil)
+		if err != nil {
+			return nil, fmt.Errorf("decoding %s summaries: %v", p, err)
+		}
+		views = append(views, v)
+	}
+	return analysis.MergeSummaries(views...), nil
+}
+
+func fixtureFiles(pkgDir string) ([]string, error) {
 	entries, err := os.ReadDir(pkgDir)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgDir, err)
+		return nil, err
 	}
 	var files []string
 	for _, e := range entries {
@@ -59,13 +136,29 @@ func runPackage(t *testing.T, pkgDir, importPath string, a *analysis.Analyzer) {
 		}
 	}
 	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", pkgDir)
+		return nil, fmt.Errorf("no fixture files in %s", pkgDir)
 	}
+	return files, nil
+}
 
+func runPackage(t *testing.T, root, importPath string, a *analysis.Analyzer) {
+	t.Helper()
 	fset := token.NewFileSet()
-	lp, err := analysis.CheckFiles(fset, importPath, files, nil, importer.ForCompiler(fset, "source", nil))
+	fi := &fixtureImporter{
+		root:     root,
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*types.Package{},
+		sums:     map[string][]byte{},
+	}
+	pkgDir := filepath.Join(root, importPath)
+	lp, err := fi.load(importPath, pkgDir)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", importPath, err)
+		t.Fatal(err)
+	}
+	files, err := fixtureFiles(pkgDir)
+	if err != nil {
+		t.Fatal(err)
 	}
 	expects := collectWants(t, files)
 	diags, err := lp.Run([]*analysis.Analyzer{a})

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/linttest"
+	"sdss/internal/lint/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), lockheld.Analyzer, "a")
+}

@@ -1,0 +1,205 @@
+// Package a is the lockheld fixture: blocking under a mutex, recursive
+// acquisition, inverted lock orders, and Cond.Wait — with the released,
+// guarded, and proven-buffered shapes that must stay quiet.
+package a
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	aux  sync.Mutex
+	out  chan int
+	vals map[int]int
+}
+
+// badSendUnderLock parks while holding mu.
+func (s *store) badSendUnderLock(v int) {
+	s.mu.Lock()
+	s.out <- v // want `channel send in store.badSendUnderLock while holding a.store.mu`
+	s.mu.Unlock()
+}
+
+// badDeferUnlock: the deferred unlock holds mu to function end, across the
+// send.
+func (s *store) badDeferUnlock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[v] = v
+	s.out <- v // want `channel send in store.badDeferUnlock while holding a.store.mu`
+}
+
+// badReceiveUnderLock parks waiting for input.
+func (s *store) badReceiveUnderLock() int {
+	s.mu.Lock()
+	v := <-s.out // want `channel receive in store.badReceiveUnderLock while holding a.store.mu`
+	s.mu.Unlock()
+	return v
+}
+
+// badSelectUnderLock: a no-default select parks even when one case is
+// cancellation.
+func (s *store) badSelectUnderLock(v int, done chan struct{}) {
+	s.mu.Lock()
+	select { // want `select with no default case in store.badSelectUnderLock while holding a.store.mu`
+	case s.out <- v:
+	case <-done:
+	}
+	s.mu.Unlock()
+}
+
+// badRecursive self-deadlocks: sync.Mutex is not reentrant.
+func (s *store) badRecursive() {
+	s.mu.Lock()
+	s.mu.Lock() // want `store.badRecursive locks a.store.mu, which it already holds`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// blocksInside parks on a send; the summary layer carries that fact to
+// callers.
+func (s *store) blocksInside(v int) {
+	s.out <- v
+}
+
+// badCallUnderLock blocks one call deep: only the interprocedural summary
+// sees it.
+func (s *store) badCallUnderLock(v int) {
+	s.mu.Lock()
+	s.blocksInside(v) // want `call to a.store.blocksInside, which may block .* while holding a.store.mu`
+	s.mu.Unlock()
+}
+
+// goodLockThenSend releases before parking.
+func (s *store) goodLockThenSend(v int) {
+	s.mu.Lock()
+	s.vals[v] = v
+	s.mu.Unlock()
+	s.out <- v
+}
+
+// goodGuardClause releases on the early-return path and again on the tail;
+// the send runs lock-free.
+func (s *store) goodGuardClause(v int) (int, bool) {
+	s.mu.Lock()
+	got, ok := s.vals[v]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	s.out <- got
+	return got, true
+}
+
+// goodBranchRelease unlocks in both fall-through branches: released after.
+func (s *store) goodBranchRelease(v int, flip bool) {
+	s.mu.Lock()
+	if flip {
+		s.mu.Unlock()
+	} else {
+		s.vals[v] = v
+		s.mu.Unlock()
+	}
+	s.out <- v
+}
+
+// goodTrySendUnderLock cannot park: the select has a default.
+func (s *store) goodTrySendUnderLock(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.out <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// goodBufferedUnderLock: the channel is pre-sized to len(xs) with one send
+// per iteration — the send cannot block, even under the lock.
+func goodBufferedUnderLock(xs []int) chan int {
+	out := make(chan int, len(xs))
+	var mu sync.Mutex
+	for _, x := range xs {
+		mu.Lock()
+		out <- x
+		mu.Unlock()
+	}
+	return out
+}
+
+// lockAB and lockBA invert each other's acquisition order: both witness
+// sites are reported.
+func (s *store) lockAB() {
+	s.mu.Lock()
+	s.aux.Lock() // want `lock order inverted`
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) lockBA() {
+	s.aux.Lock()
+	s.mu.Lock() // want `lock order inverted`
+	s.mu.Unlock()
+	s.aux.Unlock()
+}
+
+type waiter struct {
+	mu   sync.Mutex
+	aux  sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// goodCondWait: Wait atomically releases the single held lock (its locker).
+func (w *waiter) goodCondWait() {
+	w.mu.Lock()
+	for w.n == 0 {
+		w.cond.Wait()
+	}
+	w.n--
+	w.mu.Unlock()
+}
+
+// badCondWaitTwoLocks keeps aux held across the park: Wait releases only
+// the Cond's own locker.
+func (w *waiter) badCondWaitTwoLocks() {
+	w.aux.Lock()
+	w.mu.Lock()
+	for w.n == 0 {
+		w.cond.Wait() // want `sync.Cond.Wait in waiter.badCondWaitTwoLocks with 2 locks held`
+	}
+	w.n--
+	w.mu.Unlock()
+	w.aux.Unlock()
+}
+
+// goodSpawned: the goroutine body is its own context; the send there holds
+// nothing (the spawn site released first).
+func (s *store) goodSpawned(v int) {
+	s.mu.Lock()
+	s.vals[v] = v
+	s.mu.Unlock()
+	go func() {
+		s.out <- v
+	}()
+}
+
+// goodUnlockBuildRelock is the cache idiom done right: the lock covers only
+// the map probes, never the blocking build between them.
+func (s *store) goodUnlockBuildRelock(v int) int {
+	s.mu.Lock()
+	if got, ok := s.vals[v]; ok {
+		s.mu.Unlock()
+		return got
+	}
+	s.mu.Unlock()
+	s.blocksInside(v) // lock released: blocking here is fine
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, ok := s.vals[v]; ok {
+		return got
+	}
+	s.vals[v] = v
+	return v
+}

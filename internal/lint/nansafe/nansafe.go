@@ -10,13 +10,18 @@
 // store — plus fixture doubles with those names) and flags binary
 // comparisons where BOTH operands are non-constant floating expressions.
 // Comparing against a literal (`r < 18`) is SQL predicate semantics — NaN
-// compares false, which the bounds analyzer mirrors — and stays legal, as
-// are _test.go files, where exact-value assertions are the point.
+// compares false, which the bounds analyzer mirrors — and stays legal. In
+// _test.go files, only the test entry points themselves (Test*, Benchmark*,
+// Fuzz*, Example*) are exempt — they assert exact values on data they
+// constructed. Shared test helpers (property-grid comparators, ordering
+// oracles) feed verdicts back into invariant checks and are held to the
+// same standard as production code.
 //
-// A function that calls math.IsNaN or math.Signbit is itself a sanctioned
-// NaN-aware comparator: its comparisons are presumed deliberate.
-// Deliberate NaN-oblivious comparisons elsewhere carry
-// //lint:skylint-ignore nansafe <reason>.
+// A function that calls math.IsNaN, math.Signbit, math.Float64bits, or
+// math.Float64frombits is itself a sanctioned NaN-aware comparator: it is
+// working at the representation level where NaN and -0 are visible, and its
+// comparisons are presumed deliberate. Deliberate NaN-oblivious comparisons
+// elsewhere carry //lint:skylint-ignore nansafe <reason>.
 package nansafe
 
 import (
@@ -65,8 +70,18 @@ func isFloat(t types.Type) bool {
 	return ok && b.Info()&types.IsFloat != 0
 }
 
-// isNaNAware reports whether the function body calls math.IsNaN or
-// math.Signbit — the mark of a comparator that has thought about NaN/-0.
+// nanAwareFuncs are the math functions whose presence marks a comparator
+// that has thought about NaN/-0: the predicates, and the bit-pattern
+// round-trips used by total-order keys.
+var nanAwareFuncs = map[string]bool{
+	"IsNaN":           true,
+	"Signbit":         true,
+	"Float64bits":     true,
+	"Float64frombits": true,
+}
+
+// isNaNAware reports whether the function body calls one of the sanctioned
+// math functions.
 func isNaNAware(body *ast.BlockStmt) bool {
 	aware := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -78,8 +93,7 @@ func isNaNAware(body *ast.BlockStmt) bool {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if base, ok := sel.X.(*ast.Ident); ok && base.Name == "math" &&
-				(sel.Sel.Name == "IsNaN" || sel.Sel.Name == "Signbit") {
+			if base, ok := sel.X.(*ast.Ident); ok && base.Name == "math" && nanAwareFuncs[sel.Sel.Name] {
 				aware = true
 			}
 		}
@@ -93,20 +107,32 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
-		// Tests assert exact values on data they constructed, where == is
-		// the point; the invariant protects production ordering paths.
-		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
-			continue
-		}
+		inTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
+				continue
+			}
+			// Test entry points assert exact values on data they constructed,
+			// where == is the point. Shared helpers in the same files are
+			// ordering oracles and stay checked.
+			if inTest && fd.Recv == nil && isTestEntry(fd.Name.Name) {
 				continue
 			}
 			checkFunc(pass, fd.Body)
 		}
 	}
 	return nil
+}
+
+// isTestEntry matches the go test harness entry-point naming.
+func isTestEntry(name string) bool {
+	for _, prefix := range []string{"Test", "Benchmark", "Fuzz", "Example"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkFunc flags unsanctioned float comparisons in one function. Nested

@@ -1,0 +1,35 @@
+// Test-file fixture: the harness entry points are exempt (exact assertions
+// on constructed data are the point), but shared helpers are ordering
+// oracles and stay checked.
+package qe
+
+import "math"
+
+func load() float64 { return 1 }
+
+// TestExactRoundTrip is an entry point: the bare == is sanctioned.
+func TestExactRoundTrip() bool {
+	a, b := load(), load()
+	return a == b
+}
+
+// BenchmarkFold is likewise exempt by name.
+func BenchmarkFold() bool {
+	a, b := load(), load()
+	return a < b
+}
+
+// keysEqualHelper is a shared comparator helper: its verdicts feed property
+// checks, so it is held to the production standard.
+func keysEqualHelper(a, b float64) bool {
+	return a == b // want `NaN-unsafe == on two float values`
+}
+
+// totalLess is sanctioned through the bit-pattern functions: it works at
+// the representation level where NaN and -0 are visible.
+func totalLess(a, b float64) bool {
+	if math.Float64bits(a) == math.Float64bits(b) {
+		return false
+	}
+	return a < b
+}

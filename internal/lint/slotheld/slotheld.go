@@ -1,0 +1,307 @@
+// Package slotheld checks the morsel pool's deadlock discipline
+// (internal/qe/morsel.go): code running on a pool slot must never park the
+// goroutine, because the slot it occupies is exactly the capacity another
+// query's morsels — possibly the ones that would unblock it — need to run.
+// The sanctioned escape is pool.blockingSend, which releases the slot,
+// performs the blocking send, and reacquires.
+//
+// Slot-held roots are the `run:` fields of the scheduler's job literals
+// (poolJob{run: ...}, unit{run: ...}). From each root the analyzer walks
+// the reachable code: function literals directly, same-package static
+// callees by recursing into their bodies, and cross-package or
+// export-data-only callees through their interprocedural may-block
+// summaries. Function literals returned by a callee invoked from slot-held
+// code are treated as slot-held too — that is how scanJob.emitTo's
+// delivery closure reaches a pool worker.
+//
+// Flagged while slot-held:
+//
+//   - blocking channel operations: send/receive, no-default select, range
+//     over a channel (sends proven buffered are exempt);
+//   - calls whose summary says they may block, except blockingSend itself;
+//   - sync.Cond.Wait;
+//   - acquiring a mutex that is elsewhere held across a blocking
+//     operation. A bounded leaf critical section (lock, touch memory,
+//     unlock) cannot wedge the pool and is permitted; a lock someone parks
+//     under can, so taking it from a slot is the same hazard one hop
+//     removed.
+package slotheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdss/internal/lint/analysis"
+	"sdss/internal/lint/lockflow"
+)
+
+// Analyzer is the slotheld pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "slotheld",
+	Doc:  "no blocking operation while holding a morsel-pool slot (use blockingSend)",
+	Run:  run,
+}
+
+// taint records why a lock is dangerous to take on a slot: a witness site
+// where it is held across a blocking operation.
+type taint struct {
+	pos token.Pos
+	why string
+}
+
+func run(pass *analysis.Pass) error {
+	tainted := taintedLocks(pass)
+	decls := declaredFuncs(pass)
+	c := &checker{
+		pass:    pass,
+		tainted: tainted,
+		decls:   decls,
+		visited: map[*ast.BlockStmt]bool{},
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isJobLiteral(pass, lit) {
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "run" {
+					c.checkRoot(kv.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isJobLiteral matches the scheduler's work-item literals: a struct named
+// poolJob or unit with a func-typed field named run.
+func isJobLiteral(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if name := named.Obj().Name(); name != "poolJob" && name != "unit" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "run" {
+			_, isFunc := f.Type().Underlying().(*types.Signature)
+			return isFunc
+		}
+	}
+	return false
+}
+
+// taintedLocks scans the whole package for locks held across blocking
+// operations — the ones a slot holder must not wait on.
+func taintedLocks(pass *analysis.Pass) map[string]taint {
+	tainted := map[string]taint{}
+	lockflow.FuncBodies(pass.Files, func(name string, body, decl *ast.BlockStmt) {
+		lockflow.Walk(pass.TypesInfo, body, func(n ast.Node, held map[string]token.Pos) {
+			if len(held) == 0 {
+				return
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				// Cond.Wait releases its locker; with one held lock there is
+				// nothing left held across the park (lockheld covers >1).
+				if _, op := lockflow.LockOp(pass.TypesInfo, call); op == lockflow.OpCondWait && len(held) == 1 {
+					return
+				}
+			}
+			why, blocking := lockflow.Blocking(pass.TypesInfo, pass.Summaries, decl, n)
+			if !blocking {
+				return
+			}
+			for id := range held {
+				if _, seen := tainted[id]; !seen {
+					tainted[id] = taint{pos: n.Pos(), why: why}
+				}
+			}
+		})
+	})
+	return tainted
+}
+
+// declaredFuncs maps this package's function objects to their declarations.
+func declaredFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	tainted  map[string]taint
+	decls    map[*types.Func]*ast.FuncDecl
+	visited  map[*ast.BlockStmt]bool
+	reported map[token.Pos]bool
+}
+
+// checkRoot resolves one `run:` field value to slot-held code.
+func (c *checker) checkRoot(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		c.checkBody(e.Body)
+	case *ast.Ident, *ast.SelectorExpr:
+		fn := funcOf(c.pass.TypesInfo, e)
+		c.checkCallee(fn, e.Pos())
+	case *ast.CallExpr:
+		// run: makeRunner(...) — the call happens at construction time; the
+		// closures it returns are what run on the slot.
+		if fn := analysis.CalleeFunc(c.pass.TypesInfo, e); fn != nil {
+			if decl, ok := c.decls[fn]; ok {
+				c.checkReturnedClosures(decl.Body)
+			}
+		}
+	}
+}
+
+func funcOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkCallee checks a function that executes while the slot is held: by
+// body when declared in this package, by summary otherwise.
+func (c *checker) checkCallee(fn *types.Func, callPos token.Pos) {
+	if fn == nil {
+		return // func value: optimistic, like the summary layer
+	}
+	if fn.Name() == "blockingSend" {
+		return // the sanctioned release/reacquire path
+	}
+	if decl, ok := c.decls[fn]; ok {
+		c.checkBody(decl.Body)
+		c.checkReturnedClosures(decl.Body)
+		return
+	}
+	if facts := c.pass.Summaries.Lookup(fn); facts != nil && facts.MayBlock {
+		c.report(callPos,
+			"call to %s may block (%s) while holding a pool slot; release the slot first (blockingSend) or run off the pool",
+			analysis.FuncKey(fn), facts.BlockWhy)
+	}
+}
+
+// checkReturnedClosures treats function literals in a callee's return
+// statements as slot-held: the caller invokes them in its own context.
+func (c *checker) checkReturnedClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if lit, ok := res.(*ast.FuncLit); ok {
+				c.checkBody(lit.Body)
+			}
+		}
+		return true
+	})
+}
+
+// checkBody walks one slot-held body with the lock-aware walker.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	if c.visited[body] {
+		return
+	}
+	c.visited[body] = true
+	lockflow.Walk(c.pass.TypesInfo, body, func(n ast.Node, held map[string]token.Pos) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, op := lockflow.LockOp(c.pass.TypesInfo, call); op != lockflow.OpNone {
+				switch op {
+				case lockflow.OpLock, lockflow.OpRLock:
+					if tn, bad := c.tainted[id]; bad {
+						c.report(call.Pos(),
+							"acquires %s while holding a pool slot, but that lock is held across a %s at %s; a parked holder would wedge the pool",
+							shortID(id), tn.why, c.pass.Fset.Position(tn.pos))
+					}
+				case lockflow.OpCondWait:
+					c.report(call.Pos(),
+						"sync.Cond.Wait while holding a pool slot; release the slot first (blockingSend)")
+				}
+				return
+			}
+			// Immediately-invoked literal runs here, on the slot.
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				c.checkBody(lit.Body)
+			}
+			if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+				if fn.Name() == "blockingSend" {
+					return
+				}
+				if decl, ok := c.decls[fn]; ok {
+					c.checkBody(decl.Body)
+					c.checkReturnedClosures(decl.Body)
+					return
+				}
+				if facts := c.pass.Summaries.Lookup(fn); facts != nil && facts.MayBlock {
+					c.report(call.Pos(),
+						"call to %s may block (%s) while holding a pool slot; release the slot first (blockingSend) or run off the pool",
+						analysis.FuncKey(fn), facts.BlockWhy)
+				}
+			}
+			return
+		}
+		why, blocking := lockflow.Blocking(c.pass.TypesInfo, c.pass.Summaries, body, n)
+		if !blocking {
+			return
+		}
+		c.report(n.Pos(),
+			"blocking %s while holding a pool slot; release the slot first (blockingSend) — see morsel.go's deadlock discipline",
+			why)
+	})
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported == nil {
+		c.reported = map[token.Pos]bool{}
+	}
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func shortID(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			return id[i+1:]
+		}
+	}
+	return id
+}

@@ -1,0 +1,12 @@
+package slotheld_test
+
+import (
+	"testing"
+
+	"sdss/internal/lint/linttest"
+	"sdss/internal/lint/slotheld"
+)
+
+func TestSlotHeld(t *testing.T) {
+	linttest.Run(t, linttest.Dir(), slotheld.Analyzer, "a")
+}

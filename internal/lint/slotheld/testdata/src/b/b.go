@@ -1,0 +1,17 @@
+// Package b is the dependency side of the slotheld multi-package fixture:
+// its function summaries (Blocks may park, Fine cannot) are exported and
+// imported by package a across the package boundary.
+package b
+
+// Blocks parks on the send: callers holding a pool slot must not call it.
+func Blocks(ch chan int) {
+	ch <- 1
+}
+
+// Fine never parks: the send has a default escape.
+func Fine(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}

@@ -447,7 +447,6 @@ func (e *Engine) runUnion(ctx context.Context, left, right <-chan Batch, rows *R
 			}
 			replay := make(chan Batch, len(all))
 			for _, b := range all {
-				//lint:skylint-ignore ctxcancel replay is buffered to len(all); every send completes without blocking
 				replay <- b
 			}
 			close(replay)

@@ -54,7 +54,9 @@ func sameResults(t *testing.T, name string, a, b []Result, floatTol float64) {
 		}
 		for j, av := range a[i].Values {
 			bv := b[i].Values[j]
-			if av == bv {
+			// NaN-aware: unmeasured magnitudes must agree as NaN on both
+			// sides, not fail the grid with NaN != NaN.
+			if av == bv || (math.IsNaN(av) && math.IsNaN(bv)) {
 				continue
 			}
 			den := math.Max(math.Abs(av), math.Abs(bv))

@@ -73,10 +73,9 @@ func TestExchangePartitions(t *testing.T) {
 	parts := Exchange(s, 4, func(x int) uint64 { return uint64(x) })
 	counts := make([]int, 4)
 	sums := make([]int64, 4)
-	var wg = make(chan struct{}, 4)
+	wg := make(chan struct{}, len(parts))
 	for i, p := range parts {
 		go func(i int, p *Stream[int]) {
-			//lint:skylint-ignore ctxcancel wg is buffered to the partition count; the completion send never blocks
 			defer func() { wg <- struct{}{} }()
 			vals, err := Collect(p)
 			if err != nil {
